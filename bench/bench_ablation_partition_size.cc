@@ -1,0 +1,82 @@
+// Ablation X1 (DESIGN.md): how the Unconnected HOPI partition bound trades
+// off build time, index size, first-result latency and total query time —
+// the design choice behind the paper's HOPI-5000 vs HOPI-20000 setups and
+// the randomized-partitioning anomaly it mentions (HOPI-20000 not uniformly
+// better than HOPI-5000).
+//
+//   $ ./bench_ablation_partition_size [--pubs 3000]
+#include "bench/bench_util.h"
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "workload/query_workload.h"
+
+int main(int argc, char** argv) {
+  using namespace flix;
+  const size_t pubs = bench::FlagOr(argc, argv, "--pubs", 3000);
+
+  std::printf("=== Ablation: Unconnected HOPI partition size sweep ===\n");
+  xml::Collection collection = bench::MakeCorpus(pubs);
+  const graph::Digraph g = collection.BuildGraph();
+  std::printf("corpus: %zu documents, %zu elements, %zu links\n\n",
+              collection.NumDocuments(), collection.NumElements(),
+              bench::InterDocLinks(collection));
+
+  workload::QuerySamplerOptions sampler;
+  sampler.seed = 11;
+  sampler.count = 10;
+  sampler.min_results = 20;
+  const auto queries =
+      workload::SampleDescendantQueries(collection, g, sampler);
+  std::printf("%zu sampled descendant queries\n\n", queries.size());
+
+  const size_t bounds[] = {500, 1000, 2000, 5000, 10000, 20000, 50000};
+  std::printf("%10s %10s %12s %12s %14s %14s %12s\n", "bound", "metas",
+              "size", "build [ms]", "first [ms]", "all [ms]", "error");
+  for (const size_t bound : bounds) {
+    core::FlixOptions options;
+    options.config = core::MdbConfig::kUnconnectedHopi;
+    options.partition_bound = bound;
+    const auto flix = bench::MustBuild(collection, options);
+
+    double first_ms = 0;
+    double all_ms = 0;
+    double error = 0;
+    for (const auto& q : queries) {
+      Stopwatch watch;
+      std::vector<core::Result> results;
+      double first = 0;
+      flix->pee().FindDescendantsByTag(q.start, q.tag, {},
+                                       [&](const core::Result& r) {
+                                         if (results.empty()) {
+                                           first = watch.ElapsedMillis();
+                                         }
+                                         results.push_back(r);
+                                         return true;
+                                       });
+      first_ms += first;
+      all_ms += watch.ElapsedMillis();
+      error += workload::OrderErrorRate(results);
+    }
+    const double n = queries.empty() ? 1 : queries.size();
+    std::printf("%10zu %10zu %12s %12.0f %14.3f %14.3f %11.1f%%\n", bound,
+                flix->stats().num_meta_documents,
+                FormatBytes(flix->stats().total_index_bytes).c_str(),
+                flix->stats().build_ms, first_ms / n, all_ms / n,
+                100 * error / n);
+  }
+
+  std::printf(
+      "\nexpected: larger bounds -> fewer, larger meta documents, larger "
+      "indexes and slower builds; first-result latency grows with the bound "
+      "(a bigger local probe must finish before streaming starts) while the "
+      "per-entry probe cost dominates total time, so totals are best at "
+      "small bounds and at the monolithic extreme (no link hops at all); "
+      "the out-of-order rate drops as fewer blocks are stitched together — "
+      "this sweep is the design space between the paper's HOPI-5000 and "
+      "HOPI-20000 points, including the anomaly that the larger bound is "
+      "not uniformly better (Section 6 attributes it to partition "
+      "selection).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation X2 (DESIGN.md): index build time and size vs. collection size.
+// Section 2.2 motivates FliX with "the time to build HOPI superlinearly
+// increases with increasing number of documents" — the bounded-partition
+// configurations are supposed to scale gently.
+//
+//   $ ./bench_build_scaling [--max-pubs 6210]
+#include "bench/bench_util.h"
+
+#include <vector>
+
+#include "common/bytes.h"
+
+int main(int argc, char** argv) {
+  using namespace flix;
+  const size_t max_pubs = bench::FlagOr(argc, argv, "--max-pubs", 6210);
+
+  std::printf("=== Build scaling: HOPI vs bounded FliX configurations ===\n");
+  std::vector<size_t> sizes;
+  for (size_t s = max_pubs / 8; s <= max_pubs; s *= 2) sizes.push_back(s);
+  if (sizes.empty() || sizes.back() != max_pubs) sizes.push_back(max_pubs);
+
+  const bench::Setup setups[] = {
+      bench::PaperSetups()[0],  // HOPI (monolithic)
+      bench::PaperSetups()[3],  // HOPI-5000
+      bench::PaperSetups()[5],  // MaximalPPO
+      bench::PaperSetups()[2],  // PPO-naive
+  };
+
+  std::printf("%10s %12s", "pubs", "elements");
+  for (const auto& setup : setups) {
+    std::printf(" %12s %10s", (setup.label + " ms").c_str(), "size");
+  }
+  std::printf("\n");
+
+  struct Row {
+    size_t pubs;
+    std::vector<double> build_ms;
+  };
+  std::vector<Row> rows;
+
+  for (const size_t pubs : sizes) {
+    xml::Collection collection = bench::MakeCorpus(pubs);
+    std::printf("%10zu %12zu", pubs, collection.NumElements());
+    Row row;
+    row.pubs = pubs;
+    for (const auto& setup : setups) {
+      const auto flix = bench::MustBuild(collection, setup.options);
+      row.build_ms.push_back(flix->stats().build_ms);
+      std::printf(" %12.0f %10s", flix->stats().build_ms,
+                  FormatBytes(flix->stats().total_index_bytes).c_str());
+    }
+    std::printf("\n");
+    rows.push_back(std::move(row));
+  }
+
+  if (rows.size() >= 2) {
+    const Row& first = rows.front();
+    const Row& last = rows.back();
+    const double growth = static_cast<double>(last.pubs) / first.pubs;
+    std::printf("\ncollection grew %.1fx; build time growth per setup:\n",
+                growth);
+    for (size_t s = 0; s < std::size(setups); ++s) {
+      const double factor =
+          last.build_ms[s] / std::max(first.build_ms[s], 0.001);
+      std::printf("  %-12s %.1fx%s\n", setups[s].label.c_str(), factor,
+                  factor > growth * 2 ? "  (superlinear)" : "");
+    }
+    std::printf("\npaper-reported shape: monolithic HOPI grows superlinearly;"
+                " bounded configurations track collection size.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces the in-text connection-test experiment of Section 6: "we also
+// experimented with testing if two nodes are connected. Here, we found the
+// same performance trend as before, only with lower absolute numbers."
+// Also exercises the bidirectional variant sketched in Section 5.2.
+//
+//   $ ./bench_connection_test [--pubs 6210] [--pairs 50]
+#include "bench/bench_util.h"
+
+#include <vector>
+
+#include "workload/query_workload.h"
+
+int main(int argc, char** argv) {
+  using namespace flix;
+  const size_t pubs = bench::FlagOr(argc, argv, "--pubs", 6210);
+  const size_t num_pairs = bench::FlagOr(argc, argv, "--pairs", 50);
+
+  std::printf("=== Connection tests (Section 6, in-text) ===\n");
+  xml::Collection collection = bench::MakeCorpus(pubs);
+  const graph::Digraph g = collection.BuildGraph();
+  std::printf("corpus: %zu documents, %zu elements\n",
+              collection.NumDocuments(), collection.NumElements());
+
+  const auto pairs = workload::SampleConnectionPairs(g, num_pairs, 97);
+  std::printf("%zu (a, b) pairs, about half connected\n\n", pairs.size());
+
+  std::printf("%-12s %16s %16s %12s\n", "index", "avg unidir [ms]",
+              "avg bidir [ms]", "connected");
+  for (const bench::Setup& setup : bench::PaperSetups()) {
+    const auto flix = bench::MustBuild(collection, setup.options);
+
+    size_t connected = 0;
+    Stopwatch uni;
+    for (const auto& [a, b] : pairs) {
+      if (flix->IsConnected(a, b)) ++connected;
+    }
+    const double uni_ms = uni.ElapsedMillis() / pairs.size();
+
+    Stopwatch bidi;
+    size_t connected_bidi = 0;
+    for (const auto& [a, b] : pairs) {
+      if (flix->pee().IsConnectedBidirectional(a, b)) ++connected_bidi;
+    }
+    const double bidi_ms = bidi.ElapsedMillis() / pairs.size();
+
+    std::printf("%-12s %16.3f %16.3f %7zu/%zu\n", setup.label.c_str(), uni_ms,
+                bidi_ms, connected, pairs.size());
+    if (connected != connected_bidi) {
+      std::printf("  WARNING: unidirectional and bidirectional disagree "
+                  "(%zu vs %zu)\n",
+                  connected, connected_bidi);
+    }
+  }
+
+  std::printf("\npaper-reported shape: same trend as Figure 5 with lower "
+              "absolute numbers (compare the per-query times above with the "
+              "k=100 column of bench_fig5_descendants).\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Shared plumbing for the experiment-reproduction benches: corpus setup,
+// the six indexing setups of the paper's Section 6, and timing helpers.
+#ifndef FLIX_BENCH_BENCH_UTIL_H_
+#define FLIX_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "flix/flix.h"
+#include "workload/dblp_generator.h"
+
+namespace flix::bench {
+
+// One experimental setup from the paper: a label plus FliX options.
+struct Setup {
+  std::string label;
+  core::FlixOptions options;
+};
+
+// The six competitors of Section 6. "HOPI" and "APEX" are the monolithic
+// indexes over the complete collection (realized as one unbounded
+// partition); the FliX configurations follow the paper.
+inline std::vector<Setup> PaperSetups() {
+  std::vector<Setup> setups;
+  {
+    Setup s;
+    s.label = "HOPI";
+    s.options.config = core::MdbConfig::kUnconnectedHopi;
+    s.options.partition_bound = std::numeric_limits<size_t>::max();
+    setups.push_back(s);
+  }
+  {
+    Setup s;
+    s.label = "APEX";
+    s.options.config = core::MdbConfig::kUnconnectedHopi;
+    s.options.partition_bound = std::numeric_limits<size_t>::max();
+    s.options.iss_policy = core::IssPolicy::kForceApex;
+    setups.push_back(s);
+  }
+  {
+    Setup s;
+    s.label = "PPO-naive";
+    s.options.config = core::MdbConfig::kNaive;
+    setups.push_back(s);
+  }
+  {
+    Setup s;
+    s.label = "HOPI-5000";
+    s.options.config = core::MdbConfig::kUnconnectedHopi;
+    s.options.partition_bound = 5000;
+    setups.push_back(s);
+  }
+  {
+    Setup s;
+    s.label = "HOPI-20000";
+    s.options.config = core::MdbConfig::kUnconnectedHopi;
+    s.options.partition_bound = 20000;
+    setups.push_back(s);
+  }
+  {
+    Setup s;
+    s.label = "MaximalPPO";
+    s.options.config = core::MdbConfig::kMaximalPpo;
+    setups.push_back(s);
+  }
+  return setups;
+}
+
+// Generates the DBLP-style corpus at the paper's scale divided by `scale`
+// (scale 1 = 6,210 publications / ~169k elements / ~25k links).
+inline xml::Collection MakeCorpus(size_t num_publications) {
+  workload::DblpOptions options;
+  options.num_publications = num_publications;
+  auto collection = workload::GenerateDblp(options);
+  if (!collection.ok()) {
+    std::fprintf(stderr, "corpus generation failed: %s\n",
+                 collection.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(collection).value();
+}
+
+inline size_t InterDocLinks(const xml::Collection& collection) {
+  size_t count = 0;
+  for (const xml::Link& link : collection.links().links) {
+    if (link.IsInterDocument()) ++count;
+  }
+  return count;
+}
+
+inline std::unique_ptr<core::Flix> MustBuild(const xml::Collection& collection,
+                                             const core::FlixOptions& options) {
+  auto flix = core::Flix::Build(collection, options);
+  if (!flix.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", flix.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(flix).value();
+}
+
+// Simple --flag value parsing.
+inline size_t FlagOr(int argc, char** argv, const char* name,
+                     size_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return std::stoul(argv[i + 1]);
+    }
+  }
+  return fallback;
+}
+
+// Relation check line for the qualitative, paper-reported shape.
+inline void Check(const char* what, bool ok) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+}
+
+}  // namespace flix::bench
+
+#endif  // FLIX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,93 @@
+// Quickstart: parse a small collection of linked XML documents, build FliX,
+// and run descendant / connection queries.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "common/bytes.h"
+#include "flix/flix.h"
+#include "xml/collection.h"
+
+int main() {
+  using namespace flix;
+
+  // 1. Assemble a collection. Documents reference each other with href
+  //    attributes ("doc" targets a root, "doc#anchor" an id= element).
+  xml::Collection collection;
+  const char* library = R"(
+    <library>
+      <shelf><book id="b1"><title>XML Indexing</title></book></shelf>
+      <seealso href="reviews#r1"/>
+    </library>)";
+  const char* reviews = R"(
+    <reviews>
+      <review id="r1">
+        <book idref="local"/>
+        <rating>5</rating>
+      </review>
+      <book id="local"><title>Companion Volume</title></book>
+      <external href="library"/>
+    </reviews>)";
+
+  if (auto added = collection.AddXml(library, "library"); !added.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", added.status().ToString().c_str());
+    return 1;
+  }
+  if (auto added = collection.AddXml(reviews, "reviews"); !added.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", added.status().ToString().c_str());
+    return 1;
+  }
+  collection.ResolveAllLinks();
+  std::printf("collection: %zu documents, %zu elements, %zu links\n",
+              collection.NumDocuments(), collection.NumElements(),
+              collection.links().links.size());
+
+  // 2. Build FliX. The Hybrid configuration partitions the collection into
+  //    meta documents and picks the best index (PPO/HOPI/APEX) per part.
+  core::FlixOptions options;
+  options.config = core::MdbConfig::kHybrid;
+  auto flix = core::Flix::Build(collection, options);
+  if (!flix.ok()) {
+    std::fprintf(stderr, "build error: %s\n", flix.status().ToString().c_str());
+    return 1;
+  }
+  const core::FlixStats& stats = (*flix)->stats();
+  std::printf(
+      "FliX built in %.2f ms: %zu meta documents (%zu PPO, %zu HOPI, %zu "
+      "APEX), %s of indexes, %zu cross links\n",
+      stats.build_ms, stats.num_meta_documents, stats.num_ppo, stats.num_hopi,
+      stats.num_apex, FormatBytes(stats.total_index_bytes).c_str(),
+      stats.num_cross_links);
+
+  // 3. Descendant query: all <book> elements reachable from the library
+  //    root — including those in the reviews document, via links.
+  const NodeId library_root = collection.GlobalId(0, 0);
+  std::printf("\nlibrary//book:\n");
+  for (const core::Result& r :
+       (*flix)->FindDescendantsByName(library_root, "book")) {
+    const auto loc = collection.Locate(r.node);
+    std::printf("  element %u in '%s' at distance %d\n", loc.elem,
+                collection.document(loc.doc).name().c_str(), r.distance);
+  }
+
+  // 4. Connection test: is the library connected to the rating element?
+  const NodeId rating =
+      collection.GlobalId(1, 2);  // <rating> inside the review
+  std::printf("\nlibrary root -> rating: %s (distance %d)\n",
+              (*flix)->IsConnected(library_root, rating) ? "connected"
+                                                         : "not connected",
+              (*flix)->FindDistance(library_root, rating));
+
+  // 5. Streaming: consume results from a worker thread, stop after the
+  //    first one (top-k client behaviour).
+  core::StreamedList list;
+  std::thread worker = (*flix)->pee().FindDescendantsByTagAsync(
+      library_root, collection.pool().Lookup("title"), {}, &list);
+  if (auto first = list.Next()) {
+    std::printf("\nfirst streamed title element: node %u (distance %d)\n",
+                first->node, first->distance);
+  }
+  list.Cancel();
+  worker.join();
+  return 0;
+}

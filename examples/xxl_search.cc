@@ -1,0 +1,92 @@
+// XXL-style ranked search (the engine the paper positions FliX inside):
+// structural vagueness (relaxed // steps via the PEE), semantic vagueness on
+// tag names (ontology), and semantic vagueness on content (TF-IDF text
+// index) combined into one ranked result list — the full
+//     //~movie[title~"Matrix: Revolutions"]//~actor//~movie
+// scenario of the paper's Section 1.
+//
+//   $ ./xxl_search [--pubs 400]
+#include <cstdio>
+#include <cstring>
+
+#include "flix/flix.h"
+#include "ontology/ontology.h"
+#include "ontology/relaxation.h"
+#include "text/text_index.h"
+#include "workload/dblp_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace flix;
+  size_t pubs = 400;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--pubs") == 0) pubs = std::stoul(argv[i + 1]);
+  }
+
+  // A bibliographic corpus doubles as a search target: find publications
+  // about indexing that cite (directly or transitively) publications about
+  // ranking.
+  workload::DblpOptions options;
+  options.num_publications = pubs;
+  auto collection = workload::GenerateDblp(options);
+  if (!collection.ok()) {
+    std::fprintf(stderr, "%s\n", collection.status().ToString().c_str());
+    return 1;
+  }
+  auto flix = core::Flix::Build(*collection, {});
+  if (!flix.ok()) {
+    std::fprintf(stderr, "%s\n", flix.status().ToString().c_str());
+    return 1;
+  }
+  const text::TextIndex text_index = text::TextIndex::Build(*collection);
+  std::printf("corpus: %zu documents, %zu elements; text index: %zu terms "
+              "over %zu elements\n\n",
+              collection->NumDocuments(), collection->NumElements(),
+              text_index.NumTerms(), text_index.NumIndexedElements());
+
+  // Ontology for the bibliographic domain: inproceedings ~ article.
+  ontology::Ontology onto;
+  onto.AddSimilarity("article", "inproceedings", 0.9);
+  onto.AddSimilarity("abstract", "note", 0.7);
+
+  // 1. Pure content search.
+  std::printf("content search: \"adaptive path indexing\"\n");
+  for (const auto& hit : text_index.Search("adaptive path indexing", 3)) {
+    const auto loc = collection->Locate(hit.element);
+    std::printf("    %.3f  %s#%u  \"%s\"\n", hit.score,
+                collection->document(loc.doc).name().c_str(), loc.elem,
+                collection->document(loc.doc)
+                    .element(loc.elem)
+                    .text.c_str());
+  }
+
+  // 2. Structure + tag similarity + content predicate, ranked.
+  const char* query_text =
+      R"(//~article[title~"adaptive indexing"]//~article)";
+  auto query = ontology::ParsePathQuery(query_text);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  ontology::RelaxedQueryOptions ropts;
+  ropts.text_index = &text_index;
+  ropts.text_floor = 0.2;
+  ropts.min_score = 0.02;
+  const auto matches =
+      ontology::EvaluatePathQuery(**flix, onto, *query, ropts);
+  std::printf("\n%s -> %zu matches (top 5):\n", query_text, matches.size());
+  int shown = 0;
+  for (const auto& m : matches) {
+    if (++shown > 5) break;
+    const auto loc = collection->Locate(m.node);
+    std::printf("    score %.3f  path length %2d  %s (<%s>)\n", m.score,
+                m.path_length,
+                collection->document(loc.doc).name().c_str(),
+                collection->pool()
+                    .Name(collection->document(loc.doc).element(loc.elem).tag)
+                    .c_str());
+  }
+  if (matches.empty()) {
+    std::printf("    (no matches — try a larger corpus)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Helpers for reporting memory footprints, used by index size accounting
+// (paper Table 1 reports index sizes in megabytes).
+#ifndef FLIX_COMMON_BYTES_H_
+#define FLIX_COMMON_BYTES_H_
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace flix {
+
+// Bytes held by the heap buffer of a vector (capacity, not size, since that
+// is what the allocator actually reserved).
+template <typename T>
+size_t VectorBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+// Pretty "12.34 MB" style rendering.
+inline std::string FormatBytes(size_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (1u << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", b / (1u << 20));
+  } else if (bytes >= (1u << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", b / (1u << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace flix
+
+#endif  // FLIX_COMMON_BYTES_H_

@@ -1,0 +1,119 @@
+// Deterministic pseudo-random number generation for workload synthesis and
+// property tests. All generators in FliX are seeded explicitly so that every
+// experiment is reproducible bit-for-bit.
+#ifndef FLIX_COMMON_RNG_H_
+#define FLIX_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace flix {
+
+// SplitMix64-seeded xoshiro256** generator. Small, fast, and stable across
+// platforms (unlike std::mt19937 + std::uniform_int_distribution, whose
+// output is implementation-defined for the distribution part).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four lanes of state.
+    uint64_t x = seed;
+    for (auto& lane : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+// Zipf-distributed sampler over {0, ..., n-1} with exponent `s`. Used to
+// give synthetic DBLP citations the skewed popularity the real corpus has.
+// Keeps raw cumulative weights, so the domain can grow incrementally with
+// Grow() (the DBLP generator extends it by one publication at a time);
+// sampling is a binary search over the cumulative sums.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : s_(s) { Grow(n); }
+
+  // Extends the domain to max(current, n) values.
+  void Grow(size_t n) {
+    while (cumulative_.size() < n) {
+      const double weight =
+          1.0 / std::pow(static_cast<double>(cumulative_.size() + 1), s_);
+      cumulative_.push_back(
+          (cumulative_.empty() ? 0.0 : cumulative_.back()) + weight);
+    }
+  }
+
+  size_t size() const { return cumulative_.size(); }
+
+  size_t Sample(Rng& rng) const {
+    assert(!cumulative_.empty());
+    const double u = rng.NextDouble() * cumulative_.back();
+    // First index whose cumulative weight exceeds u.
+    size_t lo = 0;
+    size_t hi = cumulative_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cumulative_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  double s_;
+  std::vector<double> cumulative_;
+};
+
+}  // namespace flix
+
+#endif  // FLIX_COMMON_RNG_H_

@@ -1,0 +1,115 @@
+// Minimal error-handling vocabulary: Status and StatusOr<T>.
+//
+// FliX is built without exceptions (following the style guide used for this
+// project); fallible operations return Status / StatusOr instead.
+#ifndef FLIX_COMMON_STATUS_H_
+#define FLIX_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace flix {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+// Value-semantics result of an operation: either OK or a code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" rendering for logs and test output.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kNotFound: return "NOT_FOUND";
+      case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+      case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+      case StatusCode::kInternal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status OutOfRangeError(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+inline Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+// Either a value of T or a non-OK Status explaining why there is none.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "OK StatusOr must carry a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace flix
+
+#endif  // FLIX_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+// Core identifier types shared by every FliX subsystem.
+#ifndef FLIX_COMMON_TYPES_H_
+#define FLIX_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace flix {
+
+// Identifies a node (XML element) inside one graph. Graphs are dense and
+// zero-based, so a plain 32-bit index suffices for collections of up to
+// ~4 billion elements.
+using NodeId = uint32_t;
+
+// Identifies an interned element tag name (see xml::NamePool).
+using TagId = uint32_t;
+
+// Identifies a document within a collection.
+using DocId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr TagId kInvalidTag = std::numeric_limits<TagId>::max();
+inline constexpr DocId kInvalidDoc = std::numeric_limits<DocId>::max();
+
+// Distance between two elements measured in edges (parent-child steps and
+// link traversals both count 1, matching the paper's distance model).
+// kUnreachable marks "no path".
+using Distance = int32_t;
+inline constexpr Distance kUnreachable = -1;
+
+}  // namespace flix
+
+#endif  // FLIX_COMMON_TYPES_H_

@@ -1,0 +1,80 @@
+// FliX framework configurations (paper Section 4.3) and tuning knobs.
+#ifndef FLIX_FLIX_CONFIG_H_
+#define FLIX_FLIX_CONFIG_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace flix::core {
+
+// How the Meta Document Builder partitions the collection.
+enum class MdbConfig {
+  // One meta document per XML document (paper: "Naive"). Good when
+  // documents are large, inter-document links are few, and queries rarely
+  // cross document boundaries (e.g., INEX).
+  kNaive,
+  // Grow maximal groups of documents whose combined element graph stays a
+  // forest, index each with PPO; every other edge is followed at run time
+  // (paper: "Maximal PPO", Figure 3). Good for mostly-isolated collections
+  // like DBLP.
+  kMaximalPpo,
+  // Size-bounded partitions of the element graph, each indexed with HOPI —
+  // the first two steps of HOPI's divide-and-conquer build without the
+  // final merge (paper: "Unconnected HOPI"). Good when most documents link.
+  kUnconnectedHopi,
+  // Maximal PPO tree groups first, remaining documents into size-bounded
+  // HOPI partitions (paper: "Hybrid Partitions"). Best for mixed
+  // collections like Figure 1.
+  kHybrid,
+};
+
+std::string_view MdbConfigName(MdbConfig config);
+
+// How the Indexing Strategy Selector picks a strategy per meta document.
+enum class IssPolicy {
+  // Structure-driven choice: PPO for forests; otherwise APEX for summary-
+  // friendly graphs, HOPI for the rest (Section 2.2's rule of thumb).
+  kAuto,
+  // Always HOPI (used by the Unconnected HOPI configuration so that the
+  // HOPI-5000 / HOPI-20000 variants of the paper are reproduced exactly).
+  kForceHopi,
+  // Always APEX (used by the APEX baseline in the experiments).
+  kForceApex,
+};
+
+struct FlixOptions {
+  MdbConfig config = MdbConfig::kHybrid;
+  IssPolicy iss_policy = IssPolicy::kAuto;
+
+  // Partition size bound for kUnconnectedHopi / kHybrid (elements per meta
+  // document). The paper evaluates 5,000 and 20,000.
+  size_t partition_bound = 5000;
+
+  // kAuto heuristics: a non-forest meta document larger than this many
+  // nodes is indexed with APEX instead of HOPI (2-hop label construction
+  // cost grows superlinearly, Section 2.2).
+  size_t hopi_max_nodes = 200000;
+
+  // kHybrid only: a document that stays a *singleton* tree group but has at
+  // least this many inter-document links is treated as part of the densely
+  // linked region and sent to the Unconnected HOPI partitions instead of
+  // getting its own PPO meta document (cf. the closely interlinked
+  // documents 5-10 of Figure 1).
+  size_t hybrid_dense_link_threshold = 3;
+
+  // kUnconnectedHopi / kHybrid: partition at element granularity instead of
+  // keeping documents whole — the paper's Section 7 idea of "building meta
+  // documents on the element level, ignoring the artificial boundary of
+  // documents". Lets the partitioner put tightly connected elements of
+  // different documents into one meta document (and split huge documents).
+  bool element_level_partitions = false;
+
+  // Capacity (in queries) of the result cache consulted by the
+  // name-based descendant queries of the facade; 0 disables caching
+  // (Section 7: "caching results of frequent (sub-)queries").
+  size_t query_cache_capacity = 0;
+};
+
+}  // namespace flix::core
+
+#endif  // FLIX_FLIX_CONFIG_H_

@@ -1,0 +1,352 @@
+#include "flix/flix.h"
+
+#include "common/binary_io.h"
+#include "common/stopwatch.h"
+#include "flix/mdb.h"
+
+namespace flix::core {
+namespace {
+
+constexpr uint32_t kFlixMagic = 0x464C4958;  // "FLIX"
+constexpr uint32_t kFlixVersion = 1;
+
+void SaveIdListMap(BinaryWriter& writer,
+                   const std::unordered_map<NodeId, std::vector<NodeId>>& map) {
+  writer.WriteU64(map.size());
+  for (const auto& [key, values] : map) {
+    writer.WriteU32(key);
+    writer.WriteVec(values);
+  }
+}
+
+std::unordered_map<NodeId, std::vector<NodeId>> LoadIdListMap(
+    BinaryReader& reader) {
+  std::unordered_map<NodeId, std::vector<NodeId>> map;
+  const uint64_t size = reader.ReadU64();
+  for (uint64_t i = 0; i < size && reader.ok(); ++i) {
+    const NodeId key = reader.ReadU32();
+    map.emplace(key, reader.ReadVec<NodeId>());
+  }
+  return map;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Flix>> Flix::Build(const xml::Collection& collection,
+                                            const FlixOptions& options) {
+  Stopwatch watch;
+  auto flix = std::unique_ptr<Flix>(new Flix(collection, options));
+
+  const graph::Digraph graph = collection.BuildGraph();
+  const std::vector<uint32_t> doc_of = collection.DocOfNode();
+  std::vector<NodeId> doc_roots(collection.NumDocuments());
+  for (DocId d = 0; d < collection.NumDocuments(); ++d) {
+    doc_roots[d] = collection.GlobalId(d, 0);
+  }
+
+  MdbInput input;
+  input.graph = &graph;
+  input.doc_of = &doc_of;
+  input.doc_roots = &doc_roots;
+  flix->set_ = BuildMetaDocuments(input, options);
+
+  StatusOr<std::vector<MetaIndexStats>> stats =
+      BuildIndexes(flix->set_, options);
+  if (!stats.ok()) return stats.status();
+
+  flix->pee_ = std::make_unique<PathExpressionEvaluator>(flix->set_);
+  if (options.query_cache_capacity > 0) {
+    flix->cache_ = std::make_unique<QueryCache>(options.query_cache_capacity);
+  }
+
+  FlixStats& out = flix->stats_;
+  out.per_meta = std::move(stats).value();
+  out.num_meta_documents = flix->set_.docs.size();
+  out.num_cross_links = flix->set_.num_cross_links;
+  for (const MetaIndexStats& m : out.per_meta) {
+    out.total_index_bytes += m.index_bytes;
+    switch (m.strategy) {
+      case index::StrategyKind::kPpo: ++out.num_ppo; break;
+      case index::StrategyKind::kHopi: ++out.num_hopi; break;
+      case index::StrategyKind::kApex: ++out.num_apex; break;
+      case index::StrategyKind::kTransitiveClosure: break;
+      case index::StrategyKind::kSummary: break;
+    }
+  }
+  out.build_ms = watch.ElapsedMillis();
+  return flix;
+}
+
+Status Flix::Save(std::ostream& out) const {
+  BinaryWriter writer(out);
+  writer.WriteU32(kFlixMagic);
+  writer.WriteU32(kFlixVersion);
+  writer.WriteU32(static_cast<uint32_t>(options_.config));
+  writer.WriteU32(static_cast<uint32_t>(options_.iss_policy));
+  writer.WriteU64(options_.partition_bound);
+  writer.WriteU64(options_.hopi_max_nodes);
+  writer.WriteU64(options_.hybrid_dense_link_threshold);
+  writer.WriteBool(options_.element_level_partitions);
+  writer.WriteU64(options_.query_cache_capacity);
+  writer.WriteU64(collection_.NumElements());
+  writer.WriteU64(set_.docs.size());
+  for (const MetaDocument& meta : set_.docs) {
+    writer.WriteU32(meta.id);
+    writer.WriteVec(meta.global_nodes);
+    meta.graph.Save(writer);
+    writer.WriteVec(meta.link_sources);
+    SaveIdListMap(writer, meta.link_targets);
+    writer.WriteVec(meta.entry_nodes);
+    SaveIdListMap(writer, meta.entry_origins);
+    index::SaveIndex(*meta.index, writer);
+  }
+  if (!writer.ok()) return InternalError("write failed while saving index");
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<Flix>> Flix::Load(std::istream& in,
+                                           const xml::Collection& collection) {
+  Stopwatch watch;
+  BinaryReader reader(in);
+  if (reader.ReadU32() != kFlixMagic) {
+    return InvalidArgumentError("not a FliX index file (bad magic)");
+  }
+  if (const uint32_t version = reader.ReadU32(); version != kFlixVersion) {
+    return InvalidArgumentError("unsupported FliX index version " +
+                                std::to_string(version));
+  }
+
+  FlixOptions options;
+  options.config = static_cast<MdbConfig>(reader.ReadU32());
+  options.iss_policy = static_cast<IssPolicy>(reader.ReadU32());
+  options.partition_bound = reader.ReadU64();
+  options.hopi_max_nodes = reader.ReadU64();
+  options.hybrid_dense_link_threshold = reader.ReadU64();
+  options.element_level_partitions = reader.ReadBool();
+  options.query_cache_capacity = reader.ReadU64();
+  auto flix = std::unique_ptr<Flix>(new Flix(collection, options));
+
+  const uint64_t num_elements = reader.ReadU64();
+  if (!reader.ok() || num_elements != collection.NumElements()) {
+    return InvalidArgumentError(
+        "index was built for a different collection (element count "
+        "mismatch)");
+  }
+
+  const uint64_t num_metas = reader.ReadU64();
+  if (!reader.ok()) return InvalidArgumentError("truncated FliX index file");
+  MetaDocumentSet& set = flix->set_;
+  // Fill the docs vector in place: indexes loaded below may keep references
+  // into their meta document's graph, which must not move afterwards.
+  set.docs.resize(num_metas);
+  set.meta_of_node.assign(num_elements, 0);
+  set.local_of_node.assign(num_elements, kInvalidNode);
+
+  for (uint64_t m = 0; m < num_metas; ++m) {
+    MetaDocument& meta = set.docs[m];
+    meta.id = reader.ReadU32();
+    if (meta.id != m) {
+      // The PEE indexes docs[] by meta id; ids are positional by
+      // construction, so a mismatch means the file is corrupt.
+      return InvalidArgumentError("corrupt meta document ordering");
+    }
+    meta.global_nodes = reader.ReadVec<NodeId>();
+    meta.graph = graph::Digraph::Load(reader);
+    meta.link_sources = reader.ReadVec<NodeId>();
+    meta.link_targets = LoadIdListMap(reader);
+    meta.entry_nodes = reader.ReadVec<NodeId>();
+    meta.entry_origins = LoadIdListMap(reader);
+    if (!reader.ok() ||
+        meta.graph.NumNodes() != meta.global_nodes.size()) {
+      return InvalidArgumentError("corrupt meta document " +
+                                  std::to_string(m));
+    }
+    // Link bookkeeping must stay in range: local sources/targets index the
+    // meta graph, global targets/origins index meta_of_node at query time.
+    const NodeId local_count = static_cast<NodeId>(meta.graph.NumNodes());
+    for (const NodeId src : meta.link_sources) {
+      if (src >= local_count) {
+        return InvalidArgumentError("corrupt link source");
+      }
+    }
+    for (const NodeId entry : meta.entry_nodes) {
+      if (entry >= local_count) {
+        return InvalidArgumentError("corrupt entry node");
+      }
+    }
+    for (const auto* map : {&meta.link_targets, &meta.entry_origins}) {
+      for (const auto& [local, globals] : *map) {
+        if (local >= local_count) {
+          return InvalidArgumentError("corrupt link map key");
+        }
+        for (const NodeId global : globals) {
+          if (global >= num_elements) {
+            return InvalidArgumentError("corrupt link map target");
+          }
+        }
+      }
+    }
+    StatusOr<std::unique_ptr<index::PathIndex>> loaded =
+        index::LoadIndex(reader, meta.graph);
+    if (!loaded.ok()) return loaded.status();
+    meta.index = std::move(loaded).value();
+    meta.index->RegisterLinkSources(meta.link_sources);
+    meta.index->RegisterEntryNodes(meta.entry_nodes);
+
+    for (NodeId local = 0; local < meta.global_nodes.size(); ++local) {
+      const NodeId global = meta.global_nodes[local];
+      if (global >= num_elements) {
+        return InvalidArgumentError("corrupt global node id");
+      }
+      set.meta_of_node[global] = meta.id;
+      set.local_of_node[global] = local;
+    }
+    for (const auto& [src, targets] : meta.link_targets) {
+      (void)src;
+      set.num_cross_links += targets.size();
+    }
+  }
+
+  flix->pee_ = std::make_unique<PathExpressionEvaluator>(flix->set_);
+  if (options.query_cache_capacity > 0) {
+    flix->cache_ = std::make_unique<QueryCache>(options.query_cache_capacity);
+  }
+
+  FlixStats& stats = flix->stats_;
+  stats.num_meta_documents = set.docs.size();
+  stats.num_cross_links = set.num_cross_links;
+  for (const MetaDocument& meta : set.docs) {
+    MetaIndexStats s;
+    s.meta_id = meta.id;
+    s.strategy = meta.index->kind();
+    s.nodes = meta.graph.NumNodes();
+    s.edges = meta.graph.NumEdges();
+    s.index_bytes = meta.index->MemoryBytes();
+    stats.per_meta.push_back(s);
+    stats.total_index_bytes += s.index_bytes;
+    switch (s.strategy) {
+      case index::StrategyKind::kPpo: ++stats.num_ppo; break;
+      case index::StrategyKind::kHopi: ++stats.num_hopi; break;
+      case index::StrategyKind::kApex: ++stats.num_apex; break;
+      case index::StrategyKind::kTransitiveClosure: break;
+      case index::StrategyKind::kSummary: break;
+    }
+  }
+  stats.build_ms = watch.ElapsedMillis();  // load time, not build time
+  return flix;
+}
+
+TagId Flix::LookupTag(std::string_view name) const {
+  return collection_.pool().Lookup(name);
+}
+
+void Flix::FindDescendantsByName(NodeId start, std::string_view name,
+                                 const QueryOptions& options,
+                                 const ResultSink& sink) const {
+  const TagId tag = LookupTag(name);
+  if (tag == kInvalidTag) return;
+  QueryStats stats;
+  pee_->FindDescendantsByTag(start, tag, options, sink, &stats);
+  AccumulateStats(stats);
+}
+
+std::vector<Result> Flix::FindDescendantsByName(
+    NodeId start, std::string_view name, const QueryOptions& options) const {
+  std::vector<Result> results;
+  const TagId tag = LookupTag(name);
+  if (tag == kInvalidTag) return results;
+
+  // Only unconstrained queries are cacheable: limits change the result list.
+  const bool cacheable = cache_ != nullptr && options.max_distance < 0 &&
+                         options.max_results < 0 && !options.exact;
+  if (cacheable && cache_->Lookup(start, tag, &results)) return results;
+
+  QueryStats stats;
+  pee_->FindDescendantsByTag(start, tag, options,
+                             [&](const Result& r) {
+                               results.push_back(r);
+                               return true;
+                             },
+                             &stats);
+  AccumulateStats(stats);
+  if (cacheable) cache_->Insert(start, tag, results);
+  return results;
+}
+
+std::vector<Result> Flix::FindAncestorsByName(
+    NodeId start, std::string_view name, const QueryOptions& options) const {
+  std::vector<Result> results;
+  const TagId tag = LookupTag(name);
+  if (tag == kInvalidTag) return results;
+  QueryStats stats;
+  pee_->FindAncestorsByTag(start, tag, options,
+                           [&](const Result& r) {
+                             results.push_back(r);
+                             return true;
+                           },
+                           &stats);
+  AccumulateStats(stats);
+  return results;
+}
+
+std::vector<Result> Flix::EvaluateTypeQuery(std::string_view start_name,
+                                            std::string_view result_name,
+                                            const QueryOptions& options) const {
+  std::vector<Result> results;
+  const TagId start_tag = LookupTag(start_name);
+  const TagId result_tag = LookupTag(result_name);
+  if (start_tag == kInvalidTag || result_tag == kInvalidTag) return results;
+  QueryStats stats;
+  pee_->EvaluateTypeQuery(start_tag, result_tag, options,
+                          [&](const Result& r) {
+                            results.push_back(r);
+                            return true;
+                          },
+                          &stats);
+  AccumulateStats(stats);
+  return results;
+}
+
+void Flix::AccumulateStats(const QueryStats& stats) const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  cumulative_stats_.entries_processed += stats.entries_processed;
+  cumulative_stats_.entries_dominated += stats.entries_dominated;
+  cumulative_stats_.links_followed += stats.links_followed;
+  cumulative_stats_.index_probes += stats.index_probes;
+  ++num_queries_;
+}
+
+QueryStats Flix::CumulativeQueryStats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return cumulative_stats_;
+}
+
+Flix::TuningAdvice Flix::RecommendReconfiguration(
+    double max_links_per_query) const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  TuningAdvice advice;
+  if (num_queries_ == 0) return advice;
+  advice.links_per_query =
+      static_cast<double>(cumulative_stats_.links_followed) /
+      static_cast<double>(num_queries_);
+  if (advice.links_per_query > max_links_per_query) {
+    advice.rebuild_recommended = true;
+    advice.reason =
+        "queries follow " + std::to_string(advice.links_per_query) +
+        " links on average; rebuild with coarser meta documents (larger "
+        "partition_bound or a HOPI-leaning configuration)";
+  }
+  return advice;
+}
+
+std::string_view MdbConfigName(MdbConfig config) {
+  switch (config) {
+    case MdbConfig::kNaive: return "Naive";
+    case MdbConfig::kMaximalPpo: return "MaximalPPO";
+    case MdbConfig::kUnconnectedHopi: return "UnconnectedHOPI";
+    case MdbConfig::kHybrid: return "Hybrid";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace flix::core

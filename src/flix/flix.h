@@ -1,0 +1,129 @@
+// FliX facade: build the framework over an XML collection, then query it.
+//
+// Usage:
+//   xml::Collection collection;
+//   ... AddXml(...) ...
+//   collection.ResolveAllLinks();
+//   FlixOptions options;
+//   options.config = MdbConfig::kHybrid;
+//   auto flix = Flix::Build(collection, options);
+//   flix->FindDescendantsByName(start, "article", {}, sink);
+#ifndef FLIX_FLIX_FLIX_H_
+#define FLIX_FLIX_FLIX_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <mutex>
+
+#include "common/status.h"
+#include "flix/config.h"
+#include "flix/index_builder.h"
+#include "flix/meta_document.h"
+#include "flix/pee.h"
+#include "flix/query_cache.h"
+#include "xml/collection.h"
+
+namespace flix::core {
+
+struct FlixStats {
+  double build_ms = 0;
+  size_t num_meta_documents = 0;
+  size_t num_cross_links = 0;
+  size_t total_index_bytes = 0;
+  std::vector<MetaIndexStats> per_meta;
+
+  // Count of meta documents per strategy.
+  size_t num_ppo = 0;
+  size_t num_hopi = 0;
+  size_t num_apex = 0;
+};
+
+class Flix {
+ public:
+  // Builds meta documents (MDB), selects strategies (ISS) and builds all
+  // indexes (IB) for `collection`, whose links must already be resolved
+  // (Collection::ResolveAllLinks). The collection must outlive the Flix
+  // instance.
+  static StatusOr<std::unique_ptr<Flix>> Build(
+      const xml::Collection& collection, const FlixOptions& options = {});
+
+  // Persists the built framework (meta documents + indexes) so a process
+  // can skip the build phase. The collection itself is not stored; Load
+  // must be given the same collection (validated by element count and
+  // document names' element layout).
+  Status Save(std::ostream& out) const;
+  static StatusOr<std::unique_ptr<Flix>> Load(std::istream& in,
+                                              const xml::Collection& collection);
+
+  const FlixStats& stats() const { return stats_; }
+  const xml::Collection& collection() const { return collection_; }
+  const MetaDocumentSet& meta_documents() const { return set_; }
+  const PathExpressionEvaluator& pee() const { return *pee_; }
+  const FlixOptions& options() const { return options_; }
+
+  // Tag id for an element name, or kInvalidTag if it never occurs.
+  TagId LookupTag(std::string_view name) const;
+
+  // Queries by element name (convenience wrappers over the PEE; see pee.h
+  // for semantics). Unknown names yield no results.
+  void FindDescendantsByName(NodeId start, std::string_view name,
+                             const QueryOptions& options,
+                             const ResultSink& sink) const;
+  std::vector<Result> FindDescendantsByName(NodeId start,
+                                            std::string_view name,
+                                            const QueryOptions& options = {}) const;
+  std::vector<Result> FindAncestorsByName(NodeId start, std::string_view name,
+                                          const QueryOptions& options = {}) const;
+  std::vector<Result> EvaluateTypeQuery(std::string_view start_name,
+                                        std::string_view result_name,
+                                        const QueryOptions& options = {}) const;
+  bool IsConnected(NodeId a, NodeId b, Distance max_distance = -1) const {
+    return pee_->IsConnected(a, b, max_distance);
+  }
+  Distance FindDistance(NodeId a, NodeId b, Distance max_distance = -1,
+                        bool exact = false) const {
+    return pee_->FindDistance(a, b, max_distance, exact);
+  }
+
+  // Result cache (enabled via FlixOptions::query_cache_capacity); consulted
+  // by the vector-returning FindDescendantsByName for unconstrained queries.
+  const QueryCache* query_cache() const { return cache_.get(); }
+
+  // Cumulative traversal counters over all facade queries — the statistics
+  // feed for the paper's self-tuning idea (Section 7).
+  QueryStats CumulativeQueryStats() const;
+
+  struct TuningAdvice {
+    bool rebuild_recommended = false;
+    double links_per_query = 0;
+    std::string reason;
+  };
+  // Flags a suboptimal meta-document choice: when queries follow many links
+  // at run time, the build phase should be repeated with coarser meta
+  // documents (larger partition bound or a more HOPI-leaning config).
+  TuningAdvice RecommendReconfiguration(double max_links_per_query = 16) const;
+
+ private:
+  Flix(const xml::Collection& collection, FlixOptions options)
+      : collection_(collection), options_(options) {}
+
+  void AccumulateStats(const QueryStats& stats) const;
+
+  const xml::Collection& collection_;
+  FlixOptions options_;
+  MetaDocumentSet set_;
+  std::unique_ptr<PathExpressionEvaluator> pee_;
+  std::unique_ptr<QueryCache> cache_;
+  FlixStats stats_;
+
+  mutable std::mutex stats_mutex_;
+  mutable QueryStats cumulative_stats_;
+  mutable size_t num_queries_ = 0;
+};
+
+}  // namespace flix::core
+
+#endif  // FLIX_FLIX_FLIX_H_

@@ -1,0 +1,59 @@
+#include "flix/index_builder.h"
+
+#include "common/stopwatch.h"
+#include "flix/iss.h"
+#include "index/apex.h"
+#include "index/hopi.h"
+#include "index/ppo.h"
+
+namespace flix::core {
+
+StatusOr<std::vector<MetaIndexStats>> BuildIndexes(MetaDocumentSet& set,
+                                                   const FlixOptions& options) {
+  std::vector<MetaIndexStats> stats;
+  stats.reserve(set.docs.size());
+  for (MetaDocument& meta : set.docs) {
+    MetaIndexStats s;
+    s.meta_id = meta.id;
+    s.nodes = meta.graph.NumNodes();
+    s.edges = meta.graph.NumEdges();
+
+    index::StrategyKind kind = SelectStrategy(meta.graph, options);
+    Stopwatch watch;
+    switch (kind) {
+      case index::StrategyKind::kPpo: {
+        auto built = index::PpoIndex::Build(meta.graph);
+        if (built.ok()) {
+          meta.index = std::move(built).value();
+          break;
+        }
+        // Defensive fallback: index the graph as-is with HOPI.
+        kind = index::StrategyKind::kHopi;
+        [[fallthrough]];
+      }
+      case index::StrategyKind::kHopi:
+        meta.index = index::HopiIndex::Build(meta.graph);
+        break;
+      case index::StrategyKind::kApex:
+        meta.index = index::ApexIndex::Build(meta.graph);
+        break;
+      case index::StrategyKind::kTransitiveClosure:
+      case index::StrategyKind::kSummary:
+        return InvalidArgumentError(
+            std::string(index::StrategyName(kind)) +
+            " is a baseline/extension, not an ISS choice");
+    }
+    // Let the strategy precompute filtered structures for the per-entry
+    // L(a) probes (Section 4.2's L_i lookup).
+    meta.index->RegisterLinkSources(meta.link_sources);
+    meta.index->RegisterEntryNodes(meta.entry_nodes);
+
+    s.strategy = kind;
+    s.build_ms = watch.ElapsedMillis();
+    s.index_bytes = meta.index->MemoryBytes();
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+}  // namespace flix::core

@@ -1,0 +1,31 @@
+// Index Builder (IB): instantiates the selected path index for every meta
+// document (paper Section 4.2) and reports per-meta-document statistics.
+#ifndef FLIX_FLIX_INDEX_BUILDER_H_
+#define FLIX_FLIX_INDEX_BUILDER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "flix/config.h"
+#include "flix/meta_document.h"
+
+namespace flix::core {
+
+struct MetaIndexStats {
+  uint32_t meta_id = 0;
+  index::StrategyKind strategy = index::StrategyKind::kPpo;
+  size_t nodes = 0;
+  size_t edges = 0;
+  size_t index_bytes = 0;
+  double build_ms = 0;
+};
+
+// Builds an index for every meta document in `set` (ISS choice per
+// document). On a PPO selection whose graph turns out not to be a forest
+// (defensive; the MDB should prevent it) the builder falls back to HOPI.
+StatusOr<std::vector<MetaIndexStats>> BuildIndexes(MetaDocumentSet& set,
+                                                   const FlixOptions& options);
+
+}  // namespace flix::core
+
+#endif  // FLIX_FLIX_INDEX_BUILDER_H_

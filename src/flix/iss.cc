@@ -1,0 +1,31 @@
+#include "flix/iss.h"
+
+#include "graph/tree_utils.h"
+
+namespace flix::core {
+
+index::StrategyKind SelectStrategy(const graph::Digraph& meta_graph,
+                                   const FlixOptions& options) {
+  switch (options.iss_policy) {
+    case IssPolicy::kForceHopi:
+      return index::StrategyKind::kHopi;
+    case IssPolicy::kForceApex:
+      return index::StrategyKind::kApex;
+    case IssPolicy::kAuto:
+      break;
+  }
+  // The Unconnected HOPI configuration is defined by its per-partition HOPI
+  // indexes; honor that even under the auto policy.
+  if (options.config == MdbConfig::kUnconnectedHopi) {
+    return index::StrategyKind::kHopi;
+  }
+  if (graph::IsForest(meta_graph)) return index::StrategyKind::kPpo;
+  if (meta_graph.NumNodes() > options.hopi_max_nodes) {
+    // 2-hop label construction grows superlinearly (Section 2.2); fall back
+    // to the summary-based APEX for oversized linked meta documents.
+    return index::StrategyKind::kApex;
+  }
+  return index::StrategyKind::kHopi;
+}
+
+}  // namespace flix::core

@@ -1,0 +1,20 @@
+// Indexing Strategy Selector (ISS): picks the path indexing strategy for a
+// meta document from its structure (paper Section 2.2's rule of thumb:
+// PPO for trees; HOPI for long, wildcard-heavy paths over linked data;
+// APEX when 2-hop construction would be too expensive).
+#ifndef FLIX_FLIX_ISS_H_
+#define FLIX_FLIX_ISS_H_
+
+#include "flix/config.h"
+#include "graph/digraph.h"
+#include "index/path_index.h"
+
+namespace flix::core {
+
+// Chooses a strategy for one meta document under the given options.
+index::StrategyKind SelectStrategy(const graph::Digraph& meta_graph,
+                                   const FlixOptions& options);
+
+}  // namespace flix::core
+
+#endif  // FLIX_FLIX_ISS_H_

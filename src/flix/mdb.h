@@ -1,0 +1,44 @@
+// Meta Document Builder (MDB): partitions the collection's element graph
+// into meta documents according to the configured strategy (paper
+// Section 4.1/4.3) and materializes the local graphs plus cross-link
+// bookkeeping.
+#ifndef FLIX_FLIX_MDB_H_
+#define FLIX_FLIX_MDB_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "flix/config.h"
+#include "flix/meta_document.h"
+#include "graph/digraph.h"
+
+namespace flix::core {
+
+struct MdbInput {
+  // Global element graph of the collection (tree + link edges).
+  const graph::Digraph* graph = nullptr;
+  // Document id per global node.
+  const std::vector<uint32_t>* doc_of = nullptr;
+  // Global node id of each document's root element.
+  const std::vector<NodeId>* doc_roots = nullptr;
+};
+
+// Builds the meta documents. Edges that the configuration decides not to
+// reflect in any index (partition-crossing edges, and — for Maximal PPO —
+// links removed to keep a partition tree-shaped, cf. Figure 3) are recorded
+// as cross links to be followed by the PEE at query time.
+MetaDocumentSet BuildMetaDocuments(const MdbInput& input,
+                                   const FlixOptions& options);
+
+// Exposed for tests: the Maximal PPO document grouping. Returns a group id
+// per document; documents whose internal graph is not a tree get group
+// UINT32_MAX (to be handled by the caller's fallback). Accepted link edges
+// (those that become part of a group's forest) are appended to
+// `accepted_edges` as (global source, global target) pairs.
+std::vector<uint32_t> GrowTreeGroups(
+    const MdbInput& input,
+    std::vector<std::pair<NodeId, NodeId>>* accepted_edges);
+
+}  // namespace flix::core
+
+#endif  // FLIX_FLIX_MDB_H_

@@ -1,0 +1,43 @@
+#include "flix/meta_document.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+
+namespace flix::core {
+
+void MetaDocument::AddCrossLink(NodeId local_source, NodeId global_target) {
+  link_sources.push_back(local_source);
+  link_targets[local_source].push_back(global_target);
+}
+
+void MetaDocument::AddEntry(NodeId local_target, NodeId global_origin) {
+  entry_nodes.push_back(local_target);
+  entry_origins[local_target].push_back(global_origin);
+}
+
+void MetaDocument::FinalizeLinks() {
+  std::sort(link_sources.begin(), link_sources.end());
+  link_sources.erase(std::unique(link_sources.begin(), link_sources.end()),
+                     link_sources.end());
+  std::sort(entry_nodes.begin(), entry_nodes.end());
+  entry_nodes.erase(std::unique(entry_nodes.begin(), entry_nodes.end()),
+                    entry_nodes.end());
+}
+
+size_t MetaDocument::MemoryBytes() const {
+  size_t bytes = VectorBytes(global_nodes) + graph.MemoryBytes() +
+                 VectorBytes(link_sources) + VectorBytes(entry_nodes);
+  if (index != nullptr) bytes += index->MemoryBytes();
+  for (const auto& [src, targets] : link_targets) {
+    (void)src;
+    bytes += targets.capacity() * sizeof(NodeId) + 32;
+  }
+  for (const auto& [tgt, origins] : entry_origins) {
+    (void)tgt;
+    bytes += origins.capacity() * sizeof(NodeId) + 32;
+  }
+  return bytes;
+}
+
+}  // namespace flix::core

@@ -1,0 +1,76 @@
+// Meta documents: the unit FliX indexes (paper Section 3.1).
+//
+// A meta document owns the induced local element graph of its member
+// elements (minus any edges the MDB decided to keep *outside* the index),
+// the path index built for it, and the bookkeeping for cross links: the set
+// L_i of elements with outgoing links not reflected in the index, and the
+// entry points reachable from other meta documents.
+#ifndef FLIX_FLIX_META_DOCUMENT_H_
+#define FLIX_FLIX_META_DOCUMENT_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/digraph.h"
+#include "index/path_index.h"
+
+namespace flix::core {
+
+class MetaDocument {
+ public:
+  MetaDocument() = default;
+  MetaDocument(MetaDocument&&) = default;
+  MetaDocument& operator=(MetaDocument&&) = default;
+
+  uint32_t id = 0;
+
+  // Local node i corresponds to global element global_nodes[i].
+  std::vector<NodeId> global_nodes;
+
+  // Local element graph (the edges the index will reflect).
+  graph::Digraph graph;
+
+  // The index built by the Index Builder (null until then).
+  std::unique_ptr<index::PathIndex> index;
+
+  // L_i: local ids of elements with outgoing links that are *not* reflected
+  // in the index, ascending. The PEE intersects descendants(e) with this set
+  // via PathIndex::ReachableAmong.
+  std::vector<NodeId> link_sources;
+
+  // Outgoing link targets per link source (global element ids).
+  std::unordered_map<NodeId, std::vector<NodeId>> link_targets;
+
+  // Reverse direction, for ancestor queries: local ids of elements that are
+  // targets of unindexed links, ascending, plus their global link origins.
+  std::vector<NodeId> entry_nodes;
+  std::unordered_map<NodeId, std::vector<NodeId>> entry_origins;
+
+  size_t NumNodes() const { return graph.NumNodes(); }
+
+  // Registers an outgoing cross link (source local, target global).
+  void AddCrossLink(NodeId local_source, NodeId global_target);
+  // Registers an incoming cross link (target local, origin global).
+  void AddEntry(NodeId local_target, NodeId global_origin);
+
+  // Sorts/dedups link_sources and entry_nodes; call once after construction.
+  void FinalizeLinks();
+
+  size_t MemoryBytes() const;
+};
+
+// The full output of the Meta Document Builder: the meta documents plus the
+// global-node -> (meta document, local node) mapping.
+struct MetaDocumentSet {
+  std::vector<MetaDocument> docs;
+  std::vector<uint32_t> meta_of_node;
+  std::vector<NodeId> local_of_node;
+  // Total number of cross (meta-document-spanning or unindexed) links.
+  size_t num_cross_links = 0;
+};
+
+}  // namespace flix::core
+
+#endif  // FLIX_FLIX_META_DOCUMENT_H_

@@ -1,0 +1,423 @@
+#include "flix/pee.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace flix::core {
+namespace {
+
+// Priority-queue entry: accumulated distance, then insertion sequence for
+// deterministic FIFO behaviour among ties.
+struct QueueItem {
+  Distance distance;
+  uint64_t seq;
+  NodeId node;
+
+  bool operator>(const QueueItem& other) const {
+    return std::tie(distance, seq) > std::tie(other.distance, other.seq);
+  }
+};
+
+using MinQueue =
+    std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>;
+
+}  // namespace
+
+void PathExpressionEvaluator::Run(const std::vector<NodeId>& starts, TagId tag,
+                                  bool wildcard, Axis axis,
+                                  const QueryOptions& options,
+                                  const ResultSink& sink,
+                                  QueryStats* stats) const {
+  const bool forward = axis == Axis::kDescendants;
+  QueryStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  MinQueue queue;
+  uint64_t seq = 0;
+  for (const NodeId s : starts) queue.push({0, seq++, s});
+  const std::unordered_set<NodeId> start_set(starts.begin(), starts.end());
+
+  // Entry points per visited meta document (paper Section 5.1). In exact
+  // mode the domination rule is off; instead each concrete entry node is
+  // processed once (Dijkstra semantics — the first pop carries its minimal
+  // distance), and result distances are relaxed across entries.
+  std::unordered_map<uint32_t, std::vector<NodeId>> entries;
+  std::unordered_set<NodeId> processed;
+  // Approximate mode: exact result-level duplicate elimination.
+  std::unordered_set<NodeId> emitted;
+  // Exact mode: minimal distance per result node, emitted sorted at the end.
+  std::unordered_map<NodeId, Distance> best;
+  int64_t num_results = 0;
+
+  const auto emit_approx = [&](NodeId node, Distance distance) -> bool {
+    if (!emitted.insert(node).second) return true;
+    if (!sink({node, distance})) return false;
+    if (options.max_results >= 0 && ++num_results >= options.max_results) {
+      return false;
+    }
+    return true;
+  };
+  const auto relax_exact = [&](NodeId node, Distance distance) {
+    const auto [it, inserted] = best.emplace(node, distance);
+    if (!inserted && distance < it->second) it->second = distance;
+  };
+
+  while (!queue.empty()) {
+    const QueueItem item = queue.top();
+    queue.pop();
+    if (options.max_distance >= 0 && item.distance > options.max_distance) {
+      break;
+    }
+    const NodeId e = item.node;
+    const uint32_t m = set_.meta_of_node[e];
+    const NodeId le = set_.local_of_node[e];
+    const MetaDocument& meta = set_.docs[m];
+
+    if (options.exact) {
+      if (!processed.insert(e).second) {
+        ++stats->entries_dominated;
+        continue;
+      }
+    } else {
+      // Duplicate elimination: if an earlier entry point dominates e (for
+      // descendants: is an ancestor-or-self of e), everything reachable
+      // from e has already been handled through it.
+      std::vector<NodeId>& meta_entries = entries[m];
+      bool dominated = false;
+      for (const NodeId p : meta_entries) {
+        const bool covers = forward ? meta.index->IsReachable(p, le)
+                                    : meta.index->IsReachable(le, p);
+        if (covers) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) {
+        ++stats->entries_dominated;
+        continue;
+      }
+      meta_entries.push_back(le);
+    }
+    ++stats->entries_processed;
+
+    // The entry element itself is a proper result when it was reached via a
+    // link (not an original start) and matches the condition.
+    const TagId e_tag = meta.graph.Tag(le);
+    if (!start_set.contains(e) && (wildcard || e_tag == tag)) {
+      if (options.exact) {
+        relax_exact(e, item.distance);
+      } else if (!emit_approx(e, item.distance)) {
+        return;
+      }
+    }
+
+    // Local index probe: all matches within the meta document, ascending.
+    ++stats->index_probes;
+    const std::vector<index::NodeDist> local_results =
+        forward ? (wildcard ? meta.index->Descendants(le)
+                            : meta.index->DescendantsByTag(le, tag))
+                : meta.index->AncestorsByTag(le, tag);
+    for (const index::NodeDist& r : local_results) {
+      const NodeId global = meta.global_nodes[r.node];
+      if (start_set.contains(global)) continue;
+      const Distance total = item.distance + r.distance;
+      if (options.max_distance >= 0 && total > options.max_distance) continue;
+      if (options.exact) {
+        relax_exact(global, total);
+      } else if (!emit_approx(global, total)) {
+        return;
+      }
+    }
+
+    // Frontier expansion: elements of L_i (or the entry nodes, for the
+    // ancestors axis) reachable from e, then one hop across each link.
+    ++stats->index_probes;
+    const std::vector<index::NodeDist> frontier =
+        forward ? meta.index->ReachableAmong(le, meta.link_sources)
+                : meta.index->AncestorsAmong(le, meta.entry_nodes);
+    for (const index::NodeDist& f : frontier) {
+      const auto& hops = forward ? meta.link_targets.at(f.node)
+                                 : meta.entry_origins.at(f.node);
+      const Distance hop_distance = item.distance + f.distance + 1;
+      if (options.max_distance >= 0 && hop_distance > options.max_distance) {
+        continue;
+      }
+      for (const NodeId target : hops) {
+        queue.push({hop_distance, seq++, target});
+        ++stats->links_followed;
+      }
+    }
+  }
+
+  if (options.exact) {
+    std::vector<index::NodeDist> sorted;
+    sorted.reserve(best.size());
+    for (const auto& [node, distance] : best) sorted.push_back({node, distance});
+    index::SortByDistance(sorted);
+    for (const index::NodeDist& nd : sorted) {
+      if (!sink({nd.node, nd.distance})) return;
+      if (options.max_results >= 0 && ++num_results >= options.max_results) {
+        return;
+      }
+    }
+  }
+}
+
+void PathExpressionEvaluator::FindDescendantsByTag(NodeId start, TagId tag,
+                                                   const QueryOptions& options,
+                                                   const ResultSink& sink,
+                                                   QueryStats* stats) const {
+  Run({start}, tag, /*wildcard=*/false, Axis::kDescendants, options, sink,
+      stats);
+}
+
+void PathExpressionEvaluator::FindDescendants(NodeId start,
+                                              const QueryOptions& options,
+                                              const ResultSink& sink,
+                                              QueryStats* stats) const {
+  Run({start}, kInvalidTag, /*wildcard=*/true, Axis::kDescendants, options,
+      sink, stats);
+}
+
+void PathExpressionEvaluator::FindAncestorsByTag(NodeId start, TagId tag,
+                                                 const QueryOptions& options,
+                                                 const ResultSink& sink,
+                                                 QueryStats* stats) const {
+  Run({start}, tag, /*wildcard=*/false, Axis::kAncestors, options, sink,
+      stats);
+}
+
+void PathExpressionEvaluator::EvaluateTypeQuery(TagId start_tag,
+                                                TagId result_tag,
+                                                const QueryOptions& options,
+                                                const ResultSink& sink,
+                                                QueryStats* stats) const {
+  std::vector<NodeId> starts;
+  for (const MetaDocument& meta : set_.docs) {
+    for (const NodeId local : meta.graph.NodesWithTag(start_tag)) {
+      starts.push_back(meta.global_nodes[local]);
+    }
+  }
+  std::sort(starts.begin(), starts.end());
+  Run(starts, result_tag, /*wildcard=*/false, Axis::kDescendants, options,
+      sink, stats);
+}
+
+Distance PathExpressionEvaluator::PointQuery(NodeId a, NodeId b,
+                                             Distance max_distance,
+                                             bool exact) const {
+  if (a == b) return 0;
+  const uint32_t target_meta = set_.meta_of_node[b];
+  const NodeId target_local = set_.local_of_node[b];
+
+  MinQueue queue;
+  uint64_t seq = 0;
+  queue.push({0, seq++, a});
+  std::unordered_map<uint32_t, std::vector<NodeId>> entries;
+  std::unordered_set<NodeId> processed;
+  Distance best = kUnreachable;
+
+  while (!queue.empty()) {
+    const QueueItem item = queue.top();
+    queue.pop();
+    if (max_distance >= 0 && item.distance > max_distance) break;
+    if (best != kUnreachable && item.distance >= best) break;
+    const NodeId e = item.node;
+    const uint32_t m = set_.meta_of_node[e];
+    const NodeId le = set_.local_of_node[e];
+    const MetaDocument& meta = set_.docs[m];
+
+    if (exact) {
+      if (!processed.insert(e).second) continue;
+    } else {
+      std::vector<NodeId>& meta_entries = entries[m];
+      bool dominated = false;
+      for (const NodeId p : meta_entries) {
+        if (meta.index->IsReachable(p, le)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      meta_entries.push_back(le);
+    }
+
+    if (m == target_meta) {
+      const Distance d = meta.index->DistanceBetween(le, target_local);
+      if (d != kUnreachable) {
+        const Distance total = item.distance + d;
+        if (best == kUnreachable || total < best) best = total;
+      }
+    }
+
+    const std::vector<index::NodeDist> frontier =
+        meta.index->ReachableAmong(le, meta.link_sources);
+    for (const index::NodeDist& f : frontier) {
+      const Distance hop_distance = item.distance + f.distance + 1;
+      if (max_distance >= 0 && hop_distance > max_distance) continue;
+      if (best != kUnreachable && hop_distance >= best) continue;
+      for (const NodeId target : meta.link_targets.at(f.node)) {
+        queue.push({hop_distance, seq++, target});
+      }
+    }
+  }
+  if (best != kUnreachable && max_distance >= 0 && best > max_distance) {
+    return kUnreachable;
+  }
+  return best;
+}
+
+bool PathExpressionEvaluator::IsConnected(NodeId a, NodeId b,
+                                          Distance max_distance) const {
+  return PointQuery(a, b, max_distance, /*exact=*/false) != kUnreachable;
+}
+
+Distance PathExpressionEvaluator::FindDistance(NodeId a, NodeId b,
+                                               Distance max_distance,
+                                               bool exact) const {
+  return PointQuery(a, b, max_distance, exact);
+}
+
+bool PathExpressionEvaluator::IsConnectedBidirectional(
+    NodeId a, NodeId b, Distance max_distance) const {
+  if (a == b) return true;
+  // Forward frontier from a over meta-document entry points, backward
+  // frontier from b; meet detection tests, per meta document seen by both
+  // sides, whether some forward entry reaches some backward entry.
+  struct Side {
+    MinQueue queue;
+    std::unordered_map<uint32_t, std::vector<NodeId>> entries;
+    uint64_t seq = 0;
+  };
+  Side fwd;
+  Side bwd;
+  fwd.queue.push({0, fwd.seq++, a});
+  bwd.queue.push({0, bwd.seq++, b});
+
+  const auto expand = [&](Side& side, bool forward) -> bool {
+    const QueueItem item = side.queue.top();
+    side.queue.pop();
+    if (max_distance >= 0 && item.distance > max_distance) return false;
+    const NodeId e = item.node;
+    const uint32_t m = set_.meta_of_node[e];
+    const NodeId le = set_.local_of_node[e];
+    const MetaDocument& meta = set_.docs[m];
+
+    std::vector<NodeId>& meta_entries = side.entries[m];
+    for (const NodeId p : meta_entries) {
+      const bool covers = forward ? meta.index->IsReachable(p, le)
+                                  : meta.index->IsReachable(le, p);
+      if (covers) return false;
+    }
+    meta_entries.push_back(le);
+
+    // Meet check against the opposite side's entries in this meta document.
+    Side& other = forward ? bwd : fwd;
+    const auto it = other.entries.find(m);
+    if (it != other.entries.end()) {
+      for (const NodeId q : it->second) {
+        const bool connected = forward ? meta.index->IsReachable(le, q)
+                                       : meta.index->IsReachable(q, le);
+        if (connected) return true;
+      }
+    }
+
+    const std::vector<index::NodeDist> frontier =
+        forward ? meta.index->ReachableAmong(le, meta.link_sources)
+                : meta.index->AncestorsAmong(le, meta.entry_nodes);
+    for (const index::NodeDist& f : frontier) {
+      const Distance hop_distance = item.distance + f.distance + 1;
+      if (max_distance >= 0 && hop_distance > max_distance) continue;
+      const auto& hops = forward ? meta.link_targets.at(f.node)
+                                 : meta.entry_origins.at(f.node);
+      for (const NodeId target : hops) {
+        side.queue.push({hop_distance, side.seq++, target});
+      }
+    }
+    return false;
+  };
+
+  while (!fwd.queue.empty() || !bwd.queue.empty()) {
+    // Expand the side with the smaller frontier ("depending on the
+    // structure of documents, either of them may be the best", Section
+    // 5.2): on citation-shaped data the ancestors side explodes, so
+    // balancing by queue size keeps the search on the cheap side.
+    const bool pick_forward =
+        bwd.queue.empty() ||
+        (!fwd.queue.empty() && fwd.queue.size() <= bwd.queue.size());
+    if (pick_forward) {
+      if (expand(fwd, /*forward=*/true)) return true;
+    } else {
+      if (expand(bwd, /*forward=*/false)) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Result> PathExpressionEvaluator::Children(NodeId node) const {
+  const uint32_t m = set_.meta_of_node[node];
+  const NodeId local = set_.local_of_node[node];
+  const MetaDocument& meta = set_.docs[m];
+  std::vector<Result> children;
+  for (const graph::Digraph::Arc& arc : meta.graph.OutArcs(local)) {
+    children.push_back({meta.global_nodes[arc.target], 1});
+  }
+  const auto it = meta.link_targets.find(local);
+  if (it != meta.link_targets.end()) {
+    for (const NodeId target : it->second) children.push_back({target, 1});
+  }
+  return children;
+}
+
+std::vector<Result> PathExpressionEvaluator::Parents(NodeId node) const {
+  const uint32_t m = set_.meta_of_node[node];
+  const NodeId local = set_.local_of_node[node];
+  const MetaDocument& meta = set_.docs[m];
+  std::vector<Result> parents;
+  for (const graph::Digraph::Arc& arc : meta.graph.InArcs(local)) {
+    parents.push_back({meta.global_nodes[arc.target], 1});
+  }
+  const auto it = meta.entry_origins.find(local);
+  if (it != meta.entry_origins.end()) {
+    for (const NodeId origin : it->second) parents.push_back({origin, 1});
+  }
+  return parents;
+}
+
+std::vector<Result> PathExpressionEvaluator::ChildrenByTag(NodeId node,
+                                                           TagId tag) const {
+  std::vector<Result> filtered;
+  for (const Result& child : Children(node)) {
+    const uint32_t m = set_.meta_of_node[child.node];
+    const NodeId local = set_.local_of_node[child.node];
+    if (set_.docs[m].graph.Tag(local) == tag) filtered.push_back(child);
+  }
+  return filtered;
+}
+
+std::vector<Result> PathExpressionEvaluator::Siblings(NodeId node) const {
+  std::vector<Result> siblings;
+  std::unordered_set<NodeId> seen = {node};
+  for (const Result& parent : Parents(node)) {
+    for (const Result& child : Children(parent.node)) {
+      if (seen.insert(child.node).second) {
+        siblings.push_back({child.node, 2});
+      }
+    }
+  }
+  return siblings;
+}
+
+std::thread PathExpressionEvaluator::FindDescendantsByTagAsync(
+    NodeId start, TagId tag, QueryOptions options, StreamedList* list) const {
+  return std::thread([this, start, tag, options, list] {
+    FindDescendantsByTag(start, tag, options, [&](const Result& r) {
+      return list->Push(r);
+    });
+    list->Close();
+  });
+}
+
+}  // namespace flix::core

@@ -1,0 +1,91 @@
+// LRU cache for query results — the "caching results of frequent
+// (sub-)queries" improvement of Section 7. FliX indexes are immutable after
+// the build phase, so cached result lists never need invalidation.
+#ifndef FLIX_FLIX_QUERY_CACHE_H_
+#define FLIX_FLIX_QUERY_CACHE_H_
+
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "flix/streamed_list.h"
+
+namespace flix::core {
+
+// Thread-safe LRU cache keyed by (start element, result tag).
+class QueryCache {
+ public:
+  explicit QueryCache(size_t capacity) : capacity_(capacity) {}
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  // Returns true and fills `results` on a hit (also refreshes recency).
+  bool Lookup(NodeId start, TagId tag, std::vector<Result>* results) {
+    if (capacity_ == 0) return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(Key(start, tag));
+    if (it == index_.end()) {
+      ++misses_;
+      return false;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+    *results = it->second->results;
+    ++hits_;
+    return true;
+  }
+
+  void Insert(NodeId start, TagId tag, std::vector<Result> results) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t key = Key(start, tag);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      it->second->results = std::move(results);
+      return;
+    }
+    lru_.push_front(Entry{key, std::move(results)});
+    index_[key] = lru_.begin();
+    if (lru_.size() > capacity_) {
+      index_.erase(lru_.back().key);
+      lru_.pop_back();
+    }
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+  }
+  size_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  size_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    std::vector<Result> results;
+  };
+
+  static uint64_t Key(NodeId start, TagId tag) {
+    return (static_cast<uint64_t>(start) << 32) | tag;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace flix::core
+
+#endif  // FLIX_FLIX_QUERY_CACHE_H_

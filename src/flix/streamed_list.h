@@ -1,0 +1,118 @@
+// Streamed result list: the decoupling between the PEE and the client the
+// paper describes ("a multithreaded architecture where the client thread
+// reads from a list in which FliX inserts the results", Section 3.1).
+//
+// A bounded, thread-safe producer/consumer queue with close and cancel
+// semantics: the PEE pushes results as it finds them; the client consumes
+// them concurrently and may cancel the query once satisfied (e.g., after
+// the top-k results).
+#ifndef FLIX_FLIX_STREAMED_LIST_H_
+#define FLIX_FLIX_STREAMED_LIST_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace flix::core {
+
+// One streamed query result: a global element id and its (approximate
+// rank-order) distance from the query start.
+struct Result {
+  NodeId node = kInvalidNode;
+  Distance distance = kUnreachable;
+
+  friend bool operator==(const Result&, const Result&) = default;
+};
+
+class StreamedList {
+ public:
+  explicit StreamedList(size_t capacity = 1024) : capacity_(capacity) {}
+
+  StreamedList(const StreamedList&) = delete;
+  StreamedList& operator=(const StreamedList&) = delete;
+
+  // Producer side. Push blocks while the queue is full; returns false once
+  // the consumer cancelled or the stream was already closed (producer
+  // should stop the query).
+  bool Push(Result result) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] {
+      return cancelled_ || closed_ || queue_.size() < capacity_;
+    });
+    if (cancelled_ || closed_) return false;
+    queue_.push_back(result);
+    ++produced_;
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Producer signals the end of the stream.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  // Consumer side. Blocks until a result arrives or the stream ends;
+  // nullopt = stream closed and drained (or cancelled).
+  std::optional<Result> Next() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] {
+      return cancelled_ || closed_ || !queue_.empty();
+    });
+    if (queue_.empty()) return std::nullopt;
+    const Result r = queue_.front();
+    queue_.pop_front();
+    not_full_.notify_one();
+    return r;
+  }
+
+  // Consumer aborts the query (e.g., top-k reached); wakes the producer.
+  void Cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      cancelled_ = true;
+      queue_.clear();
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool cancelled() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cancelled_;
+  }
+
+  // Total results pushed so far (monotone; for progress reporting).
+  size_t produced() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return produced_;
+  }
+
+  // Convenience for non-interactive callers: consume the entire stream.
+  std::vector<Result> DrainAll() {
+    std::vector<Result> all;
+    while (std::optional<Result> r = Next()) all.push_back(*r);
+    return all;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Result> queue_;
+  bool closed_ = false;
+  bool cancelled_ = false;
+  size_t produced_ = 0;
+};
+
+}  // namespace flix::core
+
+#endif  // FLIX_FLIX_STREAMED_LIST_H_

@@ -1,0 +1,108 @@
+#include "graph/digraph.h"
+
+#include <cassert>
+
+#include "common/bytes.h"
+
+namespace flix::graph {
+
+NodeId Digraph::AddNode(TagId tag) {
+  const NodeId id = static_cast<NodeId>(tags_.size());
+  tags_.push_back(tag);
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+void Digraph::Resize(size_t num_nodes) {
+  assert(num_nodes >= tags_.size());
+  tags_.resize(num_nodes, kInvalidTag);
+  out_.resize(num_nodes);
+  in_.resize(num_nodes);
+}
+
+void Digraph::AddEdge(NodeId from, NodeId to, EdgeKind kind) {
+  assert(from < NumNodes() && to < NumNodes());
+  out_[from].push_back({to, kind});
+  in_[to].push_back({from, kind});
+  ++num_edges_;
+  if (kind == EdgeKind::kLink) ++num_link_edges_;
+}
+
+std::vector<Edge> Digraph::Edges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges_);
+  for (NodeId n = 0; n < NumNodes(); ++n) {
+    for (const Arc& arc : out_[n]) {
+      edges.push_back({n, arc.target, arc.kind});
+    }
+  }
+  return edges;
+}
+
+std::vector<NodeId> Digraph::NodesWithTag(TagId tag) const {
+  std::vector<NodeId> result;
+  for (NodeId n = 0; n < NumNodes(); ++n) {
+    if (tags_[n] == tag) result.push_back(n);
+  }
+  return result;
+}
+
+Digraph Digraph::InducedSubgraph(const std::vector<NodeId>& nodes,
+                                 std::vector<NodeId>* local_of) const {
+  std::vector<NodeId> local(NumNodes(), kInvalidNode);
+  Digraph sub(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    local[nodes[i]] = static_cast<NodeId>(i);
+    sub.SetTag(static_cast<NodeId>(i), tags_[nodes[i]]);
+  }
+  for (const NodeId global : nodes) {
+    for (const Arc& arc : out_[global]) {
+      if (local[arc.target] != kInvalidNode) {
+        sub.AddEdge(local[global], local[arc.target], arc.kind);
+      }
+    }
+  }
+  if (local_of != nullptr) *local_of = std::move(local);
+  return sub;
+}
+
+void Digraph::Save(BinaryWriter& writer) const {
+  writer.WriteVec(tags_);
+  std::vector<Edge> edges = Edges();
+  writer.WriteU64(edges.size());
+  for (const Edge& e : edges) {
+    writer.WriteU32(e.from);
+    writer.WriteU32(e.to);
+    writer.WritePod(static_cast<uint8_t>(e.kind));
+  }
+}
+
+Digraph Digraph::Load(BinaryReader& reader) {
+  Digraph g;
+  g.tags_ = reader.ReadVec<TagId>();
+  g.out_.resize(g.tags_.size());
+  g.in_.resize(g.tags_.size());
+  const uint64_t num_edges = reader.ReadU64();
+  for (uint64_t i = 0; i < num_edges && reader.ok(); ++i) {
+    const NodeId from = reader.ReadU32();
+    const NodeId to = reader.ReadU32();
+    const auto kind = static_cast<EdgeKind>(reader.ReadPod<uint8_t>());
+    if (from >= g.NumNodes() || to >= g.NumNodes()) {
+      reader.MarkFailed();  // corrupt edge list
+      break;
+    }
+    g.AddEdge(from, to, kind);
+  }
+  return g;
+}
+
+size_t Digraph::MemoryBytes() const {
+  size_t bytes = VectorBytes(tags_);
+  for (const auto& arcs : out_) bytes += VectorBytes(arcs);
+  for (const auto& arcs : in_) bytes += VectorBytes(arcs);
+  bytes += VectorBytes(out_) + VectorBytes(in_);
+  return bytes;
+}
+
+}  // namespace flix::graph

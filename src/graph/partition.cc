@@ -1,0 +1,247 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+namespace flix::graph {
+namespace {
+
+// Undirected multigraph over units: unit weights (= node counts) and
+// adjacency with edge multiplicities.
+struct UnitGraph {
+  size_t num_units = 0;
+  std::vector<size_t> weight;
+  // adjacency[u] = (neighbor unit, multiplicity)
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> adjacency;
+};
+
+UnitGraph BuildUnitGraph(const Digraph& g, const std::vector<uint32_t>& unit_of,
+                         size_t num_units) {
+  UnitGraph ug;
+  ug.num_units = num_units;
+  ug.weight.assign(num_units, 0);
+  ug.adjacency.assign(num_units, {});
+  for (NodeId n = 0; n < g.NumNodes(); ++n) ++ug.weight[unit_of[n]];
+
+  // Accumulate multiplicities per (unit, unit) pair.
+  std::vector<std::unordered_map<uint32_t, uint32_t>> acc(num_units);
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (const Digraph::Arc& arc : g.OutArcs(u)) {
+      const uint32_t a = unit_of[u];
+      const uint32_t b = unit_of[arc.target];
+      if (a == b) continue;
+      ++acc[a][b];
+      ++acc[b][a];
+    }
+  }
+  for (uint32_t u = 0; u < num_units; ++u) {
+    ug.adjacency[u].assign(acc[u].begin(), acc[u].end());
+    std::sort(ug.adjacency[u].begin(), ug.adjacency[u].end());
+  }
+  return ug;
+}
+
+// One greedy refinement sweep: move a unit to the adjacent partition it has
+// the most connections to, if that strictly reduces the cut and the target
+// partition stays within bounds.
+bool RefineOnce(const UnitGraph& ug, size_t max_nodes,
+                std::vector<uint32_t>& part_of_unit,
+                std::vector<size_t>& part_weight) {
+  bool changed = false;
+  std::unordered_map<uint32_t, uint32_t> links_to_part;
+  for (uint32_t u = 0; u < ug.num_units; ++u) {
+    if (ug.adjacency[u].empty()) continue;
+    links_to_part.clear();
+    for (const auto& [v, mult] : ug.adjacency[u]) {
+      links_to_part[part_of_unit[v]] += mult;
+    }
+    const uint32_t home = part_of_unit[u];
+    const uint32_t internal = links_to_part.count(home) ? links_to_part[home] : 0;
+    uint32_t best_part = home;
+    uint32_t best_links = internal;
+    for (const auto& [p, links] : links_to_part) {
+      if (p == home) continue;
+      if (links > best_links &&
+          part_weight[p] + ug.weight[u] <= max_nodes) {
+        best_links = links;
+        best_part = p;
+      }
+    }
+    if (best_part != home) {
+      part_weight[home] -= ug.weight[u];
+      part_weight[best_part] += ug.weight[u];
+      part_of_unit[u] = best_part;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+// Folds underfull partitions into neighbors (by shared edge count) or, for
+// fragments with no mergeable neighbor, packs them together first-fit.
+// Mutates part_of_unit/part_weight in place.
+void PackFragments(const UnitGraph& ug, size_t max_nodes,
+                   std::vector<uint32_t>& part_of_unit,
+                   std::vector<size_t>& part_weight) {
+  const size_t num_parts = part_weight.size();
+  // Union-find over partitions: merging = unioning.
+  std::vector<uint32_t> parent(num_parts);
+  for (uint32_t p = 0; p < num_parts; ++p) parent[p] = p;
+  const auto find = [&](uint32_t p) {
+    while (parent[p] != p) {
+      parent[p] = parent[parent[p]];
+      p = parent[p];
+    }
+    return p;
+  };
+
+  // Process partitions from smallest to largest weight.
+  std::vector<uint32_t> order;
+  for (uint32_t p = 0; p < num_parts; ++p) {
+    if (part_weight[p] > 0) order.push_back(p);
+  }
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return part_weight[a] != part_weight[b] ? part_weight[a] < part_weight[b]
+                                            : a < b;
+  });
+
+  // Edge multiplicities between a partition and its neighbors are
+  // recomputed lazily per candidate (partitions are few).
+  std::unordered_map<uint32_t, uint32_t> links;
+  for (const uint32_t p : order) {
+    const uint32_t root = find(p);
+    if (root != p) continue;  // already merged away
+    if (part_weight[root] * 2 > max_nodes) continue;  // not underfull
+    links.clear();
+    for (uint32_t u = 0; u < ug.num_units; ++u) {
+      if (find(part_of_unit[u]) != root) continue;
+      for (const auto& [v, mult] : ug.adjacency[u]) {
+        const uint32_t other = find(part_of_unit[v]);
+        if (other != root) links[other] += mult;
+      }
+    }
+    uint32_t best = UINT32_MAX;
+    uint32_t best_links = 0;
+    for (const auto& [other, mult] : links) {
+      if (part_weight[other] + part_weight[root] > max_nodes) continue;
+      if (mult > best_links || (mult == best_links && other < best)) {
+        best = other;
+        best_links = mult;
+      }
+    }
+    if (best == UINT32_MAX) {
+      // No connected candidate fits: pack with another small fragment.
+      for (const uint32_t q : order) {
+        const uint32_t other = find(q);
+        if (other == root) continue;
+        if (part_weight[other] + part_weight[root] <= max_nodes) {
+          best = other;
+          break;
+        }
+      }
+    }
+    if (best == UINT32_MAX) continue;
+    parent[root] = best;
+    part_weight[best] += part_weight[root];
+    part_weight[root] = 0;
+  }
+  for (uint32_t u = 0; u < ug.num_units; ++u) {
+    part_of_unit[u] = find(part_of_unit[u]);
+  }
+}
+
+}  // namespace
+
+PartitionResult PartitionBySize(const Digraph& g, const PartitionOptions& opts,
+                                const std::vector<uint32_t>* unit_of) {
+  assert(opts.max_nodes > 0);
+  const size_t n = g.NumNodes();
+
+  // Default units: every node is its own unit.
+  std::vector<uint32_t> units;
+  size_t num_units;
+  if (unit_of != nullptr) {
+    assert(unit_of->size() == n);
+    units = *unit_of;
+    num_units = units.empty()
+                    ? 0
+                    : *std::max_element(units.begin(), units.end()) + 1;
+  } else {
+    units.resize(n);
+    for (NodeId i = 0; i < n; ++i) units[i] = i;
+    num_units = n;
+  }
+
+  PartitionResult result;
+  result.partition_of.assign(n, 0);
+  if (n == 0) return result;
+
+  const UnitGraph ug = BuildUnitGraph(g, units, num_units);
+
+  constexpr uint32_t kUnassigned = UINT32_MAX;
+  std::vector<uint32_t> part_of_unit(num_units, kUnassigned);
+  std::vector<size_t> part_weight;
+
+  // BFS growth over the unit graph.
+  for (uint32_t seed = 0; seed < num_units; ++seed) {
+    if (part_of_unit[seed] != kUnassigned) continue;
+    const uint32_t part = static_cast<uint32_t>(part_weight.size());
+    part_weight.push_back(0);
+    std::deque<uint32_t> frontier = {seed};
+    part_of_unit[seed] = part;
+    part_weight[part] += ug.weight[seed];
+    while (!frontier.empty() && part_weight[part] < opts.max_nodes) {
+      const uint32_t u = frontier.front();
+      frontier.pop_front();
+      for (const auto& [v, mult] : ug.adjacency[u]) {
+        (void)mult;
+        if (part_of_unit[v] != kUnassigned) continue;
+        if (part_weight[part] + ug.weight[v] > opts.max_nodes) continue;
+        part_of_unit[v] = part;
+        part_weight[part] += ug.weight[v];
+        frontier.push_back(v);
+      }
+    }
+  }
+
+  for (int pass = 0; pass < opts.refinement_passes; ++pass) {
+    if (!RefineOnce(ug, opts.max_nodes, part_of_unit, part_weight)) break;
+  }
+
+  if (opts.pack_fragments) {
+    PackFragments(ug, opts.max_nodes, part_of_unit, part_weight);
+    // Packing changes the boundary; one more refinement sweep cleans up.
+    for (int pass = 0; pass < opts.refinement_passes; ++pass) {
+      if (!RefineOnce(ug, opts.max_nodes, part_of_unit, part_weight)) break;
+    }
+  }
+
+  // Compact away partitions emptied by refinement.
+  std::vector<uint32_t> remap(part_weight.size(), kUnassigned);
+  uint32_t next = 0;
+  for (uint32_t u = 0; u < num_units; ++u) {
+    uint32_t& r = remap[part_of_unit[u]];
+    if (r == kUnassigned) r = next++;
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    result.partition_of[i] = remap[part_of_unit[units[i]]];
+  }
+  result.num_partitions = next;
+  result.cut_edges = CountCutEdges(g, result.partition_of);
+  return result;
+}
+
+size_t CountCutEdges(const Digraph& g,
+                     const std::vector<uint32_t>& partition_of) {
+  size_t cut = 0;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (const Digraph::Arc& arc : g.OutArcs(u)) {
+      if (partition_of[u] != partition_of[arc.target]) ++cut;
+    }
+  }
+  return cut;
+}
+
+}  // namespace flix::graph

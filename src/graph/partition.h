@@ -1,0 +1,53 @@
+// Size-bounded graph partitioning with small edge cut.
+//
+// This is the first step of HOPI's divide-and-conquer build and the whole of
+// the "Unconnected HOPI" FliX configuration (paper Section 4.3): split the
+// XML graph into partitions of at most `max_nodes` elements such that few
+// edges cross partitions.
+#ifndef FLIX_GRAPH_PARTITION_H_
+#define FLIX_GRAPH_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "graph/digraph.h"
+
+namespace flix::graph {
+
+struct PartitionOptions {
+  // Maximum number of graph nodes per partition.
+  size_t max_nodes = 5000;
+  // Number of greedy boundary-refinement sweeps after the initial BFS
+  // growth. 0 disables refinement.
+  int refinement_passes = 2;
+  // Merge underfull partitions after growth: each small partition is folded
+  // into the partition it shares the most edges with (or packed with other
+  // fragments) as long as the bound holds. Without this, hub-and-spoke
+  // graphs (citation networks) fragment badly: once the hubs fill the first
+  // partition, the periphery decomposes into many tiny pieces.
+  bool pack_fragments = true;
+};
+
+struct PartitionResult {
+  // Partition id per node, in [0, num_partitions).
+  std::vector<uint32_t> partition_of;
+  uint32_t num_partitions = 0;
+  // Number of edges whose endpoints lie in different partitions.
+  size_t cut_edges = 0;
+};
+
+// Partitions `g` into size-bounded pieces, greedily growing partitions by
+// BFS over the undirected shadow of the graph and then locally refining the
+// boundary. If `unit_of` is non-null it maps each node to an atomic unit
+// (e.g., its document id); nodes of a unit are never split across partitions.
+// A single unit larger than max_nodes becomes its own (oversized) partition.
+PartitionResult PartitionBySize(const Digraph& g, const PartitionOptions& opts,
+                                const std::vector<uint32_t>* unit_of = nullptr);
+
+// Counts edges of `g` crossing partitions under the given assignment.
+size_t CountCutEdges(const Digraph& g, const std::vector<uint32_t>& partition_of);
+
+}  // namespace flix::graph
+
+#endif  // FLIX_GRAPH_PARTITION_H_

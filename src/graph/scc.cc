@@ -1,0 +1,101 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+
+namespace flix::graph {
+
+SccResult StronglyConnectedComponents(const Digraph& g) {
+  const size_t n = g.NumNodes();
+  SccResult result;
+  result.component_of.assign(n, 0);
+
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  uint32_t next_index = 0;
+
+  // Explicit DFS frame: node and position within its out-arc list.
+  struct Frame {
+    NodeId node;
+    size_t arc_pos;
+  };
+  std::vector<Frame> frames;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const NodeId u = frame.node;
+      if (frame.arc_pos < g.OutArcs(u).size()) {
+        const NodeId v = g.OutArcs(u)[frame.arc_pos++].target;
+        if (index[v] == kUnvisited) {
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          frames.push_back({v, 0});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+      } else {
+        if (lowlink[u] == index[u]) {
+          // u is the root of a component; pop it off the Tarjan stack.
+          std::vector<NodeId> component;
+          for (;;) {
+            const NodeId w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.component_of[w] = result.num_components;
+            component.push_back(w);
+            if (w == u) break;
+          }
+          result.members.push_back(std::move(component));
+          ++result.num_components;
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          const NodeId parent = frames.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Digraph Condense(const Digraph& g, const SccResult& scc) {
+  Digraph dag(scc.num_components);
+  // Deduplicate edges with a "last seen source" stamp per target component.
+  std::vector<uint32_t> last_seen(scc.num_components, UINT32_MAX);
+  for (uint32_t c = 0; c < scc.num_components; ++c) {
+    for (const NodeId u : scc.members[c]) {
+      for (const Digraph::Arc& arc : g.OutArcs(u)) {
+        const uint32_t target = scc.component_of[arc.target];
+        if (target == c || last_seen[target] == c) continue;
+        last_seen[target] = c;
+        dag.AddEdge(c, target, arc.kind);
+      }
+    }
+  }
+  return dag;
+}
+
+bool IsAcyclic(const Digraph& g) {
+  const SccResult scc = StronglyConnectedComponents(g);
+  if (scc.num_components != g.NumNodes()) return false;
+  // Singleton components may still carry self-loops.
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (const Digraph::Arc& arc : g.OutArcs(u)) {
+      if (arc.target == u) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace flix::graph

@@ -1,0 +1,39 @@
+// Strongly connected components (iterative Tarjan) and graph condensation.
+// HOPI's construction and the Meta Document Builder both need to reason
+// about cycles introduced by links.
+#ifndef FLIX_GRAPH_SCC_H_
+#define FLIX_GRAPH_SCC_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/digraph.h"
+
+namespace flix::graph {
+
+struct SccResult {
+  // Component id per node; components are numbered in reverse topological
+  // order (Tarjan emits sinks first).
+  std::vector<uint32_t> component_of;
+  uint32_t num_components = 0;
+
+  // Members of each component.
+  std::vector<std::vector<NodeId>> members;
+};
+
+// Computes strongly connected components without recursion (safe for deep
+// graphs such as long citation chains).
+SccResult StronglyConnectedComponents(const Digraph& g);
+
+// Condensation DAG: one node per SCC, deduplicated edges between distinct
+// components. Tags of condensation nodes are kInvalidTag (a component mixes
+// tags in general).
+Digraph Condense(const Digraph& g, const SccResult& scc);
+
+// True iff the graph has no directed cycle (every SCC is a singleton without
+// a self-loop).
+bool IsAcyclic(const Digraph& g);
+
+}  // namespace flix::graph
+
+#endif  // FLIX_GRAPH_SCC_H_

@@ -1,0 +1,87 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <deque>
+#include <tuple>
+
+namespace flix::graph {
+namespace {
+
+const std::vector<Digraph::Arc>& Arcs(const Digraph& g, NodeId n,
+                                      Direction dir) {
+  return dir == Direction::kForward ? g.OutArcs(n) : g.InArcs(n);
+}
+
+}  // namespace
+
+std::vector<Distance> BfsDistances(const Digraph& g, NodeId source,
+                                   Direction dir, Distance max_depth) {
+  std::vector<Distance> dist(g.NumNodes(), kUnreachable);
+  dist[source] = 0;
+  std::deque<NodeId> queue = {source};
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    if (max_depth >= 0 && dist[u] >= max_depth) continue;
+    for (const Digraph::Arc& arc : Arcs(g, u, dir)) {
+      if (dist[arc.target] == kUnreachable) {
+        dist[arc.target] = dist[u] + 1;
+        queue.push_back(arc.target);
+      }
+    }
+  }
+  return dist;
+}
+
+Distance BfsDistance(const Digraph& g, NodeId source, NodeId target,
+                     Direction dir, Distance max_depth) {
+  if (source == target) return 0;
+  std::vector<Distance> dist(g.NumNodes(), kUnreachable);
+  dist[source] = 0;
+  std::deque<NodeId> queue = {source};
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    if (max_depth >= 0 && dist[u] >= max_depth) continue;
+    for (const Digraph::Arc& arc : Arcs(g, u, dir)) {
+      if (dist[arc.target] == kUnreachable) {
+        dist[arc.target] = dist[u] + 1;
+        if (arc.target == target) return dist[arc.target];
+        queue.push_back(arc.target);
+      }
+    }
+  }
+  return kUnreachable;
+}
+
+std::vector<NodeDist> ReachabilityOracle::Collect(NodeId from, TagId tag,
+                                                  Direction dir,
+                                                  bool wildcard) const {
+  const std::vector<flix::Distance> dist = BfsDistances(g_, from, dir);
+  std::vector<NodeDist> result;
+  for (NodeId n = 0; n < g_.NumNodes(); ++n) {
+    if (n == from || dist[n] == kUnreachable) continue;
+    if (wildcard || g_.Tag(n) == tag) result.push_back({n, dist[n]});
+  }
+  std::sort(result.begin(), result.end(),
+            [](const NodeDist& a, const NodeDist& b) {
+              return std::tie(a.distance, a.node) < std::tie(b.distance, b.node);
+            });
+  return result;
+}
+
+std::vector<NodeDist> ReachabilityOracle::DescendantsByTag(NodeId from,
+                                                           TagId tag) const {
+  return Collect(from, tag, Direction::kForward, /*wildcard=*/false);
+}
+
+std::vector<NodeDist> ReachabilityOracle::Descendants(NodeId from) const {
+  return Collect(from, kInvalidTag, Direction::kForward, /*wildcard=*/true);
+}
+
+std::vector<NodeDist> ReachabilityOracle::AncestorsByTag(NodeId from,
+                                                         TagId tag) const {
+  return Collect(from, tag, Direction::kBackward, /*wildcard=*/false);
+}
+
+}  // namespace flix::graph

@@ -1,0 +1,78 @@
+// Breadth-first traversal primitives and the exact reachability/distance
+// oracle used as ground truth in tests and for error-rate measurement
+// (the paper reports the fraction of results returned out of order).
+#ifndef FLIX_GRAPH_TRAVERSAL_H_
+#define FLIX_GRAPH_TRAVERSAL_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/digraph.h"
+
+namespace flix::graph {
+
+// Direction of traversal: kForward follows out-edges (descendants),
+// kBackward follows in-edges (ancestors).
+enum class Direction {
+  kForward,
+  kBackward,
+};
+
+// Single-source BFS distances over unit-weight edges. Returns a vector of
+// size g.NumNodes() with kUnreachable for nodes not reached. `max_depth < 0`
+// means unbounded.
+std::vector<Distance> BfsDistances(const Digraph& g, NodeId source,
+                                   Direction dir = Direction::kForward,
+                                   Distance max_depth = -1);
+
+// Distance from `source` to `target` (kUnreachable if none). Early-exits as
+// soon as the target is dequeued.
+Distance BfsDistance(const Digraph& g, NodeId source, NodeId target,
+                     Direction dir = Direction::kForward,
+                     Distance max_depth = -1);
+
+// A result element paired with its distance from the query start node.
+struct NodeDist {
+  NodeId node = kInvalidNode;
+  Distance distance = kUnreachable;
+
+  friend bool operator==(const NodeDist&, const NodeDist&) = default;
+};
+
+// Exact ground-truth oracle: answers reachability / distance / tag-filtered
+// descendant queries by plain BFS over the element graph. Deliberately
+// index-free; tests compare every index structure against it.
+class ReachabilityOracle {
+ public:
+  explicit ReachabilityOracle(const Digraph& g) : g_(g) {}
+
+  bool IsReachable(NodeId from, NodeId to) const {
+    return Distance(from, to) != kUnreachable;
+  }
+
+  flix::Distance Distance(NodeId from, NodeId to) const {
+    return BfsDistance(g_, from, to);
+  }
+
+  // All proper descendants of `from` with tag `tag`, sorted by ascending
+  // distance (ties by node id). `from` itself is excluded even if it has the
+  // tag, matching the descendants-or-self axis applied to a *different*
+  // result element; the paper's a//b queries look for other elements.
+  std::vector<NodeDist> DescendantsByTag(NodeId from, TagId tag) const;
+
+  // All proper descendants (wildcard a//*), sorted ascending by distance.
+  std::vector<NodeDist> Descendants(NodeId from) const;
+
+  // All proper ancestors with tag `tag`, ascending by distance.
+  std::vector<NodeDist> AncestorsByTag(NodeId from, TagId tag) const;
+
+ private:
+  std::vector<NodeDist> Collect(NodeId from, TagId tag, Direction dir,
+                                bool wildcard) const;
+
+  const Digraph& g_;
+};
+
+}  // namespace flix::graph
+
+#endif  // FLIX_GRAPH_TRAVERSAL_H_

@@ -1,0 +1,88 @@
+#include "graph/tree_utils.h"
+
+#include <cassert>
+
+#include "graph/scc.h"
+
+namespace flix::graph {
+
+bool IsForest(const Digraph& g) {
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (g.InDegree(n) > 1) return false;
+  }
+  // With in-degree <= 1 everywhere, any cycle would be a simple directed
+  // cycle; detect via SCC.
+  return IsAcyclic(g);
+}
+
+std::vector<NodeId> ForestRoots(const Digraph& g) {
+  assert(IsForest(g));
+  std::vector<NodeId> roots;
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    if (g.InDegree(n) == 0) roots.push_back(n);
+  }
+  return roots;
+}
+
+namespace {
+
+// Union-find over the undirected shadow of the forest-so-far; adding edge
+// u->v creates a cycle iff u and v are already connected.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<NodeId>(i);
+  }
+
+  NodeId Find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Returns false if x and y were already in the same set.
+  bool Union(NodeId x, NodeId y) {
+    const NodeId rx = Find(x);
+    const NodeId ry = Find(y);
+    if (rx == ry) return false;
+    parent_[rx] = ry;
+    return true;
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+
+}  // namespace
+
+SpanningForest ExtractSpanningForest(const Digraph& g) {
+  SpanningForest result;
+  result.forest.Resize(g.NumNodes());
+  for (NodeId n = 0; n < g.NumNodes(); ++n) {
+    result.forest.SetTag(n, g.Tag(n));
+  }
+
+  UnionFind uf(g.NumNodes());
+  std::vector<bool> has_parent(g.NumNodes(), false);
+
+  // Two passes: tree edges first so that links are what gets removed.
+  for (const EdgeKind pass : {EdgeKind::kTree, EdgeKind::kLink}) {
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      for (const Digraph::Arc& arc : g.OutArcs(u)) {
+        if (arc.kind != pass) continue;
+        if (!has_parent[arc.target] && arc.target != u &&
+            uf.Union(u, arc.target)) {
+          has_parent[arc.target] = true;
+          result.forest.AddEdge(u, arc.target, arc.kind);
+        } else {
+          result.removed.push_back({u, arc.target, arc.kind});
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace flix::graph

@@ -1,0 +1,38 @@
+// Forest/tree predicates and spanning-forest extraction.
+//
+// PPO (pre/postorder) indexing requires the meta document's element graph to
+// be a forest: every element has at most one parent and there are no cycles.
+// The Maximal PPO configuration needs to test this cheaply and to know which
+// link edges break it.
+#ifndef FLIX_GRAPH_TREE_UTILS_H_
+#define FLIX_GRAPH_TREE_UTILS_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "graph/digraph.h"
+
+namespace flix::graph {
+
+// True iff every node has in-degree <= 1 and the graph is acyclic, i.e., the
+// graph is a forest of rooted trees under the edge direction parent->child.
+bool IsForest(const Digraph& g);
+
+// Roots of a forest: nodes with in-degree 0. Must only be called on forests
+// (asserted in debug builds); isolated nodes count as single-node trees.
+std::vector<NodeId> ForestRoots(const Digraph& g);
+
+// Greedy spanning forest: keeps every edge whose target still has no parent
+// and whose addition creates no cycle; all other edges are reported as
+// `removed`. Tree edges are preferred over link edges so that document
+// structure survives (the paper's Maximal PPO removes *links* to restore
+// tree shape, cf. Figure 3).
+struct SpanningForest {
+  Digraph forest;            // same node set/tags as input, subset of edges
+  std::vector<Edge> removed; // edges not in the forest
+};
+SpanningForest ExtractSpanningForest(const Digraph& g);
+
+}  // namespace flix::graph
+
+#endif  // FLIX_GRAPH_TREE_UTILS_H_

@@ -1,0 +1,373 @@
+#include "index/apex.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/bytes.h"
+#include "graph/scc.h"
+
+namespace flix::index {
+namespace {
+
+// Maximum tag id occurring in g, plus one (0 if untagged).
+size_t TagUniverse(const graph::Digraph& g) {
+  TagId max_tag = 0;
+  bool any = false;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (g.Tag(v) != kInvalidTag) {
+      max_tag = std::max(max_tag, g.Tag(v));
+      any = true;
+    }
+  }
+  return any ? static_cast<size_t>(max_tag) + 1 : 0;
+}
+
+}  // namespace
+
+std::unique_ptr<ApexIndex> ApexIndex::Build(const graph::Digraph& g,
+                                            const ApexOptions& options) {
+  auto index = std::unique_ptr<ApexIndex>(new ApexIndex(g));
+  index->BuildSummary(options);
+  index->BuildReachability(options);
+  return index;
+}
+
+void ApexIndex::BuildSummary(const ApexOptions& options) {
+  const size_t n = g_.NumNodes();
+  block_of_.assign(n, 0);
+
+  // Round 0: partition by tag.
+  {
+    std::unordered_map<TagId, uint32_t> block_of_tag;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto [it, inserted] = block_of_tag.emplace(
+          g_.Tag(v), static_cast<uint32_t>(block_of_tag.size()));
+      block_of_[v] = it->second;
+    }
+  }
+
+  // Iterate: signature(v) = (old block, sorted set of predecessor blocks);
+  // nodes with equal signatures share a block. Fixpoint = backward
+  // bisimulation (incoming-path equivalence).
+  size_t num_blocks = 0;
+  for (int round = 0;
+       options.max_refinement_rounds < 0 || round < options.max_refinement_rounds;
+       ++round) {
+    std::map<std::pair<uint32_t, std::vector<uint32_t>>, uint32_t> blocks;
+    std::vector<uint32_t> next(n);
+    std::vector<uint32_t> preds;
+    for (NodeId v = 0; v < n; ++v) {
+      preds.clear();
+      for (const graph::Digraph::Arc& arc : g_.InArcs(v)) {
+        preds.push_back(block_of_[arc.target]);
+      }
+      std::sort(preds.begin(), preds.end());
+      preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+      const auto [it, inserted] = blocks.emplace(
+          std::make_pair(block_of_[v], preds),
+          static_cast<uint32_t>(blocks.size()));
+      next[v] = it->second;
+    }
+    const bool stable = blocks.size() == num_blocks && next == block_of_;
+    block_of_ = std::move(next);
+    num_blocks = blocks.size();
+    if (stable) break;
+    // A partition refined to the size of the previous round's partition is
+    // the fixpoint (refinement never merges blocks).
+  }
+
+  // Renumber blocks densely in first-occurrence order and build extents.
+  std::unordered_map<uint32_t, uint32_t> remap;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto [it, inserted] =
+        remap.emplace(block_of_[v], static_cast<uint32_t>(remap.size()));
+    block_of_[v] = it->second;
+  }
+  extents_.assign(remap.size(), {});
+  for (NodeId v = 0; v < n; ++v) extents_[block_of_[v]].push_back(v);
+
+  // Summary graph: deduplicated block edges.
+  summary_ = graph::Digraph(extents_.size());
+  std::vector<uint32_t> last_seen(extents_.size(), UINT32_MAX);
+  for (uint32_t b = 0; b < extents_.size(); ++b) {
+    for (const NodeId v : extents_[b]) {
+      for (const graph::Digraph::Arc& arc : g_.OutArcs(v)) {
+        const uint32_t target = block_of_[arc.target];
+        if (last_seen[target] == b) continue;
+        last_seen[target] = b;
+        summary_.AddEdge(b, target, arc.kind);
+      }
+    }
+    // Self-edges are permitted in the summary (block reaching itself).
+  }
+}
+
+void ApexIndex::BuildReachability(const ApexOptions& options) {
+  const size_t num_blocks = extents_.size();
+  const size_t num_tags = TagUniverse(g_);
+  tag_words_ = (num_tags + 63) / 64;
+
+  // reachable_tags_ via reverse-topological accumulation over the summary's
+  // SCC condensation (the summary may be cyclic when the data graph is).
+  reachable_tags_.assign(num_blocks, std::vector<uint64_t>(tag_words_, 0));
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    const TagId tag = extents_[b].empty() ? kInvalidTag
+                                          : g_.Tag(extents_[b].front());
+    if (tag != kInvalidTag) {
+      reachable_tags_[b][tag / 64] |= uint64_t{1} << (tag % 64);
+    }
+  }
+  const graph::SccResult scc = graph::StronglyConnectedComponents(summary_);
+  const graph::Digraph condensed = graph::Condense(summary_, scc);
+  // Tarjan numbers components in reverse topological order, so ascending
+  // component id = sinks first: accumulate successors into predecessors by
+  // walking components in ascending order.
+  std::vector<std::vector<uint64_t>> comp_tags(
+      scc.num_components, std::vector<uint64_t>(tag_words_, 0));
+  for (uint32_t c = 0; c < scc.num_components; ++c) {
+    for (const NodeId b : scc.members[c]) {
+      for (size_t w = 0; w < tag_words_; ++w) {
+        comp_tags[c][w] |= reachable_tags_[b][w];
+      }
+    }
+    for (const graph::Digraph::Arc& arc : condensed.OutArcs(c)) {
+      for (size_t w = 0; w < tag_words_; ++w) {
+        comp_tags[c][w] |= comp_tags[arc.target][w];
+      }
+    }
+  }
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    reachable_tags_[b] = comp_tags[scc.component_of[b]];
+  }
+
+  // Optional block-level closure for fast IsReachable pruning.
+  if (num_blocks <= options.max_blocks_for_closure) {
+    const size_t block_words = (num_blocks + 63) / 64;
+    std::vector<std::vector<uint64_t>> comp_reach(
+        scc.num_components, std::vector<uint64_t>(block_words, 0));
+    for (uint32_t c = 0; c < scc.num_components; ++c) {
+      for (const NodeId b : scc.members[c]) {
+        comp_reach[c][b / 64] |= uint64_t{1} << (b % 64);
+      }
+      for (const graph::Digraph::Arc& arc : condensed.OutArcs(c)) {
+        for (size_t w = 0; w < block_words; ++w) {
+          comp_reach[c][w] |= comp_reach[arc.target][w];
+        }
+      }
+    }
+    block_closure_.assign(num_blocks, {});
+    for (uint32_t b = 0; b < num_blocks; ++b) {
+      block_closure_[b] = comp_reach[scc.component_of[b]];
+    }
+    have_block_closure_ = true;
+  }
+}
+
+bool ApexIndex::BlockCanReachTag(uint32_t block, TagId tag) const {
+  if (tag == kInvalidTag) return true;
+  const size_t word = tag / 64;
+  if (word >= tag_words_) return false;
+  return (reachable_tags_[block][word] >> (tag % 64)) & 1;
+}
+
+bool ApexIndex::BlockCanReachBlock(uint32_t from, uint32_t to) const {
+  if (!have_block_closure_) return true;  // unknown: cannot prune
+  return (block_closure_[from][to / 64] >> (to % 64)) & 1;
+}
+
+std::vector<NodeDist> ApexIndex::PrunedBfs(NodeId from, TagId tag,
+                                           bool wildcard,
+                                           NodeId stop_at) const {
+  std::vector<NodeDist> result;
+  const uint32_t target_block =
+      stop_at != kInvalidNode ? block_of_[stop_at] : 0;
+  std::vector<Distance> dist(g_.NumNodes(), kUnreachable);
+  dist[from] = 0;
+  std::deque<NodeId> queue = {from};
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    if (v != from) {
+      if (stop_at != kInvalidNode) {
+        if (v == stop_at) {
+          result.push_back({v, dist[v]});
+          return result;
+        }
+      } else if (wildcard || g_.Tag(v) == tag) {
+        result.push_back({v, dist[v]});
+      }
+    }
+    for (const graph::Digraph::Arc& arc : g_.OutArcs(v)) {
+      const NodeId w = arc.target;
+      if (dist[w] != kUnreachable) continue;
+      // Summary pruning: skip branches that cannot produce any result.
+      if (stop_at != kInvalidNode) {
+        if (w != stop_at && !BlockCanReachBlock(block_of_[w], target_block)) {
+          continue;
+        }
+      } else if (!wildcard && !BlockCanReachTag(block_of_[w], tag)) {
+        continue;
+      }
+      dist[w] = dist[v] + 1;
+      queue.push_back(w);
+    }
+  }
+  SortByDistance(result);
+  return result;
+}
+
+bool ApexIndex::IsReachable(NodeId from, NodeId to) const {
+  return DistanceBetween(from, to) != kUnreachable;
+}
+
+Distance ApexIndex::DistanceBetween(NodeId from, NodeId to) const {
+  if (from == to) return 0;
+  if (!BlockCanReachBlock(block_of_[from], block_of_[to])) return kUnreachable;
+  const std::vector<NodeDist> hit =
+      PrunedBfs(from, kInvalidTag, /*wildcard=*/false, to);
+  return hit.empty() ? kUnreachable : hit.front().distance;
+}
+
+std::vector<NodeDist> ApexIndex::DescendantsByTag(NodeId from,
+                                                  TagId tag) const {
+  return PrunedBfs(from, tag, /*wildcard=*/false, kInvalidNode);
+}
+
+std::vector<NodeDist> ApexIndex::Descendants(NodeId from) const {
+  return PrunedBfs(from, kInvalidTag, /*wildcard=*/true, kInvalidNode);
+}
+
+std::vector<NodeDist> ApexIndex::AncestorsByTag(NodeId from, TagId tag) const {
+  // Backward traversal; summary pruning does not apply (reachable_tags_ is
+  // forward-only), so this is a plain reverse BFS with tag filtering.
+  std::vector<NodeDist> result;
+  std::vector<Distance> dist(g_.NumNodes(), kUnreachable);
+  dist[from] = 0;
+  std::deque<NodeId> queue = {from};
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    if (v != from && g_.Tag(v) == tag) result.push_back({v, dist[v]});
+    for (const graph::Digraph::Arc& arc : g_.InArcs(v)) {
+      if (dist[arc.target] == kUnreachable) {
+        dist[arc.target] = dist[v] + 1;
+        queue.push_back(arc.target);
+      }
+    }
+  }
+  SortByDistance(result);
+  return result;
+}
+
+std::vector<NodeDist> ApexIndex::ReachableAmong(
+    NodeId from, const std::vector<NodeId>& targets) const {
+  const std::unordered_set<NodeId> wanted(targets.begin(), targets.end());
+  std::vector<NodeDist> result;
+  std::vector<Distance> dist(g_.NumNodes(), kUnreachable);
+  dist[from] = 0;
+  std::deque<NodeId> queue = {from};
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    if (wanted.contains(v)) result.push_back({v, dist[v]});
+    for (const graph::Digraph::Arc& arc : g_.OutArcs(v)) {
+      if (dist[arc.target] == kUnreachable) {
+        dist[arc.target] = dist[v] + 1;
+        queue.push_back(arc.target);
+      }
+    }
+  }
+  SortByDistance(result);
+  return result;
+}
+
+std::vector<NodeDist> ApexIndex::AncestorsAmong(
+    NodeId from, const std::vector<NodeId>& sources) const {
+  const std::unordered_set<NodeId> wanted(sources.begin(), sources.end());
+  std::vector<NodeDist> result;
+  std::vector<Distance> dist(g_.NumNodes(), kUnreachable);
+  dist[from] = 0;
+  std::deque<NodeId> queue = {from};
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    if (wanted.contains(v)) result.push_back({v, dist[v]});
+    for (const graph::Digraph::Arc& arc : g_.InArcs(v)) {
+      if (dist[arc.target] == kUnreachable) {
+        dist[arc.target] = dist[v] + 1;
+        queue.push_back(arc.target);
+      }
+    }
+  }
+  SortByDistance(result);
+  return result;
+}
+
+void ApexIndex::Save(BinaryWriter& writer) const {
+  writer.WriteVec(block_of_);
+  writer.WriteNestedVec(extents_);
+  summary_.Save(writer);
+  writer.WriteNestedVec(reachable_tags_);
+  writer.WriteU64(tag_words_);
+  writer.WriteBool(have_block_closure_);
+  if (have_block_closure_) writer.WriteNestedVec(block_closure_);
+}
+
+StatusOr<std::unique_ptr<ApexIndex>> ApexIndex::Load(BinaryReader& reader,
+                                                     const graph::Digraph& g) {
+  auto index = std::unique_ptr<ApexIndex>(new ApexIndex(g));
+  index->block_of_ = reader.ReadVec<uint32_t>();
+  index->extents_ = reader.ReadNestedVec<NodeId>();
+  index->summary_ = graph::Digraph::Load(reader);
+  index->reachable_tags_ = reader.ReadNestedVec<uint64_t>();
+  index->tag_words_ = reader.ReadU64();
+  index->have_block_closure_ = reader.ReadBool();
+  if (index->have_block_closure_) {
+    index->block_closure_ = reader.ReadNestedVec<uint64_t>();
+  }
+  if (!reader.ok() || index->block_of_.size() != g.NumNodes() ||
+      index->extents_.size() != index->summary_.NumNodes()) {
+    return InvalidArgumentError("corrupt APEX index payload");
+  }
+  const size_t num_blocks = index->extents_.size();
+  for (const uint32_t b : index->block_of_) {
+    if (b >= num_blocks) return InvalidArgumentError("corrupt APEX block id");
+  }
+  if (index->reachable_tags_.size() != num_blocks) {
+    return InvalidArgumentError("corrupt APEX tag table");
+  }
+  for (const auto& row : index->reachable_tags_) {
+    if (row.size() != index->tag_words_) {
+      return InvalidArgumentError("corrupt APEX tag row");
+    }
+  }
+  if (index->have_block_closure_) {
+    const size_t block_words = (num_blocks + 63) / 64;
+    if (index->block_closure_.size() != num_blocks) {
+      return InvalidArgumentError("corrupt APEX closure");
+    }
+    for (const auto& row : index->block_closure_) {
+      if (row.size() != block_words) {
+        return InvalidArgumentError("corrupt APEX closure row");
+      }
+    }
+  }
+  return index;
+}
+
+size_t ApexIndex::MemoryBytes() const {
+  size_t bytes = VectorBytes(block_of_);
+  for (const auto& extent : extents_) bytes += VectorBytes(extent);
+  bytes += VectorBytes(extents_);
+  bytes += summary_.MemoryBytes();
+  for (const auto& row : reachable_tags_) bytes += VectorBytes(row);
+  bytes += VectorBytes(reachable_tags_);
+  for (const auto& row : block_closure_) bytes += VectorBytes(row);
+  bytes += VectorBytes(block_closure_);
+  return bytes;
+}
+
+}  // namespace flix::index

@@ -1,0 +1,104 @@
+// APEX-style adaptive path index [Chung et al., SIGMOD'02].
+//
+// The core of APEX is a structure summary: elements are grouped into blocks
+// by (backward) bisimulation over their incoming label paths — the classic
+// 1-index construction — and each block stores its extent (member elements).
+// Label-path queries are answered on the summary, then expanded via extents.
+// APEX's workload adaptation refines this summary for frequent paths; the
+// paper's experiments use the unoptimized variant ("without optimizations
+// for frequent queries"), which is what we build. A `max_refinement_rounds`
+// knob additionally yields A(k)-index behaviour (k-bisimulation) when finite.
+//
+// Connection queries from a *specific* element (a//b with distances) cannot
+// be answered from the summary alone; like the paper's database-backed APEX
+// implementation, we traverse the element graph, but prune the traversal
+// with the summary: a branch is abandoned as soon as its block provably
+// cannot reach any block containing the target tag. The summary also makes
+// IsReachable fail fast via block-level reachability.
+#ifndef FLIX_INDEX_APEX_H_
+#define FLIX_INDEX_APEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/status.h"
+#include "index/path_index.h"
+
+namespace flix::index {
+
+struct ApexOptions {
+  // Number of refinement rounds; < 0 means refine to the full bisimulation
+  // fixpoint (1-index), k >= 0 gives the A(k)-index.
+  int max_refinement_rounds = -1;
+  // Block-level transitive closure is skipped above this summary size (the
+  // tag-reachability pruning still applies).
+  size_t max_blocks_for_closure = 50000;
+};
+
+class ApexIndex : public PathIndex {
+ public:
+  // Keeps a reference to `g`; the graph must outlive the index.
+  static std::unique_ptr<ApexIndex> Build(const graph::Digraph& g,
+                                          const ApexOptions& options = {});
+
+  StrategyKind kind() const override { return StrategyKind::kApex; }
+
+  bool IsReachable(NodeId from, NodeId to) const override;
+  Distance DistanceBetween(NodeId from, NodeId to) const override;
+  std::vector<NodeDist> DescendantsByTag(NodeId from, TagId tag) const override;
+  std::vector<NodeDist> Descendants(NodeId from) const override;
+  std::vector<NodeDist> AncestorsByTag(NodeId from, TagId tag) const override;
+  // One BFS collecting all listed targets — far cheaper than the default
+  // per-target point query (which would BFS once per target).
+  std::vector<NodeDist> ReachableAmong(
+      NodeId from, const std::vector<NodeId>& targets) const override;
+  std::vector<NodeDist> AncestorsAmong(
+      NodeId from, const std::vector<NodeId>& sources) const override;
+  size_t MemoryBytes() const override;
+
+  // Binary persistence. Load rebinds to `g`, which must be the same graph
+  // the saved index was built from.
+  void Save(BinaryWriter& writer) const;
+  static StatusOr<std::unique_ptr<ApexIndex>> Load(BinaryReader& reader,
+                                                   const graph::Digraph& g);
+
+  // Summary introspection (tests, stats).
+  size_t NumBlocks() const { return extents_.size(); }
+  uint32_t BlockOf(NodeId v) const { return block_of_[v]; }
+  const std::vector<NodeId>& Extent(uint32_t block) const {
+    return extents_[block];
+  }
+
+ private:
+  explicit ApexIndex(const graph::Digraph& g) : g_(g) {}
+
+  void BuildSummary(const ApexOptions& options);
+  void BuildReachability(const ApexOptions& options);
+
+  bool BlockCanReachTag(uint32_t block, TagId tag) const;
+  bool BlockCanReachBlock(uint32_t from, uint32_t to) const;
+
+  // Summary-pruned BFS used by the public queries. `tag` limits matches
+  // (kInvalidTag = wildcard); `stop_at` (if != kInvalidNode) turns the
+  // search into a point lookup that stops at that node.
+  std::vector<NodeDist> PrunedBfs(NodeId from, TagId tag, bool wildcard,
+                                  NodeId stop_at) const;
+
+  const graph::Digraph& g_;
+  std::vector<uint32_t> block_of_;
+  std::vector<std::vector<NodeId>> extents_;
+  // Summary graph over blocks.
+  graph::Digraph summary_;
+  // Per block: bitset over tag ids reachable via summary edges (including
+  // the block's own tag), for traversal pruning. Words of 64 tags.
+  std::vector<std::vector<uint64_t>> reachable_tags_;
+  size_t tag_words_ = 0;
+  // Optional block-level reachability closure (bitset rows over blocks).
+  bool have_block_closure_ = false;
+  std::vector<std::vector<uint64_t>> block_closure_;
+};
+
+}  // namespace flix::index
+
+#endif  // FLIX_INDEX_APEX_H_

@@ -1,0 +1,92 @@
+#include "index/dataguide.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+namespace flix::index {
+
+StatusOr<std::unique_ptr<DataGuide>> DataGuide::Build(
+    const graph::Digraph& g, const DataGuideOptions& options) {
+  auto guide = std::unique_ptr<DataGuide>(new DataGuide());
+
+  // Memo: set of data nodes -> state id, so shared target sets collapse to
+  // one guide state (this is what makes the guide "strong").
+  std::map<std::vector<NodeId>, uint32_t> memo;
+
+  // Group roots by tag into initial target sets.
+  std::map<TagId, std::vector<NodeId>> root_sets;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (g.InDegree(v) == 0) root_sets[g.Tag(v)].push_back(v);
+  }
+
+  std::deque<uint32_t> worklist;
+  const auto intern_state = [&](std::vector<NodeId> set,
+                                uint32_t* id) -> Status {
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    const auto it = memo.find(set);
+    if (it != memo.end()) {
+      *id = it->second;
+      return Status::Ok();
+    }
+    if (guide->states_.size() >= options.max_states) {
+      return OutOfRangeError("DataGuide exceeds max_states");
+    }
+    const uint32_t state = static_cast<uint32_t>(guide->states_.size());
+    guide->states_.push_back(State{set, {}});
+    memo.emplace(std::move(set), state);
+    worklist.push_back(state);
+    *id = state;
+    return Status::Ok();
+  };
+
+  for (auto& [tag, set] : root_sets) {
+    uint32_t id;
+    if (Status s = intern_state(std::move(set), &id); !s.ok()) return s;
+    guide->roots_.emplace(tag, id);
+  }
+
+  while (!worklist.empty()) {
+    const uint32_t state = worklist.front();
+    worklist.pop_front();
+    // Successor target sets grouped by tag.
+    std::map<TagId, std::vector<NodeId>> successors;
+    for (const NodeId v : guide->states_[state].extent) {
+      for (const graph::Digraph::Arc& arc : g.OutArcs(v)) {
+        successors[g.Tag(arc.target)].push_back(arc.target);
+      }
+    }
+    for (auto& [tag, set] : successors) {
+      uint32_t id;
+      if (Status s = intern_state(std::move(set), &id); !s.ok()) return s;
+      guide->states_[state].children.emplace(tag, id);
+    }
+  }
+  return guide;
+}
+
+std::vector<NodeId> DataGuide::Lookup(const std::vector<TagId>& path) const {
+  if (path.empty()) return {};
+  const auto root_it = roots_.find(path[0]);
+  if (root_it == roots_.end()) return {};
+  uint32_t state = root_it->second;
+  for (size_t i = 1; i < path.size(); ++i) {
+    const auto it = states_[state].children.find(path[i]);
+    if (it == states_[state].children.end()) return {};
+    state = it->second;
+  }
+  return states_[state].extent;
+}
+
+size_t DataGuide::MemoryBytes() const {
+  size_t bytes = states_.capacity() * sizeof(State);
+  for (const State& s : states_) {
+    bytes += s.extent.capacity() * sizeof(NodeId);
+    bytes += s.children.size() * (sizeof(TagId) + sizeof(uint32_t) + 16);
+  }
+  bytes += roots_.size() * (sizeof(TagId) + sizeof(uint32_t) + 16);
+  return bytes;
+}
+
+}  // namespace flix::index

@@ -1,0 +1,55 @@
+// Strong DataGuide [Goldman & Widom, VLDB'97]: a concise summary of all
+// label paths from the roots, with target sets (extents) per path class.
+//
+// Listed by the paper among the "other" indexing strategies: great for
+// label-path lookup (`/movie/actor`), but with no support for distances or
+// arbitrary-length `//` steps, which is why FliX does not select it for
+// connection queries. Included as a baseline and for the examples.
+//
+// Built by subset construction over the data graph (linear on trees, may be
+// exponential on adversarial DAGs — a node-count cap guards the build).
+#ifndef FLIX_INDEX_DATAGUIDE_H_
+#define FLIX_INDEX_DATAGUIDE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/digraph.h"
+
+namespace flix::index {
+
+struct DataGuideOptions {
+  // Build fails if the guide grows beyond this many states.
+  size_t max_states = 1'000'000;
+};
+
+class DataGuide {
+ public:
+  static StatusOr<std::unique_ptr<DataGuide>> Build(
+      const graph::Digraph& g, const DataGuideOptions& options = {});
+
+  // Elements reached by the exact label path `path` from any root
+  // (path[0] must match root tags). Empty if the path does not occur.
+  std::vector<NodeId> Lookup(const std::vector<TagId>& path) const;
+
+  size_t NumStates() const { return states_.size(); }
+  size_t MemoryBytes() const;
+
+ private:
+  struct State {
+    std::vector<NodeId> extent;                    // target set
+    std::unordered_map<TagId, uint32_t> children;  // tag -> state
+  };
+
+  DataGuide() = default;
+
+  std::vector<State> states_;
+  std::unordered_map<TagId, uint32_t> roots_;  // root tag -> state
+};
+
+}  // namespace flix::index
+
+#endif  // FLIX_INDEX_DATAGUIDE_H_

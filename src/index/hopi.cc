@@ -1,0 +1,372 @@
+#include "index/hopi.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/bytes.h"
+#include "graph/partition.h"
+
+namespace flix::index {
+namespace {
+
+constexpr Distance kInfinity = std::numeric_limits<Distance>::max();
+
+// Degree-product hub priority: nodes on many paths first.
+uint64_t DegreePriority(const graph::Digraph& g, NodeId v) {
+  return static_cast<uint64_t>(g.InDegree(v) + 1) *
+         static_cast<uint64_t>(g.OutDegree(v) + 1);
+}
+
+// Bit-reversal of a node id. Used as the tie-break among equal-degree
+// nodes: on chain-shaped regions (where every degree product ties and node
+// ids follow document order) this yields a middle-first recursive
+// subdivision, keeping the cover near-linear instead of quadratic —
+// mirroring the "central" center selection of Cohen et al.
+uint32_t BitReverse(uint32_t x) {
+  x = ((x & 0x55555555u) << 1) | ((x >> 1) & 0x55555555u);
+  x = ((x & 0x33333333u) << 2) | ((x >> 2) & 0x33333333u);
+  x = ((x & 0x0F0F0F0Fu) << 4) | ((x >> 4) & 0x0F0F0F0Fu);
+  x = ((x & 0x00FF00FFu) << 8) | ((x >> 8) & 0x00FF00FFu);
+  return (x << 16) | (x >> 16);
+}
+
+}  // namespace
+
+std::unique_ptr<HopiIndex> HopiIndex::Build(const graph::Digraph& g,
+                                            const HopiOptions& options) {
+  auto index = std::unique_ptr<HopiIndex>(new HopiIndex());
+
+  std::vector<uint32_t>* priority_ptr = nullptr;
+  std::vector<uint32_t> priority;
+  if (options.partition_bound > 0 && g.NumNodes() > 0) {
+    // Divide-and-conquer: nodes incident to partition-crossing edges become
+    // global hubs first; they then cover all cross-partition paths, so the
+    // per-partition covers stay local — the unified pruned build realizes
+    // the "cover partitions, then repair across the cut" plan in one pass.
+    graph::PartitionOptions popts;
+    popts.max_nodes = options.partition_bound;
+    const graph::PartitionResult parts = graph::PartitionBySize(g, popts);
+    priority.assign(g.NumNodes(), 0);
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      for (const graph::Digraph::Arc& arc : g.OutArcs(u)) {
+        if (parts.partition_of[u] != parts.partition_of[arc.target]) {
+          priority[u] = 1;
+          priority[arc.target] = 1;
+        }
+      }
+    }
+    priority_ptr = &priority;
+  }
+
+  index->BuildGlobal(g, priority_ptr);
+  index->BuildInverted();
+  return index;
+}
+
+void HopiIndex::BuildGlobal(const graph::Digraph& g,
+                            const std::vector<uint32_t>* hub_priority) {
+  const size_t n = g.NumNodes();
+  out_labels_.assign(n, {});
+  in_labels_.assign(n, {});
+  tag_.resize(n);
+  for (NodeId v = 0; v < n; ++v) tag_[v] = g.Tag(v);
+
+  // Hub order: (optional border flag, degree product) descending; the label
+  // entries store the processing *rank* of a hub so per-node label vectors
+  // stay sorted by construction.
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<uint64_t> weight(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const uint64_t border =
+        hub_priority != nullptr && (*hub_priority)[v] > 0 ? 1 : 0;
+    weight[v] = (border << 62) | DegreePriority(g, v);
+  }
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (weight[a] != weight[b]) return weight[a] > weight[b];
+    const uint32_t ra = BitReverse(a);
+    const uint32_t rb = BitReverse(b);
+    return ra != rb ? ra < rb : a < b;
+  });
+
+  rank_of_node_.assign(n, kInvalidNode);
+  node_of_rank_.assign(n, kInvalidNode);
+  for (NodeId r = 0; r < n; ++r) {
+    rank_of_node_[order[r]] = r;
+    node_of_rank_[r] = order[r];
+  }
+
+  // Epoch-stamped BFS scratch (cleared in O(1) between hubs).
+  std::vector<Distance> dist(n, 0);
+  std::vector<uint32_t> stamp(n, 0);
+  uint32_t epoch = 0;
+  std::deque<NodeId> queue;
+
+  for (NodeId rank = 0; rank < n; ++rank) {
+    const NodeId hub = order[rank];
+    // Pass 1: forward pruned BFS, assigning (hub, d) to L_in of reached
+    // nodes. Pass 2: backward, assigning to L_out.
+    for (const bool forward : {true, false}) {
+      ++epoch;
+      queue.clear();
+      queue.push_back(hub);
+      dist[hub] = 0;
+      stamp[hub] = epoch;
+      while (!queue.empty()) {
+        const NodeId v = queue.front();
+        queue.pop_front();
+        const Distance d = dist[v];
+        // Prune if the labels built so far already certify a distance <= d
+        // between hub and v (in the pass direction).
+        const Distance certified =
+            forward ? QueryLabels(out_labels_[hub], in_labels_[v])
+                    : QueryLabels(out_labels_[v], in_labels_[hub]);
+        if (certified <= d) continue;
+        if (forward) {
+          in_labels_[v].push_back({rank, d});
+        } else {
+          out_labels_[v].push_back({rank, d});
+        }
+        const auto& arcs = forward ? g.OutArcs(v) : g.InArcs(v);
+        for (const graph::Digraph::Arc& arc : arcs) {
+          if (stamp[arc.target] != epoch) {
+            stamp[arc.target] = epoch;
+            dist[arc.target] = d + 1;
+            queue.push_back(arc.target);
+          }
+        }
+      }
+    }
+  }
+
+  for (auto& labels : out_labels_) labels.shrink_to_fit();
+  for (auto& labels : in_labels_) labels.shrink_to_fit();
+}
+
+void HopiIndex::BuildInverted() {
+  const size_t n = in_labels_.size();
+  inverted_in_.assign(n, {});
+  inverted_out_.assign(n, {});
+  for (NodeId v = 0; v < n; ++v) {
+    for (const LabelEntry& e : in_labels_[v]) {
+      inverted_in_[e.hub].push_back({v, e.distance});
+    }
+    for (const LabelEntry& e : out_labels_[v]) {
+      inverted_out_[e.hub].push_back({v, e.distance});
+    }
+  }
+}
+
+Distance HopiIndex::QueryLabels(const std::vector<LabelEntry>& out,
+                                const std::vector<LabelEntry>& in) {
+  Distance best = kInfinity;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < out.size() && j < in.size()) {
+    if (out[i].hub < in[j].hub) {
+      ++i;
+    } else if (out[i].hub > in[j].hub) {
+      ++j;
+    } else {
+      best = std::min(best, out[i].distance + in[j].distance);
+      ++i;
+      ++j;
+    }
+  }
+  return best;
+}
+
+Distance HopiIndex::DistanceBetween(NodeId from, NodeId to) const {
+  if (from == to) return 0;
+  const Distance d = QueryLabels(out_labels_[from], in_labels_[to]);
+  return d == kInfinity ? kUnreachable : d;
+}
+
+std::vector<NodeDist> HopiIndex::Collect(
+    NodeId from, TagId tag, bool wildcard,
+    const std::vector<std::vector<LabelEntry>>& labels,
+    const std::vector<std::vector<LabelEntry>>& inverted) const {
+  // Relax dist(from, v) over all of from's hubs; per-call scratch keeps the
+  // index safely shareable across query threads.
+  std::vector<Distance> best(tag_.size(), kInfinity);
+  for (const LabelEntry& hub_entry : labels[from]) {
+    // In the inverted lists, `hub` holds the labeled *node* id.
+    for (const LabelEntry& e : inverted[hub_entry.hub]) {
+      const Distance d = hub_entry.distance + e.distance;
+      if (d < best[e.hub]) best[e.hub] = d;
+    }
+  }
+  std::vector<NodeDist> result;
+  for (NodeId v = 0; v < tag_.size(); ++v) {
+    if (v == from || best[v] == kInfinity) continue;
+    if (wildcard || tag_[v] == tag) result.push_back({v, best[v]});
+  }
+  SortByDistance(result);
+  return result;
+}
+
+std::vector<NodeDist> HopiIndex::DescendantsByTag(NodeId from,
+                                                  TagId tag) const {
+  return Collect(from, tag, /*wildcard=*/false, out_labels_, inverted_in_);
+}
+
+std::vector<NodeDist> HopiIndex::Descendants(NodeId from) const {
+  return Collect(from, kInvalidTag, /*wildcard=*/true, out_labels_,
+                 inverted_in_);
+}
+
+std::vector<NodeDist> HopiIndex::AncestorsByTag(NodeId from, TagId tag) const {
+  return Collect(from, tag, /*wildcard=*/false, in_labels_, inverted_out_);
+}
+
+std::vector<NodeDist> HopiIndex::CollectAmong(
+    NodeId from, const std::vector<std::vector<LabelEntry>>& labels,
+    const std::vector<std::vector<LabelEntry>>& filtered_inverted) const {
+  std::unordered_map<NodeId, Distance> best;
+  for (const LabelEntry& hub_entry : labels[from]) {
+    for (const LabelEntry& e : filtered_inverted[hub_entry.hub]) {
+      const Distance d = hub_entry.distance + e.distance;
+      const auto [it, inserted] = best.emplace(e.hub, d);
+      if (!inserted && d < it->second) it->second = d;
+    }
+  }
+  std::vector<NodeDist> result;
+  result.reserve(best.size());
+  for (const auto& [node, d] : best) {
+    // `from` itself shows up at distance 0 when it is in the probe set
+    // (its own (self, 0) hub label joins the filtered list).
+    result.push_back({node, d});
+  }
+  SortByDistance(result);
+  return result;
+}
+
+void HopiIndex::RegisterLinkSources(const std::vector<NodeId>& sources) {
+  registered_sources_ = sources;
+  inverted_in_sources_.assign(inverted_in_.size(), {});
+  const std::unordered_set<NodeId> wanted(sources.begin(), sources.end());
+  for (NodeId hub = 0; hub < inverted_in_.size(); ++hub) {
+    for (const LabelEntry& e : inverted_in_[hub]) {
+      if (wanted.contains(e.hub)) inverted_in_sources_[hub].push_back(e);
+    }
+  }
+}
+
+void HopiIndex::RegisterEntryNodes(const std::vector<NodeId>& targets) {
+  registered_entries_ = targets;
+  inverted_out_entries_.assign(inverted_out_.size(), {});
+  const std::unordered_set<NodeId> wanted(targets.begin(), targets.end());
+  for (NodeId hub = 0; hub < inverted_out_.size(); ++hub) {
+    for (const LabelEntry& e : inverted_out_[hub]) {
+      if (wanted.contains(e.hub)) inverted_out_entries_[hub].push_back(e);
+    }
+  }
+}
+
+std::vector<NodeDist> HopiIndex::ReachableAmong(
+    NodeId from, const std::vector<NodeId>& targets) const {
+  if (!registered_sources_.empty() && targets == registered_sources_) {
+    return CollectAmong(from, out_labels_, inverted_in_sources_);
+  }
+  // Few targets: a label merge-join per target is cheaper than touching the
+  // inverted lists of every hub of `from`.
+  constexpr size_t kPerTargetThreshold = 32;
+  if (targets.size() <= kPerTargetThreshold) {
+    return PathIndex::ReachableAmong(from, targets);
+  }
+  const std::unordered_set<NodeId> wanted(targets.begin(), targets.end());
+  std::vector<NodeDist> all = Descendants(from);
+  std::vector<NodeDist> result;
+  if (wanted.contains(from)) result.push_back({from, 0});
+  for (const NodeDist& nd : all) {
+    if (wanted.contains(nd.node)) result.push_back(nd);
+  }
+  SortByDistance(result);
+  return result;
+}
+
+std::vector<NodeDist> HopiIndex::AncestorsAmong(
+    NodeId from, const std::vector<NodeId>& sources) const {
+  if (!registered_entries_.empty() && sources == registered_entries_) {
+    return CollectAmong(from, in_labels_, inverted_out_entries_);
+  }
+  return PathIndex::AncestorsAmong(from, sources);
+}
+
+void HopiIndex::Save(BinaryWriter& writer) const {
+  writer.WriteNestedVec(out_labels_);
+  writer.WriteNestedVec(in_labels_);
+  writer.WriteVec(tag_);
+  writer.WriteVec(rank_of_node_);
+  writer.WriteVec(node_of_rank_);
+}
+
+StatusOr<std::unique_ptr<HopiIndex>> HopiIndex::Load(BinaryReader& reader) {
+  auto index = std::unique_ptr<HopiIndex>(new HopiIndex());
+  index->out_labels_ = reader.ReadNestedVec<LabelEntry>();
+  index->in_labels_ = reader.ReadNestedVec<LabelEntry>();
+  index->tag_ = reader.ReadVec<TagId>();
+  index->rank_of_node_ = reader.ReadVec<NodeId>();
+  index->node_of_rank_ = reader.ReadVec<NodeId>();
+  const size_t n = index->tag_.size();
+  if (!reader.ok() || index->out_labels_.size() != n ||
+      index->in_labels_.size() != n || index->rank_of_node_.size() != n ||
+      index->node_of_rank_.size() != n) {
+    return InvalidArgumentError("corrupt HOPI index payload");
+  }
+  // Semantic validation: label hubs are ranks in [0, n) (BuildInverted
+  // indexes by them) and distances are non-negative.
+  for (const auto* labels : {&index->out_labels_, &index->in_labels_}) {
+    for (const auto& entries : *labels) {
+      for (const LabelEntry& e : entries) {
+        if (e.hub >= n || e.distance < 0) {
+          return InvalidArgumentError("corrupt HOPI label entry");
+        }
+      }
+    }
+  }
+  for (const NodeId r : index->rank_of_node_) {
+    if (r >= n) return InvalidArgumentError("corrupt HOPI rank table");
+  }
+  for (const NodeId v : index->node_of_rank_) {
+    if (v >= n) return InvalidArgumentError("corrupt HOPI rank table");
+  }
+  index->BuildInverted();
+  return index;
+}
+
+size_t HopiIndex::NumLabelEntries() const {
+  size_t count = 0;
+  for (const auto& labels : out_labels_) count += labels.size();
+  for (const auto& labels : in_labels_) count += labels.size();
+  return count;
+}
+
+size_t HopiIndex::LabelBytes() const {
+  size_t bytes = 0;
+  for (const auto& labels : out_labels_) bytes += VectorBytes(labels);
+  for (const auto& labels : in_labels_) bytes += VectorBytes(labels);
+  bytes += VectorBytes(out_labels_) + VectorBytes(in_labels_);
+  return bytes;
+}
+
+size_t HopiIndex::MemoryBytes() const {
+  size_t bytes = LabelBytes();
+  for (const auto& lists : inverted_in_) bytes += VectorBytes(lists);
+  for (const auto& lists : inverted_out_) bytes += VectorBytes(lists);
+  bytes += VectorBytes(inverted_in_) + VectorBytes(inverted_out_);
+  for (const auto& lists : inverted_in_sources_) bytes += VectorBytes(lists);
+  for (const auto& lists : inverted_out_entries_) bytes += VectorBytes(lists);
+  bytes += VectorBytes(inverted_in_sources_) +
+           VectorBytes(inverted_out_entries_) +
+           VectorBytes(registered_sources_) + VectorBytes(registered_entries_);
+  bytes += VectorBytes(tag_) + VectorBytes(rank_of_node_) +
+           VectorBytes(node_of_rank_);
+  return bytes;
+}
+
+}  // namespace flix::index

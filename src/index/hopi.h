@@ -1,0 +1,132 @@
+// HOPI: a connection index based on 2-hop labels [Schenkel et al., EDBT'04;
+// Cohen et al., SODA'02], augmented with distance information.
+//
+// Every node v carries two label sets
+//   L_out(v) = {(h, dist(v, h))},   L_in(v) = {(h, dist(h, v))},
+// such that for every reachable pair (u, w) some hub h lies on a shortest
+// path:  dist(u, w) = min over common hubs of  dist(u, h) + dist(h, w).
+//
+// Construction uses pruned landmark labeling (the hub-by-hub pruned-BFS
+// formulation of the 2-hop cover construction): hubs are processed in
+// descending (in+1)*(out+1) degree order — a cheap approximation of the
+// densest-subgraph center selection of Cohen et al. — and each hub's
+// forward/backward BFS is pruned wherever already-assigned labels certify
+// the tentative distance. The result is a minimal-in-practice distance-aware
+// 2-hop cover that is exact on arbitrary digraphs, cycles included.
+//
+// For descendant *enumeration* (a//b), the per-hub inverted lists (exactly
+// the label entries grouped by hub instead of by node) are kept as well;
+// the reachable set of `a` is the union of the inverted lists of a's out-
+// hubs, mirroring how the original HOPI evaluates such queries with a
+// self-join on the label tables.
+//
+// BuildPartitioned() is the divide-and-conquer build of the HOPI paper:
+// partition the graph, cover each partition independently, then repair the
+// cover for partition-crossing paths by making every node with a crossing
+// edge a global hub. The FliX "Unconnected HOPI" configuration stops after
+// the per-partition step (paper Section 4.3); that variant lives in the
+// flix layer, which simply builds one HopiIndex per meta document.
+#ifndef FLIX_INDEX_HOPI_H_
+#define FLIX_INDEX_HOPI_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/status.h"
+#include "index/path_index.h"
+
+namespace flix::index {
+
+struct HopiOptions {
+  // 0 = plain global build. >0 = divide-and-conquer with this partition
+  // size bound.
+  size_t partition_bound = 0;
+};
+
+class HopiIndex : public PathIndex {
+ public:
+  static std::unique_ptr<HopiIndex> Build(const graph::Digraph& g,
+                                          const HopiOptions& options = {});
+
+  StrategyKind kind() const override { return StrategyKind::kHopi; }
+
+  Distance DistanceBetween(NodeId from, NodeId to) const override;
+  std::vector<NodeDist> DescendantsByTag(NodeId from, TagId tag) const override;
+  std::vector<NodeDist> Descendants(NodeId from) const override;
+  std::vector<NodeDist> AncestorsByTag(NodeId from, TagId tag) const override;
+  std::vector<NodeDist> ReachableAmong(
+      NodeId from, const std::vector<NodeId>& targets) const override;
+  std::vector<NodeDist> AncestorsAmong(
+      NodeId from, const std::vector<NodeId>& sources) const override;
+  // Precompute inverted lists filtered to the registered sets, making the
+  // per-entry L(a) probes of the PEE proportional to the filtered label
+  // volume instead of the whole partition.
+  void RegisterLinkSources(const std::vector<NodeId>& sources) override;
+  void RegisterEntryNodes(const std::vector<NodeId>& targets) override;
+  size_t MemoryBytes() const override;
+
+  // Binary persistence: labels and tags are stored; inverted lists are
+  // rebuilt on load (call Register* afterwards for the filtered lists).
+  void Save(BinaryWriter& writer) const;
+  static StatusOr<std::unique_ptr<HopiIndex>> Load(BinaryReader& reader);
+
+  // Total number of (hub, distance) label entries — the classic 2-hop cover
+  // size measure; |TC| / labels is the compression the paper reports.
+  size_t NumLabelEntries() const;
+
+  // Bytes of the per-node label tables alone (excluding the inverted lists
+  // used for enumeration); matches what the paper stores in its database.
+  size_t LabelBytes() const;
+
+ private:
+  struct LabelEntry {
+    NodeId hub;
+    Distance distance;
+  };
+
+  HopiIndex() = default;
+
+  void BuildGlobal(const graph::Digraph& g,
+                   const std::vector<uint32_t>* hub_priority);
+  void BuildInverted();
+
+  static Distance QueryLabels(const std::vector<LabelEntry>& out,
+                              const std::vector<LabelEntry>& in);
+
+  // Shared body of the three enumeration queries: relaxes over `labels[from]`
+  // against the matching inverted lists.
+  std::vector<NodeDist> Collect(
+      NodeId from, TagId tag, bool wildcard,
+      const std::vector<std::vector<LabelEntry>>& labels,
+      const std::vector<std::vector<LabelEntry>>& inverted) const;
+
+  // Per-node labels, each sorted by hub id (for merge-join queries).
+  std::vector<std::vector<LabelEntry>> out_labels_;
+  std::vector<std::vector<LabelEntry>> in_labels_;
+  // Per-hub inverted lists: inverted_in_[h] = nodes v with (h,d) in L_in(v),
+  // i.e., nodes reachable *from* h; inverted_out_[h] symmetrically holds
+  // nodes that can reach h. Rebuilt from the labels after construction.
+  std::vector<std::vector<LabelEntry>> inverted_in_;
+  std::vector<std::vector<LabelEntry>> inverted_out_;
+  std::vector<TagId> tag_;
+  // Label entries store hub *ranks* (processing order), which keeps each
+  // label vector sorted as it is appended to; these map rank <-> node id.
+  std::vector<NodeId> rank_of_node_;
+  std::vector<NodeId> node_of_rank_;
+
+  // Registered probe sets (see RegisterLinkSources/RegisterEntryNodes) and
+  // the per-hub inverted lists filtered down to them.
+  std::vector<NodeId> registered_sources_;
+  std::vector<std::vector<LabelEntry>> inverted_in_sources_;
+  std::vector<NodeId> registered_entries_;
+  std::vector<std::vector<LabelEntry>> inverted_out_entries_;
+
+  std::vector<NodeDist> CollectAmong(
+      NodeId from, const std::vector<std::vector<LabelEntry>>& labels,
+      const std::vector<std::vector<LabelEntry>>& filtered_inverted) const;
+};
+
+}  // namespace flix::index
+
+#endif  // FLIX_INDEX_HOPI_H_

@@ -1,0 +1,117 @@
+#include "index/path_index.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "index/apex.h"
+#include "index/hopi.h"
+#include "index/ppo.h"
+#include "index/summary_index.h"
+#include "index/transitive_closure.h"
+
+namespace flix::index {
+
+std::string_view StrategyName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kPpo: return "PPO";
+    case StrategyKind::kHopi: return "HOPI";
+    case StrategyKind::kApex: return "APEX";
+    case StrategyKind::kTransitiveClosure: return "TC";
+    case StrategyKind::kSummary: return "SUMMARY";
+  }
+  return "UNKNOWN";
+}
+
+std::vector<NodeDist> PathIndex::ReachableAmong(
+    NodeId from, const std::vector<NodeId>& targets) const {
+  std::vector<NodeDist> result;
+  for (const NodeId t : targets) {
+    const Distance d = DistanceBetween(from, t);
+    if (d != kUnreachable) result.push_back({t, d});
+  }
+  SortByDistance(result);
+  return result;
+}
+
+std::vector<NodeDist> PathIndex::AncestorsAmong(
+    NodeId from, const std::vector<NodeId>& sources) const {
+  std::vector<NodeDist> result;
+  for (const NodeId s : sources) {
+    const Distance d = DistanceBetween(s, from);
+    if (d != kUnreachable) result.push_back({s, d});
+  }
+  SortByDistance(result);
+  return result;
+}
+
+void PathIndex::RegisterLinkSources(const std::vector<NodeId>& sources) {
+  (void)sources;
+}
+
+void PathIndex::RegisterEntryNodes(const std::vector<NodeId>& targets) {
+  (void)targets;
+}
+
+void SaveIndex(const PathIndex& index, BinaryWriter& writer) {
+  writer.WriteU32(static_cast<uint32_t>(index.kind()));
+  switch (index.kind()) {
+    case StrategyKind::kPpo:
+      static_cast<const PpoIndex&>(index).Save(writer);
+      break;
+    case StrategyKind::kHopi:
+      static_cast<const HopiIndex&>(index).Save(writer);
+      break;
+    case StrategyKind::kApex:
+      static_cast<const ApexIndex&>(index).Save(writer);
+      break;
+    case StrategyKind::kTransitiveClosure:
+      static_cast<const TransitiveClosureIndex&>(index).Save(writer);
+      break;
+    case StrategyKind::kSummary:
+      static_cast<const SummaryIndex&>(index).Save(writer);
+      break;
+  }
+}
+
+StatusOr<std::unique_ptr<PathIndex>> LoadIndex(BinaryReader& reader,
+                                               const graph::Digraph& graph) {
+  const uint32_t kind = reader.ReadU32();
+  if (!reader.ok()) return InvalidArgumentError("truncated index payload");
+  switch (static_cast<StrategyKind>(kind)) {
+    case StrategyKind::kPpo: {
+      auto loaded = PpoIndex::Load(reader);
+      if (!loaded.ok()) return loaded.status();
+      return StatusOr<std::unique_ptr<PathIndex>>(std::move(loaded).value());
+    }
+    case StrategyKind::kHopi: {
+      auto loaded = HopiIndex::Load(reader);
+      if (!loaded.ok()) return loaded.status();
+      return StatusOr<std::unique_ptr<PathIndex>>(std::move(loaded).value());
+    }
+    case StrategyKind::kApex: {
+      auto loaded = ApexIndex::Load(reader, graph);
+      if (!loaded.ok()) return loaded.status();
+      return StatusOr<std::unique_ptr<PathIndex>>(std::move(loaded).value());
+    }
+    case StrategyKind::kTransitiveClosure: {
+      auto loaded = TransitiveClosureIndex::Load(reader);
+      if (!loaded.ok()) return loaded.status();
+      return StatusOr<std::unique_ptr<PathIndex>>(std::move(loaded).value());
+    }
+    case StrategyKind::kSummary: {
+      auto loaded = SummaryIndex::Load(reader, graph);
+      if (!loaded.ok()) return loaded.status();
+      return StatusOr<std::unique_ptr<PathIndex>>(std::move(loaded).value());
+    }
+  }
+  return InvalidArgumentError("unknown index strategy kind " +
+                              std::to_string(kind));
+}
+
+void SortByDistance(std::vector<NodeDist>& v) {
+  std::sort(v.begin(), v.end(), [](const NodeDist& a, const NodeDist& b) {
+    return std::tie(a.distance, a.node) < std::tie(b.distance, b.node);
+  });
+}
+
+}  // namespace flix::index

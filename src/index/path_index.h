@@ -1,0 +1,107 @@
+// Common interface of all path indexing strategies (PIS in the paper's
+// architecture, Figure 2). A path index answers connection queries within
+// one meta document: reachability, distance, and tag-filtered descendant /
+// ancestor enumeration in ascending distance order.
+//
+// All node ids are local to the indexed graph. Lifetime contract: strategies
+// may keep a pointer to the Digraph they were built from; the graph must
+// outlive the index (meta documents own both, in that order).
+#ifndef FLIX_INDEX_PATH_INDEX_H_
+#define FLIX_INDEX_PATH_INDEX_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/digraph.h"
+#include "graph/traversal.h"
+
+namespace flix::index {
+
+using graph::NodeDist;
+
+// Identifies a concrete strategy, used by the Indexing Strategy Selector.
+enum class StrategyKind {
+  kPpo,
+  kHopi,
+  kApex,
+  kTransitiveClosure,
+  // Generalized structure summary (F&B / D(k), see summary_index.h).
+  kSummary,
+};
+
+std::string_view StrategyName(StrategyKind kind);
+
+class PathIndex {
+ public:
+  virtual ~PathIndex() = default;
+
+  virtual StrategyKind kind() const = 0;
+  std::string_view name() const { return StrategyName(kind()); }
+
+  // True iff there is a directed path from `from` to `to` (from == to counts
+  // as reachable at distance 0).
+  virtual bool IsReachable(NodeId from, NodeId to) const {
+    return DistanceBetween(from, to) != kUnreachable;
+  }
+
+  // Length of the shortest path, or kUnreachable.
+  virtual Distance DistanceBetween(NodeId from, NodeId to) const = 0;
+
+  // Proper descendants of `from` with tag `tag`, ascending by (distance,
+  // node id).
+  virtual std::vector<NodeDist> DescendantsByTag(NodeId from,
+                                                 TagId tag) const = 0;
+
+  // Proper descendants of `from` (the a//* wildcard), ascending by
+  // (distance, node id).
+  virtual std::vector<NodeDist> Descendants(NodeId from) const = 0;
+
+  // Proper ancestors of `from` with tag `tag`, ascending by (distance,
+  // node id).
+  virtual std::vector<NodeDist> AncestorsByTag(NodeId from,
+                                               TagId tag) const = 0;
+
+  // Reachable elements among `targets` (ascending node ids, duplicates
+  // allowed but wasteful) with their distances from `from`, ascending by
+  // (distance, node id). This implements the paper's L(a) =
+  // descendants(a) ∩ L_i lookup (Section 4.2). Includes `from` itself if
+  // listed. The default loops over targets; strategies override with
+  // cheaper plans.
+  virtual std::vector<NodeDist> ReachableAmong(
+      NodeId from, const std::vector<NodeId>& targets) const;
+
+  // Reverse variant: elements among `sources` that can reach `from`, with
+  // their distances *to* `from`. Used when evaluating ancestors-or-self
+  // queries across meta documents.
+  virtual std::vector<NodeDist> AncestorsAmong(
+      NodeId from, const std::vector<NodeId>& sources) const;
+
+  // Optional optimization hooks: the Index Builder registers the meta
+  // document's link-source set L_i and entry-node set once, so strategies
+  // can precompute filtered structures for the ReachableAmong /
+  // AncestorsAmong probes the PEE issues per visited entry point. Defaults
+  // are no-ops.
+  virtual void RegisterLinkSources(const std::vector<NodeId>& sources);
+  virtual void RegisterEntryNodes(const std::vector<NodeId>& targets);
+
+  // Heap footprint of the index structure in bytes.
+  virtual size_t MemoryBytes() const = 0;
+};
+
+// Sorts by (distance, node) — the canonical result order.
+void SortByDistance(std::vector<NodeDist>& v);
+
+// Persistence dispatcher: writes the strategy kind followed by the payload.
+void SaveIndex(const PathIndex& index, BinaryWriter& writer);
+// Loads any strategy; `graph` must be the graph the index was built from
+// (needed by APEX, ignored by the others) and must outlive the index.
+StatusOr<std::unique_ptr<PathIndex>> LoadIndex(BinaryReader& reader,
+                                               const graph::Digraph& graph);
+
+}  // namespace flix::index
+
+#endif  // FLIX_INDEX_PATH_INDEX_H_

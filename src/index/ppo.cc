@@ -1,0 +1,175 @@
+#include "index/ppo.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "graph/tree_utils.h"
+
+namespace flix::index {
+
+StatusOr<std::unique_ptr<PpoIndex>> PpoIndex::Build(const graph::Digraph& g) {
+  if (!graph::IsForest(g)) {
+    return FailedPreconditionError(
+        "PPO requires a forest; the graph has a node with two parents or a "
+        "cycle");
+  }
+  const size_t n = g.NumNodes();
+  auto index = std::unique_ptr<PpoIndex>(new PpoIndex());
+  index->pre_.assign(n, 0);
+  index->post_.assign(n, 0);
+  index->depth_.assign(n, 0);
+  index->parent_.assign(n, kInvalidNode);
+  index->subtree_size_.assign(n, 1);
+  index->order_.assign(n, kInvalidNode);
+  index->tag_.assign(n, kInvalidTag);
+  for (NodeId v = 0; v < n; ++v) index->tag_[v] = g.Tag(v);
+
+  uint32_t next_pre = 0;
+  uint32_t next_post = 0;
+
+  // Iterative DFS; frame tracks the next child arc to visit.
+  struct Frame {
+    NodeId node;
+    size_t arc_pos;
+  };
+  std::vector<Frame> stack;
+  for (NodeId root = 0; root < n; ++root) {
+    if (g.InDegree(root) != 0) continue;
+    index->pre_[root] = next_pre;
+    index->order_[next_pre] = root;
+    ++next_pre;
+    index->depth_[root] = 0;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const NodeId u = frame.node;
+      if (frame.arc_pos < g.OutArcs(u).size()) {
+        const NodeId child = g.OutArcs(u)[frame.arc_pos++].target;
+        index->parent_[child] = u;
+        index->depth_[child] = index->depth_[u] + 1;
+        index->pre_[child] = next_pre;
+        index->order_[next_pre] = child;
+        ++next_pre;
+        stack.push_back({child, 0});
+      } else {
+        index->post_[u] = next_post++;
+        stack.pop_back();
+        if (!stack.empty()) {
+          index->subtree_size_[stack.back().node] += index->subtree_size_[u];
+        }
+      }
+    }
+  }
+  return index;
+}
+
+bool PpoIndex::IsReachable(NodeId from, NodeId to) const {
+  if (from == to) return true;
+  return pre_[from] < pre_[to] && post_[from] > post_[to];
+}
+
+Distance PpoIndex::DistanceBetween(NodeId from, NodeId to) const {
+  if (!IsReachable(from, to)) return kUnreachable;
+  return static_cast<Distance>(depth_[to] - depth_[from]);
+}
+
+std::vector<NodeDist> PpoIndex::DescendantsByTag(NodeId from,
+                                                 TagId tag) const {
+  std::vector<NodeDist> result;
+  const uint32_t begin = pre_[from] + 1;
+  const uint32_t end = pre_[from] + subtree_size_[from];  // exclusive
+  for (uint32_t p = begin; p < end; ++p) {
+    const NodeId v = order_[p];
+    if (tag_[v] == tag) {
+      result.push_back({v, static_cast<Distance>(depth_[v] - depth_[from])});
+    }
+  }
+  SortByDistance(result);
+  return result;
+}
+
+std::vector<NodeDist> PpoIndex::Descendants(NodeId from) const {
+  std::vector<NodeDist> result;
+  const uint32_t begin = pre_[from] + 1;
+  const uint32_t end = pre_[from] + subtree_size_[from];  // exclusive
+  for (uint32_t p = begin; p < end; ++p) {
+    const NodeId v = order_[p];
+    result.push_back({v, static_cast<Distance>(depth_[v] - depth_[from])});
+  }
+  SortByDistance(result);
+  return result;
+}
+
+std::vector<NodeDist> PpoIndex::AncestorsByTag(NodeId from, TagId tag) const {
+  std::vector<NodeDist> result;
+  Distance d = 0;
+  NodeId v = parent_[from];
+  while (v != kInvalidNode) {
+    ++d;
+    if (tag_[v] == tag) result.push_back({v, d});
+    v = parent_[v];
+  }
+  return result;
+}
+
+std::vector<NodeDist> PpoIndex::ReachableAmong(
+    NodeId from, const std::vector<NodeId>& targets) const {
+  std::vector<NodeDist> result;
+  const uint32_t lo = pre_[from];
+  const uint32_t end = pre_[from] + subtree_size_[from];  // exclusive
+  for (const NodeId t : targets) {
+    if (t == from) {
+      result.push_back({t, 0});
+    } else if (pre_[t] > lo && pre_[t] < end) {
+      result.push_back({t, static_cast<Distance>(depth_[t] - depth_[from])});
+    }
+  }
+  SortByDistance(result);
+  return result;
+}
+
+void PpoIndex::Save(BinaryWriter& writer) const {
+  writer.WriteVec(pre_);
+  writer.WriteVec(post_);
+  writer.WriteVec(depth_);
+  writer.WriteVec(parent_);
+  writer.WriteVec(subtree_size_);
+  writer.WriteVec(order_);
+  writer.WriteVec(tag_);
+}
+
+StatusOr<std::unique_ptr<PpoIndex>> PpoIndex::Load(BinaryReader& reader) {
+  auto index = std::unique_ptr<PpoIndex>(new PpoIndex());
+  index->pre_ = reader.ReadVec<uint32_t>();
+  index->post_ = reader.ReadVec<uint32_t>();
+  index->depth_ = reader.ReadVec<uint32_t>();
+  index->parent_ = reader.ReadVec<NodeId>();
+  index->subtree_size_ = reader.ReadVec<uint32_t>();
+  index->order_ = reader.ReadVec<NodeId>();
+  index->tag_ = reader.ReadVec<TagId>();
+  const size_t n = index->pre_.size();
+  if (!reader.ok() || index->post_.size() != n || index->depth_.size() != n ||
+      index->parent_.size() != n || index->subtree_size_.size() != n ||
+      index->order_.size() != n || index->tag_.size() != n) {
+    return InvalidArgumentError("corrupt PPO index payload");
+  }
+  // Semantic validation: pre/order must be inverse permutations, parents in
+  // range, and subtree intervals inside the node range (queries scan them).
+  for (NodeId v = 0; v < n; ++v) {
+    if (index->pre_[v] >= n || index->order_[index->pre_[v]] != v ||
+        (index->parent_[v] != kInvalidNode && index->parent_[v] >= n) ||
+        index->subtree_size_[v] == 0 ||
+        index->pre_[v] + index->subtree_size_[v] > n) {
+      return InvalidArgumentError("corrupt PPO numbering");
+    }
+  }
+  return index;
+}
+
+size_t PpoIndex::MemoryBytes() const {
+  return VectorBytes(pre_) + VectorBytes(post_) + VectorBytes(depth_) +
+         VectorBytes(parent_) + VectorBytes(subtree_size_) +
+         VectorBytes(order_) + VectorBytes(tag_);
+}
+
+}  // namespace flix::index

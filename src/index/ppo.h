@@ -1,0 +1,66 @@
+// Pre-/postorder index (PPO) after Grust [10, 11].
+//
+// Builds (pre, post, depth, parent) numbers by a depth-first traversal of a
+// forest. Reachability is the classic window test
+//   pre(x) < pre(y) && post(x) > post(y),
+// the distance of an ancestor-descendant pair is the depth difference, and
+// descendant enumeration is a contiguous scan of the preorder sequence
+// (each subtree is the preorder interval (pre(x), pre(x) + size(x)]).
+//
+// PPO requires the graph to be a forest; Build fails otherwise. The Maximal
+// PPO configuration of FliX (Section 4.3) arranges meta documents so this
+// holds, keeping removed link edges outside the index.
+#ifndef FLIX_INDEX_PPO_H_
+#define FLIX_INDEX_PPO_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/status.h"
+#include "index/path_index.h"
+
+namespace flix::index {
+
+class PpoIndex : public PathIndex {
+ public:
+  // Fails with kFailedPrecondition if `g` is not a forest.
+  static StatusOr<std::unique_ptr<PpoIndex>> Build(const graph::Digraph& g);
+
+  StrategyKind kind() const override { return StrategyKind::kPpo; }
+
+  bool IsReachable(NodeId from, NodeId to) const override;
+  Distance DistanceBetween(NodeId from, NodeId to) const override;
+  std::vector<NodeDist> DescendantsByTag(NodeId from, TagId tag) const override;
+  std::vector<NodeDist> Descendants(NodeId from) const override;
+  std::vector<NodeDist> AncestorsByTag(NodeId from, TagId tag) const override;
+  std::vector<NodeDist> ReachableAmong(
+      NodeId from, const std::vector<NodeId>& targets) const override;
+  size_t MemoryBytes() const override;
+
+  // Binary persistence.
+  void Save(BinaryWriter& writer) const;
+  static StatusOr<std::unique_ptr<PpoIndex>> Load(BinaryReader& reader);
+
+  // Accessors used by tests.
+  uint32_t pre(NodeId n) const { return pre_[n]; }
+  uint32_t post(NodeId n) const { return post_[n]; }
+  uint32_t depth(NodeId n) const { return depth_[n]; }
+  uint32_t subtree_size(NodeId n) const { return subtree_size_[n]; }
+
+ private:
+  PpoIndex() = default;
+
+  std::vector<uint32_t> pre_;
+  std::vector<uint32_t> post_;
+  std::vector<uint32_t> depth_;
+  std::vector<NodeId> parent_;
+  std::vector<uint32_t> subtree_size_;
+  // order_[pre(n)] == n: nodes in preorder, for subtree interval scans.
+  std::vector<NodeId> order_;
+  std::vector<TagId> tag_;
+};
+
+}  // namespace flix::index
+
+#endif  // FLIX_INDEX_PPO_H_

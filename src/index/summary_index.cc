@@ -1,0 +1,391 @@
+#include "index/summary_index.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/bytes.h"
+#include "graph/scc.h"
+
+namespace flix::index {
+namespace {
+
+size_t TagUniverse(const graph::Digraph& g) {
+  TagId max_tag = 0;
+  bool any = false;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (g.Tag(v) != kInvalidTag) {
+      max_tag = std::max(max_tag, g.Tag(v));
+      any = true;
+    }
+  }
+  return any ? static_cast<size_t>(max_tag) + 1 : 0;
+}
+
+int DepthLimit(const SummaryOptions& options, TagId tag) {
+  if (options.depth_of_tag.empty()) return INT32_MAX;
+  if (tag == kInvalidTag || tag >= options.depth_of_tag.size()) return 0;
+  return options.depth_of_tag[tag];
+}
+
+}  // namespace
+
+std::unique_ptr<SummaryIndex> SummaryIndex::Build(
+    const graph::Digraph& g, const SummaryOptions& options) {
+  auto index = std::unique_ptr<SummaryIndex>(new SummaryIndex(g));
+  index->BuildSummary(options);
+  index->BuildPruning();
+  return index;
+}
+
+std::unique_ptr<SummaryIndex> SummaryIndex::BuildFb(const graph::Digraph& g) {
+  SummaryOptions options;
+  options.forward_refinement = true;
+  return Build(g, options);
+}
+
+std::unique_ptr<SummaryIndex> SummaryIndex::BuildDk(
+    const graph::Digraph& g,
+    const std::vector<std::vector<TagId>>& workload_paths) {
+  SummaryOptions options;
+  options.depth_of_tag.assign(TagUniverse(g), 0);
+  int max_depth = 0;
+  for (const auto& path : workload_paths) {
+    for (size_t i = 0; i < path.size(); ++i) {
+      if (path[i] < options.depth_of_tag.size()) {
+        options.depth_of_tag[path[i]] =
+            std::max(options.depth_of_tag[path[i]], static_cast<int>(i));
+        max_depth = std::max(max_depth, static_cast<int>(i));
+      }
+    }
+  }
+  options.max_rounds = max_depth;
+  return Build(g, options);
+}
+
+void SummaryIndex::BuildSummary(const SummaryOptions& options) {
+  const size_t n = g_.NumNodes();
+  block_of_.assign(n, 0);
+
+  // Round 0: partition by tag.
+  {
+    std::unordered_map<TagId, uint32_t> block_of_tag;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto [it, inserted] = block_of_tag.emplace(
+          g_.Tag(v), static_cast<uint32_t>(block_of_tag.size()));
+      block_of_[v] = it->second;
+    }
+  }
+
+  // Iterated refinement. Signature of a live node: (old block, predecessor
+  // blocks, successor blocks if F&B). Frozen nodes (their per-tag depth is
+  // exhausted) keep their block — the D(k) locality rule.
+  size_t num_blocks = 0;
+  for (int round = 1;
+       options.max_rounds < 0 || round <= options.max_rounds; ++round) {
+    using Signature = std::tuple<uint32_t, std::vector<uint32_t>,
+                                 std::vector<uint32_t>>;
+    std::map<Signature, uint32_t> blocks;
+    std::vector<uint32_t> next(n);
+    std::vector<uint32_t> preds;
+    std::vector<uint32_t> succs;
+    // Frozen nodes first so their block numbering is stable per old block.
+    std::unordered_map<uint32_t, uint32_t> frozen_blocks;
+    for (NodeId v = 0; v < n; ++v) {
+      if (DepthLimit(options, g_.Tag(v)) >= round) continue;
+      const auto [it, inserted] = frozen_blocks.emplace(
+          block_of_[v], static_cast<uint32_t>(frozen_blocks.size()));
+      next[v] = it->second;
+    }
+    uint32_t next_id = static_cast<uint32_t>(frozen_blocks.size());
+    for (NodeId v = 0; v < n; ++v) {
+      if (DepthLimit(options, g_.Tag(v)) < round) continue;
+      preds.clear();
+      for (const graph::Digraph::Arc& arc : g_.InArcs(v)) {
+        preds.push_back(block_of_[arc.target]);
+      }
+      std::sort(preds.begin(), preds.end());
+      preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+      succs.clear();
+      if (options.forward_refinement) {
+        for (const graph::Digraph::Arc& arc : g_.OutArcs(v)) {
+          succs.push_back(block_of_[arc.target]);
+        }
+        std::sort(succs.begin(), succs.end());
+        succs.erase(std::unique(succs.begin(), succs.end()), succs.end());
+      }
+      const auto [it, inserted] =
+          blocks.emplace(Signature{block_of_[v], preds, succs}, next_id);
+      if (inserted) ++next_id;
+      next[v] = it->second;
+    }
+    const bool stable = next_id == num_blocks && next == block_of_;
+    block_of_ = std::move(next);
+    num_blocks = next_id;
+    if (stable) break;
+  }
+
+  // Renumber densely and build extents + summary graph.
+  std::unordered_map<uint32_t, uint32_t> remap;
+  for (NodeId v = 0; v < n; ++v) {
+    const auto [it, inserted] =
+        remap.emplace(block_of_[v], static_cast<uint32_t>(remap.size()));
+    block_of_[v] = it->second;
+  }
+  extents_.assign(remap.size(), {});
+  for (NodeId v = 0; v < n; ++v) extents_[block_of_[v]].push_back(v);
+
+  summary_ = graph::Digraph(extents_.size());
+  std::vector<uint32_t> last_seen(extents_.size(), UINT32_MAX);
+  for (uint32_t b = 0; b < extents_.size(); ++b) {
+    for (const NodeId v : extents_[b]) {
+      for (const graph::Digraph::Arc& arc : g_.OutArcs(v)) {
+        const uint32_t target = block_of_[arc.target];
+        if (last_seen[target] == b) continue;
+        last_seen[target] = b;
+        summary_.AddEdge(b, target, arc.kind);
+      }
+    }
+  }
+}
+
+void SummaryIndex::BuildPruning() {
+  const size_t num_blocks = extents_.size();
+  const size_t num_tags = TagUniverse(g_);
+  tag_words_ = (num_tags + 63) / 64;
+
+  forward_tags_.assign(num_blocks, std::vector<uint64_t>(tag_words_, 0));
+  backward_tags_.assign(num_blocks, std::vector<uint64_t>(tag_words_, 0));
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    const TagId tag =
+        extents_[b].empty() ? kInvalidTag : g_.Tag(extents_[b].front());
+    if (tag != kInvalidTag) {
+      forward_tags_[b][tag / 64] |= uint64_t{1} << (tag % 64);
+      backward_tags_[b][tag / 64] |= uint64_t{1} << (tag % 64);
+    }
+  }
+
+  const graph::SccResult scc = graph::StronglyConnectedComponents(summary_);
+  const graph::Digraph condensed = graph::Condense(summary_, scc);
+
+  // Forward sets: pull from successors, ascending component ids (Tarjan
+  // numbers sinks first, so successors are complete when visited).
+  std::vector<std::vector<uint64_t>> comp_fwd(
+      scc.num_components, std::vector<uint64_t>(tag_words_, 0));
+  for (uint32_t c = 0; c < scc.num_components; ++c) {
+    for (const NodeId b : scc.members[c]) {
+      for (size_t w = 0; w < tag_words_; ++w) {
+        comp_fwd[c][w] |= forward_tags_[b][w];
+      }
+    }
+    for (const graph::Digraph::Arc& arc : condensed.OutArcs(c)) {
+      for (size_t w = 0; w < tag_words_; ++w) {
+        comp_fwd[c][w] |= comp_fwd[arc.target][w];
+      }
+    }
+  }
+  // Backward sets: push into successors, descending ids (ancestors carry
+  // higher component numbers, so every contribution to c lands before c is
+  // processed).
+  std::vector<std::vector<uint64_t>> comp_bwd(
+      scc.num_components, std::vector<uint64_t>(tag_words_, 0));
+  for (uint32_t c = scc.num_components; c-- > 0;) {
+    for (const NodeId b : scc.members[c]) {
+      for (size_t w = 0; w < tag_words_; ++w) {
+        comp_bwd[c][w] |= backward_tags_[b][w];
+      }
+    }
+    for (const graph::Digraph::Arc& arc : condensed.OutArcs(c)) {
+      for (size_t w = 0; w < tag_words_; ++w) {
+        comp_bwd[arc.target][w] |= comp_bwd[c][w];
+      }
+    }
+  }
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    forward_tags_[b] = comp_fwd[scc.component_of[b]];
+    backward_tags_[b] = comp_bwd[scc.component_of[b]];
+  }
+}
+
+bool SummaryIndex::CanReachTag(uint32_t block, TagId tag) const {
+  if (tag == kInvalidTag) return true;
+  const size_t word = tag / 64;
+  if (word >= tag_words_) return false;
+  return (forward_tags_[block][word] >> (tag % 64)) & 1;
+}
+
+bool SummaryIndex::ReachedFromTag(uint32_t block, TagId tag) const {
+  if (tag == kInvalidTag) return true;
+  const size_t word = tag / 64;
+  if (word >= tag_words_) return false;
+  return (backward_tags_[block][word] >> (tag % 64)) & 1;
+}
+
+std::vector<NodeDist> SummaryIndex::PrunedTraversal(NodeId from, TagId tag,
+                                                    bool wildcard,
+                                                    bool forward,
+                                                    NodeId stop_at) const {
+  std::vector<NodeDist> result;
+  const TagId stop_tag = stop_at != kInvalidNode ? g_.Tag(stop_at) : kInvalidTag;
+  std::vector<Distance> dist(g_.NumNodes(), kUnreachable);
+  dist[from] = 0;
+  std::deque<NodeId> queue = {from};
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    if (v != from) {
+      if (stop_at != kInvalidNode) {
+        if (v == stop_at) {
+          result.push_back({v, dist[v]});
+          return result;
+        }
+      } else if (wildcard || g_.Tag(v) == tag) {
+        result.push_back({v, dist[v]});
+      }
+    }
+    const auto& arcs = forward ? g_.OutArcs(v) : g_.InArcs(v);
+    for (const graph::Digraph::Arc& arc : arcs) {
+      const NodeId w = arc.target;
+      if (dist[w] != kUnreachable) continue;
+      const TagId prune_tag = stop_at != kInvalidNode ? stop_tag : tag;
+      if (!wildcard || stop_at != kInvalidNode) {
+        const bool viable = forward ? CanReachTag(block_of_[w], prune_tag)
+                                    : ReachedFromTag(block_of_[w], prune_tag);
+        if (!viable) continue;
+      }
+      dist[w] = dist[v] + 1;
+      queue.push_back(w);
+    }
+  }
+  SortByDistance(result);
+  return result;
+}
+
+bool SummaryIndex::IsReachable(NodeId from, NodeId to) const {
+  return DistanceBetween(from, to) != kUnreachable;
+}
+
+Distance SummaryIndex::DistanceBetween(NodeId from, NodeId to) const {
+  if (from == to) return 0;
+  const std::vector<NodeDist> hit =
+      PrunedTraversal(from, kInvalidTag, /*wildcard=*/false, /*forward=*/true,
+                      to);
+  return hit.empty() ? kUnreachable : hit.front().distance;
+}
+
+std::vector<NodeDist> SummaryIndex::DescendantsByTag(NodeId from,
+                                                     TagId tag) const {
+  return PrunedTraversal(from, tag, /*wildcard=*/false, /*forward=*/true,
+                         kInvalidNode);
+}
+
+std::vector<NodeDist> SummaryIndex::Descendants(NodeId from) const {
+  return PrunedTraversal(from, kInvalidTag, /*wildcard=*/true,
+                         /*forward=*/true, kInvalidNode);
+}
+
+std::vector<NodeDist> SummaryIndex::AncestorsByTag(NodeId from,
+                                                   TagId tag) const {
+  return PrunedTraversal(from, tag, /*wildcard=*/false, /*forward=*/false,
+                         kInvalidNode);
+}
+
+std::vector<NodeDist> SummaryIndex::ReachableAmong(
+    NodeId from, const std::vector<NodeId>& targets) const {
+  const std::unordered_set<NodeId> wanted(targets.begin(), targets.end());
+  std::vector<NodeDist> result;
+  std::vector<Distance> dist(g_.NumNodes(), kUnreachable);
+  dist[from] = 0;
+  std::deque<NodeId> queue = {from};
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    if (wanted.contains(v)) result.push_back({v, dist[v]});
+    for (const graph::Digraph::Arc& arc : g_.OutArcs(v)) {
+      if (dist[arc.target] == kUnreachable) {
+        dist[arc.target] = dist[v] + 1;
+        queue.push_back(arc.target);
+      }
+    }
+  }
+  SortByDistance(result);
+  return result;
+}
+
+std::vector<NodeDist> SummaryIndex::AncestorsAmong(
+    NodeId from, const std::vector<NodeId>& sources) const {
+  const std::unordered_set<NodeId> wanted(sources.begin(), sources.end());
+  std::vector<NodeDist> result;
+  std::vector<Distance> dist(g_.NumNodes(), kUnreachable);
+  dist[from] = 0;
+  std::deque<NodeId> queue = {from};
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    if (wanted.contains(v)) result.push_back({v, dist[v]});
+    for (const graph::Digraph::Arc& arc : g_.InArcs(v)) {
+      if (dist[arc.target] == kUnreachable) {
+        dist[arc.target] = dist[v] + 1;
+        queue.push_back(arc.target);
+      }
+    }
+  }
+  SortByDistance(result);
+  return result;
+}
+
+size_t SummaryIndex::MemoryBytes() const {
+  size_t bytes = VectorBytes(block_of_);
+  for (const auto& extent : extents_) bytes += VectorBytes(extent);
+  bytes += VectorBytes(extents_) + summary_.MemoryBytes();
+  for (const auto& row : forward_tags_) bytes += VectorBytes(row);
+  for (const auto& row : backward_tags_) bytes += VectorBytes(row);
+  bytes += VectorBytes(forward_tags_) + VectorBytes(backward_tags_);
+  return bytes;
+}
+
+void SummaryIndex::Save(BinaryWriter& writer) const {
+  writer.WriteVec(block_of_);
+  writer.WriteNestedVec(extents_);
+  summary_.Save(writer);
+  writer.WriteNestedVec(forward_tags_);
+  writer.WriteNestedVec(backward_tags_);
+  writer.WriteU64(tag_words_);
+}
+
+StatusOr<std::unique_ptr<SummaryIndex>> SummaryIndex::Load(
+    BinaryReader& reader, const graph::Digraph& g) {
+  auto index = std::unique_ptr<SummaryIndex>(new SummaryIndex(g));
+  index->block_of_ = reader.ReadVec<uint32_t>();
+  index->extents_ = reader.ReadNestedVec<NodeId>();
+  index->summary_ = graph::Digraph::Load(reader);
+  index->forward_tags_ = reader.ReadNestedVec<uint64_t>();
+  index->backward_tags_ = reader.ReadNestedVec<uint64_t>();
+  index->tag_words_ = reader.ReadU64();
+  if (!reader.ok() || index->block_of_.size() != g.NumNodes() ||
+      index->extents_.size() != index->summary_.NumNodes()) {
+    return InvalidArgumentError("corrupt summary index payload");
+  }
+  const size_t num_blocks = index->extents_.size();
+  for (const uint32_t b : index->block_of_) {
+    if (b >= num_blocks) {
+      return InvalidArgumentError("corrupt summary block id");
+    }
+  }
+  if (index->forward_tags_.size() != num_blocks ||
+      index->backward_tags_.size() != num_blocks) {
+    return InvalidArgumentError("corrupt summary tag tables");
+  }
+  for (const auto* table : {&index->forward_tags_, &index->backward_tags_}) {
+    for (const auto& row : *table) {
+      if (row.size() != index->tag_words_) {
+        return InvalidArgumentError("corrupt summary tag row");
+      }
+    }
+  }
+  return index;
+}
+
+}  // namespace flix::index

@@ -1,0 +1,185 @@
+#include "index/transitive_closure.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "common/bytes.h"
+#include "graph/traversal.h"
+
+namespace flix::index {
+
+StatusOr<std::unique_ptr<TransitiveClosureIndex>> TransitiveClosureIndex::Build(
+    const graph::Digraph& g, const TcOptions& options) {
+  auto index =
+      std::unique_ptr<TransitiveClosureIndex>(new TransitiveClosureIndex());
+  const size_t n = g.NumNodes();
+  index->closure_.assign(n, {});
+  index->reverse_.assign(n, {});
+  index->tag_.resize(n);
+  for (NodeId v = 0; v < n; ++v) index->tag_[v] = g.Tag(v);
+
+  size_t pairs = 0;
+  std::vector<Distance> dist(n, kUnreachable);
+  std::vector<NodeId> touched;
+  for (NodeId source = 0; source < n; ++source) {
+    touched.clear();
+    dist[source] = 0;
+    touched.push_back(source);
+    std::deque<NodeId> queue = {source};
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (const graph::Digraph::Arc& arc : g.OutArcs(u)) {
+        if (dist[arc.target] == kUnreachable) {
+          dist[arc.target] = dist[u] + 1;
+          touched.push_back(arc.target);
+          queue.push_back(arc.target);
+        }
+      }
+    }
+    for (const NodeId v : touched) {
+      if (v != source) {
+        index->closure_[source].push_back({v, dist[v]});
+        ++pairs;
+      }
+      dist[v] = kUnreachable;
+    }
+    if (pairs > options.max_pairs) {
+      return OutOfRangeError("transitive closure exceeds max_pairs");
+    }
+    SortByDistance(index->closure_[source]);
+  }
+
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeDist& nd : index->closure_[u]) {
+      index->reverse_[nd.node].push_back({u, nd.distance});
+    }
+  }
+  for (auto& row : index->reverse_) SortByDistance(row);
+  return index;
+}
+
+Distance TransitiveClosureIndex::DistanceBetween(NodeId from, NodeId to) const {
+  if (from == to) return 0;
+  for (const NodeDist& nd : closure_[from]) {
+    if (nd.node == to) return nd.distance;
+  }
+  return kUnreachable;
+}
+
+std::vector<NodeDist> TransitiveClosureIndex::DescendantsByTag(
+    NodeId from, TagId tag) const {
+  std::vector<NodeDist> result;
+  for (const NodeDist& nd : closure_[from]) {
+    if (tag_[nd.node] == tag) result.push_back(nd);
+  }
+  return result;
+}
+
+std::vector<NodeDist> TransitiveClosureIndex::Descendants(NodeId from) const {
+  return closure_[from];
+}
+
+std::vector<NodeDist> TransitiveClosureIndex::AncestorsByTag(NodeId from,
+                                                             TagId tag) const {
+  std::vector<NodeDist> result;
+  for (const NodeDist& nd : reverse_[from]) {
+    if (tag_[nd.node] == tag) result.push_back(nd);
+  }
+  return result;
+}
+
+std::vector<NodeDist> TransitiveClosureIndex::ReachableAmong(
+    NodeId from, const std::vector<NodeId>& targets) const {
+  const std::unordered_set<NodeId> wanted(targets.begin(), targets.end());
+  std::vector<NodeDist> result;
+  if (wanted.contains(from)) result.push_back({from, 0});
+  for (const NodeDist& nd : closure_[from]) {
+    if (wanted.contains(nd.node)) result.push_back(nd);
+  }
+  SortByDistance(result);
+  return result;
+}
+
+std::vector<NodeDist> TransitiveClosureIndex::AncestorsAmong(
+    NodeId from, const std::vector<NodeId>& sources) const {
+  const std::unordered_set<NodeId> wanted(sources.begin(), sources.end());
+  std::vector<NodeDist> result;
+  if (wanted.contains(from)) result.push_back({from, 0});
+  for (const NodeDist& nd : reverse_[from]) {
+    if (wanted.contains(nd.node)) result.push_back(nd);
+  }
+  SortByDistance(result);
+  return result;
+}
+
+size_t TransitiveClosureIndex::MemoryBytes() const {
+  size_t bytes = VectorBytes(tag_);
+  for (const auto& row : closure_) bytes += VectorBytes(row);
+  for (const auto& row : reverse_) bytes += VectorBytes(row);
+  bytes += VectorBytes(closure_) + VectorBytes(reverse_);
+  return bytes;
+}
+
+void TransitiveClosureIndex::Save(BinaryWriter& writer) const {
+  writer.WriteNestedVec(closure_);
+  writer.WriteNestedVec(reverse_);
+  writer.WriteVec(tag_);
+}
+
+StatusOr<std::unique_ptr<TransitiveClosureIndex>> TransitiveClosureIndex::Load(
+    BinaryReader& reader) {
+  auto index =
+      std::unique_ptr<TransitiveClosureIndex>(new TransitiveClosureIndex());
+  index->closure_ = reader.ReadNestedVec<NodeDist>();
+  index->reverse_ = reader.ReadNestedVec<NodeDist>();
+  index->tag_ = reader.ReadVec<TagId>();
+  const size_t n = index->tag_.size();
+  if (!reader.ok() || index->closure_.size() != n ||
+      index->reverse_.size() != n) {
+    return InvalidArgumentError("corrupt transitive-closure index payload");
+  }
+  for (const auto* table : {&index->closure_, &index->reverse_}) {
+    for (const auto& row : *table) {
+      for (const NodeDist& nd : row) {
+        if (nd.node >= n || nd.distance < 0) {
+          return InvalidArgumentError("corrupt transitive-closure entry");
+        }
+      }
+    }
+  }
+  return index;
+}
+
+size_t TransitiveClosureIndex::NumPairs() const {
+  size_t pairs = 0;
+  for (const auto& row : closure_) pairs += row.size();
+  return pairs;
+}
+
+size_t CountClosurePairs(const graph::Digraph& g) {
+  const size_t n = g.NumNodes();
+  size_t pairs = 0;
+  std::vector<uint32_t> stamp(n, UINT32_MAX);
+  std::deque<NodeId> queue;
+  for (NodeId source = 0; source < n; ++source) {
+    stamp[source] = source;
+    queue.clear();
+    queue.push_back(source);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (const graph::Digraph::Arc& arc : g.OutArcs(u)) {
+        if (stamp[arc.target] != source) {
+          stamp[arc.target] = source;
+          ++pairs;
+          queue.push_back(arc.target);
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace flix::index

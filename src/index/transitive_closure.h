@@ -1,0 +1,70 @@
+// Materialized transitive closure with distances — the brute-force baseline
+// the HOPI paper compares sizes against ("HOPI is usually an order of
+// magnitude more compact than the transitive closure").
+//
+// Stores, per node, the full list of (descendant, distance) pairs sorted by
+// (distance, node). Queries are trivially fast; the price is the quadratic
+// worst-case size, which is exactly the point of the comparison in Table 1.
+#ifndef FLIX_INDEX_TRANSITIVE_CLOSURE_H_
+#define FLIX_INDEX_TRANSITIVE_CLOSURE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/status.h"
+#include "index/path_index.h"
+
+namespace flix::index {
+
+struct TcOptions {
+  // Build fails once the closure exceeds this many pairs (guards against
+  // accidentally materializing a quadratic monster).
+  size_t max_pairs = 500'000'000;
+};
+
+class TransitiveClosureIndex : public PathIndex {
+ public:
+  static StatusOr<std::unique_ptr<TransitiveClosureIndex>> Build(
+      const graph::Digraph& g, const TcOptions& options = {});
+
+  StrategyKind kind() const override {
+    return StrategyKind::kTransitiveClosure;
+  }
+
+  Distance DistanceBetween(NodeId from, NodeId to) const override;
+  std::vector<NodeDist> DescendantsByTag(NodeId from, TagId tag) const override;
+  std::vector<NodeDist> Descendants(NodeId from) const override;
+  std::vector<NodeDist> AncestorsByTag(NodeId from, TagId tag) const override;
+  std::vector<NodeDist> ReachableAmong(
+      NodeId from, const std::vector<NodeId>& targets) const override;
+  std::vector<NodeDist> AncestorsAmong(
+      NodeId from, const std::vector<NodeId>& sources) const override;
+  size_t MemoryBytes() const override;
+
+  // Binary persistence.
+  void Save(BinaryWriter& writer) const;
+  static StatusOr<std::unique_ptr<TransitiveClosureIndex>> Load(
+      BinaryReader& reader);
+
+  // Number of (ancestor, descendant) pairs in the closure (self excluded).
+  size_t NumPairs() const;
+
+ private:
+  TransitiveClosureIndex() = default;
+
+  // closure_[v]: proper descendants of v with distances, ascending by
+  // (distance, node). reverse_[v]: proper ancestors likewise.
+  std::vector<std::vector<NodeDist>> closure_;
+  std::vector<std::vector<NodeDist>> reverse_;
+  std::vector<TagId> tag_;
+};
+
+// Counts the closure without materializing it: number of reachable proper
+// pairs. Used by the Table 1 bench to report |TC| even when storing it
+// would be wasteful.
+size_t CountClosurePairs(const graph::Digraph& g);
+
+}  // namespace flix::index
+
+#endif  // FLIX_INDEX_TRANSITIVE_CLOSURE_H_

@@ -1,0 +1,106 @@
+#include "ontology/ontology.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace flix::ontology {
+
+uint32_t Ontology::InternTerm(std::string_view term) {
+  const auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  adjacency_.emplace_back();
+  return id;
+}
+
+int Ontology::FindTerm(std::string_view term) const {
+  const auto it = index_.find(std::string(term));
+  return it == index_.end() ? -1 : static_cast<int>(it->second);
+}
+
+void Ontology::AddSimilarity(std::string_view a, std::string_view b,
+                             double score) {
+  if (score <= 0 || score > 1 || a == b) return;
+  const uint32_t ia = InternTerm(a);
+  const uint32_t ib = InternTerm(b);
+  // Keep the maximum if the pair exists.
+  for (auto& [other, weight] : adjacency_[ia]) {
+    if (other == ib) {
+      weight = std::max(weight, score);
+      for (auto& [other2, weight2] : adjacency_[ib]) {
+        if (other2 == ia) weight2 = weight;
+      }
+      return;
+    }
+  }
+  adjacency_[ia].push_back({ib, score});
+  adjacency_[ib].push_back({ia, score});
+}
+
+std::vector<double> Ontology::BestScores(uint32_t source, double floor) const {
+  // Max-product Dijkstra: scores only decrease along a path, so a standard
+  // best-first search with a max-heap is exact.
+  std::vector<double> best(terms_.size(), 0.0);
+  best[source] = 1.0;
+  std::priority_queue<std::pair<double, uint32_t>> heap;
+  heap.push({1.0, source});
+  while (!heap.empty()) {
+    const auto [score, term] = heap.top();
+    heap.pop();
+    if (score < best[term]) continue;
+    for (const auto& [other, weight] : adjacency_[term]) {
+      const double next = score * weight;
+      if (next >= floor && next > best[other]) {
+        best[other] = next;
+        heap.push({next, other});
+      }
+    }
+  }
+  return best;
+}
+
+double Ontology::Similarity(std::string_view a, std::string_view b,
+                            double floor) const {
+  if (a == b) return 1.0;
+  const int ia = FindTerm(a);
+  const int ib = FindTerm(b);
+  if (ia < 0 || ib < 0) return 0.0;
+  const std::vector<double> best = BestScores(static_cast<uint32_t>(ia), floor);
+  const double score = best[static_cast<uint32_t>(ib)];
+  return score >= floor ? score : 0.0;
+}
+
+std::vector<std::pair<std::string, double>> Ontology::SimilarTerms(
+    std::string_view term, double floor) const {
+  std::vector<std::pair<std::string, double>> result;
+  result.push_back({std::string(term), 1.0});
+  const int id = FindTerm(term);
+  if (id < 0) return result;
+  const std::vector<double> best = BestScores(static_cast<uint32_t>(id), floor);
+  for (uint32_t t = 0; t < terms_.size(); ++t) {
+    if (t != static_cast<uint32_t>(id) && best[t] >= floor) {
+      result.push_back({terms_[t], best[t]});
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const auto& x, const auto& y) { return x.second > y.second; });
+  return result;
+}
+
+Ontology Ontology::MovieOntology() {
+  Ontology o;
+  o.AddSimilarity("movie", "film", 0.95);
+  o.AddSimilarity("movie", "science-fiction", 0.9);
+  o.AddSimilarity("movie", "documentary", 0.85);
+  o.AddSimilarity("film", "short-film", 0.9);
+  o.AddSimilarity("actor", "actress", 0.95);
+  o.AddSimilarity("actor", "performer", 0.85);
+  o.AddSimilarity("actor", "cast-member", 0.9);
+  o.AddSimilarity("director", "filmmaker", 0.9);
+  o.AddSimilarity("title", "name", 0.8);
+  return o;
+}
+
+}  // namespace flix::ontology

@@ -1,0 +1,59 @@
+// Tag ontology with similarity scores, after the XXL search engine the
+// paper builds on (Section 1): a query tag matches semantically similar
+// element names with a relevance penalty, e.g. ~movie accepts
+// "science-fiction" at similarity 0.9.
+//
+// The ontology is a weighted undirected term graph; the similarity of two
+// terms is the maximum product of edge weights along a connecting path
+// (computed with a Dijkstra-style search over -log weights).
+#ifndef FLIX_ONTOLOGY_ONTOLOGY_H_
+#define FLIX_ONTOLOGY_ONTOLOGY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace flix::ontology {
+
+class Ontology {
+ public:
+  Ontology() = default;
+
+  // Declares terms `a` and `b` similar with the given score in (0, 1].
+  // Symmetric; repeated calls keep the maximum score.
+  void AddSimilarity(std::string_view a, std::string_view b, double score);
+
+  // Similarity in [0, 1]: 1 for identical terms, max path product for
+  // connected terms, 0 for unrelated ones. Scores below `floor` are treated
+  // as unrelated (cuts off long low-confidence chains).
+  double Similarity(std::string_view a, std::string_view b,
+                    double floor = 0.1) const;
+
+  // All terms with Similarity(term, other) >= floor, including `term`
+  // itself at 1.0, sorted by descending similarity.
+  std::vector<std::pair<std::string, double>> SimilarTerms(
+      std::string_view term, double floor = 0.1) const;
+
+  size_t NumTerms() const { return terms_.size(); }
+
+  // A small movie-domain ontology reproducing the paper's example: a
+  // science-fiction element qualifies for ~movie queries.
+  static Ontology MovieOntology();
+
+ private:
+  uint32_t InternTerm(std::string_view term);
+  int FindTerm(std::string_view term) const;
+
+  // Best-product scores from a source term to all terms above `floor`.
+  std::vector<double> BestScores(uint32_t source, double floor) const;
+
+  std::vector<std::string> terms_;
+  std::unordered_map<std::string, uint32_t> index_;
+  // adjacency_[t] = (other term, weight)
+  std::vector<std::vector<std::pair<uint32_t, double>>> adjacency_;
+};
+
+}  // namespace flix::ontology
+
+#endif  // FLIX_ONTOLOGY_ONTOLOGY_H_

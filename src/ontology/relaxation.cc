@@ -1,0 +1,285 @@
+#include "ontology/relaxation.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <unordered_map>
+
+namespace flix::ontology {
+
+namespace {
+
+// Parses one [child op "text"] predicate starting at text[i] == '['.
+// Advances i past the closing bracket.
+Status ParsePredicate(std::string_view text, size_t& i, QueryStep& step) {
+  ++i;  // consume '['
+  ContentPredicate pred;
+  const size_t tag_begin = i;
+  while (i < text.size() && text[i] != '=' && text[i] != '~') ++i;
+  if (i >= text.size()) {
+    return InvalidArgumentError("unterminated predicate in query");
+  }
+  pred.child_tag = std::string(text.substr(tag_begin, i - tag_begin));
+  if (pred.child_tag.empty()) {
+    return InvalidArgumentError("empty predicate tag in query");
+  }
+  pred.similar = text[i] == '~';
+  ++i;
+  if (i >= text.size() || text[i] != '"') {
+    return InvalidArgumentError("predicate value must be quoted");
+  }
+  ++i;
+  const size_t value_begin = i;
+  while (i < text.size() && text[i] != '"') ++i;
+  if (i >= text.size()) {
+    return InvalidArgumentError("unterminated predicate value");
+  }
+  pred.text = std::string(text.substr(value_begin, i - value_begin));
+  ++i;  // closing quote
+  if (i >= text.size() || text[i] != ']') {
+    return InvalidArgumentError("expected ']' after predicate value");
+  }
+  ++i;  // closing bracket
+  step.predicates.push_back(std::move(pred));
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<PathQuery> ParsePathQuery(std::string_view text) {
+  PathQuery query;
+  size_t i = 0;
+  while (i < text.size()) {
+    QueryStep step;
+    if (text.substr(i).starts_with("//")) {
+      step.descendant_axis = true;
+      i += 2;
+    } else if (text[i] == '/') {
+      i += 1;
+    } else if (!query.steps.empty()) {
+      return InvalidArgumentError("expected '/' or '//' in query");
+    }
+    if (i < text.size() && text[i] == '~') {
+      step.similar = true;
+      ++i;
+    }
+    const size_t begin = i;
+    while (i < text.size() && text[i] != '/' && text[i] != '[') ++i;
+    step.tag = std::string(text.substr(begin, i - begin));
+    if (step.tag.empty()) {
+      return InvalidArgumentError("empty step name in query '" +
+                                  std::string(text) + "'");
+    }
+    while (i < text.size() && text[i] == '[') {
+      if (Status s = ParsePredicate(text, i, step); !s.ok()) return s;
+    }
+    query.steps.push_back(std::move(step));
+  }
+  if (query.steps.empty()) {
+    return InvalidArgumentError("empty query");
+  }
+  return query;
+}
+
+double TextSimilarity(std::string_view a, std::string_view b) {
+  const auto tokenize = [](std::string_view s) {
+    std::vector<std::string> tokens;
+    std::string current;
+    for (const char c : s) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        current.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+      } else if (!current.empty()) {
+        tokens.push_back(std::move(current));
+        current.clear();
+      }
+    }
+    if (!current.empty()) tokens.push_back(std::move(current));
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    return tokens;
+  };
+  const std::vector<std::string> ta = tokenize(a);
+  const std::vector<std::string> tb = tokenize(b);
+  if (ta.empty() || tb.empty()) return ta.empty() && tb.empty() ? 1.0 : 0.0;
+
+  size_t common = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ta.size() && j < tb.size()) {
+    if (ta[i] < tb[j]) {
+      ++i;
+    } else if (ta[i] > tb[j]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  const double jaccard =
+      static_cast<double>(common) /
+      static_cast<double>(ta.size() + tb.size() - common);
+  // Containment bonus: all query tokens present scores at least 0.8.
+  const double containment =
+      common == std::min(ta.size(), tb.size()) && common > 0 ? 0.8 : 0.0;
+  return std::max(jaccard, containment);
+}
+
+PathQuery Relax(const PathQuery& query) {
+  PathQuery relaxed = query;
+  for (QueryStep& step : relaxed.steps) step.descendant_axis = true;
+  return relaxed;
+}
+
+namespace {
+
+struct FrontierEntry {
+  double score;
+  Distance path_length;
+};
+
+using Frontier = std::unordered_map<NodeId, FrontierEntry>;
+
+// Tag expansions for a step: (tag id, similarity), skipping tags that do
+// not occur in the collection.
+std::vector<std::pair<TagId, double>> ExpandStep(
+    const core::Flix& flix, const Ontology& ontology, const QueryStep& step,
+    double floor) {
+  std::vector<std::pair<TagId, double>> expansions;
+  if (step.similar) {
+    for (const auto& [term, sim] : ontology.SimilarTerms(step.tag, floor)) {
+      const TagId tag = flix.LookupTag(term);
+      if (tag != kInvalidTag) expansions.push_back({tag, sim});
+    }
+  } else {
+    const TagId tag = flix.LookupTag(step.tag);
+    if (tag != kInvalidTag) expansions.push_back({tag, 1.0});
+  }
+  return expansions;
+}
+
+void Offer(Frontier& frontier, NodeId node, double score, Distance length) {
+  const auto [it, inserted] = frontier.emplace(
+      node, FrontierEntry{score, length});
+  if (!inserted && score > it->second.score) {
+    it->second = {score, length};
+  }
+}
+
+// Multiplicative score of a step's content predicates on `node`: per
+// predicate, the best matching child (exact tag, exact or fuzzy text).
+// 0 = some predicate has no matching child.
+double PredicateScore(const core::Flix& flix, NodeId node,
+                      const QueryStep& step,
+                      const RelaxedQueryOptions& options) {
+  if (step.predicates.empty()) return 1.0;
+  const xml::Collection& collection = flix.collection();
+  const auto loc = collection.Locate(node);
+  const xml::Document& doc = collection.document(loc.doc);
+  double score = 1.0;
+  for (const ContentPredicate& pred : step.predicates) {
+    const TagId child_tag = collection.pool().Lookup(pred.child_tag);
+    double best = 0.0;
+    if (child_tag != kInvalidTag) {
+      for (const xml::ElementId child : doc.element(loc.elem).children) {
+        if (doc.element(child).tag != child_tag) continue;
+        const std::string& text = doc.element(child).text;
+        if (pred.similar) {
+          if (options.text_index != nullptr) {
+            best = std::max(best, options.text_index->Score(
+                                      collection.GlobalId(loc.doc, child),
+                                      pred.text));
+          } else {
+            best = std::max(best, TextSimilarity(text, pred.text));
+          }
+        } else if (text == pred.text) {
+          best = 1.0;
+        }
+        if (best == 1.0) break;
+      }
+    }
+    if (pred.similar && best < options.text_floor) best = 0.0;
+    score *= best;
+    if (score == 0.0) return 0.0;
+  }
+  return score;
+}
+
+}  // namespace
+
+std::vector<ScoredMatch> EvaluatePathQuery(const core::Flix& flix,
+                                           const Ontology& ontology,
+                                           const PathQuery& query,
+                                           const RelaxedQueryOptions& options) {
+  if (query.steps.empty()) return {};
+
+  // Step 0: all elements carrying a (similar) first-step tag that satisfy
+  // its content predicates.
+  Frontier frontier;
+  for (const auto& [tag, sim] :
+       ExpandStep(flix, ontology, query.steps[0], options.similarity_floor)) {
+    for (const core::MetaDocument& meta : flix.meta_documents().docs) {
+      for (const NodeId local : meta.graph.NodesWithTag(tag)) {
+        const NodeId global = meta.global_nodes[local];
+        const double score =
+            sim * PredicateScore(flix, global, query.steps[0], options);
+        if (score >= options.min_score) {
+          Offer(frontier, global, score, 0);
+        }
+      }
+    }
+  }
+
+  for (size_t s = 1; s < query.steps.size() && !frontier.empty(); ++s) {
+    const QueryStep& step = query.steps[s];
+    const std::vector<std::pair<TagId, double>> expansions =
+        ExpandStep(flix, ontology, step, options.similarity_floor);
+
+    // Distance budget: beyond it the alpha decay alone drops every match
+    // under min_score.
+    Distance max_extra = -1;
+    if (options.alpha < 1.0) {
+      max_extra = static_cast<Distance>(
+          std::log(options.min_score) / std::log(options.alpha)) + 1;
+    }
+
+    Frontier next;
+    for (const auto& [node, entry] : frontier) {
+      for (const auto& [tag, sim] : expansions) {
+        core::QueryOptions qopts;
+        qopts.max_distance = step.descendant_axis ? max_extra : 1;
+        flix.pee().FindDescendantsByTag(
+            node, tag, qopts, [&](const core::Result& r) {
+              if (!step.descendant_axis && r.distance != 1) return true;
+              double score =
+                  entry.score * sim *
+                  std::pow(options.alpha, static_cast<double>(r.distance - 1));
+              if (score >= options.min_score && !step.predicates.empty()) {
+                score *= PredicateScore(flix, r.node, step, options);
+              }
+              if (score >= options.min_score) {
+                Offer(next, r.node, score,
+                      entry.path_length + r.distance);
+              }
+              return next.size() < options.max_frontier;
+            });
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  std::vector<ScoredMatch> matches;
+  matches.reserve(frontier.size());
+  for (const auto& [node, entry] : frontier) {
+    matches.push_back({node, entry.score, entry.path_length});
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const ScoredMatch& a, const ScoredMatch& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.node < b.node;
+            });
+  return matches;
+}
+
+}  // namespace flix::ontology

@@ -1,0 +1,96 @@
+// Query relaxation with structural and semantic vagueness (paper Section 1):
+// a path query like
+//     movie/actor/movie        or        //~movie//~actor
+// is relaxed so that every child step becomes a descendants step and every
+// ~-prefixed tag matches ontologically similar tags; the relevance of a
+// match decays with tag dissimilarity and path length:
+//     score = prod(tag similarities) * alpha^(extra edges beyond the
+//             minimal one per step).
+#ifndef FLIX_ONTOLOGY_RELAXATION_H_
+#define FLIX_ONTOLOGY_RELAXATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "flix/flix.h"
+#include "ontology/ontology.h"
+#include "text/text_index.h"
+
+namespace flix::ontology {
+
+// Content predicate on a step, e.g. [title~"Matrix: Revolutions"]: the
+// matched element must have a child with the given tag whose text is
+// (approximately) the given value. `similar` selects fuzzy text matching
+// (token overlap) instead of exact equality — the paper's ~ operator on
+// content.
+struct ContentPredicate {
+  std::string child_tag;
+  std::string text;
+  bool similar = false;
+
+  friend bool operator==(const ContentPredicate&,
+                         const ContentPredicate&) = default;
+};
+
+struct QueryStep {
+  std::string tag;
+  bool descendant_axis = false;  // true for //, false for /
+  bool similar = false;          // true for ~tag
+  std::vector<ContentPredicate> predicates;
+};
+
+struct PathQuery {
+  std::vector<QueryStep> steps;
+};
+
+// Parses "a/b//c" / "//~movie//actor" / "movie[title~\"Matrix\"]/actor"
+// syntax. A leading "//" (or "/") applies to the first step; "~" before a
+// name enables ontology expansion; [child op "text"] with op in {=, ~}
+// attaches a content predicate.
+StatusOr<PathQuery> ParsePathQuery(std::string_view text);
+
+// Fuzzy text similarity in [0, 1]: case-insensitive token overlap (Jaccard)
+// with a containment bonus, so "Matrix 3" matches "Matrix: Revolutions"
+// weakly and "matrix revolutions" matches "Matrix: Revolutions" strongly.
+double TextSimilarity(std::string_view a, std::string_view b);
+
+// Relaxes all child axes to descendant axes (structural vagueness).
+PathQuery Relax(const PathQuery& query);
+
+struct ScoredMatch {
+  NodeId node = kInvalidNode;
+  double score = 0.0;
+  // Total path length from the matched first-step element.
+  Distance path_length = 0;
+
+  friend bool operator==(const ScoredMatch&, const ScoredMatch&) = default;
+};
+
+struct RelaxedQueryOptions {
+  // Per-extra-edge decay.
+  double alpha = 0.8;
+  // Matches below this score are dropped.
+  double min_score = 0.05;
+  // Ontology similarity floor for ~tags.
+  double similarity_floor = 0.5;
+  // Minimum text similarity for ~"..." content predicates.
+  double text_floor = 0.3;
+  // Optional inverted text index: when set, fuzzy content predicates score
+  // by TF-IDF cosine over it instead of plain token overlap (the XXL-style
+  // content scoring).
+  const text::TextIndex* text_index = nullptr;
+  // Frontier cap per step (guards against explosion on dense data).
+  size_t max_frontier = 100000;
+};
+
+// Evaluates a (relaxed) path query over a built FliX instance: elements
+// matching the final step, ranked by descending score. Child axes are
+// honored as written; call Relax() first for full structural vagueness.
+std::vector<ScoredMatch> EvaluatePathQuery(
+    const core::Flix& flix, const Ontology& ontology, const PathQuery& query,
+    const RelaxedQueryOptions& options = {});
+
+}  // namespace flix::ontology
+
+#endif  // FLIX_ONTOLOGY_RELAXATION_H_

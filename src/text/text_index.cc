@@ -1,0 +1,181 @@
+#include "text/text_index.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/bytes.h"
+
+namespace flix::text {
+
+std::vector<std::string> Tokenize(std::string_view s) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+TextIndex TextIndex::Build(const xml::Collection& collection) {
+  TextIndex index;
+  const size_t num_elements = collection.NumElements();
+  index.forward_.assign(num_elements, {});
+
+  // Pass 1: term frequencies per element, document frequencies per term.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> tf(num_elements);
+  std::vector<uint32_t> df;
+  for (DocId d = 0; d < collection.NumDocuments(); ++d) {
+    const xml::Document& doc = collection.document(d);
+    for (xml::ElementId e = 0; e < doc.NumElements(); ++e) {
+      const std::string& content = doc.element(e).text;
+      if (content.empty()) continue;
+      const NodeId node = collection.GlobalId(d, e);
+      std::unordered_map<uint32_t, uint32_t> counts;
+      for (const std::string& token : Tokenize(content)) {
+        const auto [it, inserted] = index.term_ids_.emplace(
+            token, static_cast<uint32_t>(index.term_ids_.size()));
+        if (inserted) df.push_back(0);
+        ++counts[it->second];
+      }
+      if (counts.empty()) continue;
+      ++index.num_indexed_;
+      tf[node].assign(counts.begin(), counts.end());
+      std::sort(tf[node].begin(), tf[node].end());
+      for (const auto& [term, count] : tf[node]) {
+        (void)count;
+        ++df[term];
+      }
+    }
+  }
+
+  // IDF with the usual smoothing; N = number of indexed elements.
+  const double n = std::max<size_t>(index.num_indexed_, 1);
+  index.idf_.resize(df.size());
+  for (size_t t = 0; t < df.size(); ++t) {
+    index.idf_[t] = std::log(1.0 + n / df[t]);
+  }
+
+  // Pass 2: L2-normalized TF-IDF vectors, forward and inverted.
+  index.postings_.assign(df.size(), {});
+  for (NodeId node = 0; node < num_elements; ++node) {
+    if (tf[node].empty()) continue;
+    double norm = 0;
+    std::vector<std::pair<uint32_t, float>>& vec = index.forward_[node];
+    vec.reserve(tf[node].size());
+    for (const auto& [term, count] : tf[node]) {
+      const double w = (1.0 + std::log(count)) * index.idf_[term];
+      vec.push_back({term, static_cast<float>(w)});
+      norm += w * w;
+    }
+    norm = std::sqrt(norm);
+    for (auto& [term, weight] : vec) {
+      weight = static_cast<float>(weight / norm);
+      index.postings_[term].push_back({node, weight});
+    }
+  }
+  return index;
+}
+
+uint32_t TextIndex::TermId(std::string_view token) const {
+  const auto it = term_ids_.find(std::string(token));
+  return it == term_ids_.end() ? UINT32_MAX : it->second;
+}
+
+const std::vector<TextIndex::Posting>* TextIndex::Postings(
+    std::string_view term) const {
+  std::string folded;
+  for (const char c : term) {
+    folded.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  const uint32_t id = TermId(folded);
+  return id == UINT32_MAX ? nullptr : &postings_[id];
+}
+
+std::vector<std::pair<uint32_t, double>> TextIndex::QueryVector(
+    std::string_view query) const {
+  std::unordered_map<uint32_t, uint32_t> counts;
+  for (const std::string& token : Tokenize(query)) {
+    const uint32_t id = TermId(token);
+    if (id != UINT32_MAX) ++counts[id];
+  }
+  std::vector<std::pair<uint32_t, double>> vec(counts.begin(), counts.end());
+  double norm = 0;
+  for (auto& [term, weight] : vec) {
+    weight = (1.0 + std::log(weight)) * idf_[term];
+    norm += weight * weight;
+  }
+  norm = std::sqrt(norm);
+  if (norm > 0) {
+    for (auto& [term, weight] : vec) weight /= norm;
+  }
+  std::sort(vec.begin(), vec.end());
+  return vec;
+}
+
+std::vector<ScoredElement> TextIndex::Search(std::string_view query,
+                                             size_t k) const {
+  const auto qvec = QueryVector(query);
+  std::unordered_map<NodeId, double> scores;
+  for (const auto& [term, qweight] : qvec) {
+    for (const Posting& p : postings_[term]) {
+      scores[p.element] += qweight * p.weight;
+    }
+  }
+  std::vector<ScoredElement> ranked;
+  ranked.reserve(scores.size());
+  for (const auto& [element, score] : scores) {
+    ranked.push_back({element, score});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const ScoredElement& a, const ScoredElement& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.element < b.element;
+            });
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+double TextIndex::Score(NodeId element, std::string_view query) const {
+  if (element >= forward_.size() || forward_[element].empty()) return 0.0;
+  const auto qvec = QueryVector(query);
+  const auto& evec = forward_[element];
+  double score = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < qvec.size() && j < evec.size()) {
+    if (qvec[i].first < evec[j].first) {
+      ++i;
+    } else if (qvec[i].first > evec[j].first) {
+      ++j;
+    } else {
+      score += qvec[i].second * evec[j].second;
+      ++i;
+      ++j;
+    }
+  }
+  return score;
+}
+
+size_t TextIndex::MemoryBytes() const {
+  size_t bytes = VectorBytes(idf_);
+  for (const auto& [term, id] : term_ids_) {
+    (void)id;
+    bytes += term.capacity() + sizeof(uint32_t) + 16;
+  }
+  for (const auto& list : postings_) bytes += VectorBytes(list);
+  bytes += VectorBytes(postings_);
+  for (const auto& vec : forward_) bytes += VectorBytes(vec);
+  bytes += VectorBytes(forward_);
+  return bytes;
+}
+
+}  // namespace flix::text

@@ -1,0 +1,81 @@
+// Inverted text index over element content — the content half of the
+// paper's XXL-style vagueness (Section 1: the ~ operator applies to content
+// conditions like title ~ "Matrix: Revolutions" as well as to tag names).
+//
+// Indexes the direct text of every element in a collection: an inverted
+// file (term -> postings with TF-IDF weights) for ranked lookup, plus a
+// forward index (element -> term vector) for scoring a specific element
+// against a query string. Both are what a search engine built on FliX
+// (the paper's XXL) needs to combine content scores with the structural
+// scores of the Path Expression Evaluator.
+#ifndef FLIX_TEXT_TEXT_INDEX_H_
+#define FLIX_TEXT_TEXT_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "xml/collection.h"
+
+namespace flix::text {
+
+// Lowercased alphanumeric tokens of `s`, in order, duplicates kept.
+std::vector<std::string> Tokenize(std::string_view s);
+
+struct ScoredElement {
+  NodeId element = kInvalidNode;
+  double score = 0.0;
+
+  friend bool operator==(const ScoredElement&, const ScoredElement&) = default;
+};
+
+class TextIndex {
+ public:
+  // Indexes the direct text of every element of `collection`.
+  static TextIndex Build(const xml::Collection& collection);
+
+  struct Posting {
+    NodeId element;
+    float weight;  // normalized TF-IDF
+  };
+
+  // Postings for an exact token (case-folded), or nullptr if unseen.
+  const std::vector<Posting>* Postings(std::string_view term) const;
+
+  // Ranked retrieval: elements by descending cosine similarity between
+  // their text vector and `query`; at most `k` results, score > 0.
+  std::vector<ScoredElement> Search(std::string_view query, size_t k) const;
+
+  // Cosine similarity between one element's text and `query` in [0, 1]
+  // (0 for untexted elements or queries with no indexed terms).
+  double Score(NodeId element, std::string_view query) const;
+
+  size_t NumTerms() const { return term_ids_.size(); }
+  size_t NumIndexedElements() const { return num_indexed_; }
+  size_t MemoryBytes() const;
+
+ private:
+  TextIndex() = default;
+
+  // Term id for a token, or UINT32_MAX.
+  uint32_t TermId(std::string_view token) const;
+
+  // Query vector: (term id, normalized weight), using query-side TF and
+  // collection-side IDF.
+  std::vector<std::pair<uint32_t, double>> QueryVector(
+      std::string_view query) const;
+
+  std::unordered_map<std::string, uint32_t> term_ids_;
+  std::vector<double> idf_;
+  std::vector<std::vector<Posting>> postings_;
+  // Forward index: per element, sorted (term id, weight) pairs. Empty for
+  // elements without text.
+  std::vector<std::vector<std::pair<uint32_t, float>>> forward_;
+  size_t num_indexed_ = 0;
+};
+
+}  // namespace flix::text
+
+#endif  // FLIX_TEXT_TEXT_INDEX_H_

@@ -1,0 +1,167 @@
+#include "workload/dblp_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string_view>
+
+namespace flix::workload {
+namespace {
+
+struct Venue {
+  std::string_view key;       // document-name prefix
+  std::string_view name;      // booktitle / journal text
+  bool is_journal;
+};
+
+constexpr Venue kVenues[] = {
+    {"edbt", "EDBT", false},   {"icde", "ICDE", false},
+    {"sigmod", "SIGMOD", false}, {"vldb", "VLDB", false},
+    {"tods", "TODS", true},    {"vldbj", "VLDB Journal", true},
+};
+
+constexpr std::string_view kTitleWords[] = {
+    "efficient", "indexing",   "queries",   "XML",        "databases",
+    "adaptive",  "structures", "semistructured", "processing", "optimization",
+    "evaluation", "distributed", "caching",  "links",      "retrieval",
+    "ranking",   "connection", "path",      "graph",      "storage",
+};
+
+constexpr std::string_view kKeywords[] = {
+    "index", "xml", "xpath", "links", "reachability",
+    "labels", "summary", "partitioning", "ranking", "ontology",
+};
+
+std::string DocName(size_t index) {
+  const Venue& venue = kVenues[index % std::size(kVenues)];
+  return std::string(venue.key) + "/pub" + std::to_string(index);
+}
+
+std::string MakeTitle(Rng& rng) {
+  std::string title;
+  const int words = 3 + static_cast<int>(rng.Uniform(5));
+  for (int w = 0; w < words; ++w) {
+    if (w > 0) title += ' ';
+    title += kTitleWords[rng.Uniform(std::size(kTitleWords))];
+  }
+  return title;
+}
+
+}  // namespace
+
+std::string GeneratePublicationXml(const DblpOptions& options, size_t index,
+                                   Rng& rng, const ZipfSampler* zipf) {
+  const Venue& venue = kVenues[index % std::size(kVenues)];
+  const int year = 1975 + static_cast<int>(rng.Uniform(29));
+  const std::string_view root_tag =
+      venue.is_journal ? "article" : "inproceedings";
+
+  std::string xml = "<?xml version=\"1.0\"?>\n<";
+  xml += root_tag;
+  xml += " key=\"";
+  xml += DocName(index);
+  xml += "\">\n";
+  xml += "  <title>" + MakeTitle(rng) + "</title>\n";
+
+  // Authors: 1 + Poisson-ish count around the configured mean.
+  const int num_authors =
+      1 + static_cast<int>(rng.Uniform(static_cast<uint64_t>(
+              std::max(1.0, 2.0 * (options.authors_per_publication - 1.0)) + 1)));
+  std::vector<size_t> authors;
+  for (int a = 0; a < num_authors; ++a) {
+    authors.push_back(rng.Uniform(options.num_authors));
+    xml += "  <author id=\"a" + std::to_string(authors.back()) + "\">Author " +
+           std::to_string(authors.back()) + "</author>\n";
+  }
+
+  if (venue.is_journal) {
+    xml += "  <journal>" + std::string(venue.name) + "</journal>\n";
+    xml += "  <volume>" + std::to_string(1 + rng.Uniform(30)) + "</volume>\n";
+    xml += "  <number>" + std::to_string(1 + rng.Uniform(4)) + "</number>\n";
+  } else {
+    xml += "  <booktitle>" + std::string(venue.name) + "</booktitle>\n";
+    xml += "  <month>" + std::to_string(1 + rng.Uniform(12)) + "</month>\n";
+  }
+  const int first_page = 1 + static_cast<int>(rng.Uniform(500));
+  xml += "  <year>" + std::to_string(year) + "</year>\n";
+  xml += "  <pages>" + std::to_string(first_page) + "-" +
+         std::to_string(first_page + 8 + static_cast<int>(rng.Uniform(18))) +
+         "</pages>\n";
+  xml += "  <ee>db/" + DocName(index) + ".html</ee>\n";
+  xml += "  <url>http://example.org/" + DocName(index) + "</url>\n";
+  xml += "  <crossref>" + std::string(venue.key) + "/" +
+         std::to_string(year) + "</crossref>\n";
+  xml += "  <publisher>" + std::string(venue.is_journal ? "ACM" : "Springer") +
+         "</publisher>\n";
+  xml += "  <cdrom>" + std::string(venue.key) + std::to_string(year) +
+         ".pdf</cdrom>\n";
+  xml += "  <note>" + MakeTitle(rng) + "</note>\n";
+  xml += "  <abstract>" + MakeTitle(rng) + " " + MakeTitle(rng) +
+         "</abstract>\n";
+
+  xml += "  <keywords>\n";
+  const int num_keywords = 4 + static_cast<int>(rng.Uniform(4));
+  for (int k = 0; k < num_keywords; ++k) {
+    xml += "    <keyword>";
+    xml += kKeywords[rng.Uniform(std::size(kKeywords))];
+    xml += "</keyword>\n";
+  }
+  xml += "  </keywords>\n";
+
+  // Citations: inter-document links to earlier publications (papers cite
+  // the past), Zipf-skewed so that a few classics collect many citations.
+  if (index > 0) {
+    // Expected count scales so that the corpus-wide average matches
+    // citations_per_publication even though early papers can cite little.
+    const double lambda = options.citations_per_publication;
+    const int num_cites = static_cast<int>(
+        rng.Uniform(static_cast<uint64_t>(2 * lambda + 1)));
+    if (num_cites > 0) {
+      xml += "  <citations>\n";
+      ZipfSampler local_zipf(zipf == nullptr ? index : 0,
+                             options.citation_zipf);
+      const ZipfSampler& sampler = zipf == nullptr ? local_zipf : *zipf;
+      for (int c = 0; c < num_cites; ++c) {
+        size_t target;
+        if (rng.Bernoulli(options.recent_citation_fraction)) {
+          const size_t window = std::min(options.recent_window, index);
+          target = index - 1 - rng.Uniform(window);
+        } else {
+          target = sampler.Sample(rng);
+        }
+        xml += "    <cite href=\"" + DocName(target) + "\"/>\n";
+      }
+      xml += "  </citations>\n";
+    }
+  }
+
+  // Occasional intra-document link: a contact element referring to an
+  // author's local id anchor.
+  if (!authors.empty() && rng.Bernoulli(options.intra_link_fraction)) {
+    xml += "  <contact ref=\"a" + std::to_string(authors.front()) + "\"/>\n";
+  }
+
+  xml += "</";
+  xml += root_tag;
+  xml += ">\n";
+  return xml;
+}
+
+StatusOr<xml::Collection> GenerateDblp(const DblpOptions& options) {
+  Rng rng(options.seed);
+  xml::Collection collection;
+  // One shared sampler, grown to i entries before generating publication i,
+  // keeps citation sampling O(log i) instead of rebuilding the CDF per
+  // publication.
+  ZipfSampler zipf(1, options.citation_zipf);
+  for (size_t i = 0; i < options.num_publications; ++i) {
+    zipf.Grow(i);
+    const std::string text =
+        GeneratePublicationXml(options, i, rng, i > 0 ? &zipf : nullptr);
+    StatusOr<DocId> added = collection.AddXml(text, DocName(i));
+    if (!added.ok()) return added.status();
+  }
+  collection.ResolveAllLinks();
+  return collection;
+}
+
+}  // namespace flix::workload

@@ -1,0 +1,64 @@
+// Synthetic DBLP-style collection generator.
+//
+// The paper's experiments use an extract of DBLP: one XML document per
+// 2nd-level element (article, inproceedings, ...) for publications in EDBT,
+// ICDE, SIGMOD, VLDB, TODS and VLDB-J — 6,210 documents, 168,991 elements,
+// 25,368 inter-document links, 27 MB. We have no network access to DBLP, so
+// this generator synthesizes a collection with the same shape:
+//   * each publication is its own document (root tag article/inproceedings)
+//     with title/author/pages/year/... children and a short abstract;
+//   * citation links (`cite` elements with an href="<doc>#<key>" attribute)
+//     point at other publications' roots, drawn with Zipf-skewed popularity
+//     and a bias towards earlier publications (papers cite the past);
+//   * a small fraction of publications carry intra-document idref links
+//     (e.g., an author element referring to a co-author entry) so the
+//     collection is not purely tree-shaped.
+//
+// With default options the scale matches the paper's corpus: ~6.2k docs,
+// ~169k elements, ~25.4k inter-document links.
+#ifndef FLIX_WORKLOAD_DBLP_GENERATOR_H_
+#define FLIX_WORKLOAD_DBLP_GENERATOR_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "xml/collection.h"
+
+namespace flix::workload {
+
+struct DblpOptions {
+  uint64_t seed = 42;
+  size_t num_publications = 6210;
+  // Average citations per publication (inter-document links). The paper's
+  // corpus has 25,368 links over 6,210 documents (~4.08 per document).
+  double citations_per_publication = 4.08;
+  // Zipf exponent for citation target popularity.
+  double citation_zipf = 0.9;
+  // Fraction of citations drawn from the recent window instead of the
+  // global Zipf popularity — real bibliographies mix classics with recent
+  // work, which is also what gives late publications deep citation chains.
+  double recent_citation_fraction = 0.5;
+  size_t recent_window = 150;
+  // Fraction of publications that carry an intra-document idref link.
+  double intra_link_fraction = 0.02;
+  // Average number of authors per publication.
+  double authors_per_publication = 2.6;
+  // Size of the author name universe.
+  size_t num_authors = 4000;
+};
+
+// Generates the collection by emitting XML text per publication and parsing
+// it through the regular pipeline, then resolves all links.
+StatusOr<xml::Collection> GenerateDblp(const DblpOptions& options = {});
+
+// The XML text of one synthetic publication (exposed for tests). If `zipf`
+// is non-null it must cover exactly the publications 0..index-1 and is used
+// for citation sampling; otherwise a local sampler is built.
+std::string GeneratePublicationXml(const DblpOptions& options, size_t index,
+                                   flix::Rng& rng,
+                                   const flix::ZipfSampler* zipf = nullptr);
+
+}  // namespace flix::workload
+
+#endif  // FLIX_WORKLOAD_DBLP_GENERATOR_H_

@@ -1,0 +1,90 @@
+#include "workload/inex_generator.h"
+
+#include <string_view>
+
+namespace flix::workload {
+namespace {
+
+constexpr std::string_view kWords[] = {
+    "retrieval",  "elements", "structure", "evaluation", "relevance",
+    "assessment", "queries",  "documents", "granularity", "overlap",
+    "focused",    "passage",  "semantics", "markup",      "corpus",
+};
+
+std::string DocName(size_t index) {
+  return "an/art" + std::to_string(index);
+}
+
+std::string Sentence(Rng& rng, int words) {
+  std::string text;
+  for (int w = 0; w < words; ++w) {
+    if (w > 0) text += ' ';
+    text += kWords[rng.Uniform(std::size(kWords))];
+  }
+  return text;
+}
+
+void EmitSection(const InexOptions& options, Rng& rng, int depth,
+                 std::string& xml, const std::string& indent) {
+  const char* tag = depth == 0 ? "sec" : "ss1";
+  xml += indent + "<" + std::string(tag) + ">\n";
+  xml += indent + "  <st>" + Sentence(rng, 3) + "</st>\n";
+  const int paragraphs = 1 + static_cast<int>(rng.Uniform(
+      static_cast<uint64_t>(2 * options.paragraphs_per_section)));
+  for (int p = 0; p < paragraphs; ++p) {
+    xml += indent + "  <p>" + Sentence(rng, 8 + static_cast<int>(rng.Uniform(10))) +
+           "</p>\n";
+  }
+  if (depth == 0 && rng.Bernoulli(options.subsection_probability)) {
+    EmitSection(options, rng, 1, xml, indent + "  ");
+  }
+  xml += indent + "</" + std::string(tag) + ">\n";
+}
+
+}  // namespace
+
+std::string GenerateArticleXml(const InexOptions& options, size_t index,
+                               size_t num_articles, Rng& rng) {
+  std::string xml = "<article>\n  <fm>\n";
+  xml += "    <ti>" + Sentence(rng, 5) + "</ti>\n";
+  const int authors = 1 + static_cast<int>(rng.Uniform(4));
+  for (int a = 0; a < authors; ++a) {
+    xml += "    <au>Author " + std::to_string(rng.Uniform(500)) + "</au>\n";
+  }
+  xml += "    <abs>" + Sentence(rng, 20) + "</abs>\n";
+  xml += "  </fm>\n  <bdy>\n";
+  const int sections = 1 + static_cast<int>(rng.Uniform(
+      static_cast<uint64_t>(2 * options.sections_per_article)));
+  for (int s = 0; s < sections; ++s) {
+    EmitSection(options, rng, 0, xml, "    ");
+  }
+  xml += "  </bdy>\n  <bm>\n";
+  // Bibliography with occasional cross-article references.
+  const int refs = static_cast<int>(rng.Uniform(
+      static_cast<uint64_t>(2 * options.cross_refs_per_article) + 1));
+  for (int r = 0; r < refs && num_articles > 1; ++r) {
+    size_t target;
+    do {
+      target = rng.Uniform(num_articles);
+    } while (target == index);
+    xml += "    <ref href=\"" + DocName(target) + "\"/>\n";
+  }
+  xml += "    <bib>" + Sentence(rng, 6) + "</bib>\n";
+  xml += "  </bm>\n</article>\n";
+  return xml;
+}
+
+StatusOr<xml::Collection> GenerateInex(const InexOptions& options) {
+  Rng rng(options.seed);
+  xml::Collection collection;
+  for (size_t i = 0; i < options.num_articles; ++i) {
+    const std::string text =
+        GenerateArticleXml(options, i, options.num_articles, rng);
+    StatusOr<DocId> added = collection.AddXml(text, DocName(i));
+    if (!added.ok()) return added.status();
+  }
+  collection.ResolveAllLinks();
+  return collection;
+}
+
+}  // namespace flix::workload

@@ -1,0 +1,41 @@
+// INEX-style corpus generator: the paper (Section 4.3) calls the INEX
+// benchmark collection "a good candidate" for the Naive configuration —
+// relatively large documents, few inter-document links, queries that rarely
+// cross document boundaries. This generator synthesizes that shape:
+// full-text scientific articles with front matter, nested sections and
+// paragraphs (hundreds of elements per document) and only occasional
+// cross-article <ref> links.
+#ifndef FLIX_WORKLOAD_INEX_GENERATOR_H_
+#define FLIX_WORKLOAD_INEX_GENERATOR_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "xml/collection.h"
+
+namespace flix::workload {
+
+struct InexOptions {
+  uint64_t seed = 77;
+  size_t num_articles = 120;
+  // Top-level sections per article (uniform 1..2x mean).
+  double sections_per_article = 6;
+  // Paragraphs per (sub)section.
+  double paragraphs_per_section = 5;
+  // Probability that a section has a nested subsection level.
+  double subsection_probability = 0.4;
+  // Average cross-article references per article (inter-document links).
+  double cross_refs_per_article = 0.5;
+};
+
+// Generates the collection (XML text -> parser pipeline) and resolves links.
+StatusOr<xml::Collection> GenerateInex(const InexOptions& options = {});
+
+// XML text of one article (exposed for tests).
+std::string GenerateArticleXml(const InexOptions& options, size_t index,
+                               size_t num_articles, flix::Rng& rng);
+
+}  // namespace flix::workload
+
+#endif  // FLIX_WORKLOAD_INEX_GENERATOR_H_

@@ -1,0 +1,114 @@
+#include "workload/query_workload.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace flix::workload {
+
+std::vector<DescendantQuery> SampleDescendantQueries(
+    const xml::Collection& collection, const graph::Digraph& graph,
+    const QuerySamplerOptions& options) {
+  Rng rng(options.seed);
+  std::vector<DescendantQuery> queries;
+  const size_t num_docs = collection.NumDocuments();
+  if (num_docs == 0) return queries;
+
+  const size_t max_attempts = options.count * 50 + 100;
+  for (size_t attempt = 0;
+       attempt < max_attempts && queries.size() < options.count; ++attempt) {
+    const DocId doc = static_cast<DocId>(rng.Uniform(num_docs));
+    const NodeId start = collection.GlobalId(doc, 0);
+
+    // Find candidate result tags below the start.
+    const std::vector<Distance> dist = graph::BfsDistances(graph, start);
+    std::vector<TagId> seen_tags;
+    size_t reachable = 0;
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      if (v == start || dist[v] == kUnreachable) continue;
+      ++reachable;
+      seen_tags.push_back(graph.Tag(v));
+    }
+    if (reachable == 0) continue;
+    std::sort(seen_tags.begin(), seen_tags.end());
+    seen_tags.erase(std::unique(seen_tags.begin(), seen_tags.end()),
+                    seen_tags.end());
+
+    TagId tag;
+    if (!options.result_tag.empty()) {
+      tag = collection.pool().Lookup(options.result_tag);
+      if (tag == kInvalidTag ||
+          !std::binary_search(seen_tags.begin(), seen_tags.end(), tag)) {
+        continue;
+      }
+    } else {
+      tag = seen_tags[rng.Uniform(seen_tags.size())];
+    }
+
+    size_t matches = 0;
+    for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+      if (v != start && dist[v] != kUnreachable && graph.Tag(v) == tag) {
+        ++matches;
+      }
+    }
+    if (matches < options.min_results) continue;
+    queries.push_back({start, tag, collection.pool().Name(tag)});
+  }
+  return queries;
+}
+
+double OrderErrorRate(const std::vector<core::Result>& results) {
+  if (results.empty()) return 0.0;
+  size_t out_of_order = 0;
+  for (size_t i = 1; i < results.size(); ++i) {
+    if (results[i].distance < results[i - 1].distance) ++out_of_order;
+  }
+  return static_cast<double>(out_of_order) /
+         static_cast<double>(results.size());
+}
+
+bool SameResultSet(const std::vector<core::Result>& results,
+                   const std::vector<graph::NodeDist>& oracle) {
+  if (results.size() != oracle.size()) return false;
+  std::unordered_set<NodeId> got;
+  for (const core::Result& r : results) got.insert(r.node);
+  if (got.size() != results.size()) return false;  // duplicates
+  for (const graph::NodeDist& nd : oracle) {
+    if (!got.contains(nd.node)) return false;
+  }
+  return true;
+}
+
+std::vector<std::pair<NodeId, NodeId>> SampleConnectionPairs(
+    const graph::Digraph& graph, size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  const size_t n = graph.NumNodes();
+  if (n < 2) return pairs;
+
+  size_t connected_quota = count / 2;
+  const size_t max_attempts = count * 100 + 100;
+  for (size_t attempt = 0;
+       attempt < max_attempts && pairs.size() < count; ++attempt) {
+    const NodeId a = static_cast<NodeId>(rng.Uniform(n));
+    if (connected_quota > 0) {
+      // Walk to a reachable target for a positive pair.
+      const std::vector<Distance> dist = graph::BfsDistances(graph, a);
+      std::vector<NodeId> reachable;
+      for (NodeId v = 0; v < n; ++v) {
+        if (v != a && dist[v] != kUnreachable) reachable.push_back(v);
+      }
+      if (reachable.empty()) continue;
+      pairs.push_back({a, reachable[rng.Uniform(reachable.size())]});
+      --connected_quota;
+    } else {
+      NodeId b;
+      do {
+        b = static_cast<NodeId>(rng.Uniform(n));
+      } while (b == a);
+      pairs.push_back({a, b});
+    }
+  }
+  return pairs;
+}
+
+}  // namespace flix::workload

@@ -1,0 +1,66 @@
+// Query workload sampling and result-quality measurement.
+//
+// The paper evaluates a//b descendant queries from specific start elements
+// and reports, besides timings, the "error rate": the fraction of results a
+// configuration returned out of ascending-distance order. This module
+// samples reproducible query sets and computes that metric plus exact-set
+// comparisons against the BFS oracle.
+#ifndef FLIX_WORKLOAD_QUERY_WORKLOAD_H_
+#define FLIX_WORKLOAD_QUERY_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "flix/streamed_list.h"
+#include "graph/digraph.h"
+#include "graph/traversal.h"
+#include "xml/collection.h"
+
+namespace flix::workload {
+
+struct DescendantQuery {
+  NodeId start = kInvalidNode;
+  TagId tag = kInvalidTag;
+  std::string tag_name;
+};
+
+struct QuerySamplerOptions {
+  uint64_t seed = 123;
+  size_t count = 20;
+  // Only sample starts with at least this many matching descendants, so the
+  // timing queries do non-trivial work (0 = any start).
+  size_t min_results = 1;
+  // Tag name required for results; empty = sample a tag per query from the
+  // tags that actually occur below the start.
+  std::string result_tag;
+};
+
+// Samples descendant queries over the element graph. Starts are drawn
+// uniformly from document root elements (like the paper's "Mohan's VLDB 99
+// paper" start); the oracle filters out starts with too few results.
+std::vector<DescendantQuery> SampleDescendantQueries(
+    const xml::Collection& collection, const graph::Digraph& graph,
+    const QuerySamplerOptions& options);
+
+// Fraction of results whose distance is smaller than that of the result
+// emitted immediately before them (adjacent inversions) — results "returned
+// in wrong order" (Section 6). With FliX's block-wise emission this counts
+// roughly one error per out-of-order block boundary, matching the magnitude
+// the paper reports (8-13%).
+double OrderErrorRate(const std::vector<core::Result>& results);
+
+// True iff `results` contains exactly the oracle's node set (order and
+// distance values ignored).
+bool SameResultSet(const std::vector<core::Result>& results,
+                   const std::vector<graph::NodeDist>& oracle);
+
+// Pairs of (distinct) elements for connection tests, biased so that about
+// half are connected according to the oracle.
+std::vector<std::pair<NodeId, NodeId>> SampleConnectionPairs(
+    const graph::Digraph& graph, size_t count, uint64_t seed);
+
+}  // namespace flix::workload
+
+#endif  // FLIX_WORKLOAD_QUERY_WORKLOAD_H_

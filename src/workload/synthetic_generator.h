@@ -1,0 +1,53 @@
+// Heterogeneous synthetic collections, modelled after the paper's Figure 1:
+// a tree-like region (documents whose links form a tree pointing at roots)
+// next to a densely interlinked region, plus isolated documents.
+//
+// Used by the integration tests, the examples, and the ablation benches to
+// exercise the Meta Document Builder's configurations on controllable link
+// structure.
+#ifndef FLIX_WORKLOAD_SYNTHETIC_GENERATOR_H_
+#define FLIX_WORKLOAD_SYNTHETIC_GENERATOR_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "xml/collection.h"
+
+namespace flix::workload {
+
+struct SyntheticOptions {
+  uint64_t seed = 7;
+
+  // Tree-like region: documents connected by root-targeting links that form
+  // a document-level tree (Maximal PPO indexes the whole region with PPO).
+  size_t tree_docs = 4;
+  // Densely linked region: every document links to several random elements
+  // of other region members (cycles likely) and carries intra-document
+  // idref links, so its element graph is not a tree.
+  size_t dense_docs = 6;
+  double dense_links_per_doc = 3.0;
+  double dense_intra_links_per_doc = 1.5;
+  // Documents with no links at all.
+  size_t isolated_docs = 2;
+
+  // Elements per generated document (min/max of a uniform draw).
+  size_t min_elements = 8;
+  size_t max_elements = 40;
+  // Maximum tree depth within a document.
+  int max_depth = 5;
+  // Tag vocabulary size (tags are "t0", "t1", ...; roots are "doc").
+  size_t num_tags = 8;
+};
+
+// Generates the collection and resolves links.
+StatusOr<xml::Collection> GenerateSynthetic(
+    const SyntheticOptions& options = {});
+
+// One random document tree as XML text (exposed for tests). Elements get
+// ids "e0".."eN" so links can target them.
+std::string GenerateDocumentXml(const SyntheticOptions& options,
+                                std::string_view doc_label,
+                                size_t num_elements, flix::Rng& rng);
+
+}  // namespace flix::workload
+
+#endif  // FLIX_WORKLOAD_SYNTHETIC_GENERATOR_H_

@@ -1,0 +1,153 @@
+#include "xml/collection.h"
+
+#include <cassert>
+
+namespace flix::xml {
+
+StatusOr<DocId> Collection::AddDocument(Document doc) {
+  if (by_name_.contains(doc.name())) {
+    return InvalidArgumentError("duplicate document name '" + doc.name() +
+                                "'");
+  }
+  const DocId id = static_cast<DocId>(documents_.size());
+  by_name_.emplace(doc.name(), id);
+  offsets_.push_back(static_cast<NodeId>(total_elements_));
+  total_elements_ += doc.NumElements();
+  documents_.push_back(std::move(doc));
+  return id;
+}
+
+StatusOr<DocId> Collection::AddXml(std::string_view text, std::string name,
+                                   const ParseOptions& options) {
+  StatusOr<Document> doc = ParseDocument(text, std::move(name), pool_, options);
+  if (!doc.ok()) return doc.status();
+  return AddDocument(std::move(doc).value());
+}
+
+DocId Collection::FindDocument(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidDoc : it->second;
+}
+
+Collection::Location Collection::Locate(NodeId node) const {
+  assert(node < total_elements_);
+  // offsets_ is sorted; find the last offset <= node.
+  size_t lo = 0;
+  size_t hi = offsets_.size() - 1;
+  while (lo < hi) {
+    const size_t mid = (lo + hi + 1) / 2;
+    if (offsets_[mid] <= node) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return {static_cast<DocId>(lo), node - offsets_[lo]};
+}
+
+const LinkResolution& Collection::ResolveAllLinks(const LinkOptions& options) {
+  links_ = ResolveLinks(*this, options);
+  return links_;
+}
+
+graph::Digraph Collection::BuildGraph() const {
+  graph::Digraph g(total_elements_);
+  for (DocId d = 0; d < documents_.size(); ++d) {
+    const Document& doc = documents_[d];
+    for (ElementId e = 0; e < doc.NumElements(); ++e) {
+      const NodeId node = GlobalId(d, e);
+      g.SetTag(node, doc.element(e).tag);
+      for (const ElementId child : doc.element(e).children) {
+        g.AddEdge(node, GlobalId(d, child), graph::EdgeKind::kTree);
+      }
+    }
+  }
+  for (const Link& link : links_.links) {
+    g.AddEdge(GlobalId(link.src_doc, link.src_elem),
+              GlobalId(link.dst_doc, link.dst_elem), graph::EdgeKind::kLink);
+  }
+  return g;
+}
+
+std::vector<uint32_t> Collection::DocOfNode() const {
+  std::vector<uint32_t> doc_of(total_elements_);
+  for (DocId d = 0; d < documents_.size(); ++d) {
+    for (ElementId e = 0; e < documents_[d].NumElements(); ++e) {
+      doc_of[GlobalId(d, e)] = d;
+    }
+  }
+  return doc_of;
+}
+
+namespace {
+constexpr uint32_t kCollectionMagic = 0x464C4358;  // "FLCX"
+constexpr uint32_t kCollectionVersion = 1;
+}  // namespace
+
+Status Collection::Save(std::ostream& out) const {
+  BinaryWriter writer(out);
+  writer.WriteU32(kCollectionMagic);
+  writer.WriteU32(kCollectionVersion);
+  pool_.Save(writer);
+  writer.WriteU64(documents_.size());
+  for (const Document& doc : documents_) doc.Save(writer);
+  writer.WriteU64(links_.links.size());
+  for (const Link& link : links_.links) {
+    writer.WriteU32(link.src_doc);
+    writer.WriteU32(link.src_elem);
+    writer.WriteU32(link.dst_doc);
+    writer.WriteU32(link.dst_elem);
+  }
+  writer.WriteU64(links_.unresolved);
+  if (!writer.ok()) return InternalError("write failed while saving collection");
+  return Status::Ok();
+}
+
+StatusOr<Collection> Collection::Load(std::istream& in) {
+  BinaryReader reader(in);
+  if (reader.ReadU32() != kCollectionMagic) {
+    return InvalidArgumentError("not a FliX collection file (bad magic)");
+  }
+  if (const uint32_t version = reader.ReadU32();
+      version != kCollectionVersion) {
+    return InvalidArgumentError("unsupported collection version " +
+                                std::to_string(version));
+  }
+  Collection collection;
+  collection.pool_ = NamePool::Load(reader);
+  const uint64_t num_docs = reader.ReadU64();
+  for (uint64_t d = 0; d < num_docs && reader.ok(); ++d) {
+    StatusOr<DocId> added = collection.AddDocument(Document::Load(reader));
+    if (!added.ok()) return added.status();
+  }
+  const uint64_t num_links = reader.ReadU64();
+  for (uint64_t i = 0; i < num_links && reader.ok(); ++i) {
+    Link link;
+    link.src_doc = reader.ReadU32();
+    link.src_elem = reader.ReadU32();
+    link.dst_doc = reader.ReadU32();
+    link.dst_elem = reader.ReadU32();
+    // Endpoints must exist: BuildGraph turns them into edges unchecked.
+    if (link.src_doc >= collection.NumDocuments() ||
+        link.dst_doc >= collection.NumDocuments() ||
+        link.src_elem >= collection.document(link.src_doc).NumElements() ||
+        link.dst_elem >= collection.document(link.dst_doc).NumElements()) {
+      return InvalidArgumentError("corrupt link table");
+    }
+    collection.links_.links.push_back(link);
+  }
+  collection.links_.unresolved = reader.ReadU64();
+  if (!reader.ok()) {
+    return InvalidArgumentError("truncated or corrupt collection file");
+  }
+  return collection;
+}
+
+size_t Collection::MemoryBytes() const {
+  size_t bytes = pool_.MemoryBytes();
+  for (const Document& doc : documents_) bytes += doc.MemoryBytes();
+  bytes += links_.links.capacity() * sizeof(Link);
+  return bytes;
+}
+
+}  // namespace flix::xml

@@ -1,0 +1,97 @@
+// A collection of interlinked XML documents and its global element graph.
+//
+// Elements get collection-wide dense NodeIds (document offset + local
+// element index). BuildGraph() materializes the XML data graph G_X of the
+// paper: tree edges for parent-child relations, link edges for resolved
+// id/idref and XLink references.
+#ifndef FLIX_XML_COLLECTION_H_
+#define FLIX_XML_COLLECTION_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/digraph.h"
+#include "xml/document.h"
+#include "xml/link_resolver.h"
+#include "xml/name_pool.h"
+#include "xml/parser.h"
+
+namespace flix::xml {
+
+class Collection {
+ public:
+  Collection() = default;
+
+  Collection(const Collection&) = delete;
+  Collection& operator=(const Collection&) = delete;
+  Collection(Collection&&) = default;
+  Collection& operator=(Collection&&) = default;
+
+  NamePool& pool() { return pool_; }
+  const NamePool& pool() const { return pool_; }
+
+  // Adds a parsed document. Its name must be unique within the collection.
+  StatusOr<DocId> AddDocument(Document doc);
+
+  // Parses `text` and adds the result.
+  StatusOr<DocId> AddXml(std::string_view text, std::string name,
+                         const ParseOptions& options = {});
+
+  size_t NumDocuments() const { return documents_.size(); }
+  const Document& document(DocId id) const { return documents_[id]; }
+
+  DocId FindDocument(std::string_view name) const;
+
+  // Total number of elements across all documents.
+  size_t NumElements() const { return total_elements_; }
+
+  // Global node id for (doc, element).
+  NodeId GlobalId(DocId doc, ElementId elem) const {
+    return offsets_[doc] + elem;
+  }
+
+  struct Location {
+    DocId doc;
+    ElementId elem;
+  };
+  // Inverse of GlobalId.
+  Location Locate(NodeId node) const;
+
+  // Resolves links across the collection (idempotent to recall; resolution
+  // is recomputed each time). Stored for inspection via links().
+  const LinkResolution& ResolveAllLinks(const LinkOptions& options = {});
+  const LinkResolution& links() const { return links_; }
+
+  // Materializes the XML data graph over all elements. ResolveAllLinks()
+  // must have been called if link edges are desired; tree edges are always
+  // present. Node tags come from the shared pool.
+  graph::Digraph BuildGraph() const;
+
+  // Document id per global node — the atomic-unit vector handed to the
+  // partitioner so documents are never split across meta documents.
+  std::vector<uint32_t> DocOfNode() const;
+
+  size_t MemoryBytes() const;
+
+  // Binary persistence of the whole collection (pool, documents, resolved
+  // links). Element ids and tag ids are preserved exactly, so indexes saved
+  // against this collection remain valid after a load.
+  Status Save(std::ostream& out) const;
+  static StatusOr<Collection> Load(std::istream& in);
+
+ private:
+  NamePool pool_;
+  std::vector<Document> documents_;
+  std::unordered_map<std::string, DocId> by_name_;
+  std::vector<NodeId> offsets_;
+  size_t total_elements_ = 0;
+  LinkResolution links_;
+};
+
+}  // namespace flix::xml
+
+#endif  // FLIX_XML_COLLECTION_H_

@@ -1,0 +1,119 @@
+#include "xml/document.h"
+
+#include <cassert>
+
+namespace flix::xml {
+
+ElementId Document::AddElement(TagId tag, ElementId parent) {
+  const ElementId id = static_cast<ElementId>(elements_.size());
+  assert((parent == kInvalidElement) == (id == 0));
+  Element e;
+  e.tag = tag;
+  e.parent = parent;
+  elements_.push_back(std::move(e));
+  if (parent != kInvalidElement) elements_[parent].children.push_back(id);
+  return id;
+}
+
+std::string_view Document::AttributeValue(ElementId id,
+                                          std::string_view name) const {
+  for (const Attribute& attr : elements_[id].attributes) {
+    if (attr.name == name) return attr.value;
+  }
+  return {};
+}
+
+void Document::RegisterAnchor(std::string_view value, ElementId id) {
+  anchors_.emplace(std::string(value), id);
+}
+
+ElementId Document::FindAnchor(std::string_view value) const {
+  const auto it = anchors_.find(std::string(value));
+  return it == anchors_.end() ? kInvalidElement : it->second;
+}
+
+int Document::Depth(ElementId id) const {
+  int depth = 0;
+  while (elements_[id].parent != kInvalidElement) {
+    id = elements_[id].parent;
+    ++depth;
+  }
+  return depth;
+}
+
+void Document::Save(BinaryWriter& writer) const {
+  writer.WriteString(name_);
+  writer.WriteU64(elements_.size());
+  for (const Element& e : elements_) {
+    writer.WriteU32(e.tag);
+    writer.WriteU32(e.parent);
+    writer.WriteU64(e.attributes.size());
+    for (const Attribute& a : e.attributes) {
+      writer.WriteString(a.name);
+      writer.WriteString(a.value);
+    }
+    writer.WriteString(e.text);
+  }
+  writer.WriteU64(anchors_.size());
+  for (const auto& [value, element] : anchors_) {
+    writer.WriteString(value);
+    writer.WriteU32(element);
+  }
+}
+
+Document Document::Load(BinaryReader& reader) {
+  Document doc(reader.ReadString());
+  const uint64_t num_elements = reader.ReadU64();
+  for (uint64_t i = 0; i < num_elements && reader.ok(); ++i) {
+    const TagId tag = reader.ReadU32();
+    const ElementId parent = reader.ReadU32();
+    // Structural validation: the first element is the root (no parent),
+    // every later element hangs under an already-loaded one.
+    const bool valid_parent =
+        i == 0 ? parent == kInvalidElement : parent < i;
+    if (!valid_parent) {
+      reader.MarkFailed();
+      break;
+    }
+    const ElementId id = doc.AddElement(tag, parent);
+    Element& e = doc.element(id);
+    const uint64_t num_attributes = reader.ReadU64();
+    for (uint64_t a = 0; a < num_attributes && reader.ok(); ++a) {
+      Attribute attr;
+      attr.name = reader.ReadString();
+      attr.value = reader.ReadString();
+      e.attributes.push_back(std::move(attr));
+    }
+    e.text = reader.ReadString();
+  }
+  const uint64_t num_anchors = reader.ReadU64();
+  for (uint64_t i = 0; i < num_anchors && reader.ok(); ++i) {
+    const std::string value = reader.ReadString();
+    const ElementId element = reader.ReadU32();
+    if (element >= doc.NumElements()) {
+      reader.MarkFailed();
+      break;
+    }
+    doc.RegisterAnchor(value, element);
+  }
+  return doc;
+}
+
+size_t Document::MemoryBytes() const {
+  size_t bytes = name_.capacity() + elements_.capacity() * sizeof(Element);
+  for (const Element& e : elements_) {
+    bytes += e.children.capacity() * sizeof(ElementId);
+    bytes += e.attributes.capacity() * sizeof(Attribute);
+    for (const Attribute& a : e.attributes) {
+      bytes += a.name.capacity() + a.value.capacity();
+    }
+    bytes += e.text.capacity();
+  }
+  for (const auto& [key, value] : anchors_) {
+    (void)value;
+    bytes += key.capacity() + sizeof(ElementId) + 16;
+  }
+  return bytes;
+}
+
+}  // namespace flix::xml

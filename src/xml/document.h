@@ -1,0 +1,94 @@
+// In-memory XML document model.
+//
+// An element holds its interned tag, attributes, concatenated direct text,
+// and tree structure via indices into the document's element array. Elements
+// are stored in document (pre-) order, so the index doubles as a preorder
+// rank within the document.
+#ifndef FLIX_XML_DOCUMENT_H_
+#define FLIX_XML_DOCUMENT_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/types.h"
+#include "xml/name_pool.h"
+
+namespace flix::xml {
+
+// Index of an element within its document.
+using ElementId = uint32_t;
+inline constexpr ElementId kInvalidElement = UINT32_MAX;
+
+struct Attribute {
+  std::string name;
+  std::string value;
+
+  friend bool operator==(const Attribute&, const Attribute&) = default;
+};
+
+struct Element {
+  TagId tag = kInvalidTag;
+  ElementId parent = kInvalidElement;
+  std::vector<ElementId> children;
+  std::vector<Attribute> attributes;
+  // Direct text content (all text children concatenated, entity-decoded).
+  std::string text;
+};
+
+// One XML document. Tag names are interned in an external NamePool shared by
+// the whole collection so that TagIds are comparable across documents.
+class Document {
+ public:
+  // `name` identifies the document within its collection (acts as the URI
+  // that inter-document links refer to).
+  explicit Document(std::string name) : name_(std::move(name)) {}
+
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  const std::string& name() const { return name_; }
+
+  // Appends an element; parent == kInvalidElement makes it the root (only
+  // valid once, as the first element).
+  ElementId AddElement(TagId tag, ElementId parent);
+
+  size_t NumElements() const { return elements_.size(); }
+  const Element& element(ElementId id) const { return elements_[id]; }
+  Element& element(ElementId id) { return elements_[id]; }
+
+  ElementId root() const { return elements_.empty() ? kInvalidElement : 0; }
+
+  // Value of the attribute `name` on `id`, or empty view if absent.
+  std::string_view AttributeValue(ElementId id, std::string_view name) const;
+
+  // Registers `value` as an anchor id for `id` (from id= / xml:id=
+  // attributes). Later registrations of the same value are ignored, matching
+  // the XML rule that ids are unique (first wins on malformed input).
+  void RegisterAnchor(std::string_view value, ElementId id);
+
+  // Element carrying the anchor id `value`, or kInvalidElement.
+  ElementId FindAnchor(std::string_view value) const;
+
+  // Depth of the element below the root (root = 0).
+  int Depth(ElementId id) const;
+
+  size_t MemoryBytes() const;
+
+  // Binary persistence (tag ids refer to the collection's shared pool).
+  void Save(BinaryWriter& writer) const;
+  static Document Load(BinaryReader& reader);
+
+ private:
+  std::string name_;
+  std::vector<Element> elements_;
+  std::unordered_map<std::string, ElementId> anchors_;
+};
+
+}  // namespace flix::xml
+
+#endif  // FLIX_XML_DOCUMENT_H_

@@ -1,0 +1,86 @@
+#include "xml/link_resolver.h"
+
+#include <algorithm>
+
+#include "xml/collection.h"
+
+namespace flix::xml {
+namespace {
+
+bool Contains(const std::vector<std::string>& names, const std::string& name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+// Splits a whitespace-separated IDREFS value into tokens.
+std::vector<std::string_view> SplitTokens(std::string_view value) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < value.size()) {
+    while (i < value.size() && value[i] == ' ') ++i;
+    const size_t begin = i;
+    while (i < value.size() && value[i] != ' ') ++i;
+    if (i > begin) tokens.push_back(value.substr(begin, i - begin));
+  }
+  return tokens;
+}
+
+// Resolves one idref token within `doc`; "#id" and "id" are equivalent.
+ElementId ResolveAnchor(const Document& doc, std::string_view token) {
+  if (token.starts_with('#')) token.remove_prefix(1);
+  return doc.FindAnchor(token);
+}
+
+}  // namespace
+
+LinkResolution ResolveLinks(const Collection& collection,
+                            const LinkOptions& options) {
+  LinkResolution result;
+  for (DocId d = 0; d < collection.NumDocuments(); ++d) {
+    const Document& doc = collection.document(d);
+    for (ElementId e = 0; e < doc.NumElements(); ++e) {
+      for (const Attribute& attr : doc.element(e).attributes) {
+        if (Contains(options.idref_attributes, attr.name)) {
+          for (const std::string_view token : SplitTokens(attr.value)) {
+            const ElementId target = ResolveAnchor(doc, token);
+            if (target == kInvalidElement) {
+              ++result.unresolved;
+            } else {
+              result.links.push_back({d, e, d, target});
+            }
+          }
+        } else if (Contains(options.href_attributes, attr.name)) {
+          const std::string_view value = attr.value;
+          const size_t hash = value.find('#');
+          const std::string_view doc_part =
+              hash == std::string_view::npos ? value : value.substr(0, hash);
+          const std::string_view anchor_part =
+              hash == std::string_view::npos ? std::string_view{}
+                                             : value.substr(hash + 1);
+          DocId target_doc = d;
+          if (!doc_part.empty()) {
+            target_doc = collection.FindDocument(doc_part);
+            if (target_doc == kInvalidDoc) {
+              ++result.unresolved;
+              continue;
+            }
+          }
+          const Document& target = collection.document(target_doc);
+          ElementId target_elem;
+          if (anchor_part.empty()) {
+            target_elem = target.root();
+          } else {
+            target_elem = target.FindAnchor(anchor_part);
+          }
+          if (target_elem == kInvalidElement) {
+            ++result.unresolved;
+          } else {
+            result.links.push_back({d, e, target_doc, target_elem});
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace flix::xml

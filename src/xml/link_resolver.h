@@ -1,0 +1,51 @@
+// Resolution of intra- and inter-document links.
+//
+// The paper's data model (Section 2.1) adds an edge for every id/idref
+// reference and every XLink. We recognize:
+//   * idref / ref / cite attributes: whitespace-separated anchor ids within
+//     the same document (or "#id" syntax);
+//   * href / xlink:href attributes: "document", "document#anchor" or
+//     "#anchor" URIs, where "document" is the Document::name() of another
+//     collection member and a missing anchor targets its root.
+#ifndef FLIX_XML_LINK_RESOLVER_H_
+#define FLIX_XML_LINK_RESOLVER_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "xml/document.h"
+
+namespace flix::xml {
+
+struct Link {
+  DocId src_doc = kInvalidDoc;
+  ElementId src_elem = kInvalidElement;
+  DocId dst_doc = kInvalidDoc;
+  ElementId dst_elem = kInvalidElement;
+
+  bool IsInterDocument() const { return src_doc != dst_doc; }
+
+  friend bool operator==(const Link&, const Link&) = default;
+};
+
+struct LinkResolution {
+  std::vector<Link> links;
+  // References whose target document or anchor does not exist. Dangling
+  // links are dropped (the Web is full of them), only counted.
+  size_t unresolved = 0;
+};
+
+class Collection;  // defined in xml/collection.h
+
+struct LinkOptions {
+  std::vector<std::string> idref_attributes = {"idref", "ref", "cite"};
+  std::vector<std::string> href_attributes = {"href", "xlink:href"};
+};
+
+// Scans all documents of `collection` and resolves link attributes.
+LinkResolution ResolveLinks(const Collection& collection,
+                            const LinkOptions& options = {});
+
+}  // namespace flix::xml
+
+#endif  // FLIX_XML_LINK_RESOLVER_H_

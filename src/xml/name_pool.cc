@@ -1,0 +1,40 @@
+#include "xml/name_pool.h"
+
+namespace flix::xml {
+
+TagId NamePool::Intern(std::string_view name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const TagId id = static_cast<TagId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+TagId NamePool::Lookup(std::string_view name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? kInvalidTag : it->second;
+}
+
+void NamePool::Save(BinaryWriter& writer) const {
+  writer.WriteU64(names_.size());
+  for (const std::string& name : names_) writer.WriteString(name);
+}
+
+NamePool NamePool::Load(BinaryReader& reader) {
+  NamePool pool;
+  const uint64_t size = reader.ReadU64();
+  for (uint64_t i = 0; i < size && reader.ok(); ++i) {
+    pool.Intern(reader.ReadString());
+  }
+  return pool;
+}
+
+size_t NamePool::MemoryBytes() const {
+  size_t bytes = names_.size() * sizeof(std::string);
+  for (const std::string& s : names_) bytes += s.capacity();
+  bytes += index_.size() * (sizeof(std::string_view) + sizeof(TagId) + 16);
+  return bytes;
+}
+
+}  // namespace flix::xml

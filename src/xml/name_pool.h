@@ -1,0 +1,54 @@
+// Interning pool for element tag names. Tags are compared and stored as
+// dense TagIds throughout the engine; the pool is the only place that keeps
+// the strings.
+#ifndef FLIX_XML_NAME_POOL_H_
+#define FLIX_XML_NAME_POOL_H_
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/binary_io.h"
+#include "common/types.h"
+
+namespace flix::xml {
+
+class NamePool {
+ public:
+  NamePool() = default;
+
+  // Not copyable (ids would silently diverge); movable.
+  NamePool(const NamePool&) = delete;
+  NamePool& operator=(const NamePool&) = delete;
+  NamePool(NamePool&&) = default;
+  NamePool& operator=(NamePool&&) = default;
+
+  // Returns the id for `name`, interning it on first use.
+  TagId Intern(std::string_view name);
+
+  // Returns the id for `name` or kInvalidTag if never interned.
+  TagId Lookup(std::string_view name) const;
+
+  // The name for a valid id.
+  const std::string& Name(TagId id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+  size_t MemoryBytes() const;
+
+  // Binary persistence; ids are preserved (interning order is stored).
+  void Save(BinaryWriter& writer) const;
+  static NamePool Load(BinaryReader& reader);
+
+ private:
+  // Deque: element addresses are stable, so the string_view keys in index_
+  // (which point into these strings, including their SSO buffers) never
+  // dangle as the pool grows.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, TagId> index_;
+};
+
+}  // namespace flix::xml
+
+#endif  // FLIX_XML_NAME_POOL_H_

@@ -1,0 +1,397 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace flix::xml {
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+// Cursor over the input with line/column tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view input) : input_(input) {}
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < input_.size() ? input_[pos_ + offset] : '\0';
+  }
+
+  char Advance() {
+    const char c = input_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  bool Consume(std::string_view literal) {
+    if (input_.substr(pos_).starts_with(literal)) {
+      for (size_t i = 0; i < literal.size(); ++i) Advance();
+      return true;
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (!AtEnd() && IsSpace(Peek())) Advance();
+  }
+
+  // Advances until `terminator` is consumed; returns false on EOF.
+  bool SkipUntil(std::string_view terminator) {
+    while (!AtEnd()) {
+      if (Consume(terminator)) return true;
+      Advance();
+    }
+    return false;
+  }
+
+  size_t pos() const { return pos_; }
+  int line() const { return line_; }
+  int column() const { return column_; }
+  std::string_view Slice(size_t begin, size_t end) const {
+    return input_.substr(begin, end - begin);
+  }
+
+  std::string Where() const {
+    return "line " + std::to_string(line_) + ", column " +
+           std::to_string(column_);
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view input, std::string name, NamePool& pool,
+         const ParseOptions& options)
+      : cursor_(input),
+        doc_(std::move(name)),
+        pool_(pool),
+        options_(options) {}
+
+  StatusOr<Document> Parse() {
+    if (Status s = SkipProlog(); !s.ok()) return s;
+    if (cursor_.AtEnd() || cursor_.Peek() != '<') {
+      return InvalidArgumentError("expected root element at " +
+                                  cursor_.Where());
+    }
+    if (Status s = ParseElement(kInvalidElement); !s.ok()) return s;
+    // Trailing misc: comments, PIs, whitespace.
+    for (;;) {
+      cursor_.SkipSpace();
+      if (cursor_.AtEnd()) break;
+      if (cursor_.Consume("<!--")) {
+        if (!cursor_.SkipUntil("-->")) {
+          return InvalidArgumentError("unterminated comment after root");
+        }
+      } else if (cursor_.Consume("<?")) {
+        if (!cursor_.SkipUntil("?>")) {
+          return InvalidArgumentError("unterminated PI after root");
+        }
+      } else {
+        return InvalidArgumentError("unexpected content after root at " +
+                                    cursor_.Where());
+      }
+    }
+    return std::move(doc_);
+  }
+
+ private:
+  Status SkipProlog() {
+    for (;;) {
+      cursor_.SkipSpace();
+      if (cursor_.Consume("<?")) {
+        if (!cursor_.SkipUntil("?>")) {
+          return InvalidArgumentError("unterminated processing instruction");
+        }
+      } else if (cursor_.Consume("<!--")) {
+        if (!cursor_.SkipUntil("-->")) {
+          return InvalidArgumentError("unterminated comment");
+        }
+      } else if (cursor_.Consume("<!DOCTYPE")) {
+        // Skip to the matching '>', honoring an internal subset in [...].
+        int bracket_depth = 0;
+        for (;;) {
+          if (cursor_.AtEnd()) {
+            return InvalidArgumentError("unterminated DOCTYPE");
+          }
+          const char c = cursor_.Advance();
+          if (c == '[') ++bracket_depth;
+          if (c == ']') --bracket_depth;
+          if (c == '>' && bracket_depth == 0) break;
+        }
+      } else {
+        return Status::Ok();
+      }
+    }
+  }
+
+  Status ParseName(std::string_view& out) {
+    if (cursor_.AtEnd() || !IsNameStartChar(cursor_.Peek())) {
+      return InvalidArgumentError("expected name at " + cursor_.Where());
+    }
+    const size_t begin = cursor_.pos();
+    while (!cursor_.AtEnd() && IsNameChar(cursor_.Peek())) cursor_.Advance();
+    out = cursor_.Slice(begin, cursor_.pos());
+    return Status::Ok();
+  }
+
+  // Decodes &...; references in `raw` into `out`.
+  Status DecodeText(std::string_view raw, std::string& out) {
+    out.reserve(out.size() + raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      const size_t semi = raw.find(';', i + 1);
+      if (semi == std::string_view::npos) {
+        return InvalidArgumentError("unterminated entity reference");
+      }
+      const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "lt") {
+        out.push_back('<');
+      } else if (entity == "gt") {
+        out.push_back('>');
+      } else if (entity == "amp") {
+        out.push_back('&');
+      } else if (entity == "apos") {
+        out.push_back('\'');
+      } else if (entity == "quot") {
+        out.push_back('"');
+      } else if (entity.starts_with("#")) {
+        uint32_t code = 0;
+        const bool hex = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X');
+        const std::string_view digits = entity.substr(hex ? 2 : 1);
+        if (digits.empty()) {
+          return InvalidArgumentError("empty character reference");
+        }
+        for (const char c : digits) {
+          uint32_t digit;
+          if (c >= '0' && c <= '9') {
+            digit = c - '0';
+          } else if (hex && c >= 'a' && c <= 'f') {
+            digit = c - 'a' + 10;
+          } else if (hex && c >= 'A' && c <= 'F') {
+            digit = c - 'A' + 10;
+          } else {
+            return InvalidArgumentError("bad character reference &" +
+                                        std::string(entity) + ";");
+          }
+          code = code * (hex ? 16 : 10) + digit;
+          if (code > 0x10FFFF) {
+            return InvalidArgumentError("character reference out of range");
+          }
+        }
+        AppendUtf8(code, out);
+      } else {
+        return InvalidArgumentError("unknown entity &" + std::string(entity) +
+                                    ";");
+      }
+      i = semi;
+    }
+    return Status::Ok();
+  }
+
+  static void AppendUtf8(uint32_t code, std::string& out) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status ParseAttributes(ElementId element) {
+    for (;;) {
+      cursor_.SkipSpace();
+      if (cursor_.AtEnd()) {
+        return InvalidArgumentError("unterminated start tag");
+      }
+      if (cursor_.Peek() == '>' || cursor_.Peek() == '/') return Status::Ok();
+
+      std::string_view name;
+      if (Status s = ParseName(name); !s.ok()) return s;
+      cursor_.SkipSpace();
+      if (cursor_.AtEnd() || cursor_.Advance() != '=') {
+        return InvalidArgumentError("expected '=' after attribute '" +
+                                    std::string(name) + "' at " +
+                                    cursor_.Where());
+      }
+      cursor_.SkipSpace();
+      if (cursor_.AtEnd() ||
+          (cursor_.Peek() != '"' && cursor_.Peek() != '\'')) {
+        return InvalidArgumentError("expected quoted attribute value at " +
+                                    cursor_.Where());
+      }
+      const char quote = cursor_.Advance();
+      const size_t begin = cursor_.pos();
+      while (!cursor_.AtEnd() && cursor_.Peek() != quote) {
+        if (cursor_.Peek() == '<') {
+          return InvalidArgumentError("'<' in attribute value at " +
+                                      cursor_.Where());
+        }
+        cursor_.Advance();
+      }
+      if (cursor_.AtEnd()) {
+        return InvalidArgumentError("unterminated attribute value");
+      }
+      const std::string_view raw = cursor_.Slice(begin, cursor_.pos());
+      cursor_.Advance();  // closing quote
+
+      Attribute attr;
+      attr.name = std::string(name);
+      if (Status s = DecodeText(raw, attr.value); !s.ok()) return s;
+
+      for (const std::string& id_attr : options_.id_attributes) {
+        if (attr.name == id_attr) {
+          doc_.RegisterAnchor(attr.value, element);
+          break;
+        }
+      }
+      doc_.element(element).attributes.push_back(std::move(attr));
+    }
+  }
+
+  Status ParseElement(ElementId parent) {
+    if (++depth_ > options_.max_depth) {
+      return InvalidArgumentError("element nesting deeper than " +
+                                  std::to_string(options_.max_depth));
+    }
+    const Status status = ParseElementImpl(parent);
+    --depth_;
+    return status;
+  }
+
+  Status ParseElementImpl(ElementId parent) {
+    // Caller guarantees cursor is at '<'.
+    cursor_.Advance();
+    std::string_view tag_name;
+    if (Status s = ParseName(tag_name); !s.ok()) return s;
+
+    const ElementId element = doc_.AddElement(pool_.Intern(tag_name), parent);
+    if (Status s = ParseAttributes(element); !s.ok()) return s;
+
+    if (cursor_.Consume("/>")) return Status::Ok();
+    if (!cursor_.Consume(">")) {
+      return InvalidArgumentError("malformed start tag <" +
+                                  std::string(tag_name) + "> at " +
+                                  cursor_.Where());
+    }
+    return ParseContent(element, tag_name);
+  }
+
+  Status ParseContent(ElementId element, std::string_view tag_name) {
+    std::string text;
+    for (;;) {
+      if (cursor_.AtEnd()) {
+        return InvalidArgumentError("unexpected end of input inside <" +
+                                    std::string(tag_name) + ">");
+      }
+      if (cursor_.Peek() == '<') {
+        if (cursor_.Consume("<!--")) {
+          if (!cursor_.SkipUntil("-->")) {
+            return InvalidArgumentError("unterminated comment");
+          }
+        } else if (cursor_.Consume("<![CDATA[")) {
+          const size_t begin = cursor_.pos();
+          if (!cursor_.SkipUntil("]]>")) {
+            return InvalidArgumentError("unterminated CDATA section");
+          }
+          const std::string_view cdata =
+              cursor_.Slice(begin, cursor_.pos() - 3);
+          text.append(cdata);
+        } else if (cursor_.Consume("<?")) {
+          if (!cursor_.SkipUntil("?>")) {
+            return InvalidArgumentError("unterminated processing instruction");
+          }
+        } else if (cursor_.PeekAt(1) == '/') {
+          cursor_.Consume("</");
+          std::string_view close_name;
+          if (Status s = ParseName(close_name); !s.ok()) return s;
+          cursor_.SkipSpace();
+          if (!cursor_.Consume(">")) {
+            return InvalidArgumentError("malformed end tag at " +
+                                        cursor_.Where());
+          }
+          if (close_name != tag_name) {
+            return InvalidArgumentError("mismatched end tag </" +
+                                        std::string(close_name) +
+                                        ">, expected </" +
+                                        std::string(tag_name) + "> at " +
+                                        cursor_.Where());
+          }
+          CommitText(element, std::move(text));
+          return Status::Ok();
+        } else {
+          if (Status s = ParseElement(element); !s.ok()) return s;
+        }
+      } else {
+        const size_t begin = cursor_.pos();
+        while (!cursor_.AtEnd() && cursor_.Peek() != '<') cursor_.Advance();
+        if (Status s = DecodeText(cursor_.Slice(begin, cursor_.pos()), text);
+            !s.ok()) {
+          return s;
+        }
+      }
+    }
+  }
+
+  void CommitText(ElementId element, std::string text) {
+    if (options_.trim_whitespace) {
+      size_t begin = 0;
+      size_t end = text.size();
+      while (begin < end && IsSpace(text[begin])) ++begin;
+      while (end > begin && IsSpace(text[end - 1])) --end;
+      text = text.substr(begin, end - begin);
+    }
+    doc_.element(element).text = std::move(text);
+  }
+
+  Cursor cursor_;
+  Document doc_;
+  NamePool& pool_;
+  const ParseOptions& options_;
+  size_t depth_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Document> ParseDocument(std::string_view input, std::string name,
+                                 NamePool& pool, const ParseOptions& options) {
+  Parser parser(input, std::move(name), pool, options);
+  return parser.Parse();
+}
+
+}  // namespace flix::xml

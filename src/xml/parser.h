@@ -1,0 +1,41 @@
+// Hand-written, dependency-free XML parser.
+//
+// Supports the subset of XML that document collections in the paper's
+// setting actually use: the XML declaration, processing instructions,
+// comments, DOCTYPE (skipped), elements with attributes, self-closing
+// elements, character data with the five predefined entities plus decimal
+// and hexadecimal character references, and CDATA sections. Namespaces are
+// not expanded; qualified names like "xlink:href" are kept verbatim.
+//
+// Errors are reported with 1-based line/column positions.
+#ifndef FLIX_XML_PARSER_H_
+#define FLIX_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/document.h"
+#include "xml/name_pool.h"
+
+namespace flix::xml {
+
+struct ParseOptions {
+  // Trim leading/trailing whitespace of text nodes and drop whitespace-only
+  // text (typical for data-centric XML like DBLP).
+  bool trim_whitespace = true;
+  // Attribute names treated as anchor declarations (id sinks for links).
+  // The defaults match the paper's id/idref model.
+  std::vector<std::string> id_attributes = {"id", "xml:id", "key"};
+  // Maximum element nesting depth; deeper input is rejected with an error
+  // (the parser recurses per level, so this bounds stack usage).
+  size_t max_depth = 1000;
+};
+
+// Parses `input` into a Document named `name`, interning tags in `pool`.
+StatusOr<Document> ParseDocument(std::string_view input, std::string name,
+                                 NamePool& pool,
+                                 const ParseOptions& options = {});
+
+}  // namespace flix::xml
+
+#endif  // FLIX_XML_PARSER_H_

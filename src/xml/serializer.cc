@@ -1,0 +1,71 @@
+#include "xml/serializer.h"
+
+namespace flix::xml {
+namespace {
+
+void SerializeElement(const Document& doc, const NamePool& pool,
+                      const SerializeOptions& options, ElementId id,
+                      int depth, std::string& out) {
+  const Element& e = doc.element(id);
+  const std::string& tag = pool.Name(e.tag);
+  if (options.pretty) out.append(static_cast<size_t>(depth) * 2, ' ');
+  out.push_back('<');
+  out.append(tag);
+  for (const Attribute& attr : e.attributes) {
+    out.push_back(' ');
+    out.append(attr.name);
+    out.append("=\"");
+    out.append(EscapeXml(attr.value));
+    out.push_back('"');
+  }
+  if (e.children.empty() && e.text.empty()) {
+    out.append("/>");
+    if (options.pretty) out.push_back('\n');
+    return;
+  }
+  out.push_back('>');
+  if (!e.text.empty()) {
+    out.append(EscapeXml(e.text));
+  }
+  if (!e.children.empty()) {
+    if (options.pretty) out.push_back('\n');
+    for (const ElementId child : e.children) {
+      SerializeElement(doc, pool, options, child, depth + 1, out);
+    }
+    if (options.pretty) out.append(static_cast<size_t>(depth) * 2, ' ');
+  }
+  out.append("</");
+  out.append(tag);
+  out.push_back('>');
+  if (options.pretty) out.push_back('\n');
+}
+
+}  // namespace
+
+std::string EscapeXml(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '<': out.append("&lt;"); break;
+      case '>': out.append("&gt;"); break;
+      case '&': out.append("&amp;"); break;
+      case '"': out.append("&quot;"); break;
+      case '\'': out.append("&apos;"); break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Serialize(const Document& doc, const NamePool& pool,
+                      const SerializeOptions& options) {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+  if (options.pretty) out.push_back('\n');
+  if (doc.root() != kInvalidElement) {
+    SerializeElement(doc, pool, options, doc.root(), 0, out);
+  }
+  return out;
+}
+
+}  // namespace flix::xml

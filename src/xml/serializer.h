@@ -1,0 +1,27 @@
+// XML serialization: the inverse of the parser (modulo whitespace and
+// comments). Used by the workload generators' tests to round-trip documents.
+#ifndef FLIX_XML_SERIALIZER_H_
+#define FLIX_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/document.h"
+#include "xml/name_pool.h"
+
+namespace flix::xml {
+
+struct SerializeOptions {
+  bool pretty = true;   // newlines + two-space indentation
+};
+
+// Serializes `doc` to XML text. Attribute values and text are entity-escaped
+// so that Parse(Serialize(doc)) reproduces the document.
+std::string Serialize(const Document& doc, const NamePool& pool,
+                      const SerializeOptions& options = {});
+
+// Escapes <, >, &, ", ' for embedding in XML text or attribute values.
+std::string EscapeXml(std::string_view raw);
+
+}  // namespace flix::xml
+
+#endif  // FLIX_XML_SERIALIZER_H_

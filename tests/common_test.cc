@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace flix {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = InvalidArgumentError("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, AllErrorFactories) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFoundError("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> out = std::move(v).value();
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(6);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(7);
+  bool low = false;
+  bool high = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    low |= v == -3;
+    high |= v == 3;
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.Bernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(ZipfSamplerTest, FirstItemMostPopular) {
+  Rng rng(10);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+  // Harmonic ratio: item 0 about twice as popular as item 1.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 2.0, 0.5);
+}
+
+TEST(ZipfSamplerTest, GrowExtendsDomain) {
+  Rng rng(11);
+  ZipfSampler zipf(1, 0.9);
+  EXPECT_EQ(zipf.Sample(rng), 0u);
+  zipf.Grow(50);
+  EXPECT_EQ(zipf.size(), 50u);
+  bool beyond_first = false;
+  for (int i = 0; i < 500; ++i) {
+    const size_t s = zipf.Sample(rng);
+    EXPECT_LT(s, 50u);
+    beyond_first |= s > 0;
+  }
+  EXPECT_TRUE(beyond_first);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = watch.ElapsedMillis();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 5000.0);
+  EXPECT_NEAR(watch.ElapsedSeconds() * 1000, watch.ElapsedMillis(), 50.0);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedMillis(), 15.0);
+}
+
+TEST(BytesTest, FormatBytesPicksUnits) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KB");
+  EXPECT_EQ(FormatBytes(3 << 20), "3.00 MB");
+}
+
+TEST(BytesTest, VectorBytesTracksCapacity) {
+  std::vector<int> v;
+  v.reserve(100);
+  EXPECT_EQ(VectorBytes(v), 100 * sizeof(int));
+}
+
+}  // namespace
+}  // namespace flix

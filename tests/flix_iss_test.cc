@@ -1,0 +1,74 @@
+#include "flix/iss.h"
+
+#include <gtest/gtest.h>
+
+#include "flix/config.h"
+#include "graph/digraph.h"
+
+namespace flix::core {
+namespace {
+
+graph::Digraph Forest() {
+  graph::Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  return g;
+}
+
+graph::Digraph Cyclic() {
+  graph::Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  return g;
+}
+
+TEST(IssTest, AutoPicksPpoForForests) {
+  FlixOptions options;
+  options.iss_policy = IssPolicy::kAuto;
+  options.config = MdbConfig::kNaive;
+  EXPECT_EQ(SelectStrategy(Forest(), options), index::StrategyKind::kPpo);
+}
+
+TEST(IssTest, AutoPicksHopiForLinkedGraphs) {
+  FlixOptions options;
+  options.iss_policy = IssPolicy::kAuto;
+  options.config = MdbConfig::kNaive;
+  EXPECT_EQ(SelectStrategy(Cyclic(), options), index::StrategyKind::kHopi);
+}
+
+TEST(IssTest, AutoFallsBackToApexAboveHopiBudget) {
+  FlixOptions options;
+  options.iss_policy = IssPolicy::kAuto;
+  options.config = MdbConfig::kNaive;
+  options.hopi_max_nodes = 2;
+  EXPECT_EQ(SelectStrategy(Cyclic(), options), index::StrategyKind::kApex);
+}
+
+TEST(IssTest, UnconnectedHopiConfigForcesHopi) {
+  FlixOptions options;
+  options.iss_policy = IssPolicy::kAuto;
+  options.config = MdbConfig::kUnconnectedHopi;
+  // Even forests get HOPI under the Unconnected HOPI configuration, which
+  // is defined by its per-partition HOPI indexes.
+  EXPECT_EQ(SelectStrategy(Forest(), options), index::StrategyKind::kHopi);
+}
+
+TEST(IssTest, ForcePoliciesWin) {
+  FlixOptions options;
+  options.config = MdbConfig::kNaive;
+  options.iss_policy = IssPolicy::kForceHopi;
+  EXPECT_EQ(SelectStrategy(Forest(), options), index::StrategyKind::kHopi);
+  options.iss_policy = IssPolicy::kForceApex;
+  EXPECT_EQ(SelectStrategy(Cyclic(), options), index::StrategyKind::kApex);
+}
+
+TEST(IssTest, ConfigNamesStable) {
+  EXPECT_EQ(MdbConfigName(MdbConfig::kNaive), "Naive");
+  EXPECT_EQ(MdbConfigName(MdbConfig::kMaximalPpo), "MaximalPPO");
+  EXPECT_EQ(MdbConfigName(MdbConfig::kUnconnectedHopi), "UnconnectedHOPI");
+  EXPECT_EQ(MdbConfigName(MdbConfig::kHybrid), "Hybrid");
+}
+
+}  // namespace
+}  // namespace flix::core

@@ -1,0 +1,281 @@
+#include "flix/mdb.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "flix/config.h"
+#include "graph/tree_utils.h"
+#include "workload/synthetic_generator.h"
+#include "xml/collection.h"
+
+namespace flix::core {
+namespace {
+
+struct BuiltInput {
+  graph::Digraph graph;
+  std::vector<uint32_t> doc_of;
+  std::vector<NodeId> doc_roots;
+
+  MdbInput View() const {
+    MdbInput input;
+    input.graph = &graph;
+    input.doc_of = &doc_of;
+    input.doc_roots = &doc_roots;
+    return input;
+  }
+};
+
+BuiltInput FromCollection(const xml::Collection& collection) {
+  BuiltInput built;
+  built.graph = collection.BuildGraph();
+  built.doc_of = collection.DocOfNode();
+  for (DocId d = 0; d < collection.NumDocuments(); ++d) {
+    built.doc_roots.push_back(collection.GlobalId(d, 0));
+  }
+  return built;
+}
+
+// Collection of three documents: d0 links to d1's root (tree-style), d2 has
+// an internal cycle-inducing idref.
+xml::Collection SmallCollection() {
+  xml::Collection c;
+  EXPECT_TRUE(c.AddXml("<a><b/><x href=\"d1\"/></a>", "d0").ok());
+  EXPECT_TRUE(c.AddXml("<a><c/></a>", "d1").ok());
+  EXPECT_TRUE(
+      c.AddXml(R"(<a id="r"><d ref="r"/></a>)", "d2").ok());
+  c.ResolveAllLinks();
+  return c;
+}
+
+// Checks the structural invariants every configuration must satisfy.
+void CheckInvariants(const BuiltInput& built, const MetaDocumentSet& set) {
+  const size_t n = built.graph.NumNodes();
+  ASSERT_EQ(set.meta_of_node.size(), n);
+  ASSERT_EQ(set.local_of_node.size(), n);
+
+  // Every node appears in exactly one meta document, consistent maps.
+  size_t total = 0;
+  for (const MetaDocument& meta : set.docs) {
+    total += meta.global_nodes.size();
+    EXPECT_EQ(meta.graph.NumNodes(), meta.global_nodes.size());
+    for (NodeId local = 0; local < meta.global_nodes.size(); ++local) {
+      const NodeId global = meta.global_nodes[local];
+      EXPECT_EQ(set.meta_of_node[global], meta.id);
+      EXPECT_EQ(set.local_of_node[global], local);
+      EXPECT_EQ(meta.graph.Tag(local), built.graph.Tag(global));
+    }
+  }
+  EXPECT_EQ(total, n);
+
+  // Every distinct global edge is represented exactly once: either as a
+  // local edge or as a cross link.
+  size_t local_edges = 0;
+  size_t cross = 0;
+  for (const MetaDocument& meta : set.docs) {
+    local_edges += meta.graph.NumEdges();
+    for (const auto& [src, targets] : meta.link_targets) {
+      EXPECT_TRUE(std::binary_search(meta.link_sources.begin(),
+                                     meta.link_sources.end(), src));
+      cross += targets.size();
+    }
+  }
+  EXPECT_EQ(cross, set.num_cross_links);
+
+  std::set<std::pair<NodeId, NodeId>> distinct;
+  for (const graph::Edge& e : built.graph.Edges()) {
+    distinct.insert({e.from, e.to});
+  }
+  EXPECT_EQ(local_edges + cross, distinct.size());
+
+  // Entry bookkeeping mirrors cross links.
+  size_t entries = 0;
+  for (const MetaDocument& meta : set.docs) {
+    for (const auto& [target, origins] : meta.entry_origins) {
+      EXPECT_TRUE(std::binary_search(meta.entry_nodes.begin(),
+                                     meta.entry_nodes.end(), target));
+      entries += origins.size();
+    }
+  }
+  EXPECT_EQ(entries, set.num_cross_links);
+}
+
+TEST(MdbTest, NaiveOneMetaPerDocument) {
+  const xml::Collection c = SmallCollection();
+  const BuiltInput built = FromCollection(c);
+  FlixOptions options;
+  options.config = MdbConfig::kNaive;
+  const MetaDocumentSet set = BuildMetaDocuments(built.View(), options);
+  CheckInvariants(built, set);
+  EXPECT_EQ(set.docs.size(), 3u);
+  // Only the inter-document link d0 -> d1 crosses meta documents; d2's
+  // intra-document link stays inside its meta document.
+  EXPECT_EQ(set.num_cross_links, 1u);
+}
+
+TEST(MdbTest, NaiveKeepsIntraDocumentLinksInGraph) {
+  const xml::Collection c = SmallCollection();
+  const BuiltInput built = FromCollection(c);
+  FlixOptions options;
+  options.config = MdbConfig::kNaive;
+  const MetaDocumentSet set = BuildMetaDocuments(built.View(), options);
+  // d2's meta document contains the idref edge -> not a forest.
+  const uint32_t meta_d2 = set.meta_of_node[c.GlobalId(2, 0)];
+  EXPECT_FALSE(graph::IsForest(set.docs[meta_d2].graph));
+}
+
+TEST(MdbTest, MaximalPpoGroupsTreeDocs) {
+  const xml::Collection c = SmallCollection();
+  const BuiltInput built = FromCollection(c);
+  FlixOptions options;
+  options.config = MdbConfig::kMaximalPpo;
+  const MetaDocumentSet set = BuildMetaDocuments(built.View(), options);
+  CheckInvariants(built, set);
+  // d0 and d1 merge into one tree group; d2 is a non-tree leftover.
+  EXPECT_EQ(set.docs.size(), 2u);
+  EXPECT_EQ(set.meta_of_node[c.GlobalId(0, 0)],
+            set.meta_of_node[c.GlobalId(1, 0)]);
+  EXPECT_NE(set.meta_of_node[c.GlobalId(0, 0)],
+            set.meta_of_node[c.GlobalId(2, 0)]);
+  // The accepted link is inside the group: no cross links remain.
+  EXPECT_EQ(set.num_cross_links, 0u);
+  // The tree group's graph is a forest (PPO-ready).
+  const uint32_t group = set.meta_of_node[c.GlobalId(0, 0)];
+  EXPECT_TRUE(graph::IsForest(set.docs[group].graph));
+}
+
+TEST(MdbTest, GrowTreeGroupsRejectsNonRootTargets) {
+  xml::Collection c;
+  ASSERT_TRUE(c.AddXml("<a><x href=\"d1#deep\"/></a>", "d0").ok());
+  ASSERT_TRUE(c.AddXml(R"(<a><b id="deep"/></a>)", "d1").ok());
+  c.ResolveAllLinks();
+  const BuiltInput built = FromCollection(c);
+  std::vector<std::pair<NodeId, NodeId>> accepted;
+  const std::vector<uint32_t> groups =
+      GrowTreeGroups(built.View(), &accepted);
+  // The link targets a non-root element: both docs stay separate groups.
+  EXPECT_TRUE(accepted.empty());
+  EXPECT_NE(groups[0], groups[1]);
+}
+
+TEST(MdbTest, GrowTreeGroupsRejectsSecondParent) {
+  xml::Collection c;
+  ASSERT_TRUE(c.AddXml("<a><x href=\"d2\"/></a>", "d0").ok());
+  ASSERT_TRUE(c.AddXml("<a><x href=\"d2\"/></a>", "d1").ok());
+  ASSERT_TRUE(c.AddXml("<a/>", "d2").ok());
+  c.ResolveAllLinks();
+  const BuiltInput built = FromCollection(c);
+  std::vector<std::pair<NodeId, NodeId>> accepted;
+  const std::vector<uint32_t> groups = GrowTreeGroups(built.View(), &accepted);
+  // Only one of the two links can be accepted.
+  EXPECT_EQ(accepted.size(), 1u);
+  // d2 joined exactly one group.
+  EXPECT_TRUE(groups[2] == groups[0] || groups[2] == groups[1]);
+  EXPECT_NE(groups[0], groups[1]);
+}
+
+TEST(MdbTest, MaximalPpoRemovedLinkBecomesCrossLink) {
+  xml::Collection c;
+  // d0 -> d1 (root, accepted) and d0 -> d1#deep (removed, followed at
+  // run time).
+  ASSERT_TRUE(
+      c.AddXml(R"(<a><x href="d1"/><y href="d1#deep"/></a>)", "d0").ok());
+  ASSERT_TRUE(c.AddXml(R"(<a><b id="deep"/></a>)", "d1").ok());
+  c.ResolveAllLinks();
+  const BuiltInput built = FromCollection(c);
+  FlixOptions options;
+  options.config = MdbConfig::kMaximalPpo;
+  const MetaDocumentSet set = BuildMetaDocuments(built.View(), options);
+  CheckInvariants(built, set);
+  ASSERT_EQ(set.docs.size(), 1u);
+  EXPECT_TRUE(graph::IsForest(set.docs[0].graph));
+  EXPECT_EQ(set.num_cross_links, 1u);  // the removed y -> deep link
+}
+
+TEST(MdbTest, UnconnectedHopiRespectsBound) {
+  const auto collection = workload::GenerateSynthetic({.seed = 3,
+                                                       .tree_docs = 5,
+                                                       .dense_docs = 8,
+                                                       .isolated_docs = 2});
+  ASSERT_TRUE(collection.ok());
+  const BuiltInput built = FromCollection(*collection);
+  FlixOptions options;
+  options.config = MdbConfig::kUnconnectedHopi;
+  options.partition_bound = 60;
+  const MetaDocumentSet set = BuildMetaDocuments(built.View(), options);
+  CheckInvariants(built, set);
+  // Bound can only be exceeded by a single oversized document.
+  size_t max_doc = 0;
+  for (DocId d = 0; d < collection->NumDocuments(); ++d) {
+    max_doc = std::max(max_doc, collection->document(d).NumElements());
+  }
+  for (const MetaDocument& meta : set.docs) {
+    EXPECT_LE(meta.NumNodes(), std::max<size_t>(options.partition_bound, max_doc));
+  }
+}
+
+TEST(MdbTest, UnconnectedHopiKeepsDocumentsWhole) {
+  const auto collection = workload::GenerateSynthetic({.seed = 4});
+  ASSERT_TRUE(collection.ok());
+  const BuiltInput built = FromCollection(*collection);
+  FlixOptions options;
+  options.config = MdbConfig::kUnconnectedHopi;
+  options.partition_bound = 50;
+  const MetaDocumentSet set = BuildMetaDocuments(built.View(), options);
+  for (DocId d = 0; d < collection->NumDocuments(); ++d) {
+    const uint32_t meta = set.meta_of_node[collection->GlobalId(d, 0)];
+    for (xml::ElementId e = 0; e < collection->document(d).NumElements();
+         ++e) {
+      EXPECT_EQ(set.meta_of_node[collection->GlobalId(d, e)], meta);
+    }
+  }
+}
+
+TEST(MdbTest, HybridSeparatesTreeAndDenseRegions) {
+  const auto collection = workload::GenerateSynthetic(
+      {.seed = 5, .tree_docs = 6, .dense_docs = 6, .isolated_docs = 3});
+  ASSERT_TRUE(collection.ok());
+  const BuiltInput built = FromCollection(*collection);
+  FlixOptions options;
+  options.config = MdbConfig::kHybrid;
+  options.partition_bound = 100;
+  const MetaDocumentSet set = BuildMetaDocuments(built.View(), options);
+  CheckInvariants(built, set);
+
+  // Tree docs live in forest-shaped meta documents.
+  size_t forest_metas = 0;
+  for (const MetaDocument& meta : set.docs) {
+    if (graph::IsForest(meta.graph)) ++forest_metas;
+  }
+  EXPECT_GT(forest_metas, 0u);
+  // Tree region documents are all in forests.
+  for (size_t i = 0; i < 6; ++i) {
+    const DocId d = collection->FindDocument("tree" + std::to_string(i));
+    ASSERT_NE(d, kInvalidDoc);
+    const uint32_t m = set.meta_of_node[collection->GlobalId(d, 0)];
+    EXPECT_TRUE(graph::IsForest(set.docs[m].graph)) << "tree doc " << i;
+  }
+}
+
+TEST(MdbTest, EmptyCollection) {
+  graph::Digraph empty;
+  std::vector<uint32_t> doc_of;
+  std::vector<NodeId> roots;
+  MdbInput input;
+  input.graph = &empty;
+  input.doc_of = &doc_of;
+  input.doc_roots = &roots;
+  for (const MdbConfig config :
+       {MdbConfig::kNaive, MdbConfig::kMaximalPpo, MdbConfig::kUnconnectedHopi,
+        MdbConfig::kHybrid}) {
+    FlixOptions options;
+    options.config = config;
+    const MetaDocumentSet set = BuildMetaDocuments(input, options);
+    EXPECT_TRUE(set.docs.empty());
+    EXPECT_EQ(set.num_cross_links, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace flix::core

@@ -1,0 +1,378 @@
+#include "flix/pee.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "flix/flix.h"
+#include "graph/traversal.h"
+#include "workload/synthetic_generator.h"
+#include "xml/collection.h"
+
+namespace flix::core {
+namespace {
+
+// Collection whose element graph crosses several documents:
+//   d0: a(0) -> b(1), a -> link(2) --href--> d1 root
+//   d1: a(3) -> b(4) -> link(5) --href--> d2#mid
+//   d2: a(6) -> c(7 id=mid) -> b(8), plus link(9) --href--> d0 (cycle!)
+xml::Collection ChainedCollection() {
+  xml::Collection c;
+  EXPECT_TRUE(c.AddXml("<a><b/><link href=\"d1\"/></a>", "d0").ok());
+  EXPECT_TRUE(c.AddXml("<a><b><link href=\"d2#mid\"/></b></a>", "d1").ok());
+  EXPECT_TRUE(c.AddXml(
+      R"(<a><c id="mid"><b/></c><link href="d0"/></a>)", "d2").ok());
+  c.ResolveAllLinks();
+  return c;
+}
+
+std::vector<Result> Collect(const Flix& flix, NodeId start,
+                            std::string_view name,
+                            const QueryOptions& options = {}) {
+  return flix.FindDescendantsByName(start, name, options);
+}
+
+std::set<NodeId> Nodes(const std::vector<Result>& results) {
+  std::set<NodeId> nodes;
+  for (const Result& r : results) nodes.insert(r.node);
+  return nodes;
+}
+
+std::set<NodeId> OracleNodes(const graph::ReachabilityOracle& oracle,
+                             NodeId start, TagId tag) {
+  std::set<NodeId> nodes;
+  for (const graph::NodeDist& nd : oracle.DescendantsByTag(start, tag)) {
+    nodes.insert(nd.node);
+  }
+  return nodes;
+}
+
+class PeeConfigTest : public ::testing::TestWithParam<MdbConfig> {};
+
+TEST_P(PeeConfigTest, DescendantsAcrossMetaDocuments) {
+  const xml::Collection c = ChainedCollection();
+  FlixOptions options;
+  options.config = GetParam();
+  options.partition_bound = 4;  // force several meta documents
+  auto flix = Flix::Build(c, options);
+  ASSERT_TRUE(flix.ok()) << flix.status().ToString();
+
+  const graph::Digraph g = c.BuildGraph();
+  const graph::ReachabilityOracle oracle(g);
+  const TagId tag_b = c.pool().Lookup("b");
+
+  for (const NodeId start : {c.GlobalId(0, 0), c.GlobalId(1, 0),
+                             c.GlobalId(2, 0)}) {
+    const std::vector<Result> results = Collect(**flix, start, "b");
+    EXPECT_EQ(Nodes(results), OracleNodes(oracle, start, tag_b))
+        << "config " << MdbConfigName(GetParam()) << " start " << start;
+    // Reported distances are true path lengths: never below the shortest.
+    for (const Result& r : results) {
+      const Distance exact = oracle.Distance(start, r.node);
+      EXPECT_GE(r.distance, exact);
+      EXPECT_NE(exact, kUnreachable);
+    }
+    // No duplicates.
+    EXPECT_EQ(Nodes(results).size(), results.size());
+  }
+}
+
+TEST_P(PeeConfigTest, ConnectionTestsMatchOracle) {
+  const xml::Collection c = ChainedCollection();
+  FlixOptions options;
+  options.config = GetParam();
+  options.partition_bound = 4;
+  auto flix = Flix::Build(c, options);
+  ASSERT_TRUE(flix.ok());
+  const graph::Digraph g = c.BuildGraph();
+  const graph::ReachabilityOracle oracle(g);
+  for (NodeId a = 0; a < g.NumNodes(); ++a) {
+    for (NodeId b = 0; b < g.NumNodes(); b += 2) {
+      EXPECT_EQ((*flix)->IsConnected(a, b), oracle.IsReachable(a, b))
+          << a << "->" << b;
+      EXPECT_EQ((*flix)->pee().IsConnectedBidirectional(a, b),
+                oracle.IsReachable(a, b))
+          << "bidi " << a << "->" << b;
+    }
+  }
+}
+
+TEST_P(PeeConfigTest, AncestorsAcrossMetaDocuments) {
+  const xml::Collection c = ChainedCollection();
+  FlixOptions options;
+  options.config = GetParam();
+  options.partition_bound = 4;
+  auto flix = Flix::Build(c, options);
+  ASSERT_TRUE(flix.ok());
+  const graph::Digraph g = c.BuildGraph();
+  const graph::ReachabilityOracle oracle(g);
+  const TagId tag_a = c.pool().Lookup("a");
+
+  // The b element in d2 has ancestors across all three documents.
+  const NodeId deep_b = c.GlobalId(2, 2);
+  const std::vector<Result> results =
+      (*flix)->FindAncestorsByName(deep_b, "a");
+  std::set<NodeId> expected;
+  for (const graph::NodeDist& nd : oracle.AncestorsByTag(deep_b, tag_a)) {
+    expected.insert(nd.node);
+  }
+  EXPECT_EQ(Nodes(results), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, PeeConfigTest,
+    ::testing::Values(MdbConfig::kNaive, MdbConfig::kMaximalPpo,
+                      MdbConfig::kUnconnectedHopi, MdbConfig::kHybrid),
+    [](const ::testing::TestParamInfo<MdbConfig>& info) {
+      return std::string(MdbConfigName(info.param));
+    });
+
+TEST(PeeTest, MaxResultsStopsEarly) {
+  const xml::Collection c = ChainedCollection();
+  auto flix = Flix::Build(c, {});
+  ASSERT_TRUE(flix.ok());
+  QueryOptions options;
+  options.max_results = 1;
+  const std::vector<Result> results =
+      Collect(**flix, c.GlobalId(0, 0), "b", options);
+  EXPECT_EQ(results.size(), 1u);
+}
+
+TEST(PeeTest, MaxDistanceFiltersFarResults) {
+  const xml::Collection c = ChainedCollection();
+  auto flix = Flix::Build(c, {});
+  ASSERT_TRUE(flix.ok());
+  QueryOptions options;
+  options.max_distance = 1;
+  const std::vector<Result> results =
+      Collect(**flix, c.GlobalId(0, 0), "b", options);
+  // Only the direct child b of d0's root is within distance 1.
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].node, c.GlobalId(0, 1));
+}
+
+TEST(PeeTest, SinkCanAbort) {
+  const xml::Collection c = ChainedCollection();
+  auto flix = Flix::Build(c, {});
+  ASSERT_TRUE(flix.ok());
+  int calls = 0;
+  (*flix)->FindDescendantsByName(c.GlobalId(0, 0), "b", {},
+                                 [&](const Result&) {
+                                   ++calls;
+                                   return false;  // stop immediately
+                                 });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(PeeTest, WildcardDescendants) {
+  const xml::Collection c = ChainedCollection();
+  auto flix = Flix::Build(c, {});
+  ASSERT_TRUE(flix.ok());
+  const graph::Digraph g = c.BuildGraph();
+  const graph::ReachabilityOracle oracle(g);
+  const NodeId start = c.GlobalId(0, 0);
+  std::vector<Result> results;
+  (*flix)->pee().FindDescendants(start, {}, [&](const Result& r) {
+    results.push_back(r);
+    return true;
+  });
+  std::set<NodeId> expected;
+  for (const graph::NodeDist& nd : oracle.Descendants(start)) {
+    expected.insert(nd.node);
+  }
+  EXPECT_EQ(Nodes(results), expected);
+}
+
+TEST(PeeTest, TypeQueryFindsAllPairsTargets) {
+  const xml::Collection c = ChainedCollection();
+  auto flix = Flix::Build(c, {});
+  ASSERT_TRUE(flix.ok());
+  const graph::Digraph g = c.BuildGraph();
+  const graph::ReachabilityOracle oracle(g);
+  const TagId tag_a = c.pool().Lookup("a");
+  const TagId tag_b = c.pool().Lookup("b");
+
+  const std::vector<Result> results = (*flix)->EvaluateTypeQuery("a", "b");
+  std::set<NodeId> expected;
+  for (const NodeId a : g.NodesWithTag(tag_a)) {
+    for (const graph::NodeDist& nd : oracle.DescendantsByTag(a, tag_b)) {
+      expected.insert(nd.node);
+    }
+  }
+  EXPECT_EQ(Nodes(results), expected);
+}
+
+TEST(PeeTest, FindDistanceReturnsRealPathLength) {
+  const xml::Collection c = ChainedCollection();
+  auto flix = Flix::Build(c, {});
+  ASSERT_TRUE(flix.ok());
+  const graph::Digraph g = c.BuildGraph();
+  const graph::ReachabilityOracle oracle(g);
+  for (NodeId a = 0; a < g.NumNodes(); a += 2) {
+    for (NodeId b = 0; b < g.NumNodes(); b += 3) {
+      const Distance got = (*flix)->FindDistance(a, b);
+      const Distance exact = oracle.Distance(a, b);
+      if (exact == kUnreachable) {
+        EXPECT_EQ(got, kUnreachable);
+      } else {
+        EXPECT_NE(got, kUnreachable);
+        EXPECT_GE(got, exact);
+      }
+    }
+  }
+}
+
+TEST(PeeTest, ConnectionThresholdRespected) {
+  const xml::Collection c = ChainedCollection();
+  auto flix = Flix::Build(c, {});
+  ASSERT_TRUE(flix.ok());
+  const NodeId start = c.GlobalId(0, 0);
+  // d2's deep b is several hops away; a tight threshold must reject it.
+  const NodeId deep_b = c.GlobalId(2, 2);
+  EXPECT_TRUE((*flix)->IsConnected(start, deep_b));
+  EXPECT_FALSE((*flix)->IsConnected(start, deep_b, /*max_distance=*/1));
+}
+
+TEST(PeeTest, AsyncStreamingDeliversSameResults) {
+  const xml::Collection c = ChainedCollection();
+  auto flix = Flix::Build(c, {});
+  ASSERT_TRUE(flix.ok());
+  const NodeId start = c.GlobalId(0, 0);
+  const TagId tag_b = c.pool().Lookup("b");
+
+  const std::vector<Result> sync = Collect(**flix, start, "b");
+
+  StreamedList list(2);  // tiny capacity: force producer/consumer interplay
+  std::thread worker =
+      (*flix)->pee().FindDescendantsByTagAsync(start, tag_b, {}, &list);
+  const std::vector<Result> async = list.DrainAll();
+  worker.join();
+  EXPECT_EQ(async, sync);
+}
+
+TEST(PeeTest, AsyncCancellationStopsWorker) {
+  const auto collection = workload::GenerateSynthetic({.seed = 9});
+  ASSERT_TRUE(collection.ok());
+  auto flix = Flix::Build(*collection, {});
+  ASSERT_TRUE(flix.ok());
+  const TagId tag = collection->pool().Lookup("t0");
+  ASSERT_NE(tag, kInvalidTag);
+
+  StreamedList list(1);
+  std::thread worker = (*flix)->pee().FindDescendantsByTagAsync(
+      collection->GlobalId(0, 0), tag, {}, &list);
+  list.Next();  // maybe one result
+  list.Cancel();
+  worker.join();  // must terminate promptly
+  SUCCEED();
+}
+
+TEST(PeeTest, ChildAxisCrossesMetaDocuments) {
+  const xml::Collection c = ChainedCollection();
+  FlixOptions options;
+  options.config = MdbConfig::kNaive;
+  auto flix = Flix::Build(c, options);
+  ASSERT_TRUE(flix.ok());
+  const PathExpressionEvaluator& pee = (*flix)->pee();
+
+  // d0 root: tree children b(1) and link(2).
+  const std::vector<Result> root_children = pee.Children(c.GlobalId(0, 0));
+  EXPECT_EQ(Nodes(root_children),
+            (std::set<NodeId>{c.GlobalId(0, 1), c.GlobalId(0, 2)}));
+  // The link element's child via the cross link: d1's root.
+  const std::vector<Result> link_children = pee.Children(c.GlobalId(0, 2));
+  EXPECT_EQ(Nodes(link_children), (std::set<NodeId>{c.GlobalId(1, 0)}));
+  // Tag filter.
+  EXPECT_EQ(pee.ChildrenByTag(c.GlobalId(0, 0), c.pool().Lookup("b")).size(),
+            1u);
+}
+
+TEST(PeeTest, ParentAxisIncludesLinkOrigins) {
+  const xml::Collection c = ChainedCollection();
+  FlixOptions options;
+  options.config = MdbConfig::kNaive;
+  auto flix = Flix::Build(c, options);
+  ASSERT_TRUE(flix.ok());
+  const PathExpressionEvaluator& pee = (*flix)->pee();
+
+  // d1's root has no tree parent but is the target of d0's link element.
+  const std::vector<Result> parents = pee.Parents(c.GlobalId(1, 0));
+  EXPECT_EQ(Nodes(parents), (std::set<NodeId>{c.GlobalId(0, 2)}));
+  // A mid-document element has its plain tree parent.
+  EXPECT_EQ(Nodes(pee.Parents(c.GlobalId(0, 1))),
+            (std::set<NodeId>{c.GlobalId(0, 0)}));
+  // d0's root is itself linked from d2 (the cycle-closing link element).
+  EXPECT_EQ(Nodes(pee.Parents(c.GlobalId(0, 0))),
+            (std::set<NodeId>{c.GlobalId(2, 3)}));
+}
+
+TEST(PeeTest, ChildAndParentAxesMatchGraph) {
+  // Property: Children/Parents agree with the global element graph across
+  // configurations.
+  const xml::Collection c = ChainedCollection();
+  const graph::Digraph g = c.BuildGraph();
+  for (const MdbConfig config :
+       {MdbConfig::kNaive, MdbConfig::kUnconnectedHopi, MdbConfig::kHybrid}) {
+    FlixOptions options;
+    options.config = config;
+    options.partition_bound = 4;
+    auto flix = Flix::Build(c, options);
+    ASSERT_TRUE(flix.ok());
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      std::set<NodeId> expected_children;
+      for (const graph::Digraph::Arc& arc : g.OutArcs(v)) {
+        expected_children.insert(arc.target);
+      }
+      EXPECT_EQ(Nodes((*flix)->pee().Children(v)), expected_children)
+          << "children of " << v << " under " << MdbConfigName(config);
+      std::set<NodeId> expected_parents;
+      for (const graph::Digraph::Arc& arc : g.InArcs(v)) {
+        expected_parents.insert(arc.target);
+      }
+      EXPECT_EQ(Nodes((*flix)->pee().Parents(v)), expected_parents)
+          << "parents of " << v << " under " << MdbConfigName(config);
+    }
+  }
+}
+
+TEST(PeeTest, SiblingsExcludeSelf) {
+  xml::Collection c;
+  ASSERT_TRUE(c.AddXml("<a><b/><c/><d/></a>", "doc").ok());
+  c.ResolveAllLinks();
+  auto flix = Flix::Build(c, {});
+  ASSERT_TRUE(flix.ok());
+  const std::vector<Result> siblings =
+      (*flix)->pee().Siblings(c.GlobalId(0, 2));  // element c
+  EXPECT_EQ(Nodes(siblings),
+            (std::set<NodeId>{c.GlobalId(0, 1), c.GlobalId(0, 3)}));
+  EXPECT_TRUE((*flix)->pee().Siblings(c.GlobalId(0, 0)).empty());
+}
+
+TEST(PeeTest, CyclicLinksDoNotLoopForever) {
+  // d0 -> d1 -> d2 -> d0 cycle in ChainedCollection; a wildcard query from
+  // any root must terminate and visit each reachable node exactly once.
+  const xml::Collection c = ChainedCollection();
+  const graph::Digraph g = c.BuildGraph();
+  const graph::ReachabilityOracle oracle(g);
+  const size_t expected = oracle.Descendants(c.GlobalId(0, 0)).size();
+  for (const MdbConfig config :
+       {MdbConfig::kNaive, MdbConfig::kUnconnectedHopi}) {
+    FlixOptions options;
+    options.config = config;
+    options.partition_bound = 4;
+    auto flix = Flix::Build(c, options);
+    ASSERT_TRUE(flix.ok());
+    std::vector<Result> results;
+    (*flix)->pee().FindDescendants(c.GlobalId(0, 0), {},
+                                   [&](const Result& r) {
+                                     results.push_back(r);
+                                     return true;
+                                   });
+    EXPECT_EQ(Nodes(results).size(), results.size());
+    EXPECT_EQ(results.size(), expected);
+  }
+}
+
+}  // namespace
+}  // namespace flix::core

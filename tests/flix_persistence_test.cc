@@ -1,0 +1,339 @@
+// Persistence round-trips: binary I/O primitives, every index strategy, and
+// a full Flix save/load whose loaded instance must answer queries exactly
+// like the freshly built one.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/binary_io.h"
+#include "common/rng.h"
+#include "flix/flix.h"
+#include "index/apex.h"
+#include "index/hopi.h"
+#include "index/path_index.h"
+#include "index/ppo.h"
+#include "index/transitive_closure.h"
+#include "workload/synthetic_generator.h"
+
+namespace flix {
+namespace {
+
+TEST(BinaryIoTest, PodAndStringRoundTrip) {
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  writer.WriteU32(0xDEADBEEF);
+  writer.WriteU64(1ULL << 40);
+  writer.WriteI32(-17);
+  writer.WriteBool(true);
+  writer.WriteBool(false);
+  writer.WriteString("hello \0 world");
+  ASSERT_TRUE(writer.ok());
+
+  BinaryReader reader(stream);
+  EXPECT_EQ(reader.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.ReadU64(), 1ULL << 40);
+  EXPECT_EQ(reader.ReadI32(), -17);
+  EXPECT_TRUE(reader.ReadBool());
+  EXPECT_FALSE(reader.ReadBool());
+  EXPECT_EQ(reader.ReadString(), std::string("hello \0 world"));
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(BinaryIoTest, VecRoundTrip) {
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  const std::vector<uint32_t> flat = {1, 2, 3};
+  const std::vector<std::vector<int32_t>> nested = {{-1}, {}, {5, 6}};
+  writer.WriteVec(flat);
+  writer.WriteNestedVec(nested);
+
+  BinaryReader reader(stream);
+  EXPECT_EQ(reader.ReadVec<uint32_t>(), flat);
+  EXPECT_EQ(reader.ReadNestedVec<int32_t>(), nested);
+  EXPECT_TRUE(reader.ok());
+}
+
+TEST(BinaryIoTest, TruncatedInputFailsGracefully) {
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  writer.WriteU64(1000000);  // claims a million entries, provides none
+  BinaryReader reader(stream);
+  const auto v = reader.ReadVec<uint64_t>();
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(reader.failed());
+}
+
+TEST(BinaryIoTest, HugeClaimedSizeRejected) {
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  writer.WriteU64(UINT64_MAX);  // absurd element count
+  BinaryReader reader(stream);
+  (void)reader.ReadVec<uint64_t>();
+  EXPECT_TRUE(reader.failed());
+}
+
+graph::Digraph RandomGraph(size_t n, size_t edges, uint64_t seed) {
+  Rng rng(seed);
+  graph::Digraph g;
+  for (size_t i = 0; i < n; ++i) g.AddNode(static_cast<TagId>(rng.Uniform(4)));
+  for (size_t e = 0; e < edges; ++e) {
+    g.AddEdge(static_cast<NodeId>(rng.Uniform(n)),
+              static_cast<NodeId>(rng.Uniform(n)),
+              rng.Bernoulli(0.3) ? graph::EdgeKind::kLink
+                                 : graph::EdgeKind::kTree);
+  }
+  return g;
+}
+
+TEST(PersistenceTest, DigraphRoundTrip) {
+  const graph::Digraph g = RandomGraph(30, 60, 5);
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  g.Save(writer);
+  BinaryReader reader(stream);
+  const graph::Digraph loaded = graph::Digraph::Load(reader);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ(loaded.NumNodes(), g.NumNodes());
+  ASSERT_EQ(loaded.NumEdges(), g.NumEdges());
+  EXPECT_EQ(loaded.NumLinkEdges(), g.NumLinkEdges());
+  EXPECT_EQ(loaded.Edges(), g.Edges());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(loaded.Tag(v), g.Tag(v));
+  }
+}
+
+// Round-trips one index through SaveIndex/LoadIndex and compares answers.
+void CheckIndexRoundTrip(const index::PathIndex& original,
+                         const graph::Digraph& g) {
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  index::SaveIndex(original, writer);
+  ASSERT_TRUE(writer.ok());
+
+  BinaryReader reader(stream);
+  auto loaded = index::LoadIndex(reader, g);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->kind(), original.kind());
+
+  for (NodeId u = 0; u < g.NumNodes(); u += 3) {
+    EXPECT_EQ((*loaded)->Descendants(u), original.Descendants(u));
+    for (TagId tag = 0; tag < 4; ++tag) {
+      EXPECT_EQ((*loaded)->DescendantsByTag(u, tag),
+                original.DescendantsByTag(u, tag));
+      EXPECT_EQ((*loaded)->AncestorsByTag(u, tag),
+                original.AncestorsByTag(u, tag));
+    }
+    for (NodeId v = 0; v < g.NumNodes(); v += 4) {
+      EXPECT_EQ((*loaded)->DistanceBetween(u, v),
+                original.DistanceBetween(u, v));
+    }
+  }
+}
+
+TEST(PersistenceTest, PpoRoundTrip) {
+  Rng rng(9);
+  graph::Digraph g;
+  for (int i = 0; i < 40; ++i) g.AddNode(static_cast<TagId>(rng.Uniform(4)));
+  for (NodeId i = 1; i < 40; ++i) {
+    g.AddEdge(static_cast<NodeId>(rng.Uniform(i)), i);
+  }
+  auto built = index::PpoIndex::Build(g);
+  ASSERT_TRUE(built.ok());
+  CheckIndexRoundTrip(**built, g);
+}
+
+TEST(PersistenceTest, HopiRoundTrip) {
+  const graph::Digraph g = RandomGraph(50, 110, 11);
+  const auto built = index::HopiIndex::Build(g);
+  CheckIndexRoundTrip(*built, g);
+}
+
+TEST(PersistenceTest, ApexRoundTrip) {
+  const graph::Digraph g = RandomGraph(50, 110, 13);
+  const auto built = index::ApexIndex::Build(g);
+  CheckIndexRoundTrip(*built, g);
+}
+
+TEST(PersistenceTest, TcRoundTrip) {
+  const graph::Digraph g = RandomGraph(40, 90, 17);
+  auto built = index::TransitiveClosureIndex::Build(g);
+  ASSERT_TRUE(built.ok());
+  CheckIndexRoundTrip(**built, g);
+}
+
+TEST(PersistenceTest, LoadIndexRejectsGarbage) {
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  writer.WriteU32(999);  // unknown strategy kind
+  graph::Digraph g(1);
+  BinaryReader reader(stream);
+  EXPECT_FALSE(index::LoadIndex(reader, g).ok());
+}
+
+class FlixPersistenceTest
+    : public ::testing::TestWithParam<core::MdbConfig> {};
+
+TEST_P(FlixPersistenceTest, FullRoundTrip) {
+  const auto collection = workload::GenerateSynthetic({.seed = 81});
+  ASSERT_TRUE(collection.ok());
+  core::FlixOptions options;
+  options.config = GetParam();
+  options.partition_bound = 80;
+  auto original = core::Flix::Build(*collection, options);
+  ASSERT_TRUE(original.ok());
+
+  std::stringstream stream;
+  ASSERT_TRUE((*original)->Save(stream).ok());
+
+  auto loaded = core::Flix::Load(stream, *collection);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Same structure...
+  EXPECT_EQ((*loaded)->stats().num_meta_documents,
+            (*original)->stats().num_meta_documents);
+  EXPECT_EQ((*loaded)->stats().num_cross_links,
+            (*original)->stats().num_cross_links);
+  EXPECT_EQ((*loaded)->stats().num_ppo, (*original)->stats().num_ppo);
+  EXPECT_EQ((*loaded)->stats().num_hopi, (*original)->stats().num_hopi);
+
+  // ...and identical query answers.
+  const graph::Digraph g = collection->BuildGraph();
+  for (const char* tag : {"t0", "t1", "doc", "xref"}) {
+    for (DocId d = 0; d < collection->NumDocuments(); d += 4) {
+      const NodeId start = collection->GlobalId(d, 0);
+      EXPECT_EQ((*loaded)->FindDescendantsByName(start, tag),
+                (*original)->FindDescendantsByName(start, tag))
+          << "tag " << tag << " doc " << d;
+    }
+  }
+  for (NodeId a = 0; a < g.NumNodes(); a += 37) {
+    for (NodeId b = 0; b < g.NumNodes(); b += 41) {
+      EXPECT_EQ((*loaded)->IsConnected(a, b), (*original)->IsConnected(a, b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, FlixPersistenceTest,
+    ::testing::Values(core::MdbConfig::kNaive, core::MdbConfig::kMaximalPpo,
+                      core::MdbConfig::kUnconnectedHopi,
+                      core::MdbConfig::kHybrid),
+    [](const ::testing::TestParamInfo<core::MdbConfig>& info) {
+      return std::string(core::MdbConfigName(info.param));
+    });
+
+TEST(FlixPersistenceTest, OptionsRoundTripIncludingCache) {
+  const auto collection = workload::GenerateSynthetic({.seed = 91});
+  ASSERT_TRUE(collection.ok());
+  core::FlixOptions options;
+  options.config = core::MdbConfig::kUnconnectedHopi;
+  options.partition_bound = 123;
+  options.query_cache_capacity = 7;
+  options.element_level_partitions = true;
+  auto original = core::Flix::Build(*collection, options);
+  ASSERT_TRUE(original.ok());
+
+  std::stringstream stream;
+  ASSERT_TRUE((*original)->Save(stream).ok());
+  auto loaded = core::Flix::Load(stream, *collection);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->options().config, options.config);
+  EXPECT_EQ((*loaded)->options().partition_bound, options.partition_bound);
+  EXPECT_EQ((*loaded)->options().query_cache_capacity, 7u);
+  EXPECT_TRUE((*loaded)->options().element_level_partitions);
+  ASSERT_NE((*loaded)->query_cache(), nullptr);
+}
+
+TEST(FlixPersistenceTest, LoadRejectsWrongCollection) {
+  const auto collection = workload::GenerateSynthetic({.seed = 83});
+  ASSERT_TRUE(collection.ok());
+  auto original = core::Flix::Build(*collection, {});
+  ASSERT_TRUE(original.ok());
+  std::stringstream stream;
+  ASSERT_TRUE((*original)->Save(stream).ok());
+
+  const auto other =
+      workload::GenerateSynthetic({.seed = 84, .tree_docs = 2});
+  ASSERT_TRUE(other.ok());
+  const auto loaded = core::Flix::Load(stream, *other);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CollectionPersistenceTest, RoundTripPreservesEverything) {
+  const auto original = workload::GenerateSynthetic({.seed = 87});
+  ASSERT_TRUE(original.ok());
+
+  std::stringstream stream;
+  ASSERT_TRUE(original->Save(stream).ok());
+  auto loaded = xml::Collection::Load(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->NumDocuments(), original->NumDocuments());
+  ASSERT_EQ(loaded->NumElements(), original->NumElements());
+  EXPECT_EQ(loaded->pool().size(), original->pool().size());
+  for (TagId t = 0; t < original->pool().size(); ++t) {
+    EXPECT_EQ(loaded->pool().Name(t), original->pool().Name(t));
+  }
+  for (DocId d = 0; d < original->NumDocuments(); ++d) {
+    const xml::Document& a = original->document(d);
+    const xml::Document& b = loaded->document(d);
+    ASSERT_EQ(b.name(), a.name());
+    ASSERT_EQ(b.NumElements(), a.NumElements());
+    for (xml::ElementId e = 0; e < a.NumElements(); ++e) {
+      EXPECT_EQ(b.element(e).tag, a.element(e).tag);
+      EXPECT_EQ(b.element(e).parent, a.element(e).parent);
+      EXPECT_EQ(b.element(e).children, a.element(e).children);
+      EXPECT_EQ(b.element(e).attributes, a.element(e).attributes);
+      EXPECT_EQ(b.element(e).text, a.element(e).text);
+    }
+  }
+  EXPECT_EQ(loaded->links().links, original->links().links);
+
+  // Anchors survive: resolving links again gives the same set.
+  loaded->ResolveAllLinks();
+  EXPECT_EQ(loaded->links().links, original->links().links);
+
+  // The element graphs are identical, so a saved index works with either.
+  const graph::Digraph g1 = original->BuildGraph();
+  const graph::Digraph g2 = loaded->BuildGraph();
+  EXPECT_EQ(g2.Edges(), g1.Edges());
+}
+
+TEST(CollectionPersistenceTest, IndexSavedAgainstLoadedCollection) {
+  // Build against the original, save both, load both, query via the loaded
+  // pair — the workflow flixctl uses.
+  const auto original = workload::GenerateSynthetic({.seed = 89});
+  ASSERT_TRUE(original.ok());
+  auto flix = core::Flix::Build(*original, {});
+  ASSERT_TRUE(flix.ok());
+
+  std::stringstream coll_stream;
+  std::stringstream index_stream;
+  ASSERT_TRUE(original->Save(coll_stream).ok());
+  ASSERT_TRUE((*flix)->Save(index_stream).ok());
+
+  auto loaded_collection = xml::Collection::Load(coll_stream);
+  ASSERT_TRUE(loaded_collection.ok());
+  auto loaded_flix = core::Flix::Load(index_stream, *loaded_collection);
+  ASSERT_TRUE(loaded_flix.ok()) << loaded_flix.status().ToString();
+
+  const NodeId start = loaded_collection->GlobalId(0, 0);
+  EXPECT_EQ((*loaded_flix)->FindDescendantsByName(start, "t0"),
+            (*flix)->FindDescendantsByName(start, "t0"));
+}
+
+TEST(CollectionPersistenceTest, RejectsGarbage) {
+  std::stringstream stream("garbage bytes");
+  EXPECT_FALSE(xml::Collection::Load(stream).ok());
+}
+
+TEST(FlixPersistenceTest, LoadRejectsGarbageFile) {
+  const auto collection = workload::GenerateSynthetic({.seed = 85});
+  ASSERT_TRUE(collection.ok());
+  std::stringstream stream("this is not a flix index");
+  EXPECT_FALSE(core::Flix::Load(stream, *collection).ok());
+}
+
+}  // namespace
+}  // namespace flix

@@ -1,0 +1,95 @@
+#include "flix/streamed_list.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace flix::core {
+namespace {
+
+TEST(StreamedListTest, PushThenDrain) {
+  StreamedList list;
+  EXPECT_TRUE(list.Push({1, 0}));
+  EXPECT_TRUE(list.Push({2, 1}));
+  list.Close();
+  const std::vector<Result> all = list.DrainAll();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], (Result{1, 0}));
+  EXPECT_EQ(all[1], (Result{2, 1}));
+}
+
+TEST(StreamedListTest, NextAfterCloseReturnsNullopt) {
+  StreamedList list;
+  list.Close();
+  EXPECT_EQ(list.Next(), std::nullopt);
+}
+
+TEST(StreamedListTest, ProducedCountsAllPushes) {
+  StreamedList list;
+  list.Push({1, 0});
+  list.Push({2, 0});
+  EXPECT_EQ(list.produced(), 2u);
+  list.Next();
+  EXPECT_EQ(list.produced(), 2u);  // consuming does not decrease it
+}
+
+TEST(StreamedListTest, CancelStopsProducer) {
+  StreamedList list;
+  EXPECT_TRUE(list.Push({1, 0}));
+  list.Cancel();
+  EXPECT_TRUE(list.cancelled());
+  EXPECT_FALSE(list.Push({2, 0}));
+  EXPECT_EQ(list.Next(), std::nullopt);
+}
+
+TEST(StreamedListTest, ConcurrentProducerConsumer) {
+  StreamedList list(16);  // small capacity to force blocking
+  constexpr int kCount = 5000;
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) {
+      if (!list.Push({static_cast<NodeId>(i), i})) return;
+    }
+    list.Close();
+  });
+  std::vector<Result> got;
+  while (std::optional<Result> r = list.Next()) got.push_back(*r);
+  producer.join();
+  ASSERT_EQ(got.size(), static_cast<size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(got[i].node, static_cast<NodeId>(i));
+  }
+}
+
+TEST(StreamedListTest, ConsumerCancelUnblocksFullProducer) {
+  StreamedList list(2);
+  std::atomic<bool> producer_done{false};
+  std::thread producer([&] {
+    for (int i = 0; i < 1000; ++i) {
+      if (!list.Push({static_cast<NodeId>(i), i})) break;
+    }
+    producer_done = true;
+  });
+  // Take a couple of results, then cancel (top-k client behaviour).
+  list.Next();
+  list.Next();
+  list.Cancel();
+  producer.join();
+  EXPECT_TRUE(producer_done);
+}
+
+TEST(StreamedListTest, ConsumerBlocksUntilPush) {
+  StreamedList list;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    list.Push({42, 7});
+    list.Close();
+  });
+  const std::optional<Result> r = list.Next();
+  producer.join();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->node, 42u);
+}
+
+}  // namespace
+}  // namespace flix::core

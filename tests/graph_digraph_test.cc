@@ -1,0 +1,103 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+namespace flix::graph {
+namespace {
+
+TEST(DigraphTest, AddNodesAndEdges) {
+  Digraph g;
+  const NodeId a = g.AddNode(1);
+  const NodeId b = g.AddNode(2);
+  const NodeId c = g.AddNode(1);
+  g.AddEdge(a, b);
+  g.AddEdge(a, c, EdgeKind::kLink);
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.NumLinkEdges(), 1u);
+  EXPECT_EQ(g.OutDegree(a), 2u);
+  EXPECT_EQ(g.InDegree(b), 1u);
+  EXPECT_EQ(g.InDegree(a), 0u);
+  EXPECT_EQ(g.Tag(a), 1u);
+  EXPECT_EQ(g.Tag(b), 2u);
+}
+
+TEST(DigraphTest, ResizePreservesAndExtends) {
+  Digraph g(2);
+  g.SetTag(0, 5);
+  g.Resize(4);
+  EXPECT_EQ(g.NumNodes(), 4u);
+  EXPECT_EQ(g.Tag(0), 5u);
+  EXPECT_EQ(g.Tag(3), kInvalidTag);
+}
+
+TEST(DigraphTest, InArcsMirrorOutArcs) {
+  Digraph g(3);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  ASSERT_EQ(g.InArcs(2).size(), 2u);
+  EXPECT_EQ(g.InArcs(2)[0].target, 0u);
+  EXPECT_EQ(g.InArcs(2)[1].target, 1u);
+}
+
+TEST(DigraphTest, EdgesListsAll) {
+  Digraph g(3);
+  g.AddEdge(0, 1, EdgeKind::kTree);
+  g.AddEdge(1, 2, EdgeKind::kLink);
+  const std::vector<Edge> edges = g.Edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (Edge{0, 1, EdgeKind::kTree}));
+  EXPECT_EQ(edges[1], (Edge{1, 2, EdgeKind::kLink}));
+}
+
+TEST(DigraphTest, NodesWithTag) {
+  Digraph g;
+  g.AddNode(7);
+  g.AddNode(8);
+  g.AddNode(7);
+  EXPECT_EQ(g.NodesWithTag(7), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(g.NodesWithTag(9), std::vector<NodeId>{});
+}
+
+TEST(DigraphTest, SelfLoopAllowed) {
+  Digraph g(1);
+  g.AddEdge(0, 0);
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+}
+
+TEST(DigraphTest, InducedSubgraph) {
+  Digraph g(5);
+  for (NodeId i = 0; i < 5; ++i) g.SetTag(i, i * 10);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2, EdgeKind::kLink);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  std::vector<NodeId> local;
+  const Digraph sub = g.InducedSubgraph({1, 2, 4}, &local);
+  EXPECT_EQ(sub.NumNodes(), 3u);
+  EXPECT_EQ(sub.Tag(0), 10u);
+  EXPECT_EQ(sub.Tag(1), 20u);
+  EXPECT_EQ(sub.Tag(2), 40u);
+  // Only edge 1->2 survives (0->1 and 2->3, 3->4 cross the boundary).
+  EXPECT_EQ(sub.NumEdges(), 1u);
+  ASSERT_EQ(sub.OutArcs(0).size(), 1u);
+  EXPECT_EQ(sub.OutArcs(0)[0].target, 1u);
+  EXPECT_EQ(sub.OutArcs(0)[0].kind, EdgeKind::kLink);
+  // Mapping.
+  EXPECT_EQ(local[1], 0u);
+  EXPECT_EQ(local[2], 1u);
+  EXPECT_EQ(local[4], 2u);
+  EXPECT_EQ(local[0], kInvalidNode);
+  EXPECT_EQ(local[3], kInvalidNode);
+}
+
+TEST(DigraphTest, MemoryBytesGrows) {
+  Digraph small(1);
+  Digraph large(1000);
+  for (NodeId i = 0; i + 1 < 1000; ++i) large.AddEdge(i, i + 1);
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace flix::graph

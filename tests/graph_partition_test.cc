@@ -1,0 +1,169 @@
+#include "graph/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace flix::graph {
+namespace {
+
+// Validates the basic partition contract.
+void CheckPartition(const Digraph& g, const PartitionResult& result,
+                    size_t max_nodes,
+                    const std::vector<uint32_t>* unit_of = nullptr) {
+  ASSERT_EQ(result.partition_of.size(), g.NumNodes());
+  std::vector<size_t> sizes(result.num_partitions, 0);
+  for (const uint32_t p : result.partition_of) {
+    ASSERT_LT(p, result.num_partitions);
+    ++sizes[p];
+  }
+  for (const size_t s : sizes) EXPECT_GT(s, 0u);
+  // Oversized partitions only permitted when forced by an atomic unit.
+  if (unit_of == nullptr) {
+    for (const size_t s : sizes) EXPECT_LE(s, max_nodes);
+  }
+  EXPECT_EQ(result.cut_edges, CountCutEdges(g, result.partition_of));
+}
+
+Digraph RandomGraph(size_t n, size_t edges, uint64_t seed) {
+  Rng rng(seed);
+  Digraph g(n);
+  for (size_t e = 0; e < edges; ++e) {
+    g.AddEdge(static_cast<NodeId>(rng.Uniform(n)),
+              static_cast<NodeId>(rng.Uniform(n)));
+  }
+  return g;
+}
+
+TEST(PartitionTest, EmptyGraph) {
+  Digraph g;
+  const PartitionResult r = PartitionBySize(g, {.max_nodes = 10});
+  EXPECT_EQ(r.num_partitions, 0u);
+}
+
+TEST(PartitionTest, SingleNodeGraph) {
+  Digraph g(1);
+  const PartitionResult r = PartitionBySize(g, {.max_nodes = 10});
+  EXPECT_EQ(r.num_partitions, 1u);
+}
+
+TEST(PartitionTest, RespectsSizeBound) {
+  const Digraph g = RandomGraph(200, 500, 3);
+  PartitionOptions options;
+  options.max_nodes = 37;
+  const PartitionResult r = PartitionBySize(g, options);
+  CheckPartition(g, r, options.max_nodes);
+  EXPECT_GE(r.num_partitions, 200u / 37u);
+}
+
+TEST(PartitionTest, WholeGraphFitsInOnePartition) {
+  // A connected graph below the bound becomes a single partition.
+  Digraph g(10);
+  for (NodeId i = 0; i + 1 < 10; ++i) g.AddEdge(i, i + 1);
+  const PartitionResult r = PartitionBySize(g, {.max_nodes = 100});
+  EXPECT_EQ(r.num_partitions, 1u);
+  EXPECT_EQ(r.cut_edges, 0u);
+}
+
+TEST(PartitionTest, DisconnectedComponentsSeparated) {
+  Digraph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  g.AddEdge(4, 5);
+  const PartitionResult r = PartitionBySize(g, {.max_nodes = 2});
+  CheckPartition(g, r, 2);
+  EXPECT_EQ(r.num_partitions, 3u);
+  EXPECT_EQ(r.cut_edges, 0u);
+}
+
+TEST(PartitionTest, CutSmallerThanRandomAssignment) {
+  // Two dense clusters with one bridge: the partitioner should cut only the
+  // bridge (or close to it).
+  Digraph g(40);
+  Rng rng(5);
+  for (int e = 0; e < 150; ++e) {
+    g.AddEdge(static_cast<NodeId>(rng.Uniform(20)),
+              static_cast<NodeId>(rng.Uniform(20)));
+    g.AddEdge(static_cast<NodeId>(20 + rng.Uniform(20)),
+              static_cast<NodeId>(20 + rng.Uniform(20)));
+  }
+  g.AddEdge(5, 25);
+  const PartitionResult r = PartitionBySize(g, {.max_nodes = 20});
+  CheckPartition(g, r, 20);
+  EXPECT_LE(r.cut_edges, 10u);
+}
+
+TEST(PartitionTest, UnitsStayTogether) {
+  const Digraph g = RandomGraph(100, 300, 9);
+  std::vector<uint32_t> unit_of(100);
+  for (size_t i = 0; i < 100; ++i) unit_of[i] = static_cast<uint32_t>(i / 10);
+  PartitionOptions options;
+  options.max_nodes = 30;
+  const PartitionResult r = PartitionBySize(g, options, &unit_of);
+  CheckPartition(g, r, options.max_nodes, &unit_of);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(r.partition_of[i], r.partition_of[(i / 10) * 10])
+        << "node " << i << " split from its unit";
+  }
+}
+
+TEST(PartitionTest, OversizedUnitGetsOwnPartition) {
+  const Digraph g = RandomGraph(50, 100, 11);
+  std::vector<uint32_t> unit_of(50, 0);  // one unit holding everything
+  const PartitionResult r = PartitionBySize(g, {.max_nodes = 10}, &unit_of);
+  EXPECT_EQ(r.num_partitions, 1u);
+}
+
+TEST(PartitionTest, RefinementDoesNotBreakBounds) {
+  const Digraph g = RandomGraph(300, 900, 13);
+  PartitionOptions options;
+  options.max_nodes = 50;
+  options.refinement_passes = 5;
+  const PartitionResult r = PartitionBySize(g, options);
+  CheckPartition(g, r, options.max_nodes);
+}
+
+TEST(PartitionTest, PackFragmentsFillsPartitionsOnHubGraphs) {
+  // Hub-and-spoke: node 0 connects to everyone; once the first partition
+  // absorbs the hub, the rest fragments into singletons unless packing
+  // folds them together.
+  Digraph g(200);
+  for (NodeId v = 1; v < 200; ++v) g.AddEdge(0, v);
+  PartitionOptions packed;
+  packed.max_nodes = 50;
+  const PartitionResult with_pack = PartitionBySize(g, packed);
+  EXPECT_LE(with_pack.num_partitions, 5u);
+  for (const uint32_t p : with_pack.partition_of) {
+    EXPECT_LT(p, with_pack.num_partitions);
+  }
+
+  PartitionOptions unpacked = packed;
+  unpacked.pack_fragments = false;
+  const PartitionResult without_pack = PartitionBySize(g, unpacked);
+  EXPECT_GT(without_pack.num_partitions, with_pack.num_partitions);
+}
+
+TEST(PartitionTest, PackingRespectsBound) {
+  const Digraph g = RandomGraph(400, 1200, 23);
+  PartitionOptions options;
+  options.max_nodes = 60;
+  const PartitionResult r = PartitionBySize(g, options);
+  CheckPartition(g, r, options.max_nodes);
+}
+
+TEST(PartitionTest, RefinementImprovesOrKeepsCut) {
+  const Digraph g = RandomGraph(300, 900, 17);
+  PartitionOptions no_refine;
+  no_refine.max_nodes = 40;
+  no_refine.refinement_passes = 0;
+  PartitionOptions refine = no_refine;
+  refine.refinement_passes = 3;
+  const size_t cut_before = PartitionBySize(g, no_refine).cut_edges;
+  const size_t cut_after = PartitionBySize(g, refine).cut_edges;
+  EXPECT_LE(cut_after, cut_before);
+}
+
+}  // namespace
+}  // namespace flix::graph

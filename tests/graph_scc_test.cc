@@ -1,0 +1,122 @@
+#include "graph/scc.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "graph/traversal.h"
+
+namespace flix::graph {
+namespace {
+
+TEST(SccTest, SingletonsInDag) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 3);
+  const SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 4u);
+  EXPECT_TRUE(IsAcyclic(g));
+}
+
+TEST(SccTest, SimpleCycleIsOneComponent) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  const SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 1u);
+  EXPECT_EQ(scc.members[0].size(), 3u);
+  EXPECT_FALSE(IsAcyclic(g));
+}
+
+TEST(SccTest, TwoCyclesWithBridge) {
+  // {0,1} cycle -> bridge -> {2,3} cycle.
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 2);
+  const SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_EQ(scc.component_of[0], scc.component_of[1]);
+  EXPECT_EQ(scc.component_of[2], scc.component_of[3]);
+  EXPECT_NE(scc.component_of[0], scc.component_of[2]);
+}
+
+TEST(SccTest, ReverseTopologicalNumbering) {
+  // Tarjan emits sinks first: an edge between components goes from a
+  // higher-numbered to a lower-numbered component.
+  Digraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  const SccResult scc = StronglyConnectedComponents(g);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (const Digraph::Arc& arc : g.OutArcs(u)) {
+      EXPECT_GT(scc.component_of[u], scc.component_of[arc.target]);
+    }
+  }
+}
+
+TEST(SccTest, SelfLoopBreaksAcyclicity) {
+  Digraph g(2);
+  g.AddEdge(0, 0);
+  const SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_FALSE(IsAcyclic(g));
+}
+
+TEST(SccTest, DeepChainNoStackOverflow) {
+  constexpr size_t kN = 200000;
+  Digraph g(kN);
+  for (NodeId i = 0; i + 1 < kN; ++i) g.AddEdge(i, i + 1);
+  const SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, kN);
+}
+
+TEST(CondenseTest, CondensationIsAcyclicAndPreservesReachability) {
+  Rng rng(77);
+  Digraph g(40);
+  for (int e = 0; e < 100; ++e) {
+    g.AddEdge(static_cast<NodeId>(rng.Uniform(40)),
+              static_cast<NodeId>(rng.Uniform(40)));
+  }
+  const SccResult scc = StronglyConnectedComponents(g);
+  const Digraph dag = Condense(g, scc);
+  EXPECT_TRUE(IsAcyclic(dag));
+
+  // Reachability between nodes must match reachability between components.
+  const ReachabilityOracle node_oracle(g);
+  const ReachabilityOracle comp_oracle(dag);
+  for (NodeId u = 0; u < 40; u += 7) {
+    for (NodeId v = 0; v < 40; v += 5) {
+      const bool nodes = node_oracle.IsReachable(u, v);
+      const bool comps =
+          comp_oracle.IsReachable(scc.component_of[u], scc.component_of[v]);
+      EXPECT_EQ(nodes, comps) << u << " -> " << v;
+    }
+  }
+}
+
+TEST(CondenseTest, EdgesDeduplicated) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  const SccResult scc = StronglyConnectedComponents(g);
+  const Digraph dag = Condense(g, scc);
+  EXPECT_EQ(dag.NumNodes(), 3u);
+  // {0,1} -> 2, {0,1} -> 3, 2 -> 3: three distinct component edges.
+  EXPECT_EQ(dag.NumEdges(), 3u);
+}
+
+}  // namespace
+}  // namespace flix::graph

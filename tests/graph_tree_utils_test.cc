@@ -1,0 +1,123 @@
+#include "graph/tree_utils.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace flix::graph {
+namespace {
+
+TEST(TreeUtilsTest, ChainIsForest) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_TRUE(IsForest(g));
+  EXPECT_EQ(ForestRoots(g), std::vector<NodeId>{0});
+}
+
+TEST(TreeUtilsTest, MultipleTreesAreForest) {
+  Digraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  // Node 4 isolated.
+  EXPECT_TRUE(IsForest(g));
+  EXPECT_EQ(ForestRoots(g), (std::vector<NodeId>{0, 2, 4}));
+}
+
+TEST(TreeUtilsTest, TwoParentsNotForest) {
+  Digraph g(3);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  EXPECT_FALSE(IsForest(g));
+}
+
+TEST(TreeUtilsTest, CycleNotForest) {
+  Digraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  EXPECT_FALSE(IsForest(g));
+
+  Digraph self(1);
+  self.AddEdge(0, 0);
+  EXPECT_FALSE(IsForest(self));
+}
+
+TEST(SpanningForestTest, ForestInputUnchanged) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 3);
+  const SpanningForest sf = ExtractSpanningForest(g);
+  EXPECT_TRUE(IsForest(sf.forest));
+  EXPECT_EQ(sf.forest.NumEdges(), 3u);
+  EXPECT_TRUE(sf.removed.empty());
+}
+
+TEST(SpanningForestTest, RemovesSecondParent) {
+  Digraph g(3);
+  g.AddEdge(0, 2, EdgeKind::kTree);
+  g.AddEdge(1, 2, EdgeKind::kLink);
+  const SpanningForest sf = ExtractSpanningForest(g);
+  EXPECT_TRUE(IsForest(sf.forest));
+  ASSERT_EQ(sf.removed.size(), 1u);
+  // The tree edge is preferred; the link goes.
+  EXPECT_EQ(sf.removed[0], (Edge{1, 2, EdgeKind::kLink}));
+}
+
+TEST(SpanningForestTest, PrefersTreeEdgesEvenWhenLinkComesFirst) {
+  Digraph g(3);
+  // Link inserted first, tree edge second; extraction still keeps the tree
+  // edge because tree edges are processed in their own pass.
+  g.AddEdge(1, 2, EdgeKind::kLink);
+  g.AddEdge(0, 2, EdgeKind::kTree);
+  const SpanningForest sf = ExtractSpanningForest(g);
+  ASSERT_EQ(sf.removed.size(), 1u);
+  EXPECT_EQ(sf.removed[0].kind, EdgeKind::kLink);
+}
+
+TEST(SpanningForestTest, BreaksCycle) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  const SpanningForest sf = ExtractSpanningForest(g);
+  EXPECT_TRUE(IsForest(sf.forest));
+  EXPECT_EQ(sf.forest.NumEdges(), 2u);
+  EXPECT_EQ(sf.removed.size(), 1u);
+}
+
+TEST(SpanningForestTest, SelfLoopRemoved) {
+  Digraph g(1);
+  g.AddEdge(0, 0);
+  const SpanningForest sf = ExtractSpanningForest(g);
+  EXPECT_TRUE(IsForest(sf.forest));
+  EXPECT_EQ(sf.removed.size(), 1u);
+}
+
+TEST(SpanningForestTest, RandomGraphsAlwaysYieldForests) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    Digraph g(30);
+    for (int e = 0; e < 80; ++e) {
+      g.AddEdge(static_cast<NodeId>(rng.Uniform(30)),
+                static_cast<NodeId>(rng.Uniform(30)),
+                rng.Bernoulli(0.5) ? EdgeKind::kTree : EdgeKind::kLink);
+    }
+    const SpanningForest sf = ExtractSpanningForest(g);
+    EXPECT_TRUE(IsForest(sf.forest)) << "seed " << seed;
+    EXPECT_EQ(sf.forest.NumEdges() + sf.removed.size(), g.NumEdges());
+  }
+}
+
+TEST(SpanningForestTest, TagsPreserved) {
+  Digraph g;
+  g.AddNode(3);
+  g.AddNode(9);
+  g.AddEdge(0, 1);
+  const SpanningForest sf = ExtractSpanningForest(g);
+  EXPECT_EQ(sf.forest.Tag(0), 3u);
+  EXPECT_EQ(sf.forest.Tag(1), 9u);
+}
+
+}  // namespace
+}  // namespace flix::graph

@@ -1,0 +1,171 @@
+#include "index/apex.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/traversal.h"
+
+namespace flix::index {
+namespace {
+
+graph::Digraph RandomGraph(size_t n, size_t edges, uint64_t seed,
+                           size_t num_tags = 4) {
+  Rng rng(seed);
+  graph::Digraph g;
+  for (size_t i = 0; i < n; ++i) {
+    g.AddNode(static_cast<TagId>(rng.Uniform(num_tags)));
+  }
+  for (size_t e = 0; e < edges; ++e) {
+    g.AddEdge(static_cast<NodeId>(rng.Uniform(n)),
+              static_cast<NodeId>(rng.Uniform(n)));
+  }
+  return g;
+}
+
+TEST(ApexTest, SummaryGroupsBisimilarNodes) {
+  // Two identical subtrees: root(a) -> {b -> c, b -> c}. The two b nodes
+  // (and the two c nodes) have identical incoming paths and must share a
+  // block.
+  graph::Digraph g;
+  g.AddNode(0);              // 0: a
+  g.AddNode(1);              // 1: b
+  g.AddNode(2);              // 2: c
+  g.AddNode(1);              // 3: b
+  g.AddNode(2);              // 4: c
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(3, 4);
+  const auto apex = ApexIndex::Build(g);
+  EXPECT_EQ(apex->BlockOf(1), apex->BlockOf(3));
+  EXPECT_EQ(apex->BlockOf(2), apex->BlockOf(4));
+  EXPECT_NE(apex->BlockOf(0), apex->BlockOf(1));
+  EXPECT_EQ(apex->NumBlocks(), 3u);
+}
+
+TEST(ApexTest, DifferentIncomingPathsSplitBlocks) {
+  // c under a/b vs c under a: same tag, different incoming paths.
+  graph::Digraph g;
+  g.AddNode(0);  // a
+  g.AddNode(1);  // b
+  g.AddNode(2);  // c (under b)
+  g.AddNode(2);  // c (under a)
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 3);
+  const auto apex = ApexIndex::Build(g);
+  EXPECT_NE(apex->BlockOf(2), apex->BlockOf(3));
+}
+
+TEST(ApexTest, AkIndexCoarserThanFixpoint) {
+  // With zero refinement rounds the summary is the tag partition.
+  graph::Digraph g;
+  g.AddNode(0);
+  g.AddNode(1);
+  g.AddNode(2);
+  g.AddNode(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 3);
+  ApexOptions options;
+  options.max_refinement_rounds = 0;
+  const auto apex = ApexIndex::Build(g, options);
+  EXPECT_EQ(apex->NumBlocks(), 3u);  // tags 0, 1, 2
+  EXPECT_EQ(apex->BlockOf(2), apex->BlockOf(3));
+}
+
+TEST(ApexTest, ExtentsPartitionTheNodes) {
+  const graph::Digraph g = RandomGraph(60, 120, 61);
+  const auto apex = ApexIndex::Build(g);
+  std::vector<bool> seen(60, false);
+  for (uint32_t b = 0; b < apex->NumBlocks(); ++b) {
+    for (const NodeId v : apex->Extent(b)) {
+      EXPECT_FALSE(seen[v]);
+      seen[v] = true;
+      EXPECT_EQ(apex->BlockOf(v), b);
+    }
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(ApexTest, DescendantsMatchOracle) {
+  const graph::Digraph g = RandomGraph(70, 150, 67);
+  const auto apex = ApexIndex::Build(g);
+  const graph::ReachabilityOracle oracle(g);
+  for (NodeId start = 0; start < 70; start += 6) {
+    EXPECT_EQ(apex->Descendants(start), oracle.Descendants(start));
+    for (TagId tag = 0; tag < 4; ++tag) {
+      EXPECT_EQ(apex->DescendantsByTag(start, tag),
+                oracle.DescendantsByTag(start, tag));
+    }
+  }
+}
+
+TEST(ApexTest, AncestorsMatchOracle) {
+  const graph::Digraph g = RandomGraph(50, 110, 71);
+  const auto apex = ApexIndex::Build(g);
+  const graph::ReachabilityOracle oracle(g);
+  for (NodeId start = 0; start < 50; start += 4) {
+    for (TagId tag = 0; tag < 4; ++tag) {
+      EXPECT_EQ(apex->AncestorsByTag(start, tag),
+                oracle.AncestorsByTag(start, tag));
+    }
+  }
+}
+
+TEST(ApexTest, DistancesMatchOracle) {
+  const graph::Digraph g = RandomGraph(40, 90, 73);
+  const auto apex = ApexIndex::Build(g);
+  const graph::ReachabilityOracle oracle(g);
+  for (NodeId u = 0; u < 40; u += 3) {
+    for (NodeId v = 0; v < 40; v += 5) {
+      EXPECT_EQ(apex->DistanceBetween(u, v), oracle.Distance(u, v));
+    }
+  }
+}
+
+TEST(ApexTest, WorksWithoutBlockClosure) {
+  const graph::Digraph g = RandomGraph(40, 90, 79);
+  ApexOptions options;
+  options.max_blocks_for_closure = 0;  // force closure off
+  const auto apex = ApexIndex::Build(g, options);
+  const graph::ReachabilityOracle oracle(g);
+  for (NodeId u = 0; u < 40; u += 7) {
+    for (NodeId v = 0; v < 40; v += 6) {
+      EXPECT_EQ(apex->IsReachable(u, v), oracle.IsReachable(u, v));
+    }
+    EXPECT_EQ(apex->Descendants(u), oracle.Descendants(u));
+  }
+}
+
+TEST(ApexTest, CyclicDataHandled) {
+  graph::Digraph g;
+  g.AddNode(0);
+  g.AddNode(1);
+  g.AddNode(1);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 1);  // cycle between the two tag-1 nodes
+  const auto apex = ApexIndex::Build(g);
+  EXPECT_TRUE(apex->IsReachable(0, 2));
+  EXPECT_EQ(apex->DistanceBetween(0, 2), 2);
+  EXPECT_EQ(apex->DescendantsByTag(1, 1).size(), 1u);
+}
+
+TEST(ApexTest, SummaryMuchSmallerThanDataOnRegularStructure) {
+  // 50 identical small trees: the summary collapses them all.
+  graph::Digraph g;
+  for (int t = 0; t < 50; ++t) {
+    const NodeId root = g.AddNode(0);
+    const NodeId mid = g.AddNode(1);
+    const NodeId leaf = g.AddNode(2);
+    g.AddEdge(root, mid);
+    g.AddEdge(mid, leaf);
+  }
+  const auto apex = ApexIndex::Build(g);
+  EXPECT_EQ(apex->NumBlocks(), 3u);
+  EXPECT_EQ(apex->Extent(apex->BlockOf(0)).size(), 50u);
+}
+
+}  // namespace
+}  // namespace flix::index

@@ -1,0 +1,99 @@
+#include "index/dataguide.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace flix::index {
+namespace {
+
+// doc(0) -> a(1) -> b(2), doc -> a(3) -> c(4): label paths doc, doc/a,
+// doc/a/b, doc/a/c.
+graph::Digraph SampleTree() {
+  graph::Digraph g;
+  g.AddNode(0);  // doc
+  g.AddNode(1);  // a
+  g.AddNode(2);  // b
+  g.AddNode(1);  // a
+  g.AddNode(3);  // c
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(3, 4);
+  return g;
+}
+
+TEST(DataGuideTest, LookupLabelPaths) {
+  auto built = DataGuide::Build(SampleTree());
+  ASSERT_TRUE(built.ok());
+  const auto& guide = *built;
+  EXPECT_EQ(guide->Lookup({0}), (std::vector<NodeId>{0}));
+  // Both a-elements share the path doc/a.
+  EXPECT_EQ(guide->Lookup({0, 1}), (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(guide->Lookup({0, 1, 2}), (std::vector<NodeId>{2}));
+  EXPECT_EQ(guide->Lookup({0, 1, 3}), (std::vector<NodeId>{4}));
+}
+
+TEST(DataGuideTest, MissingPathsEmpty) {
+  auto built = DataGuide::Build(SampleTree());
+  ASSERT_TRUE(built.ok());
+  EXPECT_TRUE((*built)->Lookup({}).empty());
+  EXPECT_TRUE((*built)->Lookup({1}).empty());        // not a root tag
+  EXPECT_TRUE((*built)->Lookup({0, 2}).empty());     // no doc/b
+  EXPECT_TRUE((*built)->Lookup({0, 1, 2, 3}).empty());
+}
+
+TEST(DataGuideTest, StrongGuideSharesStates) {
+  // Two identical subtrees produce one state per label path, not per node.
+  auto built = DataGuide::Build(SampleTree());
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ((*built)->NumStates(), 4u);  // doc, doc/a, doc/a/b, doc/a/c
+}
+
+TEST(DataGuideTest, MultipleRoots) {
+  graph::Digraph g;
+  g.AddNode(0);
+  g.AddNode(0);
+  g.AddNode(1);
+  g.AddEdge(0, 2);
+  auto built = DataGuide::Build(g);
+  ASSERT_TRUE(built.ok());
+  // Roots with the same tag share the initial state.
+  EXPECT_EQ((*built)->Lookup({0}), (std::vector<NodeId>{0, 1}));
+}
+
+TEST(DataGuideTest, DagTargetSets) {
+  // Shared node under two paths of the same label sequence.
+  graph::Digraph g;
+  g.AddNode(0);
+  g.AddNode(1);
+  g.AddNode(1);
+  g.AddNode(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  auto built = DataGuide::Build(g);
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ((*built)->Lookup({0, 1, 2}), (std::vector<NodeId>{3}));
+}
+
+TEST(DataGuideTest, MaxStatesGuard) {
+  graph::Digraph g;
+  for (int i = 0; i < 20; ++i) g.AddNode(static_cast<TagId>(i));
+  for (NodeId i = 0; i + 1 < 20; ++i) g.AddEdge(i, i + 1);
+  DataGuideOptions options;
+  options.max_states = 5;
+  const auto built = DataGuide::Build(g, options);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DataGuideTest, MemoryReported) {
+  auto built = DataGuide::Build(SampleTree());
+  ASSERT_TRUE(built.ok());
+  EXPECT_GT((*built)->MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace flix::index

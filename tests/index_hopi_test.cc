@@ -1,0 +1,218 @@
+#include "index/hopi.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/traversal.h"
+
+namespace flix::index {
+namespace {
+
+graph::Digraph RandomGraph(size_t n, size_t edges, uint64_t seed,
+                           size_t num_tags = 4) {
+  Rng rng(seed);
+  graph::Digraph g;
+  for (size_t i = 0; i < n; ++i) {
+    g.AddNode(static_cast<TagId>(rng.Uniform(num_tags)));
+  }
+  for (size_t e = 0; e < edges; ++e) {
+    g.AddEdge(static_cast<NodeId>(rng.Uniform(n)),
+              static_cast<NodeId>(rng.Uniform(n)));
+  }
+  return g;
+}
+
+TEST(HopiTest, ChainDistances) {
+  graph::Digraph g(5);
+  for (NodeId i = 0; i + 1 < 5; ++i) g.AddEdge(i, i + 1);
+  const auto hopi = HopiIndex::Build(g);
+  for (NodeId i = 0; i < 5; ++i) {
+    for (NodeId j = 0; j < 5; ++j) {
+      const Distance expected =
+          j >= i ? static_cast<Distance>(j - i) : kUnreachable;
+      EXPECT_EQ(hopi->DistanceBetween(i, j), expected) << i << "->" << j;
+    }
+  }
+}
+
+TEST(HopiTest, DiamondShortestPath) {
+  graph::Digraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 4);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  const auto hopi = HopiIndex::Build(g);
+  EXPECT_EQ(hopi->DistanceBetween(0, 4), 2);
+}
+
+TEST(HopiTest, CycleReachability) {
+  graph::Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 0);
+  g.AddEdge(2, 3);
+  const auto hopi = HopiIndex::Build(g);
+  EXPECT_EQ(hopi->DistanceBetween(1, 0), 2);
+  EXPECT_EQ(hopi->DistanceBetween(0, 3), 3);
+  EXPECT_EQ(hopi->DistanceBetween(3, 0), kUnreachable);
+  EXPECT_TRUE(hopi->IsReachable(0, 0));
+}
+
+TEST(HopiTest, SelfDistanceZeroEvenOnCycle) {
+  graph::Digraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  const auto hopi = HopiIndex::Build(g);
+  EXPECT_EQ(hopi->DistanceBetween(0, 0), 0);
+  EXPECT_EQ(hopi->DistanceBetween(1, 1), 0);
+}
+
+TEST(HopiTest, EmptyAndSingletonGraphs) {
+  graph::Digraph empty;
+  const auto hopi_empty = HopiIndex::Build(empty);
+  EXPECT_EQ(hopi_empty->NumLabelEntries(), 0u);
+
+  graph::Digraph one(1);
+  one.SetTag(0, 7);
+  const auto hopi_one = HopiIndex::Build(one);
+  EXPECT_EQ(hopi_one->DistanceBetween(0, 0), 0);
+  EXPECT_TRUE(hopi_one->DescendantsByTag(0, 7).empty());
+}
+
+TEST(HopiTest, DescendantsMatchOracle) {
+  const graph::Digraph g = RandomGraph(80, 160, 31);
+  const auto hopi = HopiIndex::Build(g);
+  const graph::ReachabilityOracle oracle(g);
+  for (NodeId start = 0; start < 80; start += 7) {
+    EXPECT_EQ(hopi->Descendants(start), oracle.Descendants(start));
+    for (TagId tag = 0; tag < 4; ++tag) {
+      EXPECT_EQ(hopi->DescendantsByTag(start, tag),
+                oracle.DescendantsByTag(start, tag));
+    }
+  }
+}
+
+TEST(HopiTest, AncestorsMatchOracle) {
+  const graph::Digraph g = RandomGraph(60, 140, 37);
+  const auto hopi = HopiIndex::Build(g);
+  const graph::ReachabilityOracle oracle(g);
+  for (NodeId start = 0; start < 60; start += 5) {
+    for (TagId tag = 0; tag < 4; ++tag) {
+      EXPECT_EQ(hopi->AncestorsByTag(start, tag),
+                oracle.AncestorsByTag(start, tag));
+    }
+  }
+}
+
+TEST(HopiTest, PairwiseDistancesMatchOracle) {
+  const graph::Digraph g = RandomGraph(50, 120, 41);
+  const auto hopi = HopiIndex::Build(g);
+  const graph::ReachabilityOracle oracle(g);
+  for (NodeId u = 0; u < 50; u += 3) {
+    for (NodeId v = 0; v < 50; v += 4) {
+      EXPECT_EQ(hopi->DistanceBetween(u, v), oracle.Distance(u, v))
+          << u << "->" << v;
+    }
+  }
+}
+
+TEST(HopiTest, ReachableAmongBothPlans) {
+  const graph::Digraph g = RandomGraph(70, 150, 43);
+  const auto hopi = HopiIndex::Build(g);
+  const graph::ReachabilityOracle oracle(g);
+
+  // Small target list: per-target merge-join plan.
+  std::vector<NodeId> small_targets = {1, 5, 9, 13};
+  // Large target list: enumeration plan.
+  std::vector<NodeId> large_targets;
+  for (NodeId v = 0; v < 70; v += 2) large_targets.push_back(v);
+
+  for (const NodeId start : {NodeId{0}, NodeId{20}, NodeId{33}}) {
+    for (const auto* targets : {&small_targets, &large_targets}) {
+      std::vector<NodeDist> expected;
+      for (const NodeId t : *targets) {
+        const Distance d =
+            t == start ? 0 : oracle.Distance(start, t);
+        if (d != kUnreachable) expected.push_back({t, d});
+      }
+      SortByDistance(expected);
+      EXPECT_EQ(hopi->ReachableAmong(start, *targets), expected);
+    }
+  }
+}
+
+TEST(HopiTest, LabelsAreCompactOnChains) {
+  // On a long chain the transitive closure is quadratic while the 2-hop
+  // cover stays near-linear — the compression HOPI is built on.
+  constexpr size_t kN = 255;
+  graph::Digraph g(kN);
+  for (NodeId i = 0; i + 1 < kN; ++i) g.AddEdge(i, i + 1);
+  const size_t tc_pairs = kN * (kN - 1) / 2;
+  const auto hopi = HopiIndex::Build(g);
+  EXPECT_LT(hopi->NumLabelEntries(), tc_pairs / 4);
+}
+
+TEST(HopiTest, PartitionedBuildMatchesGlobalResults) {
+  const graph::Digraph g = RandomGraph(100, 220, 47);
+  const auto global = HopiIndex::Build(g);
+  HopiOptions options;
+  options.partition_bound = 20;
+  const auto partitioned = HopiIndex::Build(g, options);
+  for (NodeId u = 0; u < 100; u += 6) {
+    for (NodeId v = 0; v < 100; v += 7) {
+      EXPECT_EQ(partitioned->DistanceBetween(u, v),
+                global->DistanceBetween(u, v))
+          << u << "->" << v;
+    }
+    EXPECT_EQ(partitioned->Descendants(u), global->Descendants(u));
+  }
+}
+
+TEST(HopiTest, LabelBytesLessThanTotalMemory) {
+  const graph::Digraph g = RandomGraph(40, 80, 53);
+  const auto hopi = HopiIndex::Build(g);
+  EXPECT_LT(hopi->LabelBytes(), hopi->MemoryBytes());
+  EXPECT_GT(hopi->NumLabelEntries(), 0u);
+}
+
+TEST(HopiTest, RegisteredProbeSetsMatchGenericPath) {
+  const graph::Digraph g = RandomGraph(90, 200, 57);
+  const auto plain = HopiIndex::Build(g);
+  const auto registered = HopiIndex::Build(g);
+
+  std::vector<NodeId> sources;
+  for (NodeId v = 0; v < 90; v += 2) sources.push_back(v);
+  std::vector<NodeId> entries;
+  for (NodeId v = 1; v < 90; v += 3) entries.push_back(v);
+  registered->RegisterLinkSources(sources);
+  registered->RegisterEntryNodes(entries);
+
+  for (NodeId start = 0; start < 90; start += 5) {
+    // The registered fast path must return exactly what the generic
+    // fallback computes.
+    EXPECT_EQ(registered->ReachableAmong(start, sources),
+              plain->ReachableAmong(start, sources))
+        << "sources from " << start;
+    EXPECT_EQ(registered->AncestorsAmong(start, entries),
+              plain->AncestorsAmong(start, entries))
+        << "entries to " << start;
+    // A different target list must bypass the fast path and stay correct.
+    const std::vector<NodeId> other = {3, 7, 11};
+    EXPECT_EQ(registered->ReachableAmong(start, other),
+              plain->ReachableAmong(start, other));
+  }
+}
+
+TEST(HopiTest, DenseGraphEverythingReachable) {
+  // Complete bidirectional cycle: every node reaches every node.
+  graph::Digraph g(10);
+  for (NodeId i = 0; i < 10; ++i) g.AddEdge(i, (i + 1) % 10);
+  const auto hopi = HopiIndex::Build(g);
+  for (NodeId u = 0; u < 10; ++u) {
+    EXPECT_EQ(hopi->Descendants(u).size(), 9u);
+  }
+}
+
+}  // namespace
+}  // namespace flix::index

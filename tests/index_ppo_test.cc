@@ -1,0 +1,181 @@
+#include "index/ppo.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/traversal.h"
+
+namespace flix::index {
+namespace {
+
+// A small tree: 0(a) with children 1(b) and 4(b); 1 has children 2(c), 3(b).
+graph::Digraph SampleTree() {
+  graph::Digraph g;
+  g.AddNode(0);
+  g.AddNode(1);
+  g.AddNode(2);
+  g.AddNode(1);
+  g.AddNode(1);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(0, 4);
+  return g;
+}
+
+std::unique_ptr<PpoIndex> MustBuild(const graph::Digraph& g) {
+  auto built = PpoIndex::Build(g);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return std::move(built).value();
+}
+
+TEST(PpoTest, RejectsNonForest) {
+  graph::Digraph g(3);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  const auto built = PpoIndex::Build(g);
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PpoTest, RejectsCycle) {
+  graph::Digraph g(2);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  EXPECT_FALSE(PpoIndex::Build(g).ok());
+}
+
+TEST(PpoTest, PrePostWindowTest) {
+  const graph::Digraph g = SampleTree();
+  const auto ppo = MustBuild(g);
+  // Classic window condition from the paper: x is ancestor of y iff
+  // pre(x) < pre(y) && post(x) > post(y).
+  EXPECT_LT(ppo->pre(0), ppo->pre(2));
+  EXPECT_GT(ppo->post(0), ppo->post(2));
+  EXPECT_TRUE(ppo->IsReachable(0, 2));
+  EXPECT_TRUE(ppo->IsReachable(1, 3));
+  EXPECT_FALSE(ppo->IsReachable(1, 4));
+  EXPECT_FALSE(ppo->IsReachable(2, 0));
+  EXPECT_TRUE(ppo->IsReachable(2, 2));
+}
+
+TEST(PpoTest, DistanceIsDepthDifference) {
+  const graph::Digraph g = SampleTree();
+  const auto ppo = MustBuild(g);
+  EXPECT_EQ(ppo->DistanceBetween(0, 2), 2);
+  EXPECT_EQ(ppo->DistanceBetween(0, 4), 1);
+  EXPECT_EQ(ppo->DistanceBetween(1, 2), 1);
+  EXPECT_EQ(ppo->DistanceBetween(4, 2), kUnreachable);
+  EXPECT_EQ(ppo->DistanceBetween(2, 2), 0);
+}
+
+TEST(PpoTest, DescendantsByTag) {
+  const graph::Digraph g = SampleTree();
+  const auto ppo = MustBuild(g);
+  const std::vector<NodeDist> result = ppo->DescendantsByTag(0, 1);
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[0], (NodeDist{1, 1}));
+  EXPECT_EQ(result[1], (NodeDist{4, 1}));
+  EXPECT_EQ(result[2], (NodeDist{3, 2}));
+}
+
+TEST(PpoTest, DescendantsExcludesSelfAndSiblings) {
+  const graph::Digraph g = SampleTree();
+  const auto ppo = MustBuild(g);
+  const std::vector<NodeDist> result = ppo->DescendantsByTag(1, 1);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].node, 3u);
+}
+
+TEST(PpoTest, WildcardDescendants) {
+  const graph::Digraph g = SampleTree();
+  const auto ppo = MustBuild(g);
+  EXPECT_EQ(ppo->Descendants(0).size(), 4u);
+  EXPECT_EQ(ppo->Descendants(1).size(), 2u);
+  EXPECT_EQ(ppo->Descendants(2).size(), 0u);
+}
+
+TEST(PpoTest, AncestorsByTag) {
+  const graph::Digraph g = SampleTree();
+  const auto ppo = MustBuild(g);
+  const std::vector<NodeDist> result = ppo->AncestorsByTag(3, 1);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], (NodeDist{1, 1}));
+  const std::vector<NodeDist> roots = ppo->AncestorsByTag(3, 0);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], (NodeDist{0, 2}));
+}
+
+TEST(PpoTest, ReachableAmong) {
+  const graph::Digraph g = SampleTree();
+  const auto ppo = MustBuild(g);
+  const std::vector<NodeDist> result = ppo->ReachableAmong(0, {2, 4});
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], (NodeDist{4, 1}));
+  EXPECT_EQ(result[1], (NodeDist{2, 2}));
+  // Target list containing the start itself.
+  const std::vector<NodeDist> with_self = ppo->ReachableAmong(1, {1, 3});
+  ASSERT_EQ(with_self.size(), 2u);
+  EXPECT_EQ(with_self[0], (NodeDist{1, 0}));
+}
+
+TEST(PpoTest, MultiRootForest) {
+  graph::Digraph g(4);
+  g.SetTag(0, 0);
+  g.SetTag(1, 1);
+  g.SetTag(2, 0);
+  g.SetTag(3, 1);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  const auto ppo = MustBuild(g);
+  EXPECT_TRUE(ppo->IsReachable(0, 1));
+  EXPECT_FALSE(ppo->IsReachable(0, 3));
+  EXPECT_FALSE(ppo->IsReachable(2, 1));
+  EXPECT_EQ(ppo->DescendantsByTag(2, 1).size(), 1u);
+}
+
+TEST(PpoTest, SubtreeSizes) {
+  const graph::Digraph g = SampleTree();
+  const auto ppo = MustBuild(g);
+  EXPECT_EQ(ppo->subtree_size(0), 5u);
+  EXPECT_EQ(ppo->subtree_size(1), 3u);
+  EXPECT_EQ(ppo->subtree_size(2), 1u);
+}
+
+TEST(PpoTest, MatchesOracleOnRandomForest) {
+  Rng rng(21);
+  for (int trial = 0; trial < 5; ++trial) {
+    graph::Digraph g;
+    constexpr size_t kN = 150;
+    for (size_t i = 0; i < kN; ++i) g.AddNode(static_cast<TagId>(rng.Uniform(5)));
+    // Random forest: each node except roots picks an earlier parent.
+    for (NodeId i = 1; i < kN; ++i) {
+      if (rng.Bernoulli(0.9)) {
+        g.AddEdge(static_cast<NodeId>(rng.Uniform(i)), i);
+      }
+    }
+    const auto ppo = MustBuild(g);
+    const graph::ReachabilityOracle oracle(g);
+    for (NodeId start = 0; start < kN; start += 13) {
+      for (TagId tag = 0; tag < 5; ++tag) {
+        EXPECT_EQ(ppo->DescendantsByTag(start, tag),
+                  oracle.DescendantsByTag(start, tag))
+            << "start " << start << " tag " << tag;
+      }
+      EXPECT_EQ(ppo->Descendants(start), oracle.Descendants(start));
+    }
+  }
+}
+
+TEST(PpoTest, MemoryBytesScalesLinearly) {
+  graph::Digraph small(10);
+  for (NodeId i = 1; i < 10; ++i) small.AddEdge(i - 1, i);
+  graph::Digraph large(1000);
+  for (NodeId i = 1; i < 1000; ++i) large.AddEdge(i - 1, i);
+  const auto ppo_small = MustBuild(small);
+  const auto ppo_large = MustBuild(large);
+  EXPECT_GT(ppo_large->MemoryBytes(), 50 * ppo_small->MemoryBytes());
+}
+
+}  // namespace
+}  // namespace flix::index

@@ -1,0 +1,185 @@
+// Tests for the generalized structure-summary index: F&B (forward+backward
+// bisimulation) and D(k) (workload-adaptive refinement depth).
+#include "index/summary_index.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/binary_io.h"
+#include "common/rng.h"
+#include "graph/traversal.h"
+#include "index/apex.h"
+
+namespace flix::index {
+namespace {
+
+graph::Digraph RandomGraph(size_t n, size_t edges, uint64_t seed,
+                           size_t num_tags = 4) {
+  Rng rng(seed);
+  graph::Digraph g;
+  for (size_t i = 0; i < n; ++i) {
+    g.AddNode(static_cast<TagId>(rng.Uniform(num_tags)));
+  }
+  for (size_t e = 0; e < edges; ++e) {
+    g.AddEdge(static_cast<NodeId>(rng.Uniform(n)),
+              static_cast<NodeId>(rng.Uniform(n)));
+  }
+  return g;
+}
+
+// Two structures with identical incoming paths but different outgoing
+// structure: a(0) -> b(1) -> c(2)  and  a(3) -> b(4)   (b4 has no child).
+graph::Digraph ForwardAsymmetric() {
+  graph::Digraph g;
+  g.AddNode(0);
+  g.AddNode(1);
+  g.AddNode(2);
+  g.AddNode(0);
+  g.AddNode(1);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  return g;
+}
+
+TEST(FbIndexTest, ForwardRefinementSplitsWhatBackwardCannot) {
+  const graph::Digraph g = ForwardAsymmetric();
+  // Backward-only (1-index / APEX): the two b nodes share a block (same
+  // incoming label path a/b).
+  const auto backward = ApexIndex::Build(g);
+  EXPECT_EQ(backward->BlockOf(1), backward->BlockOf(4));
+  // F&B: they differ (one has a c child, the other does not).
+  const auto fb = SummaryIndex::BuildFb(g);
+  EXPECT_NE(fb->BlockOf(1), fb->BlockOf(4));
+  // The a parents consequently split too.
+  EXPECT_NE(fb->BlockOf(0), fb->BlockOf(3));
+}
+
+TEST(FbIndexTest, SymmetricStructuresShareBlocks) {
+  // Two fully identical subtrees must collapse even under F&B.
+  graph::Digraph g;
+  for (int t = 0; t < 2; ++t) {
+    const NodeId root = g.AddNode(0);
+    const NodeId mid = g.AddNode(1);
+    const NodeId leaf = g.AddNode(2);
+    g.AddEdge(root, mid);
+    g.AddEdge(mid, leaf);
+  }
+  const auto fb = SummaryIndex::BuildFb(g);
+  EXPECT_EQ(fb->NumBlocks(), 3u);
+  EXPECT_EQ(fb->BlockOf(0), fb->BlockOf(3));
+  EXPECT_EQ(fb->BlockOf(1), fb->BlockOf(4));
+  EXPECT_EQ(fb->BlockOf(2), fb->BlockOf(5));
+}
+
+TEST(FbIndexTest, AtLeastAsFineAsBackwardBisimulation) {
+  const graph::Digraph g = RandomGraph(60, 130, 91);
+  const auto apex = ApexIndex::Build(g);
+  const auto fb = SummaryIndex::BuildFb(g);
+  EXPECT_GE(fb->NumBlocks(), apex->NumBlocks());
+  // F&B must refine the backward partition: two nodes in one F&B block are
+  // always in one backward block.
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v = u + 1; v < g.NumNodes(); ++v) {
+      if (fb->BlockOf(u) == fb->BlockOf(v)) {
+        EXPECT_EQ(apex->BlockOf(u), apex->BlockOf(v))
+            << u << " vs " << v;
+      }
+    }
+  }
+}
+
+TEST(FbIndexTest, QueriesMatchOracle) {
+  const graph::Digraph g = RandomGraph(70, 150, 93);
+  const auto fb = SummaryIndex::BuildFb(g);
+  const graph::ReachabilityOracle oracle(g);
+  for (NodeId start = 0; start < 70; start += 6) {
+    EXPECT_EQ(fb->Descendants(start), oracle.Descendants(start));
+    for (TagId tag = 0; tag < 4; ++tag) {
+      EXPECT_EQ(fb->DescendantsByTag(start, tag),
+                oracle.DescendantsByTag(start, tag));
+      EXPECT_EQ(fb->AncestorsByTag(start, tag),
+                oracle.AncestorsByTag(start, tag));
+    }
+  }
+}
+
+TEST(DkIndexTest, WorkloadDepthControlsRefinement) {
+  // doc(0) -> a(1) -> b(2); doc(0) -> c(3) -> b(4): the two b nodes differ
+  // at 2-bisimilarity (different grandparents... actually parents a vs c).
+  graph::Digraph g;
+  g.AddNode(0);  // doc
+  g.AddNode(1);  // a
+  g.AddNode(2);  // b under a
+  g.AddNode(3);  // c
+  g.AddNode(2);  // b under c
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(3, 4);
+
+  // Workload touching b at depth >= 1 forces the split.
+  const auto deep = SummaryIndex::BuildDk(g, {{0, 1, 2}});
+  EXPECT_NE(deep->BlockOf(2), deep->BlockOf(4));
+
+  // A workload that never exercises paths into b keeps the tag partition
+  // for b (both b nodes in one block).
+  const auto shallow = SummaryIndex::BuildDk(g, {{0}});
+  EXPECT_EQ(shallow->BlockOf(2), shallow->BlockOf(4));
+  EXPECT_LE(shallow->NumBlocks(), deep->NumBlocks());
+}
+
+TEST(DkIndexTest, QueriesExactRegardlessOfDepth) {
+  // Pruning with a coarse summary must stay sound: results always match the
+  // oracle, whatever the workload says.
+  const graph::Digraph g = RandomGraph(50, 110, 97);
+  const graph::ReachabilityOracle oracle(g);
+  for (const auto& workload :
+       {std::vector<std::vector<TagId>>{}, {{0}}, {{0, 1}, {2, 3, 1}}}) {
+    const auto dk = SummaryIndex::BuildDk(g, workload);
+    for (NodeId start = 0; start < 50; start += 7) {
+      for (TagId tag = 0; tag < 4; ++tag) {
+        EXPECT_EQ(dk->DescendantsByTag(start, tag),
+                  oracle.DescendantsByTag(start, tag));
+      }
+      EXPECT_EQ(dk->Descendants(start), oracle.Descendants(start));
+    }
+  }
+}
+
+TEST(DkIndexTest, CoarserThanFullBisimulation) {
+  const graph::Digraph g = RandomGraph(80, 170, 101);
+  const auto full = ApexIndex::Build(g);          // fixpoint
+  const auto dk = SummaryIndex::BuildDk(g, {{0, 1}});  // shallow workload
+  EXPECT_LE(dk->NumBlocks(), full->NumBlocks());
+}
+
+TEST(SummaryIndexTest, PersistenceRoundTrip) {
+  const graph::Digraph g = RandomGraph(40, 90, 103);
+  const auto original = SummaryIndex::BuildFb(g);
+
+  std::stringstream stream;
+  BinaryWriter writer(stream);
+  SaveIndex(*original, writer);
+  ASSERT_TRUE(writer.ok());
+
+  BinaryReader reader(stream);
+  auto loaded = LoadIndex(reader, g);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->kind(), StrategyKind::kSummary);
+  for (NodeId u = 0; u < g.NumNodes(); u += 5) {
+    EXPECT_EQ((*loaded)->Descendants(u), original->Descendants(u));
+    for (TagId tag = 0; tag < 4; ++tag) {
+      EXPECT_EQ((*loaded)->AncestorsByTag(u, tag),
+                original->AncestorsByTag(u, tag));
+    }
+  }
+}
+
+TEST(SummaryIndexTest, NameRegistered) {
+  EXPECT_EQ(StrategyName(StrategyKind::kSummary), "SUMMARY");
+}
+
+}  // namespace
+}  // namespace flix::index

@@ -1,0 +1,286 @@
+#include "ontology/ontology.h"
+
+#include <gtest/gtest.h>
+
+#include "flix/flix.h"
+#include "ontology/relaxation.h"
+#include "xml/collection.h"
+
+namespace flix::ontology {
+namespace {
+
+TEST(OntologyTest, IdenticalTermsFullySimilar) {
+  Ontology o;
+  EXPECT_EQ(o.Similarity("a", "a"), 1.0);
+}
+
+TEST(OntologyTest, UnknownTermsUnrelated) {
+  Ontology o;
+  EXPECT_EQ(o.Similarity("a", "b"), 0.0);
+}
+
+TEST(OntologyTest, DirectSimilaritySymmetric) {
+  Ontology o;
+  o.AddSimilarity("movie", "film", 0.9);
+  EXPECT_DOUBLE_EQ(o.Similarity("movie", "film"), 0.9);
+  EXPECT_DOUBLE_EQ(o.Similarity("film", "movie"), 0.9);
+}
+
+TEST(OntologyTest, TransitiveSimilarityIsProduct) {
+  Ontology o;
+  o.AddSimilarity("a", "b", 0.9);
+  o.AddSimilarity("b", "c", 0.8);
+  EXPECT_NEAR(o.Similarity("a", "c"), 0.72, 1e-9);
+}
+
+TEST(OntologyTest, BestPathWins) {
+  Ontology o;
+  o.AddSimilarity("a", "b", 0.5);
+  o.AddSimilarity("a", "x", 0.9);
+  o.AddSimilarity("x", "b", 0.9);
+  EXPECT_NEAR(o.Similarity("a", "b"), 0.81, 1e-9);
+}
+
+TEST(OntologyTest, FloorCutsWeakChains) {
+  Ontology o;
+  o.AddSimilarity("a", "b", 0.4);
+  o.AddSimilarity("b", "c", 0.4);
+  EXPECT_EQ(o.Similarity("a", "c", /*floor=*/0.2), 0.0);
+}
+
+TEST(OntologyTest, RepeatedAddKeepsMaximum) {
+  Ontology o;
+  o.AddSimilarity("a", "b", 0.5);
+  o.AddSimilarity("a", "b", 0.8);
+  o.AddSimilarity("b", "a", 0.3);
+  EXPECT_DOUBLE_EQ(o.Similarity("a", "b"), 0.8);
+}
+
+TEST(OntologyTest, SimilarTermsSorted) {
+  const Ontology o = Ontology::MovieOntology();
+  const auto terms = o.SimilarTerms("movie", 0.5);
+  ASSERT_GE(terms.size(), 3u);
+  EXPECT_EQ(terms[0].first, "movie");
+  EXPECT_EQ(terms[0].second, 1.0);
+  for (size_t i = 1; i < terms.size(); ++i) {
+    EXPECT_LE(terms[i].second, terms[i - 1].second);
+  }
+}
+
+TEST(OntologyTest, MovieOntologyCoversPaperExample) {
+  const Ontology o = Ontology::MovieOntology();
+  EXPECT_GT(o.Similarity("movie", "science-fiction"), 0.8);
+  EXPECT_GT(o.Similarity("actor", "cast-member"), 0.8);
+}
+
+TEST(RelaxationTest, ParseSimplePath) {
+  const auto q = ParsePathQuery("movie/actor");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->steps.size(), 2u);
+  EXPECT_EQ(q->steps[0].tag, "movie");
+  EXPECT_FALSE(q->steps[0].descendant_axis);
+  EXPECT_EQ(q->steps[1].tag, "actor");
+  EXPECT_FALSE(q->steps[1].similar);
+}
+
+TEST(RelaxationTest, ParseDescendantAndSimilar) {
+  const auto q = ParsePathQuery("//~movie//actor/~title");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->steps.size(), 3u);
+  EXPECT_TRUE(q->steps[0].descendant_axis);
+  EXPECT_TRUE(q->steps[0].similar);
+  EXPECT_TRUE(q->steps[1].descendant_axis);
+  EXPECT_FALSE(q->steps[1].similar);
+  EXPECT_FALSE(q->steps[2].descendant_axis);
+  EXPECT_TRUE(q->steps[2].similar);
+}
+
+TEST(RelaxationTest, ParseErrors) {
+  EXPECT_FALSE(ParsePathQuery("").ok());
+  EXPECT_FALSE(ParsePathQuery("//").ok());
+  EXPECT_FALSE(ParsePathQuery("a//").ok());
+}
+
+TEST(RelaxationTest, RelaxTurnsChildIntoDescendant) {
+  const auto q = ParsePathQuery("a/b/c");
+  ASSERT_TRUE(q.ok());
+  const PathQuery relaxed = Relax(*q);
+  for (const QueryStep& step : relaxed.steps) {
+    EXPECT_TRUE(step.descendant_axis);
+  }
+}
+
+// The paper's motivating scenario: a heterogeneous movie collection where
+// one source uses <science-fiction> instead of <movie> and nests actors
+// under a cast element.
+xml::Collection MovieCollection() {
+  xml::Collection c;
+  EXPECT_TRUE(c.AddXml(
+      R"(<movie><title>Matrix</title><actor>Reeves</actor></movie>)",
+      "m1").ok());
+  EXPECT_TRUE(c.AddXml(
+      R"(<science-fiction><title>Matrix 3</title>)"
+      R"(<cast><actor>Moss</actor></cast></science-fiction>)",
+      "m2").ok());
+  EXPECT_TRUE(c.AddXml(
+      R"(<book><title>Neuromancer</title><author>Gibson</author></book>)",
+      "b1").ok());
+  c.ResolveAllLinks();
+  return c;
+}
+
+TEST(RelaxationTest, ExactQueryMissesHeterogeneousData) {
+  const xml::Collection c = MovieCollection();
+  auto flix = core::Flix::Build(c, {});
+  ASSERT_TRUE(flix.ok());
+  const Ontology o = Ontology::MovieOntology();
+
+  // movie/actor as written: only the homogeneous document matches.
+  const auto exact = ParsePathQuery("movie/actor");
+  ASSERT_TRUE(exact.ok());
+  const auto matches = EvaluatePathQuery(**flix, o, *exact);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].node, c.GlobalId(0, 2));
+  EXPECT_DOUBLE_EQ(matches[0].score, 1.0);
+}
+
+TEST(RelaxationTest, RelaxedQueryFindsAllSourcesRanked) {
+  const xml::Collection c = MovieCollection();
+  auto flix = core::Flix::Build(c, {});
+  ASSERT_TRUE(flix.ok());
+  const Ontology o = Ontology::MovieOntology();
+
+  const auto q = ParsePathQuery("//~movie//actor");
+  ASSERT_TRUE(q.ok());
+  const auto matches = EvaluatePathQuery(**flix, o, *q);
+  ASSERT_EQ(matches.size(), 2u);
+  // Exact tag + direct child outranks similar tag + longer path.
+  EXPECT_EQ(matches[0].node, c.GlobalId(0, 2));
+  EXPECT_EQ(matches[1].node, c.GlobalId(1, 3));
+  EXPECT_GT(matches[0].score, matches[1].score);
+  EXPECT_GT(matches[1].score, 0.0);
+  // science-fiction (0.9) * one extra hop through cast (alpha 0.8).
+  EXPECT_NEAR(matches[1].score, 0.9 * 0.8, 1e-9);
+}
+
+TEST(RelaxationTest, BookNeverMatchesMovieQuery) {
+  const xml::Collection c = MovieCollection();
+  auto flix = core::Flix::Build(c, {});
+  ASSERT_TRUE(flix.ok());
+  const Ontology o = Ontology::MovieOntology();
+  const auto q = ParsePathQuery("//~movie//~title");
+  ASSERT_TRUE(q.ok());
+  const auto matches = EvaluatePathQuery(**flix, o, *q);
+  for (const ScoredMatch& m : matches) {
+    EXPECT_NE(m.node, c.GlobalId(2, 1)) << "book title must not match";
+  }
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+TEST(TextSimilarityTest, Basics) {
+  EXPECT_DOUBLE_EQ(TextSimilarity("Matrix", "Matrix"), 1.0);
+  EXPECT_DOUBLE_EQ(TextSimilarity("Matrix", "matrix"), 1.0);  // case-folded
+  EXPECT_EQ(TextSimilarity("Matrix", "Inception"), 0.0);
+  EXPECT_DOUBLE_EQ(TextSimilarity("", ""), 1.0);
+  EXPECT_EQ(TextSimilarity("a", ""), 0.0);
+}
+
+TEST(TextSimilarityTest, ContainmentScoresHigh) {
+  // All query tokens present -> at least 0.8 even with extra tokens.
+  EXPECT_GE(TextSimilarity("Matrix Revolutions", "Matrix: Revolutions"), 0.8);
+  EXPECT_GE(TextSimilarity("Matrix", "Matrix: Revolutions"), 0.8);
+  // Partial overlap scores by Jaccard.
+  const double partial = TextSimilarity("Matrix 3", "Matrix: Revolutions");
+  EXPECT_GT(partial, 0.0);
+  EXPECT_LT(partial, 0.8);
+}
+
+TEST(RelaxationTest, ParsePredicates) {
+  const auto q = ParsePathQuery(R"(movie[title~"Matrix"]/actor[name="Reeves"])");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->steps.size(), 2u);
+  ASSERT_EQ(q->steps[0].predicates.size(), 1u);
+  EXPECT_EQ(q->steps[0].predicates[0],
+            (ContentPredicate{"title", "Matrix", true}));
+  ASSERT_EQ(q->steps[1].predicates.size(), 1u);
+  EXPECT_EQ(q->steps[1].predicates[0],
+            (ContentPredicate{"name", "Reeves", false}));
+}
+
+TEST(RelaxationTest, ParsePredicateErrors) {
+  EXPECT_FALSE(ParsePathQuery("a[").ok());
+  EXPECT_FALSE(ParsePathQuery("a[b]").ok());
+  EXPECT_FALSE(ParsePathQuery("a[b=unquoted]").ok());
+  EXPECT_FALSE(ParsePathQuery("a[b=\"open]").ok());
+  EXPECT_FALSE(ParsePathQuery("a[=\"x\"]").ok());
+}
+
+TEST(RelaxationTest, ContentPredicateFiltersAndScores) {
+  // The paper's example: //~movie[title~"Matrix: Revolutions"]//~actor.
+  const xml::Collection c = MovieCollection();
+  auto flix = core::Flix::Build(c, {});
+  ASSERT_TRUE(flix.ok());
+  const Ontology o = Ontology::MovieOntology();
+
+  const auto q =
+      ParsePathQuery(R"(//~movie[title~"Matrix"]//actor)");
+  ASSERT_TRUE(q.ok());
+  const auto matches = EvaluatePathQuery(**flix, o, *q);
+  // Both Matrix sources match ("Matrix" and "Matrix 3" titles); order by
+  // score: exact movie tag first.
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].node, c.GlobalId(0, 2));
+  EXPECT_EQ(matches[1].node, c.GlobalId(1, 3));
+
+  // An exact predicate only matches the literal title.
+  const auto exact = ParsePathQuery(R"(//~movie[title="Matrix"]//actor)");
+  ASSERT_TRUE(exact.ok());
+  const auto exact_matches = EvaluatePathQuery(**flix, o, *exact);
+  ASSERT_EQ(exact_matches.size(), 1u);
+  EXPECT_EQ(exact_matches[0].node, c.GlobalId(0, 2));
+
+  // A predicate that matches nothing yields no results.
+  const auto none = ParsePathQuery(R"(//~movie[title="Totoro"]//actor)");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(EvaluatePathQuery(**flix, o, *none).empty());
+}
+
+TEST(RelaxationTest, PredicateOnLaterStep) {
+  // Nested filmography: the predicate applies to the final step's element.
+  xml::Collection c;
+  ASSERT_TRUE(c.AddXml(
+      R"(<movie><title>Matrix</title><actor>Reeves)"
+      R"(<movie><title>John Wick</title></movie>)"
+      R"(<movie><title>Speed</title></movie>)"
+      R"(</actor></movie>)",
+      "m1").ok());
+  c.ResolveAllLinks();
+  auto flix = core::Flix::Build(c, {});
+  ASSERT_TRUE(flix.ok());
+  const Ontology o = Ontology::MovieOntology();
+
+  const auto q = ParsePathQuery(R"(//movie//actor//movie[title="John Wick"])");
+  ASSERT_TRUE(q.ok());
+  const auto matches = EvaluatePathQuery(**flix, o, *q);
+  // Only the John Wick movie (element 3) survives the predicate; Speed
+  // (element 5) is filtered.
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].node, c.GlobalId(0, 3));
+}
+
+TEST(RelaxationTest, MinScoreFiltersWeakMatches) {
+  const xml::Collection c = MovieCollection();
+  auto flix = core::Flix::Build(c, {});
+  ASSERT_TRUE(flix.ok());
+  const Ontology o = Ontology::MovieOntology();
+  const auto q = ParsePathQuery("//~movie//actor");
+  ASSERT_TRUE(q.ok());
+  RelaxedQueryOptions options;
+  options.min_score = 0.95;
+  const auto matches = EvaluatePathQuery(**flix, o, *q, options);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_DOUBLE_EQ(matches[0].score, 1.0);
+}
+
+}  // namespace
+}  // namespace flix::ontology

@@ -1,0 +1,135 @@
+#include "text/text_index.h"
+
+#include <gtest/gtest.h>
+
+#include "flix/flix.h"
+#include "ontology/ontology.h"
+#include "ontology/relaxation.h"
+#include "workload/dblp_generator.h"
+
+namespace flix::text {
+namespace {
+
+TEST(TokenizeTest, Basics) {
+  EXPECT_EQ(Tokenize("Hello, World!"),
+            (std::vector<std::string>{"hello", "world"}));
+  EXPECT_EQ(Tokenize("Matrix: Revolutions (2003)"),
+            (std::vector<std::string>{"matrix", "revolutions", "2003"}));
+  EXPECT_TRUE(Tokenize("  ... !!").empty());
+  EXPECT_EQ(Tokenize("a a b"), (std::vector<std::string>{"a", "a", "b"}));
+}
+
+xml::Collection MovieTexts() {
+  xml::Collection c;
+  EXPECT_TRUE(c.AddXml(
+      R"(<movie><title>Matrix Revolutions</title>)"
+      R"(<plot>Neo fights the machine army in the real world</plot></movie>)",
+      "m1").ok());
+  EXPECT_TRUE(c.AddXml(
+      R"(<movie><title>Matrix Reloaded</title>)"
+      R"(<plot>Neo learns more about the machine world</plot></movie>)",
+      "m2").ok());
+  EXPECT_TRUE(c.AddXml(
+      R"(<book><title>Gardening at Home</title>)"
+      R"(<blurb>plants soil watering</blurb></book>)",
+      "b1").ok());
+  c.ResolveAllLinks();
+  return c;
+}
+
+TEST(TextIndexTest, BuildCountsIndexedElements) {
+  const xml::Collection c = MovieTexts();
+  const TextIndex index = TextIndex::Build(c);
+  // Six elements carry text (2x title+plot, title+blurb).
+  EXPECT_EQ(index.NumIndexedElements(), 6u);
+  EXPECT_GT(index.NumTerms(), 10u);
+}
+
+TEST(TextIndexTest, PostingsLookup) {
+  const xml::Collection c = MovieTexts();
+  const TextIndex index = TextIndex::Build(c);
+  const auto* matrix = index.Postings("matrix");
+  ASSERT_NE(matrix, nullptr);
+  EXPECT_EQ(matrix->size(), 2u);  // both titles
+  // Case folding on lookup.
+  EXPECT_EQ(index.Postings("MATRIX"), matrix);
+  EXPECT_EQ(index.Postings("nonexistent"), nullptr);
+}
+
+TEST(TextIndexTest, SearchRanksByRelevance) {
+  const xml::Collection c = MovieTexts();
+  const TextIndex index = TextIndex::Build(c);
+  const auto results = index.Search("matrix revolutions", 10);
+  ASSERT_GE(results.size(), 2u);
+  // The m1 title matches both terms and must rank first.
+  EXPECT_EQ(results[0].element, c.GlobalId(0, 1));
+  EXPECT_GT(results[0].score, results[1].score);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LE(results[i].score, results[i - 1].score);
+    EXPECT_GT(results[i].score, 0.0);
+  }
+}
+
+TEST(TextIndexTest, SearchHonorsK) {
+  const xml::Collection c = MovieTexts();
+  const TextIndex index = TextIndex::Build(c);
+  EXPECT_LE(index.Search("the world machine neo", 1).size(), 1u);
+  EXPECT_TRUE(index.Search("zzz qqq", 5).empty());
+}
+
+TEST(TextIndexTest, ScoreMatchesSearchScores) {
+  const xml::Collection c = MovieTexts();
+  const TextIndex index = TextIndex::Build(c);
+  const auto results = index.Search("machine world", 10);
+  for (const ScoredElement& r : results) {
+    EXPECT_NEAR(index.Score(r.element, "machine world"), r.score, 1e-9);
+  }
+  // Untexted element scores zero.
+  EXPECT_EQ(index.Score(c.GlobalId(0, 0), "machine world"), 0.0);
+}
+
+TEST(TextIndexTest, IdfDownweightsCommonTerms) {
+  // "neo" appears in both plots; "army" only in one. For the element
+  // containing both, the rare term contributes more weight.
+  const xml::Collection c = MovieTexts();
+  const TextIndex index = TextIndex::Build(c);
+  const NodeId plot1 = c.GlobalId(0, 2);
+  EXPECT_GT(index.Score(plot1, "army"), index.Score(plot1, "neo"));
+}
+
+TEST(TextIndexTest, PredicateScoringViaIndex) {
+  // The relaxation layer can score ~"..." predicates with the text index.
+  const xml::Collection c = MovieTexts();
+  const TextIndex index = TextIndex::Build(c);
+  auto flix = core::Flix::Build(c, {});
+  ASSERT_TRUE(flix.ok());
+  const ontology::Ontology onto = ontology::Ontology::MovieOntology();
+
+  const auto q =
+      ontology::ParsePathQuery(R"(//movie[title~"matrix revolutions"]//plot)");
+  ASSERT_TRUE(q.ok());
+  ontology::RelaxedQueryOptions options;
+  options.text_index = &index;
+  options.text_floor = 0.1;
+  const auto matches = ontology::EvaluatePathQuery(**flix, onto, *q, options);
+  ASSERT_EQ(matches.size(), 2u);
+  // The full-phrase title outranks the partial match.
+  EXPECT_EQ(matches[0].node, c.GlobalId(0, 2));
+  EXPECT_EQ(matches[1].node, c.GlobalId(1, 2));
+  EXPECT_GT(matches[0].score, matches[1].score);
+}
+
+TEST(TextIndexTest, ScalesToDblpCorpus) {
+  workload::DblpOptions options;
+  options.num_publications = 200;
+  const auto collection = workload::GenerateDblp(options);
+  ASSERT_TRUE(collection.ok());
+  const TextIndex index = TextIndex::Build(*collection);
+  EXPECT_GT(index.NumIndexedElements(), 2000u);
+  EXPECT_GT(index.MemoryBytes(), 0u);
+  const auto results = index.Search("xml indexing", 25);
+  EXPECT_EQ(results.size(), 25u);
+}
+
+}  // namespace
+}  // namespace flix::text

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include "graph/traversal.h"
+#include "graph/tree_utils.h"
+#include "workload/dblp_generator.h"
+#include "workload/inex_generator.h"
+#include "workload/query_workload.h"
+#include "workload/synthetic_generator.h"
+
+namespace flix::workload {
+namespace {
+
+TEST(DblpGeneratorTest, DeterministicForSeed) {
+  DblpOptions options;
+  options.num_publications = 30;
+  Rng rng1(1);
+  Rng rng2(1);
+  EXPECT_EQ(GeneratePublicationXml(options, 5, rng1),
+            GeneratePublicationXml(options, 5, rng2));
+}
+
+TEST(DblpGeneratorTest, PublicationsParse) {
+  DblpOptions options;
+  options.num_publications = 50;
+  const auto collection = GenerateDblp(options);
+  ASSERT_TRUE(collection.ok()) << collection.status().ToString();
+  EXPECT_EQ(collection->NumDocuments(), 50u);
+  EXPECT_GT(collection->NumElements(), 50u * 10);
+}
+
+TEST(DblpGeneratorTest, VenueMixMatchesPaper) {
+  DblpOptions options;
+  options.num_publications = 60;
+  const auto collection = GenerateDblp(options);
+  ASSERT_TRUE(collection.ok());
+  const TagId article = collection->pool().Lookup("article");
+  const TagId inproceedings = collection->pool().Lookup("inproceedings");
+  ASSERT_NE(article, kInvalidTag);
+  ASSERT_NE(inproceedings, kInvalidTag);
+  size_t articles = 0;
+  size_t confs = 0;
+  for (DocId d = 0; d < collection->NumDocuments(); ++d) {
+    const TagId root = collection->document(d).element(0).tag;
+    if (root == article) ++articles;
+    if (root == inproceedings) ++confs;
+  }
+  EXPECT_EQ(articles + confs, collection->NumDocuments());
+  // 2 of 6 venues are journals.
+  EXPECT_EQ(articles, 20u);
+}
+
+TEST(DblpGeneratorTest, CitationsResolveToEarlierPublications) {
+  DblpOptions options;
+  options.num_publications = 120;
+  const auto collection = GenerateDblp(options);
+  ASSERT_TRUE(collection.ok());
+  size_t inter_links = 0;
+  for (const xml::Link& link : collection->links().links) {
+    if (!link.IsInterDocument()) continue;
+    ++inter_links;
+    EXPECT_EQ(link.dst_elem, 0u);           // cites target roots
+    EXPECT_LT(link.dst_doc, link.src_doc);  // cites the past
+  }
+  EXPECT_GT(inter_links, 100u);
+}
+
+TEST(DblpGeneratorTest, PaperScaleShape) {
+  // Smoke-scale check of the shape knobs: elements/doc and links/doc close
+  // to the paper's corpus (168,991 / 6,210 ~ 27.2 and 25,368 / 6,210 ~ 4.1).
+  DblpOptions options;
+  options.num_publications = 400;
+  const auto collection = GenerateDblp(options);
+  ASSERT_TRUE(collection.ok());
+  const double elems_per_doc =
+      static_cast<double>(collection->NumElements()) / 400.0;
+  EXPECT_GT(elems_per_doc, 20.0);
+  EXPECT_LT(elems_per_doc, 35.0);
+  size_t inter = 0;
+  for (const xml::Link& link : collection->links().links) {
+    if (link.IsInterDocument()) ++inter;
+  }
+  const double links_per_doc = static_cast<double>(inter) / 400.0;
+  EXPECT_GT(links_per_doc, 2.0);
+  EXPECT_LT(links_per_doc, 6.5);
+}
+
+TEST(DblpGeneratorTest, ZipfSkewInCitations) {
+  DblpOptions options;
+  options.num_publications = 300;
+  const auto collection = GenerateDblp(options);
+  ASSERT_TRUE(collection.ok());
+  std::vector<size_t> in_cites(300, 0);
+  for (const xml::Link& link : collection->links().links) {
+    if (link.IsInterDocument()) ++in_cites[link.dst_doc];
+  }
+  // The most-cited publication collects far more than the median.
+  const size_t max_cites = *std::max_element(in_cites.begin(), in_cites.end());
+  std::vector<size_t> sorted = in_cites;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_GT(max_cites, 5 * std::max<size_t>(sorted[150], 1));
+}
+
+TEST(SyntheticGeneratorTest, RegionsHaveExpectedStructure) {
+  SyntheticOptions options;
+  options.seed = 41;
+  const auto collection = GenerateSynthetic(options);
+  ASSERT_TRUE(collection.ok());
+  EXPECT_EQ(collection->NumDocuments(),
+            options.tree_docs + options.dense_docs + options.isolated_docs);
+
+  // Isolated docs have no links touching them.
+  for (size_t i = 0; i < options.isolated_docs; ++i) {
+    const DocId d = collection->FindDocument("iso" + std::to_string(i));
+    ASSERT_NE(d, kInvalidDoc);
+    for (const xml::Link& link : collection->links().links) {
+      EXPECT_NE(link.src_doc, d);
+      EXPECT_NE(link.dst_doc, d);
+    }
+  }
+
+  // Tree region: links target roots only and the region's element graph is
+  // a forest.
+  const graph::Digraph g = collection->BuildGraph();
+  std::vector<NodeId> tree_nodes;
+  for (size_t i = 0; i < options.tree_docs; ++i) {
+    const DocId d = collection->FindDocument("tree" + std::to_string(i));
+    for (xml::ElementId e = 0; e < collection->document(d).NumElements(); ++e) {
+      tree_nodes.push_back(collection->GlobalId(d, e));
+    }
+  }
+  const graph::Digraph tree_region = g.InducedSubgraph(tree_nodes);
+  EXPECT_TRUE(graph::IsForest(tree_region));
+}
+
+TEST(SyntheticGeneratorTest, DenseRegionHasLinks) {
+  const auto collection = GenerateSynthetic({.seed = 43});
+  ASSERT_TRUE(collection.ok());
+  size_t dense_links = 0;
+  for (const xml::Link& link : collection->links().links) {
+    const std::string& name = collection->document(link.src_doc).name();
+    if (name.starts_with("dense")) ++dense_links;
+  }
+  EXPECT_GT(dense_links, 5u);
+}
+
+TEST(SyntheticGeneratorTest, DocumentXmlParses) {
+  SyntheticOptions options;
+  Rng rng(47);
+  const std::string text = GenerateDocumentXml(options, "probe", 20, rng);
+  xml::Collection c;
+  ASSERT_TRUE(c.AddXml(text, "probe").ok());
+  EXPECT_EQ(c.document(0).NumElements(), 20u);
+}
+
+TEST(InexGeneratorTest, LargeDocumentsFewLinks) {
+  InexOptions options;
+  options.num_articles = 40;
+  const auto collection = GenerateInex(options);
+  ASSERT_TRUE(collection.ok()) << collection.status().ToString();
+  EXPECT_EQ(collection->NumDocuments(), 40u);
+  // INEX shape: large documents...
+  const double elems_per_doc =
+      static_cast<double>(collection->NumElements()) / 40.0;
+  EXPECT_GT(elems_per_doc, 30.0);
+  // ...and very few links.
+  EXPECT_LT(collection->links().links.size(), 40u);
+}
+
+TEST(InexGeneratorTest, DocumentsAreTrees) {
+  InexOptions options;
+  options.num_articles = 10;
+  options.cross_refs_per_article = 0;
+  const auto collection = GenerateInex(options);
+  ASSERT_TRUE(collection.ok());
+  EXPECT_TRUE(collection->links().links.empty());
+  const graph::Digraph g = collection->BuildGraph();
+  EXPECT_TRUE(graph::IsForest(g));
+}
+
+TEST(InexGeneratorTest, ArticleStructure) {
+  InexOptions options;
+  Rng rng(5);
+  const std::string text = GenerateArticleXml(options, 0, 10, rng);
+  xml::Collection c;
+  ASSERT_TRUE(c.AddXml(text, "probe").ok());
+  const xml::Document& doc = c.document(0);
+  EXPECT_EQ(c.pool().Name(doc.element(0).tag), "article");
+  // Front matter, body and back matter present.
+  ASSERT_GE(doc.element(0).children.size(), 3u);
+  EXPECT_EQ(c.pool().Name(doc.element(doc.element(0).children[0]).tag), "fm");
+  EXPECT_NE(c.pool().Lookup("sec"), kInvalidTag);
+  EXPECT_NE(c.pool().Lookup("p"), kInvalidTag);
+}
+
+TEST(InexGeneratorTest, CrossRefsResolve) {
+  InexOptions options;
+  options.num_articles = 30;
+  options.cross_refs_per_article = 2;
+  const auto collection = GenerateInex(options);
+  ASSERT_TRUE(collection.ok());
+  EXPECT_GT(collection->links().links.size(), 10u);
+  for (const xml::Link& link : collection->links().links) {
+    EXPECT_TRUE(link.IsInterDocument());
+    EXPECT_EQ(link.dst_elem, 0u);  // refs target article roots
+  }
+  EXPECT_EQ(collection->links().unresolved, 0u);
+}
+
+TEST(QueryWorkloadTest, SamplerProducesValidQueries) {
+  const auto collection = GenerateSynthetic({.seed = 51});
+  ASSERT_TRUE(collection.ok());
+  const graph::Digraph g = collection->BuildGraph();
+  QuerySamplerOptions options;
+  options.count = 10;
+  options.min_results = 2;
+  const auto queries = SampleDescendantQueries(*collection, g, options);
+  ASSERT_FALSE(queries.empty());
+  const graph::ReachabilityOracle oracle(g);
+  for (const DescendantQuery& q : queries) {
+    EXPECT_GE(oracle.DescendantsByTag(q.start, q.tag).size(), 2u);
+    EXPECT_EQ(collection->pool().Lookup(q.tag_name), q.tag);
+  }
+}
+
+TEST(QueryWorkloadTest, SamplerDeterministic) {
+  const auto collection = GenerateSynthetic({.seed = 53});
+  ASSERT_TRUE(collection.ok());
+  const graph::Digraph g = collection->BuildGraph();
+  QuerySamplerOptions options;
+  options.count = 5;
+  const auto a = SampleDescendantQueries(*collection, g, options);
+  const auto b = SampleDescendantQueries(*collection, g, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start);
+    EXPECT_EQ(a[i].tag, b[i].tag);
+  }
+}
+
+TEST(QueryWorkloadTest, OrderErrorRate) {
+  using core::Result;
+  EXPECT_EQ(OrderErrorRate({}), 0.0);
+  EXPECT_EQ(OrderErrorRate({{0, 1}, {1, 2}, {2, 3}}), 0.0);
+  // One adjacent inversion (3 after 5) in four results.
+  EXPECT_NEAR(OrderErrorRate({{0, 1}, {1, 5}, {2, 3}, {3, 6}}), 0.25, 1e-9);
+  // One out-of-order block boundary, ties are in order.
+  EXPECT_NEAR(OrderErrorRate({{0, 9}, {1, 1}, {2, 1}, {3, 1}}), 0.25, 1e-9);
+  // Two inversions.
+  EXPECT_NEAR(OrderErrorRate({{0, 4}, {1, 2}, {2, 5}, {3, 1}}), 0.5, 1e-9);
+}
+
+TEST(QueryWorkloadTest, SameResultSet) {
+  using core::Result;
+  using graph::NodeDist;
+  const std::vector<Result> results = {{3, 1}, {5, 2}};
+  EXPECT_TRUE(SameResultSet(results, {{3, 1}, {5, 2}}));
+  EXPECT_TRUE(SameResultSet(results, {{5, 9}, {3, 7}}));  // distances ignored
+  EXPECT_FALSE(SameResultSet(results, {{3, 1}}));
+  EXPECT_FALSE(SameResultSet(results, {{3, 1}, {6, 2}}));
+  EXPECT_FALSE(SameResultSet({{3, 1}, {3, 2}}, {{3, 1}, {5, 2}}));
+}
+
+TEST(QueryWorkloadTest, ConnectionPairsHalfConnected) {
+  const auto collection = GenerateSynthetic({.seed = 57});
+  ASSERT_TRUE(collection.ok());
+  const graph::Digraph g = collection->BuildGraph();
+  const auto pairs = SampleConnectionPairs(g, 20, 59);
+  ASSERT_EQ(pairs.size(), 20u);
+  const graph::ReachabilityOracle oracle(g);
+  size_t connected = 0;
+  for (const auto& [a, b] : pairs) {
+    EXPECT_NE(a, b);
+    if (oracle.IsReachable(a, b)) ++connected;
+  }
+  EXPECT_GE(connected, 10u);
+}
+
+}  // namespace
+}  // namespace flix::workload

@@ -1,0 +1,161 @@
+#include "xml/collection.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+
+namespace flix::xml {
+namespace {
+
+TEST(CollectionTest, AddAndLocateDocuments) {
+  Collection c;
+  ASSERT_TRUE(c.AddXml("<a><b/><c/></a>", "doc1").ok());
+  ASSERT_TRUE(c.AddXml("<x><y/></x>", "doc2").ok());
+  EXPECT_EQ(c.NumDocuments(), 2u);
+  EXPECT_EQ(c.NumElements(), 5u);
+  EXPECT_EQ(c.FindDocument("doc1"), 0u);
+  EXPECT_EQ(c.FindDocument("doc2"), 1u);
+  EXPECT_EQ(c.FindDocument("nope"), kInvalidDoc);
+
+  EXPECT_EQ(c.GlobalId(0, 0), 0u);
+  EXPECT_EQ(c.GlobalId(1, 0), 3u);
+  EXPECT_EQ(c.GlobalId(1, 1), 4u);
+  for (NodeId n = 0; n < 5; ++n) {
+    const Collection::Location loc = c.Locate(n);
+    EXPECT_EQ(c.GlobalId(loc.doc, loc.elem), n);
+  }
+}
+
+TEST(CollectionTest, DuplicateNameRejected) {
+  Collection c;
+  ASSERT_TRUE(c.AddXml("<a/>", "doc").ok());
+  const StatusOr<DocId> dup = c.AddXml("<b/>", "doc");
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CollectionTest, ParseErrorPropagates) {
+  Collection c;
+  EXPECT_FALSE(c.AddXml("<a><b></a>", "bad").ok());
+  EXPECT_EQ(c.NumDocuments(), 0u);
+}
+
+TEST(CollectionTest, IntraDocumentIdrefLink) {
+  Collection c;
+  ASSERT_TRUE(
+      c.AddXml(R"(<a><b id="t"/><c ref="t"/></a>)", "doc").ok());
+  const LinkResolution& links = c.ResolveAllLinks();
+  ASSERT_EQ(links.links.size(), 1u);
+  EXPECT_EQ(links.links[0], (Link{0, 2, 0, 1}));
+  EXPECT_FALSE(links.links[0].IsInterDocument());
+  EXPECT_EQ(links.unresolved, 0u);
+}
+
+TEST(CollectionTest, IdrefsMultipleTokens) {
+  Collection c;
+  ASSERT_TRUE(c.AddXml(
+      R"(<a><b id="x"/><b id="y"/><c idref="x y"/></a>)", "doc").ok());
+  const LinkResolution& links = c.ResolveAllLinks();
+  EXPECT_EQ(links.links.size(), 2u);
+}
+
+TEST(CollectionTest, HashPrefixedIdref) {
+  Collection c;
+  ASSERT_TRUE(c.AddXml(R"(<a><b id="t"/><c ref="#t"/></a>)", "doc").ok());
+  EXPECT_EQ(c.ResolveAllLinks().links.size(), 1u);
+}
+
+TEST(CollectionTest, InterDocumentHrefToRoot) {
+  Collection c;
+  ASSERT_TRUE(c.AddXml("<a><link href=\"other\"/></a>", "main").ok());
+  ASSERT_TRUE(c.AddXml("<x><y/></x>", "other").ok());
+  const LinkResolution& links = c.ResolveAllLinks();
+  ASSERT_EQ(links.links.size(), 1u);
+  EXPECT_EQ(links.links[0], (Link{0, 1, 1, 0}));
+  EXPECT_TRUE(links.links[0].IsInterDocument());
+}
+
+TEST(CollectionTest, InterDocumentHrefToAnchor) {
+  Collection c;
+  ASSERT_TRUE(c.AddXml(R"(<a><link xlink:href="other#deep"/></a>)", "main").ok());
+  ASSERT_TRUE(c.AddXml(R"(<x><y id="deep"/></x>)", "other").ok());
+  const LinkResolution& links = c.ResolveAllLinks();
+  ASSERT_EQ(links.links.size(), 1u);
+  EXPECT_EQ(links.links[0], (Link{0, 1, 1, 1}));
+}
+
+TEST(CollectionTest, HrefWithinSameDocument) {
+  Collection c;
+  ASSERT_TRUE(
+      c.AddXml(R"(<a><b id="t"/><c href="#t"/></a>)", "doc").ok());
+  const LinkResolution& links = c.ResolveAllLinks();
+  ASSERT_EQ(links.links.size(), 1u);
+  EXPECT_FALSE(links.links[0].IsInterDocument());
+}
+
+TEST(CollectionTest, DanglingLinksCounted) {
+  Collection c;
+  ASSERT_TRUE(c.AddXml(
+      R"(<a><b ref="nothere"/><c href="nodoc"/><d href="a#noanchor"/></a>)",
+      "a").ok());
+  const LinkResolution& links = c.ResolveAllLinks();
+  EXPECT_EQ(links.links.size(), 0u);
+  EXPECT_EQ(links.unresolved, 3u);
+}
+
+TEST(CollectionTest, BuildGraphHasTreeAndLinkEdges) {
+  Collection c;
+  ASSERT_TRUE(c.AddXml("<a><b/><c href=\"d2\"/></a>", "d1").ok());
+  ASSERT_TRUE(c.AddXml("<x/>", "d2").ok());
+  c.ResolveAllLinks();
+  const graph::Digraph g = c.BuildGraph();
+  EXPECT_EQ(g.NumNodes(), 4u);
+  EXPECT_EQ(g.NumEdges(), 3u);       // a->b, a->c, c->x
+  EXPECT_EQ(g.NumLinkEdges(), 1u);   // c->x
+  // Tag of root is "a".
+  EXPECT_EQ(g.Tag(0), c.pool().Lookup("a"));
+  // The link edge goes from element c (global 2) to d2's root (global 3).
+  bool found = false;
+  for (const graph::Digraph::Arc& arc : g.OutArcs(2)) {
+    if (arc.target == 3 && arc.kind == graph::EdgeKind::kLink) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CollectionTest, BuildGraphWithoutResolvedLinks) {
+  Collection c;
+  ASSERT_TRUE(c.AddXml("<a><b href=\"d2\"/></a>", "d1").ok());
+  ASSERT_TRUE(c.AddXml("<x/>", "d2").ok());
+  // No ResolveAllLinks call: only tree edges.
+  const graph::Digraph g = c.BuildGraph();
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.NumLinkEdges(), 0u);
+}
+
+TEST(CollectionTest, DocOfNode) {
+  Collection c;
+  ASSERT_TRUE(c.AddXml("<a><b/></a>", "d1").ok());
+  ASSERT_TRUE(c.AddXml("<x><y/><z/></x>", "d2").ok());
+  const std::vector<uint32_t> doc_of = c.DocOfNode();
+  EXPECT_EQ(doc_of, (std::vector<uint32_t>{0, 0, 1, 1, 1}));
+}
+
+TEST(CollectionTest, CiteAttributeActsAsIdref) {
+  Collection c;
+  ASSERT_TRUE(c.AddXml(
+      R"(<a><b id="p1"/><c cite="p1"/></a>)", "doc").ok());
+  EXPECT_EQ(c.ResolveAllLinks().links.size(), 1u);
+}
+
+TEST(CollectionTest, KeyAttributeRegistersAnchor) {
+  Collection c;
+  ASSERT_TRUE(c.AddXml(R"(<a key="conf/x"><b/></a>)", "d1").ok());
+  ASSERT_TRUE(c.AddXml(R"(<p><q href="d1#conf/x"/></p>)", "d2").ok());
+  const LinkResolution& links = c.ResolveAllLinks();
+  ASSERT_EQ(links.links.size(), 1u);
+  EXPECT_EQ(links.links[0].dst_doc, 0u);
+  EXPECT_EQ(links.links[0].dst_elem, 0u);
+}
+
+}  // namespace
+}  // namespace flix::xml

@@ -1,0 +1,259 @@
+#include "xml/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/document.h"
+#include "xml/name_pool.h"
+
+namespace flix::xml {
+namespace {
+
+Document MustParse(std::string_view text, NamePool& pool) {
+  StatusOr<Document> doc = ParseDocument(text, "test", pool);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(doc).value();
+}
+
+TEST(ParserTest, MinimalDocument) {
+  NamePool pool;
+  const Document doc = MustParse("<root/>", pool);
+  ASSERT_EQ(doc.NumElements(), 1u);
+  EXPECT_EQ(pool.Name(doc.element(0).tag), "root");
+  EXPECT_EQ(doc.element(0).parent, kInvalidElement);
+}
+
+TEST(ParserTest, NestedElements) {
+  NamePool pool;
+  const Document doc = MustParse("<a><b><c/></b><d/></a>", pool);
+  ASSERT_EQ(doc.NumElements(), 4u);
+  EXPECT_EQ(pool.Name(doc.element(0).tag), "a");
+  EXPECT_EQ(pool.Name(doc.element(1).tag), "b");
+  EXPECT_EQ(pool.Name(doc.element(2).tag), "c");
+  EXPECT_EQ(pool.Name(doc.element(3).tag), "d");
+  EXPECT_EQ(doc.element(1).parent, 0u);
+  EXPECT_EQ(doc.element(2).parent, 1u);
+  EXPECT_EQ(doc.element(3).parent, 0u);
+  ASSERT_EQ(doc.element(0).children.size(), 2u);
+}
+
+TEST(ParserTest, ElementsAreInDocumentOrder) {
+  NamePool pool;
+  const Document doc = MustParse("<a><b/><c><d/></c><e/></a>", pool);
+  const char* expected[] = {"a", "b", "c", "d", "e"};
+  for (ElementId i = 0; i < doc.NumElements(); ++i) {
+    EXPECT_EQ(pool.Name(doc.element(i).tag), expected[i]);
+  }
+}
+
+TEST(ParserTest, Attributes) {
+  NamePool pool;
+  const Document doc =
+      MustParse(R"(<a x="1" y='two' z="a&amp;b"/>)", pool);
+  ASSERT_EQ(doc.element(0).attributes.size(), 3u);
+  EXPECT_EQ(doc.element(0).attributes[0].name, "x");
+  EXPECT_EQ(doc.element(0).attributes[0].value, "1");
+  EXPECT_EQ(doc.element(0).attributes[1].value, "two");
+  EXPECT_EQ(doc.element(0).attributes[2].value, "a&b");
+  EXPECT_EQ(doc.AttributeValue(0, "y"), "two");
+  EXPECT_EQ(doc.AttributeValue(0, "missing"), "");
+}
+
+TEST(ParserTest, TextContent) {
+  NamePool pool;
+  const Document doc = MustParse("<a>  hello world  </a>", pool);
+  EXPECT_EQ(doc.element(0).text, "hello world");
+}
+
+TEST(ParserTest, TextWhitespacePreservedWhenTrimDisabled) {
+  NamePool pool;
+  ParseOptions options;
+  options.trim_whitespace = false;
+  StatusOr<Document> doc = ParseDocument("<a> x </a>", "t", pool, options);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->element(0).text, " x ");
+}
+
+TEST(ParserTest, EntityDecoding) {
+  NamePool pool;
+  const Document doc =
+      MustParse("<a>&lt;tag&gt; &amp; &quot;q&quot; &apos;s&apos;</a>", pool);
+  EXPECT_EQ(doc.element(0).text, "<tag> & \"q\" 's'");
+}
+
+TEST(ParserTest, NumericCharacterReferences) {
+  NamePool pool;
+  const Document doc = MustParse("<a>&#65;&#x42;&#x2013;</a>", pool);
+  EXPECT_EQ(doc.element(0).text, "AB\xE2\x80\x93");
+}
+
+TEST(ParserTest, CdataSection) {
+  NamePool pool;
+  const Document doc =
+      MustParse("<a><![CDATA[raw <markup> & stuff]]></a>", pool);
+  EXPECT_EQ(doc.element(0).text, "raw <markup> & stuff");
+}
+
+TEST(ParserTest, CommentsIgnored) {
+  NamePool pool;
+  const Document doc =
+      MustParse("<!-- before --><a><!-- inside --><b/></a><!-- after -->",
+                pool);
+  EXPECT_EQ(doc.NumElements(), 2u);
+}
+
+TEST(ParserTest, XmlDeclAndDoctypeSkipped) {
+  NamePool pool;
+  const Document doc = MustParse(
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<!DOCTYPE a [ <!ELEMENT a (b)*> ]>\n"
+      "<a><b/></a>",
+      pool);
+  EXPECT_EQ(doc.NumElements(), 2u);
+}
+
+TEST(ParserTest, ProcessingInstructionsSkipped) {
+  NamePool pool;
+  const Document doc = MustParse("<a><?php echo; ?><b/></a>", pool);
+  EXPECT_EQ(doc.NumElements(), 2u);
+}
+
+TEST(ParserTest, IdAttributesRegisterAnchors) {
+  NamePool pool;
+  const Document doc =
+      MustParse(R"(<a id="root"><b id="x1"/><c xml:id="x2"/></a>)", pool);
+  EXPECT_EQ(doc.FindAnchor("root"), 0u);
+  EXPECT_EQ(doc.FindAnchor("x1"), 1u);
+  EXPECT_EQ(doc.FindAnchor("x2"), 2u);
+  EXPECT_EQ(doc.FindAnchor("nope"), kInvalidElement);
+}
+
+TEST(ParserTest, CustomIdAttributes) {
+  NamePool pool;
+  ParseOptions options;
+  options.id_attributes = {"anchor"};
+  StatusOr<Document> doc =
+      ParseDocument(R"(<a anchor="here" id="ignored"/>)", "t", pool, options);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->FindAnchor("here"), 0u);
+  EXPECT_EQ(doc->FindAnchor("ignored"), kInvalidElement);
+}
+
+TEST(ParserTest, MixedContentConcatenatesText) {
+  NamePool pool;
+  const Document doc = MustParse("<a>one <b/> two</a>", pool);
+  EXPECT_EQ(doc.element(0).text, "one  two");
+}
+
+TEST(ParserTest, TagNamesWithNamespacesAndDashes) {
+  NamePool pool;
+  const Document doc =
+      MustParse(R"(<ns:doc><science-fiction xlink:href="x"/></ns:doc>)", pool);
+  EXPECT_EQ(pool.Name(doc.element(0).tag), "ns:doc");
+  EXPECT_EQ(pool.Name(doc.element(1).tag), "science-fiction");
+  EXPECT_EQ(doc.element(1).attributes[0].name, "xlink:href");
+}
+
+// ---- Malformed input ----
+
+TEST(ParserErrorTest, MismatchedEndTag) {
+  NamePool pool;
+  EXPECT_FALSE(ParseDocument("<a><b></a></b>", "t", pool).ok());
+}
+
+TEST(ParserErrorTest, UnterminatedElement) {
+  NamePool pool;
+  EXPECT_FALSE(ParseDocument("<a><b>", "t", pool).ok());
+}
+
+TEST(ParserErrorTest, GarbageAfterRoot) {
+  NamePool pool;
+  EXPECT_FALSE(ParseDocument("<a/>trailing", "t", pool).ok());
+  EXPECT_FALSE(ParseDocument("<a/><b/>", "t", pool).ok());
+}
+
+TEST(ParserErrorTest, BadAttributeSyntax) {
+  NamePool pool;
+  EXPECT_FALSE(ParseDocument("<a x=1/>", "t", pool).ok());
+  EXPECT_FALSE(ParseDocument("<a x=\"1/>", "t", pool).ok());
+  EXPECT_FALSE(ParseDocument("<a x></a>", "t", pool).ok());
+}
+
+TEST(ParserErrorTest, UnknownEntity) {
+  NamePool pool;
+  EXPECT_FALSE(ParseDocument("<a>&unknown;</a>", "t", pool).ok());
+}
+
+TEST(ParserErrorTest, BadCharacterReference) {
+  NamePool pool;
+  EXPECT_FALSE(ParseDocument("<a>&#xZZ;</a>", "t", pool).ok());
+  EXPECT_FALSE(ParseDocument("<a>&#;</a>", "t", pool).ok());
+  EXPECT_FALSE(ParseDocument("<a>&#1114112;</a>", "t", pool).ok());
+}
+
+TEST(ParserErrorTest, UnterminatedComment) {
+  NamePool pool;
+  EXPECT_FALSE(ParseDocument("<a><!-- no end </a>", "t", pool).ok());
+}
+
+TEST(ParserErrorTest, UnterminatedCdata) {
+  NamePool pool;
+  EXPECT_FALSE(ParseDocument("<a><![CDATA[ no end </a>", "t", pool).ok());
+}
+
+TEST(ParserErrorTest, EmptyInput) {
+  NamePool pool;
+  EXPECT_FALSE(ParseDocument("", "t", pool).ok());
+  EXPECT_FALSE(ParseDocument("   \n  ", "t", pool).ok());
+}
+
+TEST(ParserErrorTest, LtInAttributeValue) {
+  NamePool pool;
+  EXPECT_FALSE(ParseDocument("<a x=\"<\"/>", "t", pool).ok());
+}
+
+TEST(ParserErrorTest, ErrorMentionsLocation) {
+  NamePool pool;
+  StatusOr<Document> doc = ParseDocument("<a>\n<b x=1/></a>", "t", pool);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("line 2"), std::string::npos)
+      << doc.status().message();
+}
+
+TEST(ParserTest, DeeplyNestedDocument) {
+  NamePool pool;
+  std::string text;
+  constexpr int kDepth = 200;
+  for (int i = 0; i < kDepth; ++i) text += "<d>";
+  for (int i = 0; i < kDepth; ++i) text += "</d>";
+  const Document doc = MustParse(text, pool);
+  EXPECT_EQ(doc.NumElements(), static_cast<size_t>(kDepth));
+  EXPECT_EQ(doc.Depth(kDepth - 1), kDepth - 1);
+}
+
+TEST(ParserTest, ExcessiveNestingRejected) {
+  NamePool pool;
+  std::string text;
+  for (int i = 0; i < 1500; ++i) text += "<d>";
+  for (int i = 0; i < 1500; ++i) text += "</d>";
+  const StatusOr<Document> doc = ParseDocument(text, "deep", pool);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("nesting"), std::string::npos);
+}
+
+TEST(ParserTest, CustomDepthLimit) {
+  NamePool pool;
+  ParseOptions options;
+  options.max_depth = 3;
+  EXPECT_TRUE(ParseDocument("<a><b><c/></b></a>", "t", pool, options).ok());
+  EXPECT_FALSE(
+      ParseDocument("<a><b><c><d/></c></b></a>", "t", pool, options).ok());
+}
+
+TEST(ParserTest, DuplicateAnchorFirstWins) {
+  NamePool pool;
+  const Document doc = MustParse(R"(<a id="x"><b id="x"/></a>)", pool);
+  EXPECT_EQ(doc.FindAnchor("x"), 0u);
+}
+
+}  // namespace
+}  // namespace flix::xml

@@ -1,0 +1,445 @@
+// flixctl — command-line front end for FliX.
+//
+// Typical session:
+//   # Ingest a directory of XML files (or generate a corpus) into a
+//   # collection file and build + save the index:
+//   flixctl build --xml-dir ./docs --collection data.flxc --index data.flix
+//   flixctl build --dblp 6210 --collection data.flxc --index data.flix \
+//       --config maxppo
+//
+//   # Inspect what was built:
+//   flixctl stats --collection data.flxc --index data.flix
+//
+//   # Queries (start elements are "docname" for a root or "docname#anchor"):
+//   flixctl query   --collection data.flxc --index data.flix \
+//       --start vldb/pub6205 --tag article --k 10 [--exact]
+//   flixctl connect --collection data.flxc --index data.flix \
+//       --from vldb/pub6205 --to edbt/pub0
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/stopwatch.h"
+#include "flix/flix.h"
+#include "ontology/ontology.h"
+#include "ontology/relaxation.h"
+#include "text/text_index.h"
+#include "workload/dblp_generator.h"
+#include "workload/synthetic_generator.h"
+#include "xml/collection.h"
+
+namespace {
+
+using namespace flix;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  bool Has(const std::string& name) const { return flags.contains(name); }
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    const auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+  size_t GetSize(const std::string& name, size_t fallback) const {
+    const auto it = flags.find(name);
+    if (it == flags.end()) return fallback;
+    // Reject non-numeric values with a message instead of an uncaught
+    // std::invalid_argument from stoul.
+    size_t value = 0;
+    for (const char c : it->second) {
+      if (c < '0' || c > '9') {
+        std::cerr << "--" << name << " expects a number, got '" << it->second
+                  << "'\n";
+        std::exit(2);
+      }
+      value = value * 10 + static_cast<size_t>(c - '0');
+    }
+    return value;
+  }
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag.rfind("--", 0) == 0) {
+      flag = flag.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.flags[flag] = argv[++i];
+      } else {
+        args.flags[flag] = "true";  // boolean flag
+      }
+    }
+  }
+  return args;
+}
+
+int Usage() {
+  std::cerr <<
+      "usage:\n"
+      "  flixctl build   --collection FILE --index FILE\n"
+      "                  [--xml-dir DIR | --dblp N | --synthetic]\n"
+      "                  [--config naive|maxppo|uhopi|hybrid] [--bound N]\n"
+      "  flixctl stats   --collection FILE --index FILE\n"
+      "  flixctl query   --collection FILE --index FILE --start DOC[#ID]\n"
+      "                  --tag NAME [--k N] [--max-distance D] [--exact]\n"
+      "  flixctl connect --collection FILE --index FILE --from DOC[#ID]\n"
+      "                  --to DOC[#ID] [--max-distance D]\n"
+      "  flixctl search  --collection FILE --text \"...\" [--k N]\n"
+      "  flixctl relax   --collection FILE --index FILE --query PATH\n"
+      "                  [--ontology FILE] [--k N] [--no-relax]\n"
+      "                  (PATH like //~movie[title~\"Matrix\"]//actor;\n"
+      "                   ontology file: one 'term term similarity' per "
+      "line)\n";
+  return 2;
+}
+
+core::MdbConfig ParseConfig(const std::string& name) {
+  if (name == "naive") return core::MdbConfig::kNaive;
+  if (name == "maxppo") return core::MdbConfig::kMaximalPpo;
+  if (name == "uhopi") return core::MdbConfig::kUnconnectedHopi;
+  return core::MdbConfig::kHybrid;
+}
+
+// Resolves "docname" or "docname#anchor" to a global element id.
+StatusOr<NodeId> ResolveElement(const xml::Collection& collection,
+                                const std::string& spec) {
+  const size_t hash = spec.find('#');
+  const std::string doc_name = spec.substr(0, hash);
+  const DocId doc = collection.FindDocument(doc_name);
+  if (doc == kInvalidDoc) {
+    return NotFoundError("no document named '" + doc_name + "'");
+  }
+  if (hash == std::string::npos) return collection.GlobalId(doc, 0);
+  const std::string anchor = spec.substr(hash + 1);
+  const xml::ElementId elem = collection.document(doc).FindAnchor(anchor);
+  if (elem == xml::kInvalidElement) {
+    return NotFoundError("no anchor '" + anchor + "' in '" + doc_name + "'");
+  }
+  return collection.GlobalId(doc, elem);
+}
+
+StatusOr<xml::Collection> IngestXmlDir(const std::string& dir) {
+  xml::Collection collection;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".xml") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    // Document name = path relative to the ingest root, without extension
+    // (this is what hrefs in sibling documents are expected to use).
+    std::string name =
+        std::filesystem::relative(path, dir).replace_extension().string();
+    if (auto added = collection.AddXml(buffer.str(), std::move(name));
+        !added.ok()) {
+      return Status(added.status().code(),
+                    path.string() + ": " + added.status().message());
+    }
+  }
+  if (collection.NumDocuments() == 0) {
+    return InvalidArgumentError("no .xml files under '" + dir + "'");
+  }
+  collection.ResolveAllLinks();
+  return collection;
+}
+
+StatusOr<xml::Collection> LoadCollection(const Args& args) {
+  const std::string path = args.Get("collection");
+  if (path.empty()) return InvalidArgumentError("--collection is required");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open '" + path + "'");
+  return xml::Collection::Load(in);
+}
+
+StatusOr<std::unique_ptr<core::Flix>> LoadIndex(
+    const Args& args, const xml::Collection& collection) {
+  const std::string path = args.Get("index");
+  if (path.empty()) return InvalidArgumentError("--index is required");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open '" + path + "'");
+  return core::Flix::Load(in, collection);
+}
+
+int CmdBuild(const Args& args) {
+  StatusOr<xml::Collection> collection =
+      InvalidArgumentError("one of --xml-dir, --dblp, --synthetic required");
+  if (args.Has("xml-dir")) {
+    collection = IngestXmlDir(args.Get("xml-dir"));
+  } else if (args.Has("dblp")) {
+    workload::DblpOptions options;
+    options.num_publications = args.GetSize("dblp", 6210);
+    collection = workload::GenerateDblp(options);
+  } else if (args.Has("synthetic")) {
+    collection = workload::GenerateSynthetic({});
+  }
+  if (!collection.ok()) {
+    std::cerr << collection.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "collection: " << collection->NumDocuments() << " documents, "
+            << collection->NumElements() << " elements, "
+            << collection->links().links.size() << " links ("
+            << collection->links().unresolved << " unresolved)\n";
+
+  core::FlixOptions options;
+  options.config = ParseConfig(args.Get("config", "hybrid"));
+  options.partition_bound = args.GetSize("bound", 5000);
+  Stopwatch watch;
+  auto flix = core::Flix::Build(*collection, options);
+  if (!flix.ok()) {
+    std::cerr << flix.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "built " << core::MdbConfigName(options.config) << " in "
+            << static_cast<int>(watch.ElapsedMillis()) << " ms: "
+            << (*flix)->stats().num_meta_documents << " meta documents, "
+            << FormatBytes((*flix)->stats().total_index_bytes)
+            << " of indexes\n";
+
+  const std::string collection_path = args.Get("collection");
+  const std::string index_path = args.Get("index");
+  if (collection_path.empty() || index_path.empty()) {
+    std::cerr << "--collection and --index output paths are required\n";
+    return 2;
+  }
+  {
+    std::ofstream out(collection_path, std::ios::binary);
+    if (Status s = collection->Save(out); !s.ok() || !out) {
+      std::cerr << "saving collection failed: " << s.ToString() << "\n";
+      return 1;
+    }
+  }
+  {
+    std::ofstream out(index_path, std::ios::binary);
+    if (Status s = (*flix)->Save(out); !s.ok() || !out) {
+      std::cerr << "saving index failed: " << s.ToString() << "\n";
+      return 1;
+    }
+  }
+  std::cout << "wrote " << collection_path << " and " << index_path << "\n";
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  auto collection = LoadCollection(args);
+  if (!collection.ok()) {
+    std::cerr << collection.status().ToString() << "\n";
+    return 1;
+  }
+  auto flix = LoadIndex(args, *collection);
+  if (!flix.ok()) {
+    std::cerr << flix.status().ToString() << "\n";
+    return 1;
+  }
+  const core::FlixStats& stats = (*flix)->stats();
+  std::cout << "configuration: "
+            << core::MdbConfigName((*flix)->options().config) << "\n"
+            << "documents:     " << collection->NumDocuments() << "\n"
+            << "elements:      " << collection->NumElements() << "\n"
+            << "links:         " << collection->links().links.size() << "\n"
+            << "meta docs:     " << stats.num_meta_documents << " ("
+            << stats.num_ppo << " PPO / " << stats.num_hopi << " HOPI / "
+            << stats.num_apex << " APEX)\n"
+            << "cross links:   " << stats.num_cross_links << "\n"
+            << "index size:    " << FormatBytes(stats.total_index_bytes)
+            << "\n";
+  return 0;
+}
+
+int CmdQuery(const Args& args) {
+  auto collection = LoadCollection(args);
+  if (!collection.ok()) {
+    std::cerr << collection.status().ToString() << "\n";
+    return 1;
+  }
+  auto flix = LoadIndex(args, *collection);
+  if (!flix.ok()) {
+    std::cerr << flix.status().ToString() << "\n";
+    return 1;
+  }
+  const auto start = ResolveElement(*collection, args.Get("start"));
+  if (!start.ok()) {
+    std::cerr << start.status().ToString() << "\n";
+    return 1;
+  }
+  const std::string tag = args.Get("tag");
+  if (tag.empty()) {
+    std::cerr << "--tag is required\n";
+    return 2;
+  }
+  core::QueryOptions options;
+  options.max_results =
+      static_cast<int64_t>(args.GetSize("k", static_cast<size_t>(-1)));
+  if (args.Has("max-distance")) {
+    options.max_distance =
+        static_cast<Distance>(args.GetSize("max-distance", 0));
+  }
+  options.exact = args.Has("exact");
+
+  Stopwatch watch;
+  size_t count = 0;
+  (*flix)->FindDescendantsByName(*start, tag, options,
+                                 [&](const core::Result& r) {
+                                   const auto loc = collection->Locate(r.node);
+                                   std::cout
+                                       << "  "
+                                       << collection->document(loc.doc).name()
+                                       << "#" << loc.elem << "  distance "
+                                       << r.distance << "\n";
+                                   ++count;
+                                   return true;
+                                 });
+  std::cout << count << " results in " << watch.ElapsedMillis() << " ms\n";
+  return 0;
+}
+
+int CmdConnect(const Args& args) {
+  auto collection = LoadCollection(args);
+  if (!collection.ok()) {
+    std::cerr << collection.status().ToString() << "\n";
+    return 1;
+  }
+  auto flix = LoadIndex(args, *collection);
+  if (!flix.ok()) {
+    std::cerr << flix.status().ToString() << "\n";
+    return 1;
+  }
+  const auto from = ResolveElement(*collection, args.Get("from"));
+  const auto to = ResolveElement(*collection, args.Get("to"));
+  if (!from.ok() || !to.ok()) {
+    std::cerr << (from.ok() ? to.status() : from.status()).ToString() << "\n";
+    return 1;
+  }
+  Distance max_distance = -1;
+  if (args.Has("max-distance")) {
+    max_distance = static_cast<Distance>(args.GetSize("max-distance", 0));
+  }
+  const Distance d =
+      (*flix)->FindDistance(*from, *to, max_distance, /*exact=*/true);
+  if (d == kUnreachable) {
+    std::cout << "not connected\n";
+  } else {
+    std::cout << "connected, distance " << d << "\n";
+  }
+  return 0;
+}
+
+int CmdSearch(const Args& args) {
+  auto collection = LoadCollection(args);
+  if (!collection.ok()) {
+    std::cerr << collection.status().ToString() << "\n";
+    return 1;
+  }
+  const std::string query = args.Get("text");
+  if (query.empty()) {
+    std::cerr << "--text is required\n";
+    return 2;
+  }
+  Stopwatch build_watch;
+  const text::TextIndex index = text::TextIndex::Build(*collection);
+  std::cout << "text index: " << index.NumTerms() << " terms over "
+            << index.NumIndexedElements() << " elements ("
+            << static_cast<int>(build_watch.ElapsedMillis()) << " ms)\n";
+  const size_t k = args.GetSize("k", 10);
+  for (const auto& hit : index.Search(query, k)) {
+    const auto loc = collection->Locate(hit.element);
+    const auto& doc = collection->document(loc.doc);
+    std::cout << "  " << hit.score << "  " << doc.name() << "#" << loc.elem
+              << " <" << collection->pool().Name(doc.element(loc.elem).tag)
+              << ">  \"" << doc.element(loc.elem).text << "\"\n";
+  }
+  return 0;
+}
+
+int CmdRelax(const Args& args) {
+  auto collection = LoadCollection(args);
+  if (!collection.ok()) {
+    std::cerr << collection.status().ToString() << "\n";
+    return 1;
+  }
+  auto flix = LoadIndex(args, *collection);
+  if (!flix.ok()) {
+    std::cerr << flix.status().ToString() << "\n";
+    return 1;
+  }
+  auto query = ontology::ParsePathQuery(args.Get("query"));
+  if (!query.ok()) {
+    std::cerr << query.status().ToString() << "\n";
+    return 1;
+  }
+
+  // Optional ontology: one "term term similarity" triple per line;
+  // '#'-prefixed lines are comments.
+  ontology::Ontology onto;
+  if (args.Has("ontology")) {
+    std::ifstream in(args.Get("ontology"));
+    if (!in) {
+      std::cerr << "cannot open ontology '" << args.Get("ontology") << "'\n";
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::stringstream fields(line);
+      std::string a;
+      std::string b;
+      double sim = 0;
+      if (fields >> a >> b >> sim) {
+        onto.AddSimilarity(a, b, sim);
+      } else {
+        std::cerr << "skipping malformed ontology line: " << line << "\n";
+      }
+    }
+  }
+
+  const text::TextIndex text_index = text::TextIndex::Build(*collection);
+  ontology::RelaxedQueryOptions ropts;
+  ropts.text_index = &text_index;
+
+  const ontology::PathQuery effective =
+      args.Has("no-relax") ? *query : ontology::Relax(*query);
+  Stopwatch watch;
+  const auto matches =
+      ontology::EvaluatePathQuery(**flix, onto, effective, ropts);
+  const size_t k = args.GetSize("k", 10);
+  size_t shown = 0;
+  for (const auto& m : matches) {
+    if (++shown > k) break;
+    const auto loc = collection->Locate(m.node);
+    const auto& doc = collection->document(loc.doc);
+    std::cout << "  score " << m.score << "  path length " << m.path_length
+              << "  " << doc.name() << "#" << loc.elem << " <"
+              << collection->pool().Name(doc.element(loc.elem).tag) << ">\n";
+  }
+  std::cout << matches.size() << " matches in " << watch.ElapsedMillis()
+            << " ms\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  if (args.command == "build") return CmdBuild(args);
+  if (args.command == "stats") return CmdStats(args);
+  if (args.command == "query") return CmdQuery(args);
+  if (args.command == "connect") return CmdConnect(args);
+  if (args.command == "search") return CmdSearch(args);
+  if (args.command == "relax") return CmdRelax(args);
+  return Usage();
+}
