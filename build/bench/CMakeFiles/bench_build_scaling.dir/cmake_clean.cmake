@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_build_scaling.dir/bench_build_scaling.cc.o"
+  "CMakeFiles/bench_build_scaling.dir/bench_build_scaling.cc.o.d"
+  "bench_build_scaling"
+  "bench_build_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_build_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_connection_test.dir/bench_connection_test.cc.o"
+  "CMakeFiles/bench_connection_test.dir/bench_connection_test.cc.o.d"
+  "bench_connection_test"
+  "bench_connection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_connection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_exact_vs_approx.cc" "bench/CMakeFiles/bench_exact_vs_approx.dir/bench_exact_vs_approx.cc.o" "gcc" "bench/CMakeFiles/bench_exact_vs_approx.dir/bench_exact_vs_approx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flix_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flix_ontology.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flix_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flix_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flix_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_descendants.dir/bench_fig5_descendants.cc.o"
+  "CMakeFiles/bench_fig5_descendants.dir/bench_fig5_descendants.cc.o.d"
+  "bench_fig5_descendants"
+  "bench_fig5_descendants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_descendants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_collections.dir/hybrid_collections.cc.o"
+  "CMakeFiles/hybrid_collections.dir/hybrid_collections.cc.o.d"
+  "hybrid_collections"
+  "hybrid_collections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_collections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_ontology_search.dir/movie_ontology_search.cc.o"
+  "CMakeFiles/movie_ontology_search.dir/movie_ontology_search.cc.o.d"
+  "movie_ontology_search"
+  "movie_ontology_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_ontology_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

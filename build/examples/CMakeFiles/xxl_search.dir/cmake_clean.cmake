@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xxl_search.dir/xxl_search.cc.o"
+  "CMakeFiles/xxl_search.dir/xxl_search.cc.o.d"
+  "xxl_search"
+  "xxl_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xxl_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flix/flix.cc" "src/CMakeFiles/flix_core.dir/flix/flix.cc.o" "gcc" "src/CMakeFiles/flix_core.dir/flix/flix.cc.o.d"
+  "/root/repo/src/flix/index_builder.cc" "src/CMakeFiles/flix_core.dir/flix/index_builder.cc.o" "gcc" "src/CMakeFiles/flix_core.dir/flix/index_builder.cc.o.d"
+  "/root/repo/src/flix/iss.cc" "src/CMakeFiles/flix_core.dir/flix/iss.cc.o" "gcc" "src/CMakeFiles/flix_core.dir/flix/iss.cc.o.d"
+  "/root/repo/src/flix/mdb.cc" "src/CMakeFiles/flix_core.dir/flix/mdb.cc.o" "gcc" "src/CMakeFiles/flix_core.dir/flix/mdb.cc.o.d"
+  "/root/repo/src/flix/meta_document.cc" "src/CMakeFiles/flix_core.dir/flix/meta_document.cc.o" "gcc" "src/CMakeFiles/flix_core.dir/flix/meta_document.cc.o.d"
+  "/root/repo/src/flix/pee.cc" "src/CMakeFiles/flix_core.dir/flix/pee.cc.o" "gcc" "src/CMakeFiles/flix_core.dir/flix/pee.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flix_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flix_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flix_core.dir/flix/flix.cc.o"
+  "CMakeFiles/flix_core.dir/flix/flix.cc.o.d"
+  "CMakeFiles/flix_core.dir/flix/index_builder.cc.o"
+  "CMakeFiles/flix_core.dir/flix/index_builder.cc.o.d"
+  "CMakeFiles/flix_core.dir/flix/iss.cc.o"
+  "CMakeFiles/flix_core.dir/flix/iss.cc.o.d"
+  "CMakeFiles/flix_core.dir/flix/mdb.cc.o"
+  "CMakeFiles/flix_core.dir/flix/mdb.cc.o.d"
+  "CMakeFiles/flix_core.dir/flix/meta_document.cc.o"
+  "CMakeFiles/flix_core.dir/flix/meta_document.cc.o.d"
+  "CMakeFiles/flix_core.dir/flix/pee.cc.o"
+  "CMakeFiles/flix_core.dir/flix/pee.cc.o.d"
+  "libflix_core.a"
+  "libflix_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flix_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/digraph.cc" "src/CMakeFiles/flix_graph.dir/graph/digraph.cc.o" "gcc" "src/CMakeFiles/flix_graph.dir/graph/digraph.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "src/CMakeFiles/flix_graph.dir/graph/partition.cc.o" "gcc" "src/CMakeFiles/flix_graph.dir/graph/partition.cc.o.d"
+  "/root/repo/src/graph/scc.cc" "src/CMakeFiles/flix_graph.dir/graph/scc.cc.o" "gcc" "src/CMakeFiles/flix_graph.dir/graph/scc.cc.o.d"
+  "/root/repo/src/graph/traversal.cc" "src/CMakeFiles/flix_graph.dir/graph/traversal.cc.o" "gcc" "src/CMakeFiles/flix_graph.dir/graph/traversal.cc.o.d"
+  "/root/repo/src/graph/tree_utils.cc" "src/CMakeFiles/flix_graph.dir/graph/tree_utils.cc.o" "gcc" "src/CMakeFiles/flix_graph.dir/graph/tree_utils.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flix_graph.dir/graph/digraph.cc.o"
+  "CMakeFiles/flix_graph.dir/graph/digraph.cc.o.d"
+  "CMakeFiles/flix_graph.dir/graph/partition.cc.o"
+  "CMakeFiles/flix_graph.dir/graph/partition.cc.o.d"
+  "CMakeFiles/flix_graph.dir/graph/scc.cc.o"
+  "CMakeFiles/flix_graph.dir/graph/scc.cc.o.d"
+  "CMakeFiles/flix_graph.dir/graph/traversal.cc.o"
+  "CMakeFiles/flix_graph.dir/graph/traversal.cc.o.d"
+  "CMakeFiles/flix_graph.dir/graph/tree_utils.cc.o"
+  "CMakeFiles/flix_graph.dir/graph/tree_utils.cc.o.d"
+  "libflix_graph.a"
+  "libflix_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flix_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

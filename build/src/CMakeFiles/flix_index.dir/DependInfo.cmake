@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/apex.cc" "src/CMakeFiles/flix_index.dir/index/apex.cc.o" "gcc" "src/CMakeFiles/flix_index.dir/index/apex.cc.o.d"
+  "/root/repo/src/index/dataguide.cc" "src/CMakeFiles/flix_index.dir/index/dataguide.cc.o" "gcc" "src/CMakeFiles/flix_index.dir/index/dataguide.cc.o.d"
+  "/root/repo/src/index/hopi.cc" "src/CMakeFiles/flix_index.dir/index/hopi.cc.o" "gcc" "src/CMakeFiles/flix_index.dir/index/hopi.cc.o.d"
+  "/root/repo/src/index/path_index.cc" "src/CMakeFiles/flix_index.dir/index/path_index.cc.o" "gcc" "src/CMakeFiles/flix_index.dir/index/path_index.cc.o.d"
+  "/root/repo/src/index/ppo.cc" "src/CMakeFiles/flix_index.dir/index/ppo.cc.o" "gcc" "src/CMakeFiles/flix_index.dir/index/ppo.cc.o.d"
+  "/root/repo/src/index/summary_index.cc" "src/CMakeFiles/flix_index.dir/index/summary_index.cc.o" "gcc" "src/CMakeFiles/flix_index.dir/index/summary_index.cc.o.d"
+  "/root/repo/src/index/transitive_closure.cc" "src/CMakeFiles/flix_index.dir/index/transitive_closure.cc.o" "gcc" "src/CMakeFiles/flix_index.dir/index/transitive_closure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flix_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flix_index.dir/index/apex.cc.o"
+  "CMakeFiles/flix_index.dir/index/apex.cc.o.d"
+  "CMakeFiles/flix_index.dir/index/dataguide.cc.o"
+  "CMakeFiles/flix_index.dir/index/dataguide.cc.o.d"
+  "CMakeFiles/flix_index.dir/index/hopi.cc.o"
+  "CMakeFiles/flix_index.dir/index/hopi.cc.o.d"
+  "CMakeFiles/flix_index.dir/index/path_index.cc.o"
+  "CMakeFiles/flix_index.dir/index/path_index.cc.o.d"
+  "CMakeFiles/flix_index.dir/index/ppo.cc.o"
+  "CMakeFiles/flix_index.dir/index/ppo.cc.o.d"
+  "CMakeFiles/flix_index.dir/index/summary_index.cc.o"
+  "CMakeFiles/flix_index.dir/index/summary_index.cc.o.d"
+  "CMakeFiles/flix_index.dir/index/transitive_closure.cc.o"
+  "CMakeFiles/flix_index.dir/index/transitive_closure.cc.o.d"
+  "libflix_index.a"
+  "libflix_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flix_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flix_ontology.dir/ontology/ontology.cc.o"
+  "CMakeFiles/flix_ontology.dir/ontology/ontology.cc.o.d"
+  "CMakeFiles/flix_ontology.dir/ontology/relaxation.cc.o"
+  "CMakeFiles/flix_ontology.dir/ontology/relaxation.cc.o.d"
+  "libflix_ontology.a"
+  "libflix_ontology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flix_ontology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

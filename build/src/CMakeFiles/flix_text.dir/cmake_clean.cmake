@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flix_text.dir/text/text_index.cc.o"
+  "CMakeFiles/flix_text.dir/text/text_index.cc.o.d"
+  "libflix_text.a"
+  "libflix_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flix_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

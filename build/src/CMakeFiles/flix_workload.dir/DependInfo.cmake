@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dblp_generator.cc" "src/CMakeFiles/flix_workload.dir/workload/dblp_generator.cc.o" "gcc" "src/CMakeFiles/flix_workload.dir/workload/dblp_generator.cc.o.d"
+  "/root/repo/src/workload/inex_generator.cc" "src/CMakeFiles/flix_workload.dir/workload/inex_generator.cc.o" "gcc" "src/CMakeFiles/flix_workload.dir/workload/inex_generator.cc.o.d"
+  "/root/repo/src/workload/query_workload.cc" "src/CMakeFiles/flix_workload.dir/workload/query_workload.cc.o" "gcc" "src/CMakeFiles/flix_workload.dir/workload/query_workload.cc.o.d"
+  "/root/repo/src/workload/synthetic_generator.cc" "src/CMakeFiles/flix_workload.dir/workload/synthetic_generator.cc.o" "gcc" "src/CMakeFiles/flix_workload.dir/workload/synthetic_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flix_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/flix_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flix_workload.dir/workload/dblp_generator.cc.o"
+  "CMakeFiles/flix_workload.dir/workload/dblp_generator.cc.o.d"
+  "CMakeFiles/flix_workload.dir/workload/inex_generator.cc.o"
+  "CMakeFiles/flix_workload.dir/workload/inex_generator.cc.o.d"
+  "CMakeFiles/flix_workload.dir/workload/query_workload.cc.o"
+  "CMakeFiles/flix_workload.dir/workload/query_workload.cc.o.d"
+  "CMakeFiles/flix_workload.dir/workload/synthetic_generator.cc.o"
+  "CMakeFiles/flix_workload.dir/workload/synthetic_generator.cc.o.d"
+  "libflix_workload.a"
+  "libflix_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flix_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

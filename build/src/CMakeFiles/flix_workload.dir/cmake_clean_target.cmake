@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflix_workload.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/collection.cc" "src/CMakeFiles/flix_xml.dir/xml/collection.cc.o" "gcc" "src/CMakeFiles/flix_xml.dir/xml/collection.cc.o.d"
+  "/root/repo/src/xml/document.cc" "src/CMakeFiles/flix_xml.dir/xml/document.cc.o" "gcc" "src/CMakeFiles/flix_xml.dir/xml/document.cc.o.d"
+  "/root/repo/src/xml/link_resolver.cc" "src/CMakeFiles/flix_xml.dir/xml/link_resolver.cc.o" "gcc" "src/CMakeFiles/flix_xml.dir/xml/link_resolver.cc.o.d"
+  "/root/repo/src/xml/name_pool.cc" "src/CMakeFiles/flix_xml.dir/xml/name_pool.cc.o" "gcc" "src/CMakeFiles/flix_xml.dir/xml/name_pool.cc.o.d"
+  "/root/repo/src/xml/parser.cc" "src/CMakeFiles/flix_xml.dir/xml/parser.cc.o" "gcc" "src/CMakeFiles/flix_xml.dir/xml/parser.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/flix_xml.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/flix_xml.dir/xml/serializer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/flix_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flix_xml.dir/xml/collection.cc.o"
+  "CMakeFiles/flix_xml.dir/xml/collection.cc.o.d"
+  "CMakeFiles/flix_xml.dir/xml/document.cc.o"
+  "CMakeFiles/flix_xml.dir/xml/document.cc.o.d"
+  "CMakeFiles/flix_xml.dir/xml/link_resolver.cc.o"
+  "CMakeFiles/flix_xml.dir/xml/link_resolver.cc.o.d"
+  "CMakeFiles/flix_xml.dir/xml/name_pool.cc.o"
+  "CMakeFiles/flix_xml.dir/xml/name_pool.cc.o.d"
+  "CMakeFiles/flix_xml.dir/xml/parser.cc.o"
+  "CMakeFiles/flix_xml.dir/xml/parser.cc.o.d"
+  "CMakeFiles/flix_xml.dir/xml/serializer.cc.o"
+  "CMakeFiles/flix_xml.dir/xml/serializer.cc.o.d"
+  "libflix_xml.a"
+  "libflix_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flix_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flix_extensions_test.dir/flix_extensions_test.cc.o"
+  "CMakeFiles/flix_extensions_test.dir/flix_extensions_test.cc.o.d"
+  "flix_extensions_test"
+  "flix_extensions_test.pdb"
+  "flix_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flix_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flix_integration_test.dir/flix_integration_test.cc.o"
+  "CMakeFiles/flix_integration_test.dir/flix_integration_test.cc.o.d"
+  "flix_integration_test"
+  "flix_integration_test.pdb"
+  "flix_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flix_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

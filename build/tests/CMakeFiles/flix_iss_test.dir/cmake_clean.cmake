@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flix_iss_test.dir/flix_iss_test.cc.o"
+  "CMakeFiles/flix_iss_test.dir/flix_iss_test.cc.o.d"
+  "flix_iss_test"
+  "flix_iss_test.pdb"
+  "flix_iss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flix_iss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flix_mdb_test.dir/flix_mdb_test.cc.o"
+  "CMakeFiles/flix_mdb_test.dir/flix_mdb_test.cc.o.d"
+  "flix_mdb_test"
+  "flix_mdb_test.pdb"
+  "flix_mdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flix_mdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flix_pee_test.dir/flix_pee_test.cc.o"
+  "CMakeFiles/flix_pee_test.dir/flix_pee_test.cc.o.d"
+  "flix_pee_test"
+  "flix_pee_test.pdb"
+  "flix_pee_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flix_pee_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

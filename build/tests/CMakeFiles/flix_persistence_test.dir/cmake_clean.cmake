@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flix_persistence_test.dir/flix_persistence_test.cc.o"
+  "CMakeFiles/flix_persistence_test.dir/flix_persistence_test.cc.o.d"
+  "flix_persistence_test"
+  "flix_persistence_test.pdb"
+  "flix_persistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flix_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

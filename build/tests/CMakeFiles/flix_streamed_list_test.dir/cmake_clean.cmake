@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flix_streamed_list_test.dir/flix_streamed_list_test.cc.o"
+  "CMakeFiles/flix_streamed_list_test.dir/flix_streamed_list_test.cc.o.d"
+  "flix_streamed_list_test"
+  "flix_streamed_list_test.pdb"
+  "flix_streamed_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flix_streamed_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

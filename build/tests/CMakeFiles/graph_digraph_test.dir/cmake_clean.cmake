@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_digraph_test.dir/graph_digraph_test.cc.o"
+  "CMakeFiles/graph_digraph_test.dir/graph_digraph_test.cc.o.d"
+  "graph_digraph_test"
+  "graph_digraph_test.pdb"
+  "graph_digraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_digraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_traversal_test.dir/graph_traversal_test.cc.o"
+  "CMakeFiles/graph_traversal_test.dir/graph_traversal_test.cc.o.d"
+  "graph_traversal_test"
+  "graph_traversal_test.pdb"
+  "graph_traversal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_traversal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_apex_test.dir/index_apex_test.cc.o"
+  "CMakeFiles/index_apex_test.dir/index_apex_test.cc.o.d"
+  "index_apex_test"
+  "index_apex_test.pdb"
+  "index_apex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_apex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_dataguide_test.dir/index_dataguide_test.cc.o"
+  "CMakeFiles/index_dataguide_test.dir/index_dataguide_test.cc.o.d"
+  "index_dataguide_test"
+  "index_dataguide_test.pdb"
+  "index_dataguide_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_dataguide_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_hopi_test.dir/index_hopi_test.cc.o"
+  "CMakeFiles/index_hopi_test.dir/index_hopi_test.cc.o.d"
+  "index_hopi_test"
+  "index_hopi_test.pdb"
+  "index_hopi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_hopi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

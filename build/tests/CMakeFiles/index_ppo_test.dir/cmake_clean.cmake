@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_ppo_test.dir/index_ppo_test.cc.o"
+  "CMakeFiles/index_ppo_test.dir/index_ppo_test.cc.o.d"
+  "index_ppo_test"
+  "index_ppo_test.pdb"
+  "index_ppo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_ppo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_summary_test.dir/index_summary_test.cc.o"
+  "CMakeFiles/index_summary_test.dir/index_summary_test.cc.o.d"
+  "index_summary_test"
+  "index_summary_test.pdb"
+  "index_summary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_summary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_collection_test.dir/xml_collection_test.cc.o"
+  "CMakeFiles/xml_collection_test.dir/xml_collection_test.cc.o.d"
+  "xml_collection_test"
+  "xml_collection_test.pdb"
+  "xml_collection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_collection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_document_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_collection_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_digraph_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_traversal_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_scc_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_tree_utils_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_partition_test[1]_include.cmake")
+include("/root/repo/build/tests/index_ppo_test[1]_include.cmake")
+include("/root/repo/build/tests/index_hopi_test[1]_include.cmake")
+include("/root/repo/build/tests/index_apex_test[1]_include.cmake")
+include("/root/repo/build/tests/index_tc_test[1]_include.cmake")
+include("/root/repo/build/tests/index_dataguide_test[1]_include.cmake")
+include("/root/repo/build/tests/index_summary_test[1]_include.cmake")
+include("/root/repo/build/tests/index_property_test[1]_include.cmake")
+include("/root/repo/build/tests/flix_mdb_test[1]_include.cmake")
+include("/root/repo/build/tests/flix_iss_test[1]_include.cmake")
+include("/root/repo/build/tests/flix_streamed_list_test[1]_include.cmake")
+include("/root/repo/build/tests/flix_pee_test[1]_include.cmake")
+include("/root/repo/build/tests/flix_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/flix_persistence_test[1]_include.cmake")
+include("/root/repo/build/tests/flix_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/ontology_test[1]_include.cmake")
+include("/root/repo/build/tests/text_index_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flixctl.dir/flixctl.cc.o"
+  "CMakeFiles/flixctl.dir/flixctl.cc.o.d"
+  "flixctl"
+  "flixctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flixctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
