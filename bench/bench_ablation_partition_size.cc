@@ -78,5 +78,6 @@ int main(int argc, char** argv) {
       "HOPI-20000 points, including the anomaly that the larger bound is "
       "not uniformly better (Section 6 attributes it to partition "
       "selection).\n");
+  bench::EmitMetricsBlock("ablation_partition_size");
   return 0;
 }

@@ -128,5 +128,6 @@ int main() {
       "their HOPI meta documents, roughly halving run-time link hops at a "
       "moderate size premium. No configuration dominates everywhere — the "
       "premise of the framework.\n");
+  bench::EmitMetricsBlock("adaptivity");
   return 0;
 }

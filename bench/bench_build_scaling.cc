@@ -68,5 +68,6 @@ int main(int argc, char** argv) {
     std::printf("\npaper-reported shape: monolithic HOPI grows superlinearly;"
                 " bounded configurations track collection size.\n");
   }
+  bench::EmitMetricsBlock("build_scaling");
   return 0;
 }

@@ -55,5 +55,6 @@ int main(int argc, char** argv) {
   std::printf("\npaper-reported shape: same trend as Figure 5 with lower "
               "absolute numbers (compare the per-query times above with the "
               "k=100 column of bench_fig5_descendants).\n");
+  bench::EmitMetricsBlock("connection_test");
   return 0;
 }

@@ -70,5 +70,6 @@ int main(int argc, char** argv) {
       "start), and disabling entry-point domination makes cyclic regions "
       "cost more — the approximation is what buys the early results the "
       "paper's top-k scenario wants.\n");
+  bench::EmitMetricsBlock("exact_vs_approx");
   return 0;
 }

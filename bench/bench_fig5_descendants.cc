@@ -196,5 +196,6 @@ int main(int argc, char** argv) {
                naive.total_time_ms >= hopi.total_time_ms);
   bench::Check("approximate configs have a nonzero but tolerable error rate",
                maxppo.error_rate > 0 && maxppo.error_rate < 0.4);
+  bench::EmitMetricsBlock("fig5_descendants");
   return 0;
 }

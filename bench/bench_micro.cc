@@ -6,6 +6,7 @@
 //   $ ./bench_micro [--benchmark_filter=...]
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "flix/flix.h"
 #include "graph/partition.h"
 #include "index/apex.h"
@@ -205,4 +206,13 @@ BENCHMARK(BM_PeeConnectionTest);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the metrics block lands after the report:
+// the FliX builds and PEE queries above feed the registry as a side effect.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  flix::bench::EmitMetricsBlock("micro");
+  return 0;
+}

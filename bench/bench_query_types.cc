@@ -101,5 +101,6 @@ int main(int argc, char** argv) {
       "priority 0 and each one pays a local probe before the result cap can "
       "bite (Section 5.2); distance queries are the cheapest thanks to "
       "early termination.\n");
+  bench::EmitMetricsBlock("query_types");
   return 0;
 }

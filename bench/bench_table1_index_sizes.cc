@@ -68,5 +68,6 @@ int main(int argc, char** argv) {
                sizes["MaximalPPO"] < sizes["HOPI-5000"]);
   bench::Check("MaximalPPO about as compact as PPO-naive",
                sizes["MaximalPPO"] < 2 * sizes["PPO-naive"]);
+  bench::EmitMetricsBlock("table1_index_sizes");
   return 0;
 }

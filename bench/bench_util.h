@@ -1,5 +1,11 @@
 // Shared plumbing for the experiment-reproduction benches: corpus setup,
 // the six indexing setups of the paper's Section 6, and timing helpers.
+//
+// Timing records through the observability layer (obs/): builds and queries
+// feed the process-wide metrics registry, and every bench prints a
+// machine-readable `BENCH_<name>.json: {...}` block on exit via
+// EmitMetricsBlock, so runs can be diffed by scripts instead of scraping
+// the human-readable tables.
 #ifndef FLIX_BENCH_BENCH_UTIL_H_
 #define FLIX_BENCH_BENCH_UTIL_H_
 
@@ -12,6 +18,9 @@
 
 #include "common/stopwatch.h"
 #include "flix/flix.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/dblp_generator.h"
 
 namespace flix::bench {
@@ -95,6 +104,11 @@ inline size_t InterDocLinks(const xml::Collection& collection) {
 
 inline std::unique_ptr<core::Flix> MustBuild(const xml::Collection& collection,
                                              const core::FlixOptions& options) {
+  // Span instead of ad-hoc timing: build latency lands in the same
+  // histogram family the engine itself records into.
+  obs::TraceSpan span(
+      &obs::MetricsRegistry::Global().GetHistogram("bench.build_ns"),
+      "bench.build");
   auto flix = core::Flix::Build(collection, options);
   if (!flix.ok()) {
     std::fprintf(stderr, "build failed: %s\n", flix.status().ToString().c_str());
@@ -117,6 +131,21 @@ inline size_t FlagOr(int argc, char** argv, const char* name,
 // Relation check line for the qualitative, paper-reported shape.
 inline void Check(const char* what, bool ok) {
   std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+}
+
+// Prints the machine-readable metrics block; call once at the end of main.
+// The core query series are touched first so the block always contains the
+// query latency histogram and the four QueryStats counters, even for a
+// bench that never queried (their values are then zero).
+inline void EmitMetricsBlock(const char* bench_name) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetHistogram("flix.query.latency_ns");
+  reg.GetCounter("flix.query.entries_processed");
+  reg.GetCounter("flix.query.entries_dominated");
+  reg.GetCounter("flix.query.links_followed");
+  reg.GetCounter("flix.query.index_probes");
+  const std::string json = obs::ToJson(reg.Snapshot());
+  std::printf("\nBENCH_%s.json: %s\n", bench_name, json.c_str());
 }
 
 }  // namespace flix::bench

@@ -1,8 +1,10 @@
-// Wall-clock stopwatch used by the benchmark harnesses.
+// Wall-clock (steady_clock) stopwatch used by the benchmark harnesses and
+// the observability spans (obs/trace.h).
 #ifndef FLIX_COMMON_STOPWATCH_H_
 #define FLIX_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace flix {
 
@@ -11,6 +13,14 @@ class Stopwatch {
   Stopwatch() : start_(Clock::now()) {}
 
   void Restart() { start_ = Clock::now(); }
+
+  // Integer nanoseconds — the unit the metrics histograms record.
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
 
   double ElapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();

@@ -3,6 +3,7 @@
 #include "common/binary_io.h"
 #include "common/stopwatch.h"
 #include "flix/mdb.h"
+#include "obs/trace.h"
 
 namespace flix::core {
 namespace {
@@ -48,7 +49,13 @@ StatusOr<std::unique_ptr<Flix>> Flix::Build(const xml::Collection& collection,
   input.graph = &graph;
   input.doc_of = &doc_of;
   input.doc_roots = &doc_roots;
-  flix->set_ = BuildMetaDocuments(input, options);
+  auto& reg = obs::MetricsRegistry::Global();
+  {
+    obs::TraceSpan mdb_span(&reg.GetHistogram("flix.build.mdb_ns"),
+                            "flix.build.mdb");
+    flix->set_ = BuildMetaDocuments(input, options);
+    flix->stats_.mdb_ms = static_cast<double>(mdb_span.ElapsedNanos()) / 1e6;
+  }
 
   StatusOr<std::vector<MetaIndexStats>> stats =
       BuildIndexes(flix->set_, options);
@@ -65,6 +72,8 @@ StatusOr<std::unique_ptr<Flix>> Flix::Build(const xml::Collection& collection,
   out.num_cross_links = flix->set_.num_cross_links;
   for (const MetaIndexStats& m : out.per_meta) {
     out.total_index_bytes += m.index_bytes;
+    out.iss_ms += m.select_ms;
+    out.index_build_ms += m.build_ms;
     switch (m.strategy) {
       case index::StrategyKind::kPpo: ++out.num_ppo; break;
       case index::StrategyKind::kHopi: ++out.num_hopi; break;
@@ -74,6 +83,8 @@ StatusOr<std::unique_ptr<Flix>> Flix::Build(const xml::Collection& collection,
     }
   }
   out.build_ms = watch.ElapsedMillis();
+  reg.GetHistogram("flix.build.total_ns").Record(watch.ElapsedNanos());
+  reg.GetCounter("flix.build.count").Increment();
   return flix;
 }
 
@@ -233,6 +244,9 @@ StatusOr<std::unique_ptr<Flix>> Flix::Load(std::istream& in,
     }
   }
   stats.build_ms = watch.ElapsedMillis();  // load time, not build time
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetHistogram("flix.load.total_ns").Record(watch.ElapsedNanos());
+  reg.GetCounter("flix.load.count").Increment();
   return flix;
 }
 
@@ -319,6 +333,42 @@ void Flix::AccumulateStats(const QueryStats& stats) const {
 QueryStats Flix::CumulativeQueryStats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return cumulative_stats_;
+}
+
+obs::MetricsSnapshot Flix::MetricsSnapshot() const {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetGauge("flix.build.meta_documents")
+      .Set(static_cast<int64_t>(stats_.num_meta_documents));
+  reg.GetGauge("flix.build.cross_links")
+      .Set(static_cast<int64_t>(stats_.num_cross_links));
+  reg.GetGauge("flix.build.index_bytes")
+      .Set(static_cast<int64_t>(stats_.total_index_bytes));
+  reg.GetGauge("flix.build.strategy_ppo")
+      .Set(static_cast<int64_t>(stats_.num_ppo));
+  reg.GetGauge("flix.build.strategy_hopi")
+      .Set(static_cast<int64_t>(stats_.num_hopi));
+  reg.GetGauge("flix.build.strategy_apex")
+      .Set(static_cast<int64_t>(stats_.num_apex));
+  if (cache_ != nullptr) {
+    const QueryCacheStats cache = cache_->Stats();
+    reg.GetGauge("flix.cache.size").Set(static_cast<int64_t>(cache.size));
+    reg.GetGauge("flix.cache.capacity")
+        .Set(static_cast<int64_t>(cache.capacity));
+    reg.GetGauge("flix.cache.hits").Set(static_cast<int64_t>(cache.hits));
+    reg.GetGauge("flix.cache.misses").Set(static_cast<int64_t>(cache.misses));
+    reg.GetGauge("flix.cache.insertions")
+        .Set(static_cast<int64_t>(cache.insertions));
+    reg.GetGauge("flix.cache.overwrites")
+        .Set(static_cast<int64_t>(cache.overwrites));
+    reg.GetGauge("flix.cache.evictions")
+        .Set(static_cast<int64_t>(cache.evictions));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    reg.GetGauge("flix.query.facade_count")
+        .Set(static_cast<int64_t>(num_queries_));
+  }
+  return reg.Snapshot();
 }
 
 Flix::TuningAdvice Flix::RecommendReconfiguration(

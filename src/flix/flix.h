@@ -20,6 +20,7 @@
 
 #include "common/status.h"
 #include "flix/config.h"
+#include "obs/metrics.h"
 #include "flix/index_builder.h"
 #include "flix/meta_document.h"
 #include "flix/pee.h"
@@ -30,6 +31,11 @@ namespace flix::core {
 
 struct FlixStats {
   double build_ms = 0;
+  // Phase breakdown of build_ms (Load fills them with load-phase times):
+  // meta document partitioning, strategy selection, and index construction.
+  double mdb_ms = 0;
+  double iss_ms = 0;
+  double index_build_ms = 0;
   size_t num_meta_documents = 0;
   size_t num_cross_links = 0;
   size_t total_index_bytes = 0;
@@ -95,6 +101,13 @@ class Flix {
   // Cumulative traversal counters over all facade queries — the statistics
   // feed for the paper's self-tuning idea (Section 7).
   QueryStats CumulativeQueryStats() const;
+
+  // Publishes this instance's state (build shape, cache stats, facade query
+  // totals) as gauges into the process-wide registry and returns a combined
+  // snapshot of everything recorded so far — build phase timings, PEE query
+  // latency histograms and traversal counters included. Export with
+  // obs::ToJson / obs::ToText.
+  obs::MetricsSnapshot MetricsSnapshot() const;
 
   struct TuningAdvice {
     bool rebuild_recommended = false;

@@ -5,11 +5,34 @@
 #include "index/apex.h"
 #include "index/hopi.h"
 #include "index/ppo.h"
+#include "obs/metrics.h"
 
 namespace flix::core {
+namespace {
+
+// Per-strategy build-time histogram (one sample per meta document), so a
+// snapshot shows where build time concentrates — e.g. HOPI's superlinear
+// 2-hop construction dominating a hybrid build.
+obs::Histogram& StrategyBuildHistogram(index::StrategyKind kind) {
+  auto& reg = obs::MetricsRegistry::Global();
+  switch (kind) {
+    case index::StrategyKind::kPpo:
+      return reg.GetHistogram("flix.build.ib_ppo_ns");
+    case index::StrategyKind::kHopi:
+      return reg.GetHistogram("flix.build.ib_hopi_ns");
+    case index::StrategyKind::kApex:
+      return reg.GetHistogram("flix.build.ib_apex_ns");
+    default:
+      return reg.GetHistogram("flix.build.ib_other_ns");
+  }
+}
+
+}  // namespace
 
 StatusOr<std::vector<MetaIndexStats>> BuildIndexes(MetaDocumentSet& set,
                                                    const FlixOptions& options) {
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::Histogram& iss_hist = reg.GetHistogram("flix.build.iss_ns");
   std::vector<MetaIndexStats> stats;
   stats.reserve(set.docs.size());
   for (MetaDocument& meta : set.docs) {
@@ -18,7 +41,11 @@ StatusOr<std::vector<MetaIndexStats>> BuildIndexes(MetaDocumentSet& set,
     s.nodes = meta.graph.NumNodes();
     s.edges = meta.graph.NumEdges();
 
+    Stopwatch select_watch;
     index::StrategyKind kind = SelectStrategy(meta.graph, options);
+    const uint64_t select_ns = select_watch.ElapsedNanos();
+    iss_hist.Record(select_ns);
+    s.select_ms = static_cast<double>(select_ns) / 1e6;
     Stopwatch watch;
     switch (kind) {
       case index::StrategyKind::kPpo: {
@@ -49,7 +76,9 @@ StatusOr<std::vector<MetaIndexStats>> BuildIndexes(MetaDocumentSet& set,
     meta.index->RegisterEntryNodes(meta.entry_nodes);
 
     s.strategy = kind;
-    s.build_ms = watch.ElapsedMillis();
+    const uint64_t build_ns = watch.ElapsedNanos();
+    StrategyBuildHistogram(kind).Record(build_ns);
+    s.build_ms = static_cast<double>(build_ns) / 1e6;
     s.index_bytes = meta.index->MemoryBytes();
     stats.push_back(s);
   }

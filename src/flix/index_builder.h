@@ -18,6 +18,7 @@ struct MetaIndexStats {
   size_t edges = 0;
   size_t index_bytes = 0;
   double build_ms = 0;
+  double select_ms = 0;  // ISS strategy-selection share of the build
 };
 
 // Builds an index for every meta document in `set` (ISS choice per

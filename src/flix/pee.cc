@@ -5,6 +5,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace flix::core {
 namespace {
 
@@ -23,6 +26,63 @@ struct QueueItem {
 using MinQueue =
     std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>;
 
+// Cached references into the global registry so the hot path pays one
+// static-init lookup per process, then only relaxed atomic adds. Registry
+// metrics never move or die (Reset() zeroes in place), so the references
+// stay valid.
+struct PeeMetrics {
+  obs::Counter& queries;
+  obs::Counter& entries_processed;
+  obs::Counter& entries_dominated;
+  obs::Counter& links_followed;
+  obs::Counter& index_probes;
+  obs::Counter& results_emitted;
+  obs::Counter& results_out_of_order;
+  obs::Counter& point_queries;
+  obs::Histogram& latency_ns;
+  obs::Histogram& point_latency_ns;
+  obs::Histogram& results_per_query;
+
+  static PeeMetrics& Get() {
+    static PeeMetrics* metrics = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      return new PeeMetrics{
+          reg.GetCounter("flix.query.count"),
+          reg.GetCounter("flix.query.entries_processed"),
+          reg.GetCounter("flix.query.entries_dominated"),
+          reg.GetCounter("flix.query.links_followed"),
+          reg.GetCounter("flix.query.index_probes"),
+          reg.GetCounter("flix.query.results_emitted"),
+          reg.GetCounter("flix.query.results_out_of_order"),
+          reg.GetCounter("flix.query.point_count"),
+          reg.GetHistogram("flix.query.latency_ns"),
+          reg.GetHistogram("flix.query.point_latency_ns"),
+          reg.GetHistogram("flix.query.results"),
+      };
+    }();
+    return *metrics;
+  }
+};
+
+// Flushes one query's accumulated counters on every exit path of Run.
+struct QueryMetricsFlush {
+  PeeMetrics& metrics;
+  const QueryStats& stats;
+  const size_t& emitted;
+  const size_t& out_of_order;
+
+  ~QueryMetricsFlush() {
+    metrics.queries.Increment();
+    metrics.entries_processed.Add(stats.entries_processed);
+    metrics.entries_dominated.Add(stats.entries_dominated);
+    metrics.links_followed.Add(stats.links_followed);
+    metrics.index_probes.Add(stats.index_probes);
+    metrics.results_emitted.Add(emitted);
+    metrics.results_out_of_order.Add(out_of_order);
+    metrics.results_per_query.Record(emitted);
+  }
+};
+
 }  // namespace
 
 void PathExpressionEvaluator::Run(const std::vector<NodeId>& starts, TagId tag,
@@ -33,6 +93,15 @@ void PathExpressionEvaluator::Run(const std::vector<NodeId>& starts, TagId tag,
   const bool forward = axis == Axis::kDescendants;
   QueryStats local_stats;
   if (stats == nullptr) stats = &local_stats;
+
+  // Per-query observability: latency span plus counter flush on every exit
+  // path (the sampled out-of-order rate feeds the Section 7 tuning loop).
+  PeeMetrics& metrics = PeeMetrics::Get();
+  obs::TraceSpan span(&metrics.latency_ns, "pee.query");
+  size_t emitted_count = 0;
+  size_t out_of_order = 0;
+  Distance last_emitted_distance = 0;
+  QueryMetricsFlush flush{metrics, *stats, emitted_count, out_of_order};
 
   MinQueue queue;
   uint64_t seq = 0;
@@ -53,6 +122,9 @@ void PathExpressionEvaluator::Run(const std::vector<NodeId>& starts, TagId tag,
 
   const auto emit_approx = [&](NodeId node, Distance distance) -> bool {
     if (!emitted.insert(node).second) return true;
+    if (emitted_count > 0 && distance < last_emitted_distance) ++out_of_order;
+    last_emitted_distance = distance;
+    ++emitted_count;
     if (!sink({node, distance})) return false;
     if (options.max_results >= 0 && ++num_results >= options.max_results) {
       return false;
@@ -157,6 +229,7 @@ void PathExpressionEvaluator::Run(const std::vector<NodeId>& starts, TagId tag,
     for (const auto& [node, distance] : best) sorted.push_back({node, distance});
     index::SortByDistance(sorted);
     for (const index::NodeDist& nd : sorted) {
+      ++emitted_count;
       if (!sink({nd.node, nd.distance})) return;
       if (options.max_results >= 0 && ++num_results >= options.max_results) {
         return;
@@ -208,6 +281,9 @@ void PathExpressionEvaluator::EvaluateTypeQuery(TagId start_tag,
 Distance PathExpressionEvaluator::PointQuery(NodeId a, NodeId b,
                                              Distance max_distance,
                                              bool exact) const {
+  PeeMetrics& metrics = PeeMetrics::Get();
+  metrics.point_queries.Increment();
+  obs::TraceSpan span(&metrics.point_latency_ns, "pee.point_query");
   if (a == b) return 0;
   const uint32_t target_meta = set_.meta_of_node[b];
   const NodeId target_local = set_.local_of_node[b];

@@ -14,6 +14,27 @@
 
 namespace flix::core {
 
+// Aggregate view of the cache's activity since construction. FliX indexes
+// are immutable, so an overwrite only ever replaces a result list with an
+// identical one recomputed by a racing query — the insertions/overwrites
+// split makes that (otherwise invisible) wasted work observable.
+struct QueryCacheStats {
+  size_t size = 0;
+  size_t capacity = 0;
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t insertions = 0;  // fresh keys added
+  size_t overwrites = 0;  // existing keys replaced
+  size_t evictions = 0;   // entries dropped by the LRU bound
+
+  double HitRate() const {
+    const size_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
 // Thread-safe LRU cache keyed by (start element, result tag).
 class QueryCache {
  public:
@@ -45,14 +66,30 @@ class QueryCache {
     if (it != index_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second);
       it->second->results = std::move(results);
+      ++overwrites_;
       return;
     }
     lru_.push_front(Entry{key, std::move(results)});
     index_[key] = lru_.begin();
+    ++insertions_;
     if (lru_.size() > capacity_) {
       index_.erase(lru_.back().key);
       lru_.pop_back();
+      ++evictions_;
     }
+  }
+
+  QueryCacheStats Stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    QueryCacheStats stats;
+    stats.size = lru_.size();
+    stats.capacity = capacity_;
+    stats.hits = hits_;
+    stats.misses = misses_;
+    stats.insertions = insertions_;
+    stats.overwrites = overwrites_;
+    stats.evictions = evictions_;
+    return stats;
   }
 
   size_t size() const {
@@ -84,6 +121,9 @@ class QueryCache {
   std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
   size_t hits_ = 0;
   size_t misses_ = 0;
+  size_t insertions_ = 0;
+  size_t overwrites_ = 0;
+  size_t evictions_ = 0;
 };
 
 }  // namespace flix::core

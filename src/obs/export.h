@@ -1,0 +1,39 @@
+// Snapshot exporters: a stable JSON schema for machines and an aligned text
+// rendering for humans (`flixctl stats`, bench summaries).
+//
+// JSON schema (all three sections always present):
+//   {
+//     "counters":   {"<name>": <uint>, ...},
+//     "gauges":     {"<name>": <int>, ...},
+//     "histograms": {"<name>": {"count": <uint>, "sum": <uint>,
+//                               "min": <uint>, "max": <uint>,
+//                               "mean": <num>, "p50": <num>,
+//                               "p95": <num>, "p99": <num>}, ...}
+//   }
+#ifndef FLIX_OBS_EXPORT_H_
+#define FLIX_OBS_EXPORT_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace flix::obs {
+
+// Single-line JSON document in the schema above (names sorted, since the
+// registry snapshot is sorted).
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+// Multi-line human-readable rendering. Histogram names ending in "_ns" are
+// additionally shown in adaptive time units.
+std::string ToText(const MetricsSnapshot& snapshot);
+
+// Parses a document produced by ToJson back into a snapshot (the round-trip
+// used by tooling that consumes `flixctl stats --json` / BENCH_*.json
+// blocks). Returns false on any deviation from the schema. Quantile fields
+// survive the round trip up to printf("%.17g") precision, i.e. exactly.
+bool FromJson(std::string_view json, MetricsSnapshot* snapshot);
+
+}  // namespace flix::obs
+
+#endif  // FLIX_OBS_EXPORT_H_

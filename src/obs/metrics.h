@@ -1,0 +1,181 @@
+// Observability primitives: thread-safe counters, gauges and log-bucketed
+// latency histograms, plus a process-wide registry that snapshots them.
+//
+// The paper's self-tuning proposal (Section 7) requires watching the running
+// system — "if most queries have to follow many links, the choice of meta
+// documents is no longer optimal". This module is the measurement substrate:
+// the build pipeline and the PEE hot path record into the global registry,
+// and Flix::MetricsSnapshot() / `flixctl stats` / the bench harnesses read
+// a consistent snapshot back out (exporters live in obs/export.h).
+//
+// Design constraints:
+//   * Recording must be cheap enough for the PEE hot path: counters and
+//     histogram records are single relaxed atomic RMWs, no locks.
+//   * Metric objects are owned by the registry and never move or die, so
+//     callers may cache references (function-local statics) across queries.
+//   * Reset() zeroes values in place — cached references stay valid.
+#ifndef FLIX_OBS_METRICS_H_
+#define FLIX_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flix::obs {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value (cache size, bytes in use, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Point-in-time view of one histogram (see Histogram::Snapshot).
+struct HistogramStats {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+// Log-bucketed histogram of non-negative integer samples (latencies in
+// nanoseconds, result counts, ...). Values below 16 get exact buckets; above
+// that, 8 geometric sub-buckets per power of two bound the relative
+// quantile error by 12.5%. Recording is lock-free; quantiles are computed
+// on demand from a relaxed read of the buckets.
+class Histogram {
+ public:
+  void Record(uint64_t value) {
+    buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    UpdateExtreme(min_, value, /*want_smaller=*/true);
+    UpdateExtreme(max_, value, /*want_smaller=*/false);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  // Upper bound of the bucket holding the q-quantile sample (0 < q <= 1),
+  // clamped to the exact observed max. Returns 0 on an empty histogram.
+  double Quantile(double q) const;
+
+  HistogramStats Snapshot() const;
+
+  void Reset();
+
+  // Bucket mapping, exposed for tests.
+  static constexpr size_t kPreciseLimit = 16;  // values < 16: exact buckets
+  static constexpr int kSubBits = 3;           // 8 sub-buckets per octave
+  static constexpr size_t kNumBuckets =
+      kPreciseLimit + (64 - 4) * (size_t{1} << kSubBits);
+  static size_t BucketFor(uint64_t value) {
+    if (value < kPreciseLimit) return static_cast<size_t>(value);
+    const int exponent = 63 - std::countl_zero(value);  // >= 4
+    const uint64_t sub =
+        (value >> (exponent - kSubBits)) & ((uint64_t{1} << kSubBits) - 1);
+    return kPreciseLimit +
+           static_cast<size_t>(exponent - 4) * (size_t{1} << kSubBits) +
+           static_cast<size_t>(sub);
+  }
+  // Smallest value mapping to `bucket` (inverse of BucketFor).
+  static uint64_t BucketLowerBound(size_t bucket) {
+    if (bucket < kPreciseLimit) return bucket;
+    const size_t rel = bucket - kPreciseLimit;
+    const int exponent = 4 + static_cast<int>(rel >> kSubBits);
+    const uint64_t sub = rel & ((uint64_t{1} << kSubBits) - 1);
+    return ((uint64_t{1} << kSubBits) + sub) << (exponent - kSubBits);
+  }
+
+ private:
+  static void UpdateExtreme(std::atomic<uint64_t>& slot, uint64_t value,
+                            bool want_smaller) {
+    uint64_t current = slot.load(std::memory_order_relaxed);
+    while (want_smaller ? value < current : value > current) {
+      if (slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+// One flattened, point-in-time view of every registered metric — the unit
+// the exporters (obs/export.h) serialize.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramStats>> histograms;
+
+  const uint64_t* FindCounter(std::string_view name) const;
+  const int64_t* FindGauge(std::string_view name) const;
+  const HistogramStats* FindHistogram(std::string_view name) const;
+};
+
+// Name → metric map. GetX interns on first use and returns a reference that
+// stays valid (and keeps recording into the same storage) for the process
+// lifetime, including across Reset().
+class MetricsRegistry {
+ public:
+  // The process-wide registry that the FliX build pipeline, the PEE and the
+  // query cache report into.
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  // Sorted-by-name snapshot of all registered metrics.
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every metric in place; registrations (and outstanding
+  // references) survive. Used by tests and `flixctl stats --workload` to
+  // isolate a measurement window.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map: stable iteration order gives deterministic exports, and node
+  // stability plus unique_ptr keeps metric addresses fixed.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace flix::obs
+
+#endif  // FLIX_OBS_METRICS_H_

@@ -1,0 +1,34 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace flix::obs {
+namespace {
+
+std::atomic<std::ostream*> g_trace_log{nullptr};
+std::mutex g_trace_mutex;
+
+}  // namespace
+
+std::ostream* SetTraceLog(std::ostream* out) {
+  return g_trace_log.exchange(out, std::memory_order_release);
+}
+
+bool TraceLogEnabled() {
+  return g_trace_log.load(std::memory_order_relaxed) != nullptr;
+}
+
+void TraceSpan::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  const uint64_t nanos = watch_.ElapsedNanos();
+  if (histogram_ != nullptr) histogram_->Record(nanos);
+  if (std::ostream* log = g_trace_log.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(g_trace_mutex);
+    *log << "[trace] " << (name_ != nullptr ? name_ : "span")
+         << " dur_ns=" << nanos << "\n";
+  }
+}
+
+}  // namespace flix::obs

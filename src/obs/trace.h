@@ -1,0 +1,57 @@
+// RAII scoped timer that records its lifetime into a latency histogram and,
+// when a trace log is attached, emits one line per span — the lightweight
+// per-query tracing the self-tuning loop (paper Section 7) observes.
+#ifndef FLIX_OBS_TRACE_H_
+#define FLIX_OBS_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace flix::obs {
+
+// Attaches (or detaches, with nullptr) the process-wide trace log. Spans
+// then append lines of the form
+//   [trace] <name> dur_ns=<nanos>
+// on destruction. The stream must outlive all spans; writes are serialized
+// by an internal mutex. Returns the previous sink.
+std::ostream* SetTraceLog(std::ostream* out);
+
+// True iff a trace log is attached (cheap relaxed load; lets hot paths skip
+// building annotations nobody would see).
+bool TraceLogEnabled();
+
+// Scoped timer. On destruction records elapsed nanoseconds into the given
+// histogram (if any) and appends a trace line (if a log is attached).
+class TraceSpan {
+ public:
+  // `name` must outlive the span (string literals in practice).
+  explicit TraceSpan(Histogram* histogram, const char* name = nullptr)
+      : histogram_(histogram), name_(name) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { Finish(); }
+
+  uint64_t ElapsedNanos() const { return watch_.ElapsedNanos(); }
+
+  // Records and logs now instead of at scope exit; subsequent Finish calls
+  // (including the destructor's) are no-ops.
+  void Finish();
+
+  // Drops the span: nothing is recorded or logged at destruction.
+  void Cancel() { finished_ = true; }
+
+ private:
+  Histogram* histogram_;
+  const char* name_;
+  Stopwatch watch_;
+  bool finished_ = false;
+};
+
+}  // namespace flix::obs
+
+#endif  // FLIX_OBS_TRACE_H_

@@ -4,16 +4,18 @@
 //   # Ingest a directory of XML files (or generate a corpus) into a
 //   # collection file and build + save the index:
 //   flixctl build --xml-dir ./docs --collection data.flxc --index data.flix
-//   flixctl build --dblp 6210 --collection data.flxc --index data.flix \
-//       --config maxppo
+//   flixctl build --dblp 6210 --collection data.flxc --index data.flix
+//       --config maxppo --cache 256
 //
-//   # Inspect what was built:
+//   # Inspect what was built; optionally run a sampled query workload and
+//   # dump the metrics snapshot (text, or --json for the machine schema):
 //   flixctl stats --collection data.flxc --index data.flix
+//   flixctl stats --collection data.flxc --index data.flix --workload 100
 //
 //   # Queries (start elements are "docname" for a root or "docname#anchor"):
-//   flixctl query   --collection data.flxc --index data.flix \
+//   flixctl query   --collection data.flxc --index data.flix
 //       --start vldb/pub6205 --tag article --k 10 [--exact]
-//   flixctl connect --collection data.flxc --index data.flix \
+//   flixctl connect --collection data.flxc --index data.flix
 //       --from vldb/pub6205 --to edbt/pub0
 #include <filesystem>
 #include <fstream>
@@ -26,10 +28,14 @@
 #include "common/bytes.h"
 #include "common/stopwatch.h"
 #include "flix/flix.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ontology/ontology.h"
 #include "ontology/relaxation.h"
 #include "text/text_index.h"
 #include "workload/dblp_generator.h"
+#include "workload/query_workload.h"
 #include "workload/synthetic_generator.h"
 #include "xml/collection.h"
 
@@ -67,8 +73,14 @@ struct Args {
 
 Args ParseArgs(int argc, char** argv) {
   Args args;
-  if (argc > 1) args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  int i = 1;
+  // Global boolean flags (e.g. --trace) may precede the subcommand.
+  while (i < argc && std::string(argv[i]).rfind("--", 0) == 0) {
+    args.flags[std::string(argv[i]).substr(2)] = "true";
+    ++i;
+  }
+  if (i < argc) args.command = argv[i++];
+  for (; i < argc; ++i) {
     std::string flag = argv[i];
     if (flag.rfind("--", 0) == 0) {
       flag = flag.substr(2);
@@ -88,7 +100,9 @@ int Usage() {
       "  flixctl build   --collection FILE --index FILE\n"
       "                  [--xml-dir DIR | --dblp N | --synthetic]\n"
       "                  [--config naive|maxppo|uhopi|hybrid] [--bound N]\n"
+      "                  [--cache N]\n"
       "  flixctl stats   --collection FILE --index FILE\n"
+      "                  [--workload N] [--repeat N] [--json]\n"
       "  flixctl query   --collection FILE --index FILE --start DOC[#ID]\n"
       "                  --tag NAME [--k N] [--max-distance D] [--exact]\n"
       "  flixctl connect --collection FILE --index FILE --from DOC[#ID]\n"
@@ -98,7 +112,9 @@ int Usage() {
       "                  [--ontology FILE] [--k N] [--no-relax]\n"
       "                  (PATH like //~movie[title~\"Matrix\"]//actor;\n"
       "                   ontology file: one 'term term similarity' per "
-      "line)\n";
+      "line)\n"
+      "global flags:\n"
+      "  --trace         log one line per query span to stderr\n";
   return 2;
 }
 
@@ -199,6 +215,7 @@ int CmdBuild(const Args& args) {
   core::FlixOptions options;
   options.config = ParseConfig(args.Get("config", "hybrid"));
   options.partition_bound = args.GetSize("bound", 5000);
+  options.query_cache_capacity = args.GetSize("cache", 0);
   Stopwatch watch;
   auto flix = core::Flix::Build(*collection, options);
   if (!flix.ok()) {
@@ -235,6 +252,27 @@ int CmdBuild(const Args& args) {
   return 0;
 }
 
+// Runs `count` sampled descendant queries (each `repeat` times, so an
+// enabled query cache sees re-use) through the facade, feeding the metrics
+// registry. Returns the number of queries executed.
+size_t RunStatsWorkload(const core::Flix& flix,
+                        const xml::Collection& collection, size_t count,
+                        size_t repeat) {
+  const graph::Digraph graph = collection.BuildGraph();
+  workload::QuerySamplerOptions sampler;
+  sampler.count = count;
+  const std::vector<workload::DescendantQuery> queries =
+      workload::SampleDescendantQueries(collection, graph, sampler);
+  size_t executed = 0;
+  for (size_t r = 0; r < repeat; ++r) {
+    for (const workload::DescendantQuery& q : queries) {
+      flix.FindDescendantsByName(q.start, q.tag_name);
+      ++executed;
+    }
+  }
+  return executed;
+}
+
 int CmdStats(const Args& args) {
   auto collection = LoadCollection(args);
   if (!collection.ok()) {
@@ -246,6 +284,20 @@ int CmdStats(const Args& args) {
     std::cerr << flix.status().ToString() << "\n";
     return 1;
   }
+
+  size_t executed = 0;
+  if (args.Has("workload")) {
+    executed = RunStatsWorkload(**flix, *collection,
+                                args.GetSize("workload", 100),
+                                args.GetSize("repeat", 2));
+  }
+  const obs::MetricsSnapshot snapshot = (*flix)->MetricsSnapshot();
+
+  if (args.Has("json")) {
+    std::cout << obs::ToJson(snapshot) << "\n";
+    return 0;
+  }
+
   const core::FlixStats& stats = (*flix)->stats();
   std::cout << "configuration: "
             << core::MdbConfigName((*flix)->options().config) << "\n"
@@ -258,6 +310,32 @@ int CmdStats(const Args& args) {
             << "cross links:   " << stats.num_cross_links << "\n"
             << "index size:    " << FormatBytes(stats.total_index_bytes)
             << "\n";
+
+  // Phase timings: Load fills build_ms with the load time; a same-process
+  // Build would fill the MDB/ISS/IB breakdown (also visible as the
+  // flix.build.*_ns histograms below when this process built the index).
+  std::cout << "load/build:    " << stats.build_ms << " ms (mdb "
+            << stats.mdb_ms << " / iss " << stats.iss_ms << " / ib "
+            << stats.index_build_ms << ")\n";
+
+  if (executed > 0) {
+    std::cout << "workload:      " << executed << " queries\n";
+    if (const auto* latency =
+            snapshot.FindHistogram("flix.query.latency_ns")) {
+      std::cout << "query latency: p50 " << latency->p50 / 1e6 << " ms, p95 "
+                << latency->p95 / 1e6 << " ms, p99 " << latency->p99 / 1e6
+                << " ms, max " << static_cast<double>(latency->max) / 1e6
+                << " ms\n";
+    }
+  }
+  if (const core::QueryCache* cache = (*flix)->query_cache()) {
+    const core::QueryCacheStats cs = cache->Stats();
+    std::cout << "cache:         " << cs.size << "/" << cs.capacity
+              << " entries, hit rate " << 100 * cs.HitRate() << "% ("
+              << cs.hits << " hits / " << cs.misses << " misses / "
+              << cs.evictions << " evictions)\n";
+  }
+  std::cout << "\n" << obs::ToText(snapshot);
   return 0;
 }
 
@@ -435,6 +513,7 @@ int CmdRelax(const Args& args) {
 
 int main(int argc, char** argv) {
   const Args args = ParseArgs(argc, argv);
+  if (args.Has("trace")) flix::obs::SetTraceLog(&std::cerr);
   if (args.command == "build") return CmdBuild(args);
   if (args.command == "stats") return CmdStats(args);
   if (args.command == "query") return CmdQuery(args);
