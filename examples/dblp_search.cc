@@ -80,23 +80,21 @@ int main(int argc, char** argv) {
   std::printf("\ntop-%d article descendants of '%s':\n", k,
               collection->document(start_doc).name().c_str());
 
-  core::StreamedList list;
   core::QueryOptions qopts;
-  std::thread worker = (*flix)->pee().FindDescendantsByTagAsync(
-      start, collection->pool().Lookup("article"), qopts, &list);
+  core::AsyncQuery query = (*flix)->pee().FindDescendantsByTagAsync(
+      start, collection->pool().Lookup("article"), qopts);
 
   Stopwatch query_watch;
   int shown = 0;
   while (shown < k) {
-    const auto r = list.Next();
+    const auto r = query.Next();
     if (!r.has_value()) break;
     const auto loc = collection->Locate(r->node);
     std::printf("  #%2d  %-22s distance %2d   (%.2f ms)\n", ++shown,
                 collection->document(loc.doc).name().c_str(), r->distance,
                 query_watch.ElapsedMillis());
   }
-  list.Cancel();  // satisfied with top-k: abort the producer
-  worker.join();
+  query.Cancel();  // satisfied with top-k: abort the producer
   if (shown == 0) std::printf("  (no results)\n");
 
   // Connection test between two random publications.

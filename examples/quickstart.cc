@@ -79,15 +79,13 @@ int main() {
               (*flix)->FindDistance(library_root, rating));
 
   // 5. Streaming: consume results from a worker thread, stop after the
-  //    first one (top-k client behaviour).
-  core::StreamedList list;
-  std::thread worker = (*flix)->pee().FindDescendantsByTagAsync(
-      library_root, collection.pool().Lookup("title"), {}, &list);
-  if (auto first = list.Next()) {
+  //    first one (top-k client behaviour); dropping the handle cancels the
+  //    query and joins the worker.
+  core::AsyncQuery query = (*flix)->pee().FindDescendantsByTagAsync(
+      library_root, collection.pool().Lookup("title"), {});
+  if (auto first = query.Next()) {
     std::printf("\nfirst streamed title element: node %u (distance %d)\n",
                 first->node, first->distance);
   }
-  list.Cancel();
-  worker.join();
   return 0;
 }

@@ -327,6 +327,9 @@ void Flix::AccumulateStats(const QueryStats& stats) const {
   cumulative_stats_.entries_dominated += stats.entries_dominated;
   cumulative_stats_.links_followed += stats.links_followed;
   cumulative_stats_.index_probes += stats.index_probes;
+  cumulative_stats_.cursors_opened += stats.cursors_opened;
+  cumulative_stats_.cursor_pulls += stats.cursor_pulls;
+  cumulative_stats_.cursor_saved += stats.cursor_saved;
   ++num_queries_;
 }
 
@@ -368,6 +371,11 @@ obs::MetricsSnapshot Flix::MetricsSnapshot() const {
     reg.GetGauge("flix.query.facade_count")
         .Set(static_cast<int64_t>(num_queries_));
   }
+  // Touch the streaming-cursor counters so they appear in the snapshot even
+  // before the first query registers them.
+  reg.GetCounter("flix.query.cursor.opened");
+  reg.GetCounter("flix.query.cursor.pulled");
+  reg.GetCounter("flix.query.cursor.saved");
   return reg.Snapshot();
 }
 

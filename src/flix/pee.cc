@@ -26,6 +26,42 @@ struct QueueItem {
 using MinQueue =
     std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>;
 
+// Streaming-mode queue entry. Three kinds share one queue so entry points,
+// pending cursor results, and pending frontier hops merge into a single
+// globally ascending stream:
+//   kEntry    — an entry point to process (node = global element id);
+//   kResult   — the head of an active local-result cursor (node = global
+//               result id, slot = owning cursor);
+//   kFrontier — the head of an active frontier cursor (node = *local* link
+//               source / entry node, slot = owning cursor; distance already
+//               includes the +1 link hop).
+// Popping a kResult/kFrontier item re-arms its cursor: the next element is
+// pulled and pushed back. Each cursor thus keeps at most one item queued,
+// and elements past the last pop are never pulled at all.
+enum class ItemKind : uint8_t { kEntry, kResult, kFrontier };
+
+struct StreamItem {
+  Distance distance;
+  uint64_t seq;
+  NodeId node;
+  ItemKind kind;
+  uint32_t slot;
+
+  bool operator>(const StreamItem& other) const {
+    return std::tie(distance, seq) > std::tie(other.distance, other.seq);
+  }
+};
+
+using StreamQueue =
+    std::priority_queue<StreamItem, std::vector<StreamItem>, std::greater<>>;
+
+// An open cursor merged into the stream queue.
+struct ActiveCursor {
+  std::unique_ptr<index::NodeDistCursor> cursor;
+  Distance base = 0;   // accumulated distance of the owning entry point
+  uint32_t meta = 0;   // meta document the cursor probes
+};
+
 // Cached references into the global registry so the hot path pays one
 // static-init lookup per process, then only relaxed atomic adds. Registry
 // metrics never move or die (Reset() zeroes in place), so the references
@@ -38,6 +74,9 @@ struct PeeMetrics {
   obs::Counter& index_probes;
   obs::Counter& results_emitted;
   obs::Counter& results_out_of_order;
+  obs::Counter& cursors_opened;
+  obs::Counter& cursor_pulled;
+  obs::Counter& cursor_saved;
   obs::Counter& point_queries;
   obs::Histogram& latency_ns;
   obs::Histogram& point_latency_ns;
@@ -54,6 +93,9 @@ struct PeeMetrics {
           reg.GetCounter("flix.query.index_probes"),
           reg.GetCounter("flix.query.results_emitted"),
           reg.GetCounter("flix.query.results_out_of_order"),
+          reg.GetCounter("flix.query.cursor.opened"),
+          reg.GetCounter("flix.query.cursor.pulled"),
+          reg.GetCounter("flix.query.cursor.saved"),
           reg.GetCounter("flix.query.point_count"),
           reg.GetHistogram("flix.query.latency_ns"),
           reg.GetHistogram("flix.query.point_latency_ns"),
@@ -79,7 +121,25 @@ struct QueryMetricsFlush {
     metrics.index_probes.Add(stats.index_probes);
     metrics.results_emitted.Add(emitted);
     metrics.results_out_of_order.Add(out_of_order);
+    metrics.cursors_opened.Add(stats.cursors_opened);
+    metrics.cursor_pulled.Add(stats.cursor_pulls);
+    metrics.cursor_saved.Add(stats.cursor_saved);
     metrics.results_per_query.Record(emitted);
+  }
+};
+
+// Credits work an early stop skipped: sums the remaining-element hints of
+// every cursor still alive when the query unwinds. Declared after the slot
+// vector so it runs before the cursors are destroyed, and before
+// QueryMetricsFlush (declared earlier) reads the stat.
+struct CursorSavingsFlush {
+  const std::vector<ActiveCursor>& slots;
+  QueryStats& stats;
+
+  ~CursorSavingsFlush() {
+    for (const ActiveCursor& ac : slots) {
+      if (ac.cursor) stats.cursor_saved += ac.cursor->RemainingHint();
+    }
   }
 };
 
@@ -90,6 +150,174 @@ void PathExpressionEvaluator::Run(const std::vector<NodeId>& starts, TagId tag,
                                   const QueryOptions& options,
                                   const ResultSink& sink,
                                   QueryStats* stats) const {
+  if (options.exact || options.materialize) {
+    RunMaterialized(starts, tag, wildcard, axis, options, sink, stats);
+  } else {
+    RunStreaming(starts, tag, wildcard, axis, options, sink, stats);
+  }
+}
+
+void PathExpressionEvaluator::RunStreaming(const std::vector<NodeId>& starts,
+                                           TagId tag, bool wildcard, Axis axis,
+                                           const QueryOptions& options,
+                                           const ResultSink& sink,
+                                           QueryStats* stats) const {
+  const bool forward = axis == Axis::kDescendants;
+  QueryStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+
+  PeeMetrics& metrics = PeeMetrics::Get();
+  obs::TraceSpan span(&metrics.latency_ns, "pee.query");
+  size_t emitted_count = 0;
+  size_t out_of_order = 0;
+  Distance last_emitted_distance = 0;
+  QueryMetricsFlush flush{metrics, *stats, emitted_count, out_of_order};
+
+  StreamQueue queue;
+  uint64_t seq = 0;
+  for (const NodeId s : starts) {
+    queue.push({0, seq++, s, ItemKind::kEntry, 0});
+  }
+  const std::unordered_set<NodeId> start_set(starts.begin(), starts.end());
+
+  std::vector<ActiveCursor> slots;
+  CursorSavingsFlush savings{slots, *stats};
+
+  // Entry points per visited meta document (Section 5.1 duplicate
+  // elimination) and result-level dedup, as in the materializing path.
+  std::unordered_map<uint32_t, std::vector<NodeId>> entries;
+  std::unordered_set<NodeId> emitted;
+  int64_t num_results = 0;
+
+  const auto emit = [&](NodeId node, Distance distance) -> bool {
+    if (!emitted.insert(node).second) return true;
+    if (emitted_count > 0 && distance < last_emitted_distance) ++out_of_order;
+    last_emitted_distance = distance;
+    ++emitted_count;
+    if (!sink({node, distance})) return false;
+    if (options.max_results >= 0 && ++num_results >= options.max_results) {
+      return false;
+    }
+    return true;
+  };
+
+  // Pulls the next element off a local-result cursor and queues it. Start
+  // nodes are filtered here (they are never results); an exhausted cursor
+  // is released so its slot stops contributing to the savings sum.
+  const auto arm_result = [&](uint32_t slot) {
+    ActiveCursor& ac = slots[slot];
+    const MetaDocument& meta = set_.docs[ac.meta];
+    while (true) {
+      ++stats->cursor_pulls;
+      const std::optional<index::NodeDist> r = ac.cursor->Next();
+      if (!r.has_value()) {
+        ac.cursor.reset();
+        return;
+      }
+      const NodeId global = meta.global_nodes[r->node];
+      if (start_set.contains(global)) continue;
+      queue.push({ac.base + r->distance, seq++, global, ItemKind::kResult,
+                  slot});
+      return;
+    }
+  };
+
+  // Same for a frontier cursor; the queued distance includes the link hop.
+  const auto arm_frontier = [&](uint32_t slot) {
+    ActiveCursor& ac = slots[slot];
+    ++stats->cursor_pulls;
+    const std::optional<index::NodeDist> f = ac.cursor->Next();
+    if (!f.has_value()) {
+      ac.cursor.reset();
+      return;
+    }
+    queue.push({ac.base + f->distance + 1, seq++, f->node,
+                ItemKind::kFrontier, slot});
+  };
+
+  while (!queue.empty()) {
+    const StreamItem item = queue.top();
+    queue.pop();
+    // The queue is ascending, so the first item past the bound ends the
+    // query — everything still queued (or unpulled) is at least as far.
+    if (options.max_distance >= 0 && item.distance > options.max_distance) {
+      break;
+    }
+
+    if (item.kind == ItemKind::kResult) {
+      if (!emit(item.node, item.distance)) return;
+      arm_result(item.slot);
+      continue;
+    }
+
+    if (item.kind == ItemKind::kFrontier) {
+      const MetaDocument& meta = set_.docs[slots[item.slot].meta];
+      const auto& hops = forward ? meta.link_targets.at(item.node)
+                                 : meta.entry_origins.at(item.node);
+      for (const NodeId target : hops) {
+        queue.push({item.distance, seq++, target, ItemKind::kEntry, 0});
+        ++stats->links_followed;
+      }
+      arm_frontier(item.slot);
+      continue;
+    }
+
+    // kEntry: duplicate elimination, then open this entry point's cursors.
+    const NodeId e = item.node;
+    const uint32_t m = set_.meta_of_node[e];
+    const NodeId le = set_.local_of_node[e];
+    const MetaDocument& meta = set_.docs[m];
+
+    std::vector<NodeId>& meta_entries = entries[m];
+    bool dominated = false;
+    for (const NodeId p : meta_entries) {
+      const bool covers = forward ? meta.index->IsReachable(p, le)
+                                  : meta.index->IsReachable(le, p);
+      if (covers) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) {
+      ++stats->entries_dominated;
+      continue;
+    }
+    meta_entries.push_back(le);
+    ++stats->entries_processed;
+
+    // The entry element itself is a proper result when it was reached via a
+    // link (not an original start) and matches the condition.
+    const TagId e_tag = meta.graph.Tag(le);
+    if (!start_set.contains(e) && (wildcard || e_tag == tag)) {
+      if (!emit(e, item.distance)) return;
+    }
+
+    // Local probe: a lazy cursor over matches within the meta document.
+    ++stats->index_probes;
+    ++stats->cursors_opened;
+    slots.push_back(
+        {forward ? (wildcard ? meta.index->DescendantsCursor(le)
+                             : meta.index->DescendantsByTagCursor(le, tag))
+                 : meta.index->AncestorsByTagCursor(le, tag),
+         item.distance, m});
+    arm_result(static_cast<uint32_t>(slots.size() - 1));
+
+    // Frontier probe: a lazy cursor over the reachable link sources (or
+    // entry nodes, for the ancestors axis).
+    ++stats->index_probes;
+    ++stats->cursors_opened;
+    slots.push_back(
+        {forward ? meta.index->ReachableAmongCursor(le, meta.link_sources)
+                 : meta.index->AncestorsAmongCursor(le, meta.entry_nodes),
+         item.distance, m});
+    arm_frontier(static_cast<uint32_t>(slots.size() - 1));
+  }
+}
+
+void PathExpressionEvaluator::RunMaterialized(
+    const std::vector<NodeId>& starts, TagId tag, bool wildcard, Axis axis,
+    const QueryOptions& options, const ResultSink& sink,
+    QueryStats* stats) const {
   const bool forward = axis == Axis::kDescendants;
   QueryStats local_stats;
   if (stats == nullptr) stats = &local_stats;
@@ -486,14 +714,23 @@ std::vector<Result> PathExpressionEvaluator::Siblings(NodeId node) const {
   return siblings;
 }
 
-std::thread PathExpressionEvaluator::FindDescendantsByTagAsync(
-    NodeId start, TagId tag, QueryOptions options, StreamedList* list) const {
-  return std::thread([this, start, tag, options, list] {
+AsyncQuery::~AsyncQuery() {
+  // Moved-from handles hold neither list nor thread.
+  if (list_ != nullptr) list_->Cancel();
+  if (worker_.joinable()) worker_.join();
+}
+
+AsyncQuery PathExpressionEvaluator::FindDescendantsByTagAsync(
+    NodeId start, TagId tag, QueryOptions options, size_t capacity) const {
+  AsyncQuery query(capacity);
+  StreamedList* list = query.list_.get();  // stable across the handle's move
+  query.worker_ = std::thread([this, start, tag, options, list] {
     FindDescendantsByTag(start, tag, options, [&](const Result& r) {
       return list->Push(r);
     });
     list->Close();
   });
+  return query;
 }
 
 }  // namespace flix::core

@@ -2,18 +2,25 @@
 // meta documents by combining per-meta-document index probes with run-time
 // link traversal (paper Section 5, Figure 4).
 //
-// Results stream to a caller-provided sink in approximately ascending
-// distance: the priority queue of intermediate elements is processed in
-// ascending accumulated distance, but each meta document's local results are
-// emitted as one ascending block, so globally the order is approximate —
-// exactly the paper's behaviour (it reports an 8-13% out-of-order rate).
-// The result *set* is exact: every reachable matching element is emitted
-// exactly once (duplicate elimination via per-meta-document entry points,
-// Section 5.1, backed by an emitted-set membership filter).
+// The default evaluation mode is fully streamed: instead of materializing
+// each meta document's local result block, the PEE holds one lazy cursor per
+// probe (index::NodeDistCursor) and merges them through its priority queue.
+// Results therefore reach the sink in globally ascending distance order —
+// strictly tighter than the paper's per-block emission, which it reports as
+// 8-13% out-of-order — and an early stop (top-k, max_distance, sink cancel)
+// abandons the cursors before they traverse the rest of their ranges.
+// The result *set* is exact either way: every reachable matching element is
+// emitted exactly once (duplicate elimination via per-meta-document entry
+// points, Section 5.1, backed by an emitted-set membership filter).
+//
+// `QueryOptions::materialize` restores the legacy drain-then-emit probes
+// (one ascending block per meta document) for comparison; exact mode always
+// materializes, since it must relax all candidate distances before sorting.
 #ifndef FLIX_FLIX_PEE_H_
 #define FLIX_FLIX_PEE_H_
 
 #include <functional>
+#include <memory>
 #include <thread>
 
 #include "common/types.h"
@@ -37,6 +44,10 @@ struct QueryOptions {
   // their true minima, and the stream is emitted fully sorted. Trades the
   // early first results for exact distances and order.
   bool exact = false;
+  // Legacy evaluation path: drain each index probe into a sorted vector
+  // before emitting (the paper's per-block behaviour) instead of merging
+  // lazy cursors. Exact mode implies this.
+  bool materialize = false;
 };
 
 // Counters the PEE accumulates per query — raw material for the paper's
@@ -47,6 +58,43 @@ struct QueryStats {
   size_t entries_dominated = 0;   // pops skipped by duplicate elimination
   size_t links_followed = 0;      // cross-meta-document hops enqueued
   size_t index_probes = 0;        // local index queries issued
+  size_t cursors_opened = 0;      // lazy probe cursors created (streaming)
+  size_t cursor_pulls = 0;        // Next() calls across all cursors
+  size_t cursor_saved = 0;        // results left unpulled by an early stop
+};
+
+// RAII handle for an asynchronous streamed query (the paper's multithreaded
+// client decoupling, Section 3.1): owns both the worker thread and the
+// result list. Destruction cancels the stream and joins the worker, so a
+// partially consumed query can simply go out of scope — no leaked thread,
+// and the streaming evaluator stops pulling its cursors at the next push.
+class AsyncQuery {
+ public:
+  AsyncQuery(AsyncQuery&&) = default;
+  AsyncQuery& operator=(AsyncQuery&&) = delete;
+  AsyncQuery(const AsyncQuery&) = delete;
+  AsyncQuery& operator=(const AsyncQuery&) = delete;
+  ~AsyncQuery();
+
+  // Consumer side; see StreamedList for blocking semantics.
+  std::optional<Result> Next() { return list_->Next(); }
+  std::optional<Result> TryNext() { return list_->TryNext(); }
+  std::vector<Result> DrainAll() { return list_->DrainAll(); }
+
+  // Aborts the query: the producer observes the cancel on its next push and
+  // abandons its remaining work. Destruction does this implicitly.
+  void Cancel() { list_->Cancel(); }
+
+  // Direct access to the underlying list (progress reporting, tests).
+  StreamedList& results() { return *list_; }
+
+ private:
+  friend class PathExpressionEvaluator;
+  explicit AsyncQuery(size_t capacity)
+      : list_(std::make_unique<StreamedList>(capacity)) {}
+
+  std::unique_ptr<StreamedList> list_;  // stable address for the worker
+  std::thread worker_;
 };
 
 class PathExpressionEvaluator {
@@ -104,12 +152,12 @@ class PathExpressionEvaluator {
   // Siblings: children of any parent, excluding `node` itself.
   std::vector<Result> Siblings(NodeId node) const;
 
-  // Convenience: runs FindDescendantsByTag on a worker thread that pushes
-  // into `list` and closes it — the paper's multithreaded client decoupling.
-  // The caller must join the returned thread (after consuming `list`).
-  std::thread FindDescendantsByTagAsync(NodeId start, TagId tag,
-                                        QueryOptions options,
-                                        StreamedList* list) const;
+  // Runs FindDescendantsByTag on a worker thread that streams into the
+  // returned handle's list. Consume via AsyncQuery::Next/DrainAll; dropping
+  // the handle cancels and joins.
+  AsyncQuery FindDescendantsByTagAsync(NodeId start, TagId tag,
+                                       QueryOptions options,
+                                       size_t capacity = 1024) const;
 
  private:
   enum class Axis { kDescendants, kAncestors };
@@ -117,6 +165,17 @@ class PathExpressionEvaluator {
   void Run(const std::vector<NodeId>& starts, TagId tag, bool wildcard,
            Axis axis, const QueryOptions& options, const ResultSink& sink,
            QueryStats* stats) const;
+
+  // Default path: merges lazy per-probe cursors through the priority queue.
+  void RunStreaming(const std::vector<NodeId>& starts, TagId tag,
+                    bool wildcard, Axis axis, const QueryOptions& options,
+                    const ResultSink& sink, QueryStats* stats) const;
+
+  // Legacy path: materializes each probe as one sorted block (also carries
+  // exact mode, which needs every candidate before it can sort).
+  void RunMaterialized(const std::vector<NodeId>& starts, TagId tag,
+                       bool wildcard, Axis axis, const QueryOptions& options,
+                       const ResultSink& sink, QueryStats* stats) const;
 
   Distance PointQuery(NodeId a, NodeId b, Distance max_distance,
                       bool exact) const;

@@ -9,6 +9,7 @@
 #ifndef FLIX_FLIX_STREAMED_LIST_H_
 #define FLIX_FLIX_STREAMED_LIST_H_
 
+#include <cassert>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -43,7 +44,11 @@ class StreamedList {
     not_full_.wait(lock, [&] {
       return cancelled_ || closed_ || queue_.size() < capacity_;
     });
-    if (cancelled_ || closed_) return false;
+    if (cancelled_) return false;
+    // Pushing after Close is a producer-side protocol bug (a consumer
+    // cancel, by contrast, can race with pushes and is expected).
+    assert(!closed_ && "StreamedList::Push after Close");
+    if (closed_) return false;
     queue_.push_back(result);
     ++produced_;
     not_empty_.notify_one();
@@ -66,6 +71,18 @@ class StreamedList {
     not_empty_.wait(lock, [&] {
       return cancelled_ || closed_ || !queue_.empty();
     });
+    if (queue_.empty()) return std::nullopt;
+    const Result r = queue_.front();
+    queue_.pop_front();
+    not_full_.notify_one();
+    return r;
+  }
+
+  // Non-blocking variant: a queued result if one is ready, nullopt when the
+  // queue is momentarily empty OR the stream has ended — poll cancelled()
+  // and the producer's completion separately when the distinction matters.
+  std::optional<Result> TryNext() {
+    std::lock_guard<std::mutex> lock(mutex_);
     if (queue_.empty()) return std::nullopt;
     const Result r = queue_.front();
     queue_.pop_front();
@@ -98,6 +115,7 @@ class StreamedList {
   // Convenience for non-interactive callers: consume the entire stream.
   std::vector<Result> DrainAll() {
     std::vector<Result> all;
+    all.reserve(produced());  // at least what is already queued
     while (std::optional<Result> r = Next()) all.push_back(*r);
     return all;
   }

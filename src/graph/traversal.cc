@@ -54,6 +54,38 @@ Distance BfsDistance(const Digraph& g, NodeId source, NodeId target,
   return kUnreachable;
 }
 
+BfsFrontier::BfsFrontier(const Digraph& g, NodeId source, Direction dir,
+                         ExpandFilter filter)
+    : g_(g), dir_(dir), filter_(std::move(filter)) {
+  visited_.assign(g.NumNodes(), 0);
+  visited_[source] = 1;
+  next_.push_back(source);
+}
+
+const std::vector<NodeId>& BfsFrontier::NextLevel() {
+  current_ = std::move(next_);
+  next_.clear();
+  if (current_.empty()) {
+    done_ = true;
+    return current_;
+  }
+  ++depth_;
+  for (const NodeId u : current_) {
+    for (const Digraph::Arc& arc : Arcs(g_, u, dir_)) {
+      const NodeId w = arc.target;
+      if (visited_[w]) continue;
+      visited_[w] = 1;
+      if (filter_ && !filter_(w)) continue;  // pruned: not reported/expanded
+      next_.push_back(w);
+    }
+  }
+  // Levels come out sorted so cursor consumers get the canonical
+  // (distance, node) order without re-sorting.
+  std::sort(next_.begin(), next_.end());
+  if (next_.empty()) done_ = true;
+  return current_;
+}
+
 std::vector<NodeDist> ReachabilityOracle::Collect(NodeId from, TagId tag,
                                                   Direction dir,
                                                   bool wildcard) const {

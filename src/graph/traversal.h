@@ -4,6 +4,7 @@
 #ifndef FLIX_GRAPH_TRAVERSAL_H_
 #define FLIX_GRAPH_TRAVERSAL_H_
 
+#include <functional>
 #include <vector>
 
 #include "common/types.h"
@@ -30,6 +31,48 @@ std::vector<Distance> BfsDistances(const Digraph& g, NodeId source,
 Distance BfsDistance(const Digraph& g, NodeId source, NodeId target,
                      Direction dir = Direction::kForward,
                      Distance max_depth = -1);
+
+// Resumable breadth-first frontier generator: yields the node set of one
+// depth level per NextLevel() call, so a caller interested only in the
+// nearest matches never pays for traversing the rest of the graph. Backs the
+// lazy descendant/ancestor cursors of the traversal-based path indexes
+// (APEX, structure summaries).
+//
+// An optional expand filter implements summary pruning: a node for which the
+// filter returns false is neither reported nor expanded (the source is
+// exempt). Keeps a reference to `g`; the graph must outlive the generator.
+class BfsFrontier {
+ public:
+  using ExpandFilter = std::function<bool(NodeId)>;
+
+  BfsFrontier(const Digraph& g, NodeId source,
+              Direction dir = Direction::kForward, ExpandFilter filter = {});
+
+  // Advances to the next depth level and returns its nodes in ascending id
+  // order; empty once the traversal is exhausted. The first call returns
+  // {source} at depth 0. The reference is valid until the next call.
+  const std::vector<NodeId>& NextLevel();
+
+  // Depth of the level most recently returned (-1 before the first call).
+  Distance depth() const { return depth_; }
+
+  // True once NextLevel() can only return empty levels.
+  bool Done() const { return done_; }
+
+  // Nodes queued for the next level — a lower bound on the remaining
+  // traversal size, used by cursors to estimate saved work.
+  size_t PendingSize() const { return next_.size(); }
+
+ private:
+  const Digraph& g_;
+  Direction dir_;
+  ExpandFilter filter_;
+  std::vector<NodeId> current_;
+  std::vector<NodeId> next_;
+  std::vector<uint8_t> visited_;
+  Distance depth_ = -1;
+  bool done_ = false;
+};
 
 // A result element paired with its distance from the query start node.
 struct NodeDist {

@@ -178,45 +178,27 @@ bool ApexIndex::BlockCanReachBlock(uint32_t from, uint32_t to) const {
   return (block_closure_[from][to / 64] >> (to % 64)) & 1;
 }
 
-std::vector<NodeDist> ApexIndex::PrunedBfs(NodeId from, TagId tag,
-                                           bool wildcard,
-                                           NodeId stop_at) const {
-  std::vector<NodeDist> result;
-  const uint32_t target_block =
-      stop_at != kInvalidNode ? block_of_[stop_at] : 0;
+Distance ApexIndex::PointSearch(NodeId from, NodeId stop_at) const {
+  const uint32_t target_block = block_of_[stop_at];
   std::vector<Distance> dist(g_.NumNodes(), kUnreachable);
   dist[from] = 0;
   std::deque<NodeId> queue = {from};
   while (!queue.empty()) {
     const NodeId v = queue.front();
     queue.pop_front();
-    if (v != from) {
-      if (stop_at != kInvalidNode) {
-        if (v == stop_at) {
-          result.push_back({v, dist[v]});
-          return result;
-        }
-      } else if (wildcard || g_.Tag(v) == tag) {
-        result.push_back({v, dist[v]});
-      }
-    }
+    if (v == stop_at && v != from) return dist[v];
     for (const graph::Digraph::Arc& arc : g_.OutArcs(v)) {
       const NodeId w = arc.target;
       if (dist[w] != kUnreachable) continue;
-      // Summary pruning: skip branches that cannot produce any result.
-      if (stop_at != kInvalidNode) {
-        if (w != stop_at && !BlockCanReachBlock(block_of_[w], target_block)) {
-          continue;
-        }
-      } else if (!wildcard && !BlockCanReachTag(block_of_[w], tag)) {
+      // Summary pruning: skip branches that cannot reach the target block.
+      if (w != stop_at && !BlockCanReachBlock(block_of_[w], target_block)) {
         continue;
       }
       dist[w] = dist[v] + 1;
       queue.push_back(w);
     }
   }
-  SortByDistance(result);
-  return result;
+  return kUnreachable;
 }
 
 bool ApexIndex::IsReachable(NodeId from, NodeId to) const {
@@ -226,84 +208,47 @@ bool ApexIndex::IsReachable(NodeId from, NodeId to) const {
 Distance ApexIndex::DistanceBetween(NodeId from, NodeId to) const {
   if (from == to) return 0;
   if (!BlockCanReachBlock(block_of_[from], block_of_[to])) return kUnreachable;
-  const std::vector<NodeDist> hit =
-      PrunedBfs(from, kInvalidTag, /*wildcard=*/false, to);
-  return hit.empty() ? kUnreachable : hit.front().distance;
+  return PointSearch(from, to);
 }
 
-std::vector<NodeDist> ApexIndex::DescendantsByTag(NodeId from,
-                                                  TagId tag) const {
-  return PrunedBfs(from, tag, /*wildcard=*/false, kInvalidNode);
+std::unique_ptr<NodeDistCursor> ApexIndex::DescendantsByTagCursor(
+    NodeId from, TagId tag) const {
+  return std::make_unique<FrontierCursor>(
+      g_, from, graph::Direction::kForward,
+      [this, tag](NodeId w) { return BlockCanReachTag(block_of_[w], tag); },
+      tag, /*wildcard=*/false, /*include_source=*/false);
 }
 
-std::vector<NodeDist> ApexIndex::Descendants(NodeId from) const {
-  return PrunedBfs(from, kInvalidTag, /*wildcard=*/true, kInvalidNode);
+std::unique_ptr<NodeDistCursor> ApexIndex::DescendantsCursor(
+    NodeId from) const {
+  return std::make_unique<FrontierCursor>(
+      g_, from, graph::Direction::kForward, graph::BfsFrontier::ExpandFilter{},
+      kInvalidTag, /*wildcard=*/true, /*include_source=*/false);
 }
 
-std::vector<NodeDist> ApexIndex::AncestorsByTag(NodeId from, TagId tag) const {
+std::unique_ptr<NodeDistCursor> ApexIndex::AncestorsByTagCursor(
+    NodeId from, TagId tag) const {
   // Backward traversal; summary pruning does not apply (reachable_tags_ is
-  // forward-only), so this is a plain reverse BFS with tag filtering.
-  std::vector<NodeDist> result;
-  std::vector<Distance> dist(g_.NumNodes(), kUnreachable);
-  dist[from] = 0;
-  std::deque<NodeId> queue = {from};
-  while (!queue.empty()) {
-    const NodeId v = queue.front();
-    queue.pop_front();
-    if (v != from && g_.Tag(v) == tag) result.push_back({v, dist[v]});
-    for (const graph::Digraph::Arc& arc : g_.InArcs(v)) {
-      if (dist[arc.target] == kUnreachable) {
-        dist[arc.target] = dist[v] + 1;
-        queue.push_back(arc.target);
-      }
-    }
-  }
-  SortByDistance(result);
-  return result;
+  // forward-only), so this is a plain lazy reverse BFS with tag filtering.
+  return std::make_unique<FrontierCursor>(
+      g_, from, graph::Direction::kBackward, graph::BfsFrontier::ExpandFilter{},
+      tag, /*wildcard=*/false, /*include_source=*/false);
 }
 
-std::vector<NodeDist> ApexIndex::ReachableAmong(
+std::unique_ptr<NodeDistCursor> ApexIndex::ReachableAmongCursor(
     NodeId from, const std::vector<NodeId>& targets) const {
-  const std::unordered_set<NodeId> wanted(targets.begin(), targets.end());
-  std::vector<NodeDist> result;
-  std::vector<Distance> dist(g_.NumNodes(), kUnreachable);
-  dist[from] = 0;
-  std::deque<NodeId> queue = {from};
-  while (!queue.empty()) {
-    const NodeId v = queue.front();
-    queue.pop_front();
-    if (wanted.contains(v)) result.push_back({v, dist[v]});
-    for (const graph::Digraph::Arc& arc : g_.OutArcs(v)) {
-      if (dist[arc.target] == kUnreachable) {
-        dist[arc.target] = dist[v] + 1;
-        queue.push_back(arc.target);
-      }
-    }
-  }
-  SortByDistance(result);
-  return result;
+  return std::make_unique<FrontierCursor>(
+      g_, from, graph::Direction::kForward, graph::BfsFrontier::ExpandFilter{},
+      kInvalidTag, /*wildcard=*/true, /*include_source=*/true,
+      std::unordered_set<NodeId>(targets.begin(), targets.end()));
 }
 
-std::vector<NodeDist> ApexIndex::AncestorsAmong(
+std::unique_ptr<NodeDistCursor> ApexIndex::AncestorsAmongCursor(
     NodeId from, const std::vector<NodeId>& sources) const {
-  const std::unordered_set<NodeId> wanted(sources.begin(), sources.end());
-  std::vector<NodeDist> result;
-  std::vector<Distance> dist(g_.NumNodes(), kUnreachable);
-  dist[from] = 0;
-  std::deque<NodeId> queue = {from};
-  while (!queue.empty()) {
-    const NodeId v = queue.front();
-    queue.pop_front();
-    if (wanted.contains(v)) result.push_back({v, dist[v]});
-    for (const graph::Digraph::Arc& arc : g_.InArcs(v)) {
-      if (dist[arc.target] == kUnreachable) {
-        dist[arc.target] = dist[v] + 1;
-        queue.push_back(arc.target);
-      }
-    }
-  }
-  SortByDistance(result);
-  return result;
+  return std::make_unique<FrontierCursor>(
+      g_, from, graph::Direction::kBackward, graph::BfsFrontier::ExpandFilter{},
+      kInvalidTag, /*wildcard=*/true, /*include_source=*/true,
+      std::unordered_set<NodeId>(sources.begin(), sources.end()));
 }
 
 void ApexIndex::Save(BinaryWriter& writer) const {

@@ -46,14 +46,19 @@ class ApexIndex : public PathIndex {
 
   bool IsReachable(NodeId from, NodeId to) const override;
   Distance DistanceBetween(NodeId from, NodeId to) const override;
-  std::vector<NodeDist> DescendantsByTag(NodeId from, TagId tag) const override;
-  std::vector<NodeDist> Descendants(NodeId from) const override;
-  std::vector<NodeDist> AncestorsByTag(NodeId from, TagId tag) const override;
-  // One BFS collecting all listed targets — far cheaper than the default
+  // Lazy summary-pruned BFS (one frontier level per pull): branches whose
+  // block provably cannot reach the target tag are cut, and levels beyond
+  // the last one pulled are never traversed.
+  std::unique_ptr<NodeDistCursor> DescendantsByTagCursor(
+      NodeId from, TagId tag) const override;
+  std::unique_ptr<NodeDistCursor> DescendantsCursor(NodeId from) const override;
+  std::unique_ptr<NodeDistCursor> AncestorsByTagCursor(
+      NodeId from, TagId tag) const override;
+  // One lazy BFS watching all listed targets — far cheaper than the default
   // per-target point query (which would BFS once per target).
-  std::vector<NodeDist> ReachableAmong(
+  std::unique_ptr<NodeDistCursor> ReachableAmongCursor(
       NodeId from, const std::vector<NodeId>& targets) const override;
-  std::vector<NodeDist> AncestorsAmong(
+  std::unique_ptr<NodeDistCursor> AncestorsAmongCursor(
       NodeId from, const std::vector<NodeId>& sources) const override;
   size_t MemoryBytes() const override;
 
@@ -79,11 +84,9 @@ class ApexIndex : public PathIndex {
   bool BlockCanReachTag(uint32_t block, TagId tag) const;
   bool BlockCanReachBlock(uint32_t from, uint32_t to) const;
 
-  // Summary-pruned BFS used by the public queries. `tag` limits matches
-  // (kInvalidTag = wildcard); `stop_at` (if != kInvalidNode) turns the
-  // search into a point lookup that stops at that node.
-  std::vector<NodeDist> PrunedBfs(NodeId from, TagId tag, bool wildcard,
-                                  NodeId stop_at) const;
+  // Summary-pruned point lookup: BFS from `from` that prunes branches
+  // whose block cannot reach `stop_at`'s block, stopping at `stop_at`.
+  Distance PointSearch(NodeId from, NodeId stop_at) const;
 
   const graph::Digraph& g_;
   std::vector<uint32_t> block_of_;

@@ -4,6 +4,8 @@
 #include <deque>
 #include <limits>
 #include <numeric>
+#include <queue>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -159,6 +161,13 @@ void HopiIndex::BuildInverted() {
       inverted_out_[e.hub].push_back({v, e.distance});
     }
   }
+  // Sort each hub's list by (distance, node): the enumeration cursors merge
+  // the lists of a node's hubs and rely on each being ascending.
+  const auto by_distance = [](const LabelEntry& a, const LabelEntry& b) {
+    return std::tie(a.distance, a.hub) < std::tie(b.distance, b.hub);
+  };
+  for (auto& list : inverted_in_) std::sort(list.begin(), list.end(), by_distance);
+  for (auto& list : inverted_out_) std::sort(list.begin(), list.end(), by_distance);
 }
 
 Distance HopiIndex::QueryLabels(const std::vector<LabelEntry>& out,
@@ -184,6 +193,121 @@ Distance HopiIndex::DistanceBetween(NodeId from, NodeId to) const {
   if (from == to) return 0;
   const Distance d = QueryLabels(out_labels_[from], in_labels_[to]);
   return d == kInfinity ? kUnreachable : d;
+}
+
+namespace {
+
+// K-way merge over the inverted lists of `from`'s hubs, keyed by
+// label-distance + entry-distance. Each list is ascending by (distance,
+// node), so the heap pops globally ascending (distance, node) pairs and the
+// *first* pop of a node carries its 2-hop distance (min over common hubs) —
+// later pops of the same node are dropped via the seen set. Tag filtering
+// happens on pop; unmatched nodes still cost a heap round but no
+// materialization ever happens.
+class HopiMergeCursor : public index::NodeDistCursor {
+ public:
+  HopiMergeCursor(const std::vector<HopiIndex::LabelEntry>& from_labels,
+                  const std::vector<std::vector<HopiIndex::LabelEntry>>& inverted,
+                  const std::vector<TagId>& tag_of, TagId tag, bool wildcard,
+                  NodeId exclude)
+      : inverted_(inverted),
+        tag_of_(tag_of),
+        tag_(tag),
+        wildcard_(wildcard),
+        exclude_(exclude),
+        seen_(tag_of.size(), 0) {
+    heads_.reserve(from_labels.size());
+    for (const HopiIndex::LabelEntry& hub_entry : from_labels) {
+      const std::vector<HopiIndex::LabelEntry>& list = inverted_[hub_entry.hub];
+      if (list.empty()) continue;
+      const uint32_t list_idx = static_cast<uint32_t>(heads_.size());
+      heads_.push_back({hub_entry.distance, hub_entry.hub, 0});
+      remaining_ += list.size();
+      heap_.push({hub_entry.distance + list.front().distance,
+                  list.front().hub, list_idx});
+    }
+  }
+
+  std::optional<NodeDist> Next() override {
+    while (!heap_.empty()) {
+      const HeapEntry top = heap_.top();
+      heap_.pop();
+      --remaining_;
+      Head& head = heads_[top.list];
+      const std::vector<HopiIndex::LabelEntry>& list = inverted_[head.hub];
+      if (++head.pos < list.size()) {
+        heap_.push({head.base + list[head.pos].distance, list[head.pos].hub,
+                    top.list});
+      }
+      if (top.node == exclude_ || seen_[top.node]) continue;
+      seen_[top.node] = 1;
+      if (!wildcard_ && tag_of_[top.node] != tag_) continue;
+      return NodeDist{top.node, top.distance};
+    }
+    return std::nullopt;
+  }
+
+  Distance BoundHint() const override {
+    return heap_.empty() ? kUnreachable : heap_.top().distance;
+  }
+
+  // Counts un-pulled list entries; an overestimate when a node occurs under
+  // several hubs (best-effort, observability only).
+  size_t RemainingHint() const override { return remaining_; }
+
+ private:
+  struct HeapEntry {
+    Distance distance;
+    NodeId node;
+    uint32_t list;
+
+    bool operator>(const HeapEntry& other) const {
+      return std::tie(distance, node) > std::tie(other.distance, other.node);
+    }
+  };
+  struct Head {
+    Distance base;  // distance from the query node to this list's hub
+    NodeId hub;
+    size_t pos;
+  };
+
+  const std::vector<std::vector<HopiIndex::LabelEntry>>& inverted_;
+  const std::vector<TagId>& tag_of_;
+  const TagId tag_;
+  const bool wildcard_;
+  const NodeId exclude_;
+  std::vector<uint8_t> seen_;
+  std::vector<Head> heads_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  size_t remaining_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<NodeDistCursor> HopiIndex::MergeCursor(
+    NodeId from, TagId tag, bool wildcard, NodeId exclude,
+    const std::vector<std::vector<LabelEntry>>& labels,
+    const std::vector<std::vector<LabelEntry>>& inverted) const {
+  return std::make_unique<HopiMergeCursor>(labels[from], inverted, tag_, tag,
+                                           wildcard, exclude);
+}
+
+std::unique_ptr<NodeDistCursor> HopiIndex::DescendantsByTagCursor(
+    NodeId from, TagId tag) const {
+  return MergeCursor(from, tag, /*wildcard=*/false, from, out_labels_,
+                     inverted_in_);
+}
+
+std::unique_ptr<NodeDistCursor> HopiIndex::DescendantsCursor(
+    NodeId from) const {
+  return MergeCursor(from, kInvalidTag, /*wildcard=*/true, from, out_labels_,
+                     inverted_in_);
+}
+
+std::unique_ptr<NodeDistCursor> HopiIndex::AncestorsByTagCursor(
+    NodeId from, TagId tag) const {
+  return MergeCursor(from, tag, /*wildcard=*/false, from, in_labels_,
+                     inverted_out_);
 }
 
 std::vector<NodeDist> HopiIndex::Collect(
@@ -245,6 +369,35 @@ std::vector<NodeDist> HopiIndex::CollectAmong(
   return result;
 }
 
+std::vector<NodeDist> HopiIndex::ReachableAmong(
+    NodeId from, const std::vector<NodeId>& targets) const {
+  if (!registered_sources_.empty() && targets == registered_sources_) {
+    return CollectAmong(from, out_labels_, inverted_in_sources_);
+  }
+  // Few targets: a label merge-join per target is cheaper than touching the
+  // inverted lists of every hub of `from`.
+  constexpr size_t kPerTargetThreshold = 32;
+  if (targets.size() <= kPerTargetThreshold) {
+    return PathIndex::ReachableAmong(from, targets);
+  }
+  const std::unordered_set<NodeId> wanted(targets.begin(), targets.end());
+  std::vector<NodeDist> result;
+  if (wanted.contains(from)) result.push_back({from, 0});
+  for (const NodeDist& nd : Descendants(from)) {
+    if (wanted.contains(nd.node)) result.push_back(nd);
+  }
+  SortByDistance(result);
+  return result;
+}
+
+std::vector<NodeDist> HopiIndex::AncestorsAmong(
+    NodeId from, const std::vector<NodeId>& sources) const {
+  if (!registered_entries_.empty() && sources == registered_entries_) {
+    return CollectAmong(from, in_labels_, inverted_out_entries_);
+  }
+  return PathIndex::AncestorsAmong(from, sources);
+}
+
 void HopiIndex::RegisterLinkSources(const std::vector<NodeId>& sources) {
   registered_sources_ = sources;
   inverted_in_sources_.assign(inverted_in_.size(), {});
@@ -267,34 +420,38 @@ void HopiIndex::RegisterEntryNodes(const std::vector<NodeId>& targets) {
   }
 }
 
-std::vector<NodeDist> HopiIndex::ReachableAmong(
+std::unique_ptr<NodeDistCursor> HopiIndex::ReachableAmongCursor(
     NodeId from, const std::vector<NodeId>& targets) const {
   if (!registered_sources_.empty() && targets == registered_sources_) {
-    return CollectAmong(from, out_labels_, inverted_in_sources_);
+    // Merge over the pre-filtered inverted lists; `from` itself streams out
+    // at distance 0 when it is in the probe set (its (self, 0) hub label
+    // joins the filtered lists), so nothing is excluded.
+    return MergeCursor(from, kInvalidTag, /*wildcard=*/true, kInvalidNode,
+                       out_labels_, inverted_in_sources_);
   }
   // Few targets: a label merge-join per target is cheaper than touching the
   // inverted lists of every hub of `from`.
   constexpr size_t kPerTargetThreshold = 32;
   if (targets.size() <= kPerTargetThreshold) {
-    return PathIndex::ReachableAmong(from, targets);
+    return PathIndex::ReachableAmongCursor(from, targets);
   }
   const std::unordered_set<NodeId> wanted(targets.begin(), targets.end());
-  std::vector<NodeDist> all = Descendants(from);
   std::vector<NodeDist> result;
   if (wanted.contains(from)) result.push_back({from, 0});
-  for (const NodeDist& nd : all) {
+  for (const NodeDist& nd : Descendants(from)) {
     if (wanted.contains(nd.node)) result.push_back(nd);
   }
   SortByDistance(result);
-  return result;
+  return std::make_unique<MaterializedCursor>(std::move(result));
 }
 
-std::vector<NodeDist> HopiIndex::AncestorsAmong(
+std::unique_ptr<NodeDistCursor> HopiIndex::AncestorsAmongCursor(
     NodeId from, const std::vector<NodeId>& sources) const {
   if (!registered_entries_.empty() && sources == registered_entries_) {
-    return CollectAmong(from, in_labels_, inverted_out_entries_);
+    return MergeCursor(from, kInvalidTag, /*wildcard=*/true, kInvalidNode,
+                       in_labels_, inverted_out_entries_);
   }
-  return PathIndex::AncestorsAmong(from, sources);
+  return PathIndex::AncestorsAmongCursor(from, sources);
 }
 
 void HopiIndex::Save(BinaryWriter& writer) const {

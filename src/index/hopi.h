@@ -51,7 +51,32 @@ class HopiIndex : public PathIndex {
 
   StrategyKind kind() const override { return StrategyKind::kHopi; }
 
+  // A (hub, distance) label entry; in the inverted lists the `hub` field
+  // holds the labeled *node* id instead.
+  struct LabelEntry {
+    NodeId hub;
+    Distance distance;
+  };
+
   Distance DistanceBetween(NodeId from, NodeId to) const override;
+  // Enumeration cursors run a k-way merge over the per-hub inverted lists
+  // of `from`'s labels (each pre-sorted by distance), keyed by
+  // label-distance + list-entry-distance — the first pop of a node is its
+  // 2-hop distance, so results stream in exact (distance, node) order
+  // without materializing the reachable set.
+  std::unique_ptr<NodeDistCursor> DescendantsByTagCursor(
+      NodeId from, TagId tag) const override;
+  std::unique_ptr<NodeDistCursor> DescendantsCursor(NodeId from) const override;
+  std::unique_ptr<NodeDistCursor> AncestorsByTagCursor(
+      NodeId from, TagId tag) const override;
+  std::unique_ptr<NodeDistCursor> ReachableAmongCursor(
+      NodeId from, const std::vector<NodeId>& targets) const override;
+  std::unique_ptr<NodeDistCursor> AncestorsAmongCursor(
+      NodeId from, const std::vector<NodeId>& sources) const override;
+  // Bulk overrides: a full drain is cheaper as one dense relax over the
+  // inverted lists of `from`'s hubs (then a single sort) than as a k-way
+  // merge pulled to exhaustion — the cursors win only when the consumer
+  // stops early.
   std::vector<NodeDist> DescendantsByTag(NodeId from, TagId tag) const override;
   std::vector<NodeDist> Descendants(NodeId from) const override;
   std::vector<NodeDist> AncestorsByTag(NodeId from, TagId tag) const override;
@@ -80,11 +105,6 @@ class HopiIndex : public PathIndex {
   size_t LabelBytes() const;
 
  private:
-  struct LabelEntry {
-    NodeId hub;
-    Distance distance;
-  };
-
   HopiIndex() = default;
 
   void BuildGlobal(const graph::Digraph& g,
@@ -94,19 +114,30 @@ class HopiIndex : public PathIndex {
   static Distance QueryLabels(const std::vector<LabelEntry>& out,
                               const std::vector<LabelEntry>& in);
 
-  // Shared body of the three enumeration queries: relaxes over `labels[from]`
-  // against the matching inverted lists.
+  // Opens a merge cursor over `labels[from]` against the matching inverted
+  // lists; `exclude` drops one node (the query origin) from the stream.
+  std::unique_ptr<NodeDistCursor> MergeCursor(
+      NodeId from, TagId tag, bool wildcard, NodeId exclude,
+      const std::vector<std::vector<LabelEntry>>& labels,
+      const std::vector<std::vector<LabelEntry>>& inverted) const;
+
+  // Bulk enumeration: relax dist(from, v) over all of from's hubs into a
+  // dense scratch array, then sort once.
   std::vector<NodeDist> Collect(
       NodeId from, TagId tag, bool wildcard,
       const std::vector<std::vector<LabelEntry>>& labels,
       const std::vector<std::vector<LabelEntry>>& inverted) const;
+  std::vector<NodeDist> CollectAmong(
+      NodeId from, const std::vector<std::vector<LabelEntry>>& labels,
+      const std::vector<std::vector<LabelEntry>>& filtered_inverted) const;
 
   // Per-node labels, each sorted by hub id (for merge-join queries).
   std::vector<std::vector<LabelEntry>> out_labels_;
   std::vector<std::vector<LabelEntry>> in_labels_;
   // Per-hub inverted lists: inverted_in_[h] = nodes v with (h,d) in L_in(v),
   // i.e., nodes reachable *from* h; inverted_out_[h] symmetrically holds
-  // nodes that can reach h. Rebuilt from the labels after construction.
+  // nodes that can reach h. Rebuilt from the labels after construction and
+  // kept sorted by (distance, node) so enumeration cursors can merge them.
   std::vector<std::vector<LabelEntry>> inverted_in_;
   std::vector<std::vector<LabelEntry>> inverted_out_;
   std::vector<TagId> tag_;
@@ -121,10 +152,6 @@ class HopiIndex : public PathIndex {
   std::vector<std::vector<LabelEntry>> inverted_in_sources_;
   std::vector<NodeId> registered_entries_;
   std::vector<std::vector<LabelEntry>> inverted_out_entries_;
-
-  std::vector<NodeDist> CollectAmong(
-      NodeId from, const std::vector<std::vector<LabelEntry>>& labels,
-      const std::vector<std::vector<LabelEntry>>& filtered_inverted) const;
 };
 
 }  // namespace flix::index

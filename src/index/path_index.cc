@@ -22,7 +22,56 @@ std::string_view StrategyName(StrategyKind kind) {
   return "UNKNOWN";
 }
 
-std::vector<NodeDist> PathIndex::ReachableAmong(
+FrontierCursor::FrontierCursor(const graph::Digraph& g, NodeId source,
+                               graph::Direction dir,
+                               graph::BfsFrontier::ExpandFilter filter,
+                               TagId tag, bool wildcard, bool include_source,
+                               std::optional<std::unordered_set<NodeId>> wanted)
+    : g_(g),
+      frontier_(g, source, dir, std::move(filter)),
+      source_(source),
+      tag_(tag),
+      wildcard_(wildcard),
+      include_source_(include_source),
+      wanted_(std::move(wanted)) {}
+
+std::optional<NodeDist> FrontierCursor::Next() {
+  while (pos_ >= buffer_.size()) {
+    if (frontier_.Done()) return std::nullopt;
+    const std::vector<NodeId>& level = frontier_.NextLevel();
+    if (level.empty()) return std::nullopt;
+    depth_ = frontier_.depth();
+    buffer_.clear();
+    pos_ = 0;
+    for (const NodeId v : level) {
+      if (v == source_ && !include_source_) continue;
+      if (!wildcard_ && g_.Tag(v) != tag_) continue;
+      if (wanted_.has_value() && !wanted_->contains(v)) continue;
+      buffer_.push_back(v);
+    }
+  }
+  return NodeDist{buffer_[pos_++], depth_};
+}
+
+Distance FrontierCursor::BoundHint() const {
+  if (pos_ < buffer_.size()) return depth_;
+  if (frontier_.Done()) return kUnreachable;
+  return depth_ + 1;  // anything still to come is at least one level deeper
+}
+
+size_t FrontierCursor::RemainingHint() const {
+  // Matches still buffered plus the queued next level — a lower bound on
+  // the traversal work an early close skips.
+  return (buffer_.size() - pos_) + frontier_.PendingSize();
+}
+
+std::vector<NodeDist> DrainCursor(NodeDistCursor& cursor) {
+  std::vector<NodeDist> result;
+  while (std::optional<NodeDist> nd = cursor.Next()) result.push_back(*nd);
+  return result;
+}
+
+std::unique_ptr<NodeDistCursor> PathIndex::ReachableAmongCursor(
     NodeId from, const std::vector<NodeId>& targets) const {
   std::vector<NodeDist> result;
   for (const NodeId t : targets) {
@@ -30,10 +79,10 @@ std::vector<NodeDist> PathIndex::ReachableAmong(
     if (d != kUnreachable) result.push_back({t, d});
   }
   SortByDistance(result);
-  return result;
+  return std::make_unique<MaterializedCursor>(std::move(result));
 }
 
-std::vector<NodeDist> PathIndex::AncestorsAmong(
+std::unique_ptr<NodeDistCursor> PathIndex::AncestorsAmongCursor(
     NodeId from, const std::vector<NodeId>& sources) const {
   std::vector<NodeDist> result;
   for (const NodeId s : sources) {
@@ -41,7 +90,29 @@ std::vector<NodeDist> PathIndex::AncestorsAmong(
     if (d != kUnreachable) result.push_back({s, d});
   }
   SortByDistance(result);
-  return result;
+  return std::make_unique<MaterializedCursor>(std::move(result));
+}
+
+std::vector<NodeDist> PathIndex::DescendantsByTag(NodeId from, TagId tag) const {
+  return DrainCursor(*DescendantsByTagCursor(from, tag));
+}
+
+std::vector<NodeDist> PathIndex::Descendants(NodeId from) const {
+  return DrainCursor(*DescendantsCursor(from));
+}
+
+std::vector<NodeDist> PathIndex::AncestorsByTag(NodeId from, TagId tag) const {
+  return DrainCursor(*AncestorsByTagCursor(from, tag));
+}
+
+std::vector<NodeDist> PathIndex::ReachableAmong(
+    NodeId from, const std::vector<NodeId>& targets) const {
+  return DrainCursor(*ReachableAmongCursor(from, targets));
+}
+
+std::vector<NodeDist> PathIndex::AncestorsAmong(
+    NodeId from, const std::vector<NodeId>& sources) const {
+  return DrainCursor(*AncestorsAmongCursor(from, sources));
 }
 
 void PathIndex::RegisterLinkSources(const std::vector<NodeId>& sources) {

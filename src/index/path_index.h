@@ -3,14 +3,24 @@
 // one meta document: reachability, distance, and tag-filtered descendant /
 // ancestor enumeration in ascending distance order.
 //
+// Enumeration is cursor-based: every strategy implements pull-based
+// NodeDistCursor factories, and the vector-returning convenience methods
+// default to draining a cursor (strategies with a cheaper bulk plan
+// override them). The PEE merges cursors directly, so top-k /
+// bounded-distance / cancelled queries terminate index work early instead
+// of discarding fully materialized result sets.
+//
 // All node ids are local to the indexed graph. Lifetime contract: strategies
 // may keep a pointer to the Digraph they were built from; the graph must
-// outlive the index (meta documents own both, in that order).
+// outlive the index (meta documents own both, in that order), and an index
+// must outlive every cursor it opened.
 #ifndef FLIX_INDEX_PATH_INDEX_H_
 #define FLIX_INDEX_PATH_INDEX_H_
 
 #include <memory>
+#include <optional>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "common/binary_io.h"
@@ -35,6 +45,88 @@ enum class StrategyKind {
 
 std::string_view StrategyName(StrategyKind kind);
 
+// Pull-based iterator over connection-query results, yielding NodeDist
+// elements in ascending (distance, node) order. Destroying a cursor before
+// exhaustion is the early-close: any work the strategy deferred (interval
+// scanning, list merging, graph traversal) is simply never done.
+class NodeDistCursor {
+ public:
+  virtual ~NodeDistCursor() = default;
+
+  // The next element, or nullopt once exhausted (exhaustion is permanent).
+  virtual std::optional<NodeDist> Next() = 0;
+
+  // Lower bound on the distance of any element still to come; kUnreachable
+  // once exhausted. Never decreases. The PEE uses it to let a cursor's head
+  // compete in its priority queue without pulling eagerly.
+  virtual Distance BoundHint() const = 0;
+
+  // Best-effort estimate of the elements not yet pulled — exact for
+  // materialized/row-scan cursors, a frontier-size lower bound for lazy
+  // traversals. Observability only (the flix.query.cursor.saved counter);
+  // never used for query semantics.
+  virtual size_t RemainingHint() const { return 0; }
+};
+
+// Cursor over an already-sorted (distance, node) vector: the fallback for
+// strategies whose batch plan beats any lazy scheme (e.g. per-target label
+// joins over a handful of targets), and the bridge for callers that hold a
+// vector but need a cursor.
+class MaterializedCursor : public NodeDistCursor {
+ public:
+  // `items` must already be ascending by (distance, node).
+  explicit MaterializedCursor(std::vector<NodeDist> items)
+      : items_(std::move(items)) {}
+
+  std::optional<NodeDist> Next() override {
+    if (pos_ >= items_.size()) return std::nullopt;
+    return items_[pos_++];
+  }
+
+  Distance BoundHint() const override {
+    return pos_ < items_.size() ? items_[pos_].distance : kUnreachable;
+  }
+
+  size_t RemainingHint() const override { return items_.size() - pos_; }
+
+ private:
+  std::vector<NodeDist> items_;
+  size_t pos_ = 0;
+};
+
+// Lazy BFS enumeration cursor over the element graph, pulling one depth
+// level at a time from a graph::BfsFrontier. A level's depth is the exact
+// distance, so the canonical (distance, node) order falls out for free, and
+// an early-closed cursor never traverses the remaining levels — this is
+// what makes top-k cheap for the traversal-backed strategies (APEX,
+// structure summaries), which wrap it with their summary-pruning filter.
+class FrontierCursor : public NodeDistCursor {
+ public:
+  // `wanted`, when set, restricts results to that node set (the Among
+  // probes). The source node is reported (at distance 0) only when
+  // `include_source` is true and it passes the filters.
+  FrontierCursor(const graph::Digraph& g, NodeId source, graph::Direction dir,
+                 graph::BfsFrontier::ExpandFilter filter, TagId tag,
+                 bool wildcard, bool include_source,
+                 std::optional<std::unordered_set<NodeId>> wanted = {});
+
+  std::optional<NodeDist> Next() override;
+  Distance BoundHint() const override;
+  size_t RemainingHint() const override;
+
+ private:
+  const graph::Digraph& g_;
+  graph::BfsFrontier frontier_;
+  const NodeId source_;
+  const TagId tag_;
+  const bool wildcard_;
+  const bool include_source_;
+  const std::optional<std::unordered_set<NodeId>> wanted_;
+  std::vector<NodeId> buffer_;
+  size_t pos_ = 0;
+  Distance depth_ = -1;
+};
+
 class PathIndex {
  public:
   virtual ~PathIndex() = default;
@@ -51,32 +143,47 @@ class PathIndex {
   // Length of the shortest path, or kUnreachable.
   virtual Distance DistanceBetween(NodeId from, NodeId to) const = 0;
 
-  // Proper descendants of `from` with tag `tag`, ascending by (distance,
-  // node id).
-  virtual std::vector<NodeDist> DescendantsByTag(NodeId from,
-                                                 TagId tag) const = 0;
+  // Cursor over the proper descendants of `from` with tag `tag`, ascending
+  // by (distance, node id).
+  virtual std::unique_ptr<NodeDistCursor> DescendantsByTagCursor(
+      NodeId from, TagId tag) const = 0;
 
-  // Proper descendants of `from` (the a//* wildcard), ascending by
+  // Cursor over the proper descendants of `from` (the a//* wildcard),
+  // ascending by (distance, node id).
+  virtual std::unique_ptr<NodeDistCursor> DescendantsCursor(
+      NodeId from) const = 0;
+
+  // Cursor over the proper ancestors of `from` with tag `tag`, ascending by
   // (distance, node id).
-  virtual std::vector<NodeDist> Descendants(NodeId from) const = 0;
+  virtual std::unique_ptr<NodeDistCursor> AncestorsByTagCursor(
+      NodeId from, TagId tag) const = 0;
 
-  // Proper ancestors of `from` with tag `tag`, ascending by (distance,
-  // node id).
-  virtual std::vector<NodeDist> AncestorsByTag(NodeId from,
-                                               TagId tag) const = 0;
-
-  // Reachable elements among `targets` (ascending node ids, duplicates
-  // allowed but wasteful) with their distances from `from`, ascending by
-  // (distance, node id). This implements the paper's L(a) =
+  // Cursor over the reachable elements among `targets` (ascending node ids,
+  // duplicates allowed but wasteful) with their distances from `from`,
+  // ascending by (distance, node id). This implements the paper's L(a) =
   // descendants(a) ∩ L_i lookup (Section 4.2). Includes `from` itself if
-  // listed. The default loops over targets; strategies override with
-  // cheaper plans.
-  virtual std::vector<NodeDist> ReachableAmong(
+  // listed. The default materializes a per-target DistanceBetween loop;
+  // strategies override with cheaper plans.
+  virtual std::unique_ptr<NodeDistCursor> ReachableAmongCursor(
       NodeId from, const std::vector<NodeId>& targets) const;
 
   // Reverse variant: elements among `sources` that can reach `from`, with
   // their distances *to* `from`. Used when evaluating ancestors-or-self
   // queries across meta documents.
+  virtual std::unique_ptr<NodeDistCursor> AncestorsAmongCursor(
+      NodeId from, const std::vector<NodeId>& sources) const;
+
+  // Vector-returning conveniences: by default thin wrappers that drain the
+  // matching cursor. Kept for persistence checks, step axes and batch
+  // callers. A strategy overrides one when it has a bulk plan that beats
+  // draining its own cursor (e.g. HOPI's dense relax over the inverted
+  // lists); overrides must return the same (distance, node)-ascending set
+  // the cursor yields.
+  virtual std::vector<NodeDist> DescendantsByTag(NodeId from, TagId tag) const;
+  virtual std::vector<NodeDist> Descendants(NodeId from) const;
+  virtual std::vector<NodeDist> AncestorsByTag(NodeId from, TagId tag) const;
+  virtual std::vector<NodeDist> ReachableAmong(
+      NodeId from, const std::vector<NodeId>& targets) const;
   virtual std::vector<NodeDist> AncestorsAmong(
       NodeId from, const std::vector<NodeId>& sources) const;
 
@@ -94,6 +201,10 @@ class PathIndex {
 
 // Sorts by (distance, node) — the canonical result order.
 void SortByDistance(std::vector<NodeDist>& v);
+
+// Pulls a cursor to exhaustion into a vector (the order is whatever the
+// cursor yields, i.e. ascending (distance, node) for conforming cursors).
+std::vector<NodeDist> DrainCursor(NodeDistCursor& cursor);
 
 // Persistence dispatcher: writes the strategy kind followed by the payload.
 void SaveIndex(const PathIndex& index, BinaryWriter& writer);

@@ -6,6 +6,135 @@
 #include "graph/tree_utils.h"
 
 namespace flix::index {
+namespace {
+
+// Lazy descendant cursor over the preorder interval of `from`'s subtree.
+// The interval is bucketed by relative depth on the first pull (one linear
+// scan, tag filter applied); each depth bucket is sorted by node id only
+// when the cursor reaches it. Early-closed cursors skip the remaining
+// sorts entirely.
+class PpoSubtreeCursor : public NodeDistCursor {
+ public:
+  PpoSubtreeCursor(const std::vector<uint32_t>& depth,
+                   const std::vector<NodeId>& order,
+                   const std::vector<TagId>& tag_of, NodeId from, TagId tag,
+                   bool wildcard, uint32_t begin, uint32_t end)
+      : depth_(depth),
+        order_(order),
+        tag_of_(tag_of),
+        from_depth_(depth[from]),
+        tag_(tag),
+        wildcard_(wildcard),
+        begin_(begin),
+        end_(end) {}
+
+  std::optional<NodeDist> Next() override {
+    if (!initialized_) Initialize();
+    while (bucket_ < buckets_.size()) {
+      std::vector<NodeId>& level = buckets_[bucket_];
+      if (pos_ == 0) std::sort(level.begin(), level.end());
+      if (pos_ < level.size()) {
+        --remaining_;
+        return NodeDist{level[pos_++],
+                        static_cast<Distance>(bucket_ + 1)};
+      }
+      ++bucket_;
+      pos_ = 0;
+    }
+    return std::nullopt;
+  }
+
+  Distance BoundHint() const override {
+    if (!initialized_) return begin_ < end_ ? 1 : kUnreachable;
+    for (size_t b = bucket_; b < buckets_.size(); ++b) {
+      if ((b == bucket_ ? pos_ : 0) < buckets_[b].size()) {
+        return static_cast<Distance>(b + 1);
+      }
+    }
+    return kUnreachable;
+  }
+
+  size_t RemainingHint() const override {
+    // Before the first pull the un-scanned interval is the best estimate.
+    return initialized_ ? remaining_ : end_ - begin_;
+  }
+
+ private:
+  void Initialize() {
+    initialized_ = true;
+    for (uint32_t p = begin_; p < end_; ++p) {
+      const NodeId v = order_[p];
+      if (!wildcard_ && tag_of_[v] != tag_) continue;
+      const size_t bucket = depth_[v] - from_depth_ - 1;
+      if (bucket >= buckets_.size()) buckets_.resize(bucket + 1);
+      buckets_[bucket].push_back(v);
+      ++remaining_;
+    }
+  }
+
+  const std::vector<uint32_t>& depth_;
+  const std::vector<NodeId>& order_;
+  const std::vector<TagId>& tag_of_;
+  const uint32_t from_depth_;
+  const TagId tag_;
+  const bool wildcard_;
+  const uint32_t begin_;
+  const uint32_t end_;
+
+  bool initialized_ = false;
+  std::vector<std::vector<NodeId>> buckets_;
+  size_t bucket_ = 0;
+  size_t pos_ = 0;
+  size_t remaining_ = 0;
+};
+
+// Ancestors: one parent pointer per pull, with a single-element lookahead
+// so BoundHint is exact.
+class PpoAncestorCursor : public NodeDistCursor {
+ public:
+  PpoAncestorCursor(const std::vector<NodeId>& parent,
+                    const std::vector<TagId>& tag_of, NodeId from, TagId tag)
+      : parent_(parent), tag_of_(tag_of), walk_(from), tag_(tag) {
+    Advance();
+  }
+
+  std::optional<NodeDist> Next() override {
+    if (!pending_.has_value()) return std::nullopt;
+    const NodeDist result = *pending_;
+    Advance();
+    return result;
+  }
+
+  Distance BoundHint() const override {
+    return pending_.has_value() ? pending_->distance : kUnreachable;
+  }
+
+  size_t RemainingHint() const override { return pending_.has_value() ? 1 : 0; }
+
+ private:
+  void Advance() {
+    pending_.reset();
+    NodeId v = parent_[walk_];
+    while (v != kInvalidNode) {
+      ++walk_distance_;
+      walk_ = v;
+      if (tag_of_[v] == tag_) {
+        pending_ = NodeDist{v, walk_distance_};
+        return;
+      }
+      v = parent_[v];
+    }
+  }
+
+  const std::vector<NodeId>& parent_;
+  const std::vector<TagId>& tag_of_;
+  NodeId walk_;
+  const TagId tag_;
+  Distance walk_distance_ = 0;
+  std::optional<NodeDist> pending_;
+};
+
+}  // namespace
 
 StatusOr<std::unique_ptr<PpoIndex>> PpoIndex::Build(const graph::Digraph& g) {
   if (!graph::IsForest(g)) {
@@ -73,6 +202,30 @@ Distance PpoIndex::DistanceBetween(NodeId from, NodeId to) const {
   return static_cast<Distance>(depth_[to] - depth_[from]);
 }
 
+std::unique_ptr<NodeDistCursor> PpoIndex::DescendantsByTagCursor(
+    NodeId from, TagId tag) const {
+  return std::make_unique<PpoSubtreeCursor>(
+      depth_, order_, tag_, from, tag, /*wildcard=*/false, pre_[from] + 1,
+      pre_[from] + subtree_size_[from]);
+}
+
+std::unique_ptr<NodeDistCursor> PpoIndex::DescendantsCursor(
+    NodeId from) const {
+  return std::make_unique<PpoSubtreeCursor>(
+      depth_, order_, tag_, from, kInvalidTag, /*wildcard=*/true,
+      pre_[from] + 1, pre_[from] + subtree_size_[from]);
+}
+
+std::unique_ptr<NodeDistCursor> PpoIndex::AncestorsByTagCursor(
+    NodeId from, TagId tag) const {
+  return std::make_unique<PpoAncestorCursor>(parent_, tag_, from, tag);
+}
+
+std::unique_ptr<NodeDistCursor> PpoIndex::ReachableAmongCursor(
+    NodeId from, const std::vector<NodeId>& targets) const {
+  return std::make_unique<MaterializedCursor>(ReachableAmong(from, targets));
+}
+
 std::vector<NodeDist> PpoIndex::DescendantsByTag(NodeId from,
                                                  TagId tag) const {
   std::vector<NodeDist> result;
@@ -92,6 +245,7 @@ std::vector<NodeDist> PpoIndex::Descendants(NodeId from) const {
   std::vector<NodeDist> result;
   const uint32_t begin = pre_[from] + 1;
   const uint32_t end = pre_[from] + subtree_size_[from];  // exclusive
+  result.reserve(end - begin);
   for (uint32_t p = begin; p < end; ++p) {
     const NodeId v = order_[p];
     result.push_back({v, static_cast<Distance>(depth_[v] - depth_[from])});

@@ -31,6 +31,22 @@ class PpoIndex : public PathIndex {
 
   bool IsReachable(NodeId from, NodeId to) const override;
   Distance DistanceBetween(NodeId from, NodeId to) const override;
+  // Interval-scan cursor: buckets the subtree's preorder interval by depth
+  // on the first pull, then emits depth level by depth level, sorting each
+  // level only when it is reached — top-k pulls skip both the global sort
+  // and the deeper levels' sorts.
+  std::unique_ptr<NodeDistCursor> DescendantsByTagCursor(
+      NodeId from, TagId tag) const override;
+  std::unique_ptr<NodeDistCursor> DescendantsCursor(NodeId from) const override;
+  // Parent-chain walk — naturally lazy and already ascending by distance.
+  std::unique_ptr<NodeDistCursor> AncestorsByTagCursor(
+      NodeId from, TagId tag) const override;
+  // Interval containment test per target (materialized; target lists are
+  // small link-source sets).
+  std::unique_ptr<NodeDistCursor> ReachableAmongCursor(
+      NodeId from, const std::vector<NodeId>& targets) const override;
+  // Bulk overrides: one interval scan + one sort beats draining the
+  // depth-bucketed cursor when the whole subtree is wanted anyway.
   std::vector<NodeDist> DescendantsByTag(NodeId from, TagId tag) const override;
   std::vector<NodeDist> Descendants(NodeId from) const override;
   std::vector<NodeDist> AncestorsByTag(NodeId from, TagId tag) const override;

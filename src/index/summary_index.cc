@@ -223,44 +223,25 @@ bool SummaryIndex::ReachedFromTag(uint32_t block, TagId tag) const {
   return (backward_tags_[block][word] >> (tag % 64)) & 1;
 }
 
-std::vector<NodeDist> SummaryIndex::PrunedTraversal(NodeId from, TagId tag,
-                                                    bool wildcard,
-                                                    bool forward,
-                                                    NodeId stop_at) const {
-  std::vector<NodeDist> result;
-  const TagId stop_tag = stop_at != kInvalidNode ? g_.Tag(stop_at) : kInvalidTag;
+Distance SummaryIndex::PointSearch(NodeId from, NodeId stop_at) const {
+  const TagId stop_tag = g_.Tag(stop_at);
   std::vector<Distance> dist(g_.NumNodes(), kUnreachable);
   dist[from] = 0;
   std::deque<NodeId> queue = {from};
   while (!queue.empty()) {
     const NodeId v = queue.front();
     queue.pop_front();
-    if (v != from) {
-      if (stop_at != kInvalidNode) {
-        if (v == stop_at) {
-          result.push_back({v, dist[v]});
-          return result;
-        }
-      } else if (wildcard || g_.Tag(v) == tag) {
-        result.push_back({v, dist[v]});
-      }
-    }
-    const auto& arcs = forward ? g_.OutArcs(v) : g_.InArcs(v);
-    for (const graph::Digraph::Arc& arc : arcs) {
+    if (v == stop_at && v != from) return dist[v];
+    for (const graph::Digraph::Arc& arc : g_.OutArcs(v)) {
       const NodeId w = arc.target;
       if (dist[w] != kUnreachable) continue;
-      const TagId prune_tag = stop_at != kInvalidNode ? stop_tag : tag;
-      if (!wildcard || stop_at != kInvalidNode) {
-        const bool viable = forward ? CanReachTag(block_of_[w], prune_tag)
-                                    : ReachedFromTag(block_of_[w], prune_tag);
-        if (!viable) continue;
-      }
+      // Prune branches that cannot even reach the target's tag.
+      if (!CanReachTag(block_of_[w], stop_tag)) continue;
       dist[w] = dist[v] + 1;
       queue.push_back(w);
     }
   }
-  SortByDistance(result);
-  return result;
+  return kUnreachable;
 }
 
 bool SummaryIndex::IsReachable(NodeId from, NodeId to) const {
@@ -269,71 +250,46 @@ bool SummaryIndex::IsReachable(NodeId from, NodeId to) const {
 
 Distance SummaryIndex::DistanceBetween(NodeId from, NodeId to) const {
   if (from == to) return 0;
-  const std::vector<NodeDist> hit =
-      PrunedTraversal(from, kInvalidTag, /*wildcard=*/false, /*forward=*/true,
-                      to);
-  return hit.empty() ? kUnreachable : hit.front().distance;
+  return PointSearch(from, to);
 }
 
-std::vector<NodeDist> SummaryIndex::DescendantsByTag(NodeId from,
-                                                     TagId tag) const {
-  return PrunedTraversal(from, tag, /*wildcard=*/false, /*forward=*/true,
-                         kInvalidNode);
+std::unique_ptr<NodeDistCursor> SummaryIndex::DescendantsByTagCursor(
+    NodeId from, TagId tag) const {
+  return std::make_unique<FrontierCursor>(
+      g_, from, graph::Direction::kForward,
+      [this, tag](NodeId w) { return CanReachTag(block_of_[w], tag); }, tag,
+      /*wildcard=*/false, /*include_source=*/false);
 }
 
-std::vector<NodeDist> SummaryIndex::Descendants(NodeId from) const {
-  return PrunedTraversal(from, kInvalidTag, /*wildcard=*/true,
-                         /*forward=*/true, kInvalidNode);
+std::unique_ptr<NodeDistCursor> SummaryIndex::DescendantsCursor(
+    NodeId from) const {
+  return std::make_unique<FrontierCursor>(
+      g_, from, graph::Direction::kForward, graph::BfsFrontier::ExpandFilter{},
+      kInvalidTag, /*wildcard=*/true, /*include_source=*/false);
 }
 
-std::vector<NodeDist> SummaryIndex::AncestorsByTag(NodeId from,
-                                                   TagId tag) const {
-  return PrunedTraversal(from, tag, /*wildcard=*/false, /*forward=*/false,
-                         kInvalidNode);
+std::unique_ptr<NodeDistCursor> SummaryIndex::AncestorsByTagCursor(
+    NodeId from, TagId tag) const {
+  return std::make_unique<FrontierCursor>(
+      g_, from, graph::Direction::kBackward,
+      [this, tag](NodeId w) { return ReachedFromTag(block_of_[w], tag); }, tag,
+      /*wildcard=*/false, /*include_source=*/false);
 }
 
-std::vector<NodeDist> SummaryIndex::ReachableAmong(
+std::unique_ptr<NodeDistCursor> SummaryIndex::ReachableAmongCursor(
     NodeId from, const std::vector<NodeId>& targets) const {
-  const std::unordered_set<NodeId> wanted(targets.begin(), targets.end());
-  std::vector<NodeDist> result;
-  std::vector<Distance> dist(g_.NumNodes(), kUnreachable);
-  dist[from] = 0;
-  std::deque<NodeId> queue = {from};
-  while (!queue.empty()) {
-    const NodeId v = queue.front();
-    queue.pop_front();
-    if (wanted.contains(v)) result.push_back({v, dist[v]});
-    for (const graph::Digraph::Arc& arc : g_.OutArcs(v)) {
-      if (dist[arc.target] == kUnreachable) {
-        dist[arc.target] = dist[v] + 1;
-        queue.push_back(arc.target);
-      }
-    }
-  }
-  SortByDistance(result);
-  return result;
+  return std::make_unique<FrontierCursor>(
+      g_, from, graph::Direction::kForward, graph::BfsFrontier::ExpandFilter{},
+      kInvalidTag, /*wildcard=*/true, /*include_source=*/true,
+      std::unordered_set<NodeId>(targets.begin(), targets.end()));
 }
 
-std::vector<NodeDist> SummaryIndex::AncestorsAmong(
+std::unique_ptr<NodeDistCursor> SummaryIndex::AncestorsAmongCursor(
     NodeId from, const std::vector<NodeId>& sources) const {
-  const std::unordered_set<NodeId> wanted(sources.begin(), sources.end());
-  std::vector<NodeDist> result;
-  std::vector<Distance> dist(g_.NumNodes(), kUnreachable);
-  dist[from] = 0;
-  std::deque<NodeId> queue = {from};
-  while (!queue.empty()) {
-    const NodeId v = queue.front();
-    queue.pop_front();
-    if (wanted.contains(v)) result.push_back({v, dist[v]});
-    for (const graph::Digraph::Arc& arc : g_.InArcs(v)) {
-      if (dist[arc.target] == kUnreachable) {
-        dist[arc.target] = dist[v] + 1;
-        queue.push_back(arc.target);
-      }
-    }
-  }
-  SortByDistance(result);
-  return result;
+  return std::make_unique<FrontierCursor>(
+      g_, from, graph::Direction::kBackward, graph::BfsFrontier::ExpandFilter{},
+      kInvalidTag, /*wildcard=*/true, /*include_source=*/true,
+      std::unordered_set<NodeId>(sources.begin(), sources.end()));
 }
 
 size_t SummaryIndex::MemoryBytes() const {

@@ -59,12 +59,16 @@ class SummaryIndex : public PathIndex {
 
   bool IsReachable(NodeId from, NodeId to) const override;
   Distance DistanceBetween(NodeId from, NodeId to) const override;
-  std::vector<NodeDist> DescendantsByTag(NodeId from, TagId tag) const override;
-  std::vector<NodeDist> Descendants(NodeId from) const override;
-  std::vector<NodeDist> AncestorsByTag(NodeId from, TagId tag) const override;
-  std::vector<NodeDist> ReachableAmong(
+  // Lazy summary-pruned BFS cursors (one frontier level per pull); the
+  // ancestors cursor prunes with the backward (reached-from) tag sets.
+  std::unique_ptr<NodeDistCursor> DescendantsByTagCursor(
+      NodeId from, TagId tag) const override;
+  std::unique_ptr<NodeDistCursor> DescendantsCursor(NodeId from) const override;
+  std::unique_ptr<NodeDistCursor> AncestorsByTagCursor(
+      NodeId from, TagId tag) const override;
+  std::unique_ptr<NodeDistCursor> ReachableAmongCursor(
       NodeId from, const std::vector<NodeId>& targets) const override;
-  std::vector<NodeDist> AncestorsAmong(
+  std::unique_ptr<NodeDistCursor> AncestorsAmongCursor(
       NodeId from, const std::vector<NodeId>& sources) const override;
   size_t MemoryBytes() const override;
 
@@ -87,8 +91,9 @@ class SummaryIndex : public PathIndex {
   bool CanReachTag(uint32_t block, TagId tag) const;
   bool ReachedFromTag(uint32_t block, TagId tag) const;
 
-  std::vector<NodeDist> PrunedTraversal(NodeId from, TagId tag, bool wildcard,
-                                        bool forward, NodeId stop_at) const;
+  // Point lookup: forward BFS pruned by the target's tag reachability,
+  // stopping at `stop_at`.
+  Distance PointSearch(NodeId from, NodeId stop_at) const;
 
   const graph::Digraph& g_;
   std::vector<uint32_t> block_of_;

@@ -8,6 +8,72 @@
 #include "graph/traversal.h"
 
 namespace flix::index {
+namespace {
+
+// Scans one pre-sorted closure row, filtering by tag or by a wanted set.
+// With a wanted set that contains the row's owner, the owner is emitted
+// first at distance 0 (all row entries are proper pairs at distance >= 1),
+// preserving the "includes `from` if listed" contract of ReachableAmong.
+class TcRowCursor : public NodeDistCursor {
+ public:
+  TcRowCursor(const std::vector<NodeDist>& row,
+              const std::vector<TagId>& tag_of, TagId tag, bool wildcard)
+      : row_(row), tag_of_(tag_of), tag_(tag), wildcard_(wildcard) {
+    Advance();
+  }
+
+  TcRowCursor(const std::vector<NodeDist>& row,
+              const std::vector<TagId>& tag_of, NodeId self,
+              std::unordered_set<NodeId> wanted)
+      : row_(row),
+        tag_of_(tag_of),
+        tag_(kInvalidTag),
+        wildcard_(true),
+        wanted_(std::move(wanted)) {
+    if (wanted_->contains(self)) {
+      pending_ = NodeDist{self, 0};
+    } else {
+      Advance();
+    }
+  }
+
+  std::optional<NodeDist> Next() override {
+    if (!pending_.has_value()) return std::nullopt;
+    const NodeDist result = *pending_;
+    Advance();
+    return result;
+  }
+
+  Distance BoundHint() const override {
+    return pending_.has_value() ? pending_->distance : kUnreachable;
+  }
+
+  size_t RemainingHint() const override {
+    return (pending_.has_value() ? 1 : 0) + (row_.size() - pos_);
+  }
+
+ private:
+  void Advance() {
+    pending_.reset();
+    while (pos_ < row_.size()) {
+      const NodeDist& nd = row_[pos_++];
+      if (!wildcard_ && tag_of_[nd.node] != tag_) continue;
+      if (wanted_.has_value() && !wanted_->contains(nd.node)) continue;
+      pending_ = nd;
+      return;
+    }
+  }
+
+  const std::vector<NodeDist>& row_;
+  const std::vector<TagId>& tag_of_;
+  const TagId tag_;
+  const bool wildcard_;
+  std::optional<std::unordered_set<NodeId>> wanted_;
+  size_t pos_ = 0;
+  std::optional<NodeDist> pending_;
+};
+
+}  // namespace
 
 StatusOr<std::unique_ptr<TransitiveClosureIndex>> TransitiveClosureIndex::Build(
     const graph::Digraph& g, const TcOptions& options) {
@@ -68,50 +134,36 @@ Distance TransitiveClosureIndex::DistanceBetween(NodeId from, NodeId to) const {
   return kUnreachable;
 }
 
-std::vector<NodeDist> TransitiveClosureIndex::DescendantsByTag(
+std::unique_ptr<NodeDistCursor> TransitiveClosureIndex::DescendantsByTagCursor(
     NodeId from, TagId tag) const {
-  std::vector<NodeDist> result;
-  for (const NodeDist& nd : closure_[from]) {
-    if (tag_[nd.node] == tag) result.push_back(nd);
-  }
-  return result;
+  return std::make_unique<TcRowCursor>(closure_[from], tag_, tag,
+                                       /*wildcard=*/false);
 }
 
-std::vector<NodeDist> TransitiveClosureIndex::Descendants(NodeId from) const {
-  return closure_[from];
+std::unique_ptr<NodeDistCursor> TransitiveClosureIndex::DescendantsCursor(
+    NodeId from) const {
+  return std::make_unique<TcRowCursor>(closure_[from], tag_, kInvalidTag,
+                                       /*wildcard=*/true);
 }
 
-std::vector<NodeDist> TransitiveClosureIndex::AncestorsByTag(NodeId from,
-                                                             TagId tag) const {
-  std::vector<NodeDist> result;
-  for (const NodeDist& nd : reverse_[from]) {
-    if (tag_[nd.node] == tag) result.push_back(nd);
-  }
-  return result;
+std::unique_ptr<NodeDistCursor> TransitiveClosureIndex::AncestorsByTagCursor(
+    NodeId from, TagId tag) const {
+  return std::make_unique<TcRowCursor>(reverse_[from], tag_, tag,
+                                       /*wildcard=*/false);
 }
 
-std::vector<NodeDist> TransitiveClosureIndex::ReachableAmong(
+std::unique_ptr<NodeDistCursor> TransitiveClosureIndex::ReachableAmongCursor(
     NodeId from, const std::vector<NodeId>& targets) const {
-  const std::unordered_set<NodeId> wanted(targets.begin(), targets.end());
-  std::vector<NodeDist> result;
-  if (wanted.contains(from)) result.push_back({from, 0});
-  for (const NodeDist& nd : closure_[from]) {
-    if (wanted.contains(nd.node)) result.push_back(nd);
-  }
-  SortByDistance(result);
-  return result;
+  return std::make_unique<TcRowCursor>(
+      closure_[from], tag_, from,
+      std::unordered_set<NodeId>(targets.begin(), targets.end()));
 }
 
-std::vector<NodeDist> TransitiveClosureIndex::AncestorsAmong(
+std::unique_ptr<NodeDistCursor> TransitiveClosureIndex::AncestorsAmongCursor(
     NodeId from, const std::vector<NodeId>& sources) const {
-  const std::unordered_set<NodeId> wanted(sources.begin(), sources.end());
-  std::vector<NodeDist> result;
-  if (wanted.contains(from)) result.push_back({from, 0});
-  for (const NodeDist& nd : reverse_[from]) {
-    if (wanted.contains(nd.node)) result.push_back(nd);
-  }
-  SortByDistance(result);
-  return result;
+  return std::make_unique<TcRowCursor>(
+      reverse_[from], tag_, from,
+      std::unordered_set<NodeId>(sources.begin(), sources.end()));
 }
 
 size_t TransitiveClosureIndex::MemoryBytes() const {

@@ -33,12 +33,17 @@ class TransitiveClosureIndex : public PathIndex {
   }
 
   Distance DistanceBetween(NodeId from, NodeId to) const override;
-  std::vector<NodeDist> DescendantsByTag(NodeId from, TagId tag) const override;
-  std::vector<NodeDist> Descendants(NodeId from) const override;
-  std::vector<NodeDist> AncestorsByTag(NodeId from, TagId tag) const override;
-  std::vector<NodeDist> ReachableAmong(
+  // All enumeration cursors are pointer walks over the pre-sorted closure
+  // rows — the ideal case for the lazy pipeline: zero setup cost, and a
+  // top-k pull touches exactly k row entries.
+  std::unique_ptr<NodeDistCursor> DescendantsByTagCursor(
+      NodeId from, TagId tag) const override;
+  std::unique_ptr<NodeDistCursor> DescendantsCursor(NodeId from) const override;
+  std::unique_ptr<NodeDistCursor> AncestorsByTagCursor(
+      NodeId from, TagId tag) const override;
+  std::unique_ptr<NodeDistCursor> ReachableAmongCursor(
       NodeId from, const std::vector<NodeId>& targets) const override;
-  std::vector<NodeDist> AncestorsAmong(
+  std::unique_ptr<NodeDistCursor> AncestorsAmongCursor(
       NodeId from, const std::vector<NodeId>& sources) const override;
   size_t MemoryBytes() const override;
 

@@ -234,6 +234,82 @@ TEST(PeeTest, ConnectionThresholdRespected) {
   EXPECT_FALSE((*flix)->IsConnected(start, deep_b, /*max_distance=*/1));
 }
 
+TEST(PeeTest, StreamingMatchesMaterializedResultSet) {
+  const xml::Collection c = ChainedCollection();
+  auto flix = Flix::Build(c, {});
+  ASSERT_TRUE(flix.ok());
+  const TagId tag_b = c.pool().Lookup("b");
+
+  for (const NodeId start :
+       {c.GlobalId(0, 0), c.GlobalId(1, 0), c.GlobalId(2, 0)}) {
+    std::vector<Result> streamed;
+    std::vector<Result> materialized;
+    (*flix)->pee().FindDescendantsByTag(start, tag_b, {},
+                                        [&](const Result& r) {
+                                          streamed.push_back(r);
+                                          return true;
+                                        });
+    QueryOptions legacy;
+    legacy.materialize = true;
+    (*flix)->pee().FindDescendantsByTag(start, tag_b, legacy,
+                                        [&](const Result& r) {
+                                          materialized.push_back(r);
+                                          return true;
+                                        });
+    EXPECT_EQ(Nodes(streamed), Nodes(materialized)) << "start " << start;
+    // The streamed merge emits globally ascending — tighter than the
+    // legacy per-block order, which is only approximately sorted.
+    for (size_t i = 1; i < streamed.size(); ++i) {
+      EXPECT_GE(streamed[i].distance, streamed[i - 1].distance);
+    }
+  }
+}
+
+TEST(PeeTest, TopKStopsPullingCursorsEarly) {
+  const auto collection = workload::GenerateSynthetic({.seed = 9});
+  ASSERT_TRUE(collection.ok());
+  auto flix = Flix::Build(*collection, {});
+  ASSERT_TRUE(flix.ok());
+  const PathExpressionEvaluator& pee = (*flix)->pee();
+
+  // Find a start whose wildcard descendant set is comfortably larger than
+  // the requested k, so an early stop has work left to skip.
+  NodeId start = kInvalidNode;
+  QueryStats full_stats;
+  size_t full_count = 0;
+  for (DocId doc = 0; doc < collection->NumDocuments(); ++doc) {
+    start = collection->GlobalId(doc, 0);
+    full_stats = {};
+    full_count = 0;
+    pee.FindDescendants(start, {},
+                        [&](const Result&) {
+                          ++full_count;
+                          return true;
+                        },
+                        &full_stats);
+    if (full_count > 10) break;
+  }
+  ASSERT_GT(full_count, 10u);
+  ASSERT_GT(full_stats.cursors_opened, 0u);
+  ASSERT_GT(full_stats.cursor_pulls, 0u);
+
+  QueryOptions topk;
+  topk.max_results = 3;
+  QueryStats topk_stats;
+  size_t topk_count = 0;
+  pee.FindDescendants(start, topk,
+                      [&](const Result&) {
+                        ++topk_count;
+                        return true;
+                      },
+                      &topk_stats);
+  EXPECT_EQ(topk_count, 3u);
+  // The streaming evaluator pulls only what the top-k emission forced and
+  // credits the untraversed remainder of its open cursors.
+  EXPECT_LT(topk_stats.cursor_pulls, full_stats.cursor_pulls);
+  EXPECT_GT(topk_stats.cursor_saved, 0u);
+}
+
 TEST(PeeTest, AsyncStreamingDeliversSameResults) {
   const xml::Collection c = ChainedCollection();
   auto flix = Flix::Build(c, {});
@@ -243,11 +319,10 @@ TEST(PeeTest, AsyncStreamingDeliversSameResults) {
 
   const std::vector<Result> sync = Collect(**flix, start, "b");
 
-  StreamedList list(2);  // tiny capacity: force producer/consumer interplay
-  std::thread worker =
-      (*flix)->pee().FindDescendantsByTagAsync(start, tag_b, {}, &list);
-  const std::vector<Result> async = list.DrainAll();
-  worker.join();
+  // Tiny capacity: force producer/consumer interplay.
+  AsyncQuery query =
+      (*flix)->pee().FindDescendantsByTagAsync(start, tag_b, {}, /*capacity=*/2);
+  const std::vector<Result> async = query.DrainAll();
   EXPECT_EQ(async, sync);
 }
 
@@ -259,12 +334,11 @@ TEST(PeeTest, AsyncCancellationStopsWorker) {
   const TagId tag = collection->pool().Lookup("t0");
   ASSERT_NE(tag, kInvalidTag);
 
-  StreamedList list(1);
-  std::thread worker = (*flix)->pee().FindDescendantsByTagAsync(
-      collection->GlobalId(0, 0), tag, {}, &list);
-  list.Next();  // maybe one result
-  list.Cancel();
-  worker.join();  // must terminate promptly
+  {
+    AsyncQuery query = (*flix)->pee().FindDescendantsByTagAsync(
+        collection->GlobalId(0, 0), tag, {}, /*capacity=*/1);
+    query.Next();  // maybe one result
+  }  // handle destruction cancels the stream and joins the worker
   SUCCEED();
 }
 

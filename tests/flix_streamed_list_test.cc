@@ -34,6 +34,30 @@ TEST(StreamedListTest, ProducedCountsAllPushes) {
   EXPECT_EQ(list.produced(), 2u);  // consuming does not decrease it
 }
 
+TEST(StreamedListTest, TryNextNeverBlocks) {
+  StreamedList list;
+  EXPECT_EQ(list.TryNext(), std::nullopt);  // empty and still open
+  EXPECT_TRUE(list.Push({7, 1}));
+  const std::optional<Result> r = list.TryNext();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, (Result{7, 1}));
+  EXPECT_EQ(list.TryNext(), std::nullopt);
+  list.Close();
+  EXPECT_EQ(list.TryNext(), std::nullopt);
+}
+
+TEST(StreamedListTest, DrainAllReservesFromProduced) {
+  StreamedList list(256);
+  constexpr int kCount = 100;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(list.Push({static_cast<NodeId>(i), i}));
+  }
+  list.Close();
+  const std::vector<Result> all = list.DrainAll();
+  ASSERT_EQ(all.size(), static_cast<size_t>(kCount));
+  EXPECT_GE(all.capacity(), static_cast<size_t>(kCount));
+}
+
 TEST(StreamedListTest, CancelStopsProducer) {
   StreamedList list;
   EXPECT_TRUE(list.Push({1, 0}));

@@ -105,6 +105,7 @@ int Usage() {
       "                  [--workload N] [--repeat N] [--json]\n"
       "  flixctl query   --collection FILE --index FILE --start DOC[#ID]\n"
       "                  --tag NAME [--k N] [--max-distance D] [--exact]\n"
+      "                  [--legacy]  (materialize probes instead of streaming)\n"
       "  flixctl connect --collection FILE --index FILE --from DOC[#ID]\n"
       "                  --to DOC[#ID] [--max-distance D]\n"
       "  flixctl search  --collection FILE --text \"...\" [--k N]\n"
@@ -368,11 +369,16 @@ int CmdQuery(const Args& args) {
         static_cast<Distance>(args.GetSize("max-distance", 0));
   }
   options.exact = args.Has("exact");
+  options.materialize = args.Has("legacy");
 
   Stopwatch watch;
   size_t count = 0;
+  double first_ms = 0.0;
   (*flix)->FindDescendantsByName(*start, tag, options,
                                  [&](const core::Result& r) {
+                                   if (count == 0) {
+                                     first_ms = watch.ElapsedMillis();
+                                   }
                                    const auto loc = collection->Locate(r.node);
                                    std::cout
                                        << "  "
@@ -382,7 +388,9 @@ int CmdQuery(const Args& args) {
                                    ++count;
                                    return true;
                                  });
-  std::cout << count << " results in " << watch.ElapsedMillis() << " ms\n";
+  std::cout << count << " results in " << watch.ElapsedMillis() << " ms";
+  if (count > 0) std::cout << " (first after " << first_ms << " ms)";
+  std::cout << "\n";
   return 0;
 }
 
