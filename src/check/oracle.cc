@@ -1,0 +1,197 @@
+#include "check/oracle.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "flix/pee.h"
+#include "graph/traversal.h"
+#include "obs/metrics.h"
+#include "workload/query_workload.h"
+
+namespace flix::check {
+namespace {
+
+// Set diff between an evaluated result list and the oracle's answer.
+// Returns the first divergence (missing node, extra node, or a duplicate),
+// or nullopt when the sets agree.
+std::optional<std::string> DiffResultSet(
+    const std::string& what, const std::vector<core::Result>& results,
+    const std::vector<graph::NodeDist>& truth) {
+  std::vector<NodeId> got;
+  got.reserve(results.size());
+  for (const core::Result& r : results) got.push_back(r.node);
+  std::sort(got.begin(), got.end());
+  if (const auto dup = std::adjacent_find(got.begin(), got.end());
+      dup != got.end()) {
+    return what + ": node " + std::to_string(*dup) + " emitted twice";
+  }
+  std::vector<NodeId> want;
+  want.reserve(truth.size());
+  for (const graph::NodeDist& nd : truth) want.push_back(nd.node);
+  std::sort(want.begin(), want.end());
+  std::vector<NodeId> missing;
+  std::set_difference(want.begin(), want.end(), got.begin(), got.end(),
+                      std::back_inserter(missing));
+  if (!missing.empty()) {
+    return what + ": node " + std::to_string(missing.front()) +
+           " is missing (" + std::to_string(missing.size()) + " of " +
+           std::to_string(want.size()) + " dropped)";
+  }
+  std::vector<NodeId> extra;
+  std::set_difference(got.begin(), got.end(), want.begin(), want.end(),
+                      std::back_inserter(extra));
+  if (!extra.empty()) {
+    return what + ": node " + std::to_string(extra.front()) +
+           " is not a BFS result (" + std::to_string(extra.size()) +
+           " spurious)";
+  }
+  return std::nullopt;
+}
+
+// Exact-mode diff: sets, per-node distances, and ascending emission order.
+std::optional<std::string> DiffExact(
+    const std::string& what, const std::vector<core::Result>& results,
+    const std::vector<graph::NodeDist>& truth) {
+  if (auto diff = DiffResultSet(what, results, truth)) return diff;
+  std::unordered_map<NodeId, Distance> want;
+  for (const graph::NodeDist& nd : truth) want.emplace(nd.node, nd.distance);
+  Distance prev = 0;
+  for (const core::Result& r : results) {
+    if (r.distance < prev) {
+      return what + ": node " + std::to_string(r.node) +
+             " emitted at distance " + std::to_string(r.distance) +
+             " after distance " + std::to_string(prev) +
+             " — exact mode must be ascending";
+    }
+    prev = r.distance;
+    const Distance truth_dist = want.at(r.node);
+    if (r.distance != truth_dist) {
+      return what + ": node " + std::to_string(r.node) +
+             " reported at distance " + std::to_string(r.distance) +
+             ", BFS says " + std::to_string(truth_dist);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<core::Result> Drain(const core::PathExpressionEvaluator& pee,
+                                NodeId start, TagId tag, bool wildcard,
+                                bool ancestors,
+                                const core::QueryOptions& options) {
+  std::vector<core::Result> results;
+  const core::ResultSink sink = [&results](const core::Result& r) {
+    results.push_back(r);
+    return true;
+  };
+  if (ancestors) {
+    pee.FindAncestorsByTag(start, tag, options, sink);
+  } else if (wildcard) {
+    pee.FindDescendants(start, options, sink);
+  } else {
+    pee.FindDescendantsByTag(start, tag, options, sink);
+  }
+  return results;
+}
+
+}  // namespace
+
+OracleReport RunDifferentialOracle(const core::Flix& flix,
+                                   const OracleOptions& options) {
+  OracleReport report;
+  const graph::Digraph global = flix.collection().BuildGraph();
+  const graph::ReachabilityOracle oracle(global);
+  const core::PathExpressionEvaluator& pee = flix.pee();
+
+  workload::QuerySamplerOptions sampler;
+  sampler.seed = options.seed;
+  sampler.count = options.deep ? options.num_queries * 2 : options.num_queries;
+  sampler.min_results = 1;
+  const std::vector<workload::DescendantQuery> queries =
+      workload::SampleDescendantQueries(flix.collection(), global, sampler);
+
+  struct Mode {
+    const char* name;
+    core::QueryOptions query;
+    bool exact;
+  };
+  const std::vector<Mode> modes = {
+      {"streaming", {}, false},
+      {"materialized", {.materialize = true}, false},
+      {"exact", {.exact = true}, true},
+  };
+
+  for (const workload::DescendantQuery& q : queries) {
+    const std::vector<graph::NodeDist> truth =
+        oracle.DescendantsByTag(q.start, q.tag);
+    for (const Mode& mode : modes) {
+      ++report.queries_diffed;
+      const std::string what = std::string(mode.name) + " " +
+                               std::to_string(q.start) + "//" + q.tag_name;
+      const std::vector<core::Result> results = Drain(
+          pee, q.start, q.tag, /*wildcard=*/false, /*ancestors=*/false,
+          mode.query);
+      const auto diff = mode.exact ? DiffExact(what, results, truth)
+                                   : DiffResultSet(what, results, truth);
+      if (diff) report.diffs.push_back(*diff);
+    }
+    if (options.deep) {
+      // Wildcard sweep plus the reverse axis from the nearest true result.
+      ++report.queries_diffed;
+      if (auto diff = DiffResultSet(
+              "streaming " + std::to_string(q.start) + "//*",
+              Drain(pee, q.start, kInvalidTag, /*wildcard=*/true,
+                    /*ancestors=*/false, {}),
+              oracle.Descendants(q.start))) {
+        report.diffs.push_back(*diff);
+      }
+      if (!truth.empty()) {
+        ++report.queries_diffed;
+        const NodeId back = truth.front().node;
+        const TagId start_tag = global.Tag(q.start);
+        if (auto diff = DiffResultSet(
+                "streaming ancestors of " + std::to_string(back),
+                Drain(pee, back, start_tag, /*wildcard=*/false,
+                      /*ancestors=*/true, {}),
+                oracle.AncestorsByTag(back, start_tag))) {
+          report.diffs.push_back(*diff);
+        }
+      }
+    }
+  }
+
+  // Connection tests: reachability must match BFS exactly, and exact-mode
+  // point distances must be the true shortest distances.
+  const std::vector<std::pair<NodeId, NodeId>> pairs =
+      workload::SampleConnectionPairs(global, options.num_connection_pairs,
+                                      options.seed + 1);
+  for (const auto& [a, b] : pairs) {
+    ++report.queries_diffed;
+    const Distance truth_dist = graph::BfsDistance(global, a, b);
+    if (flix.IsConnected(a, b) != (truth_dist != kUnreachable)) {
+      report.diffs.push_back("connection " + std::to_string(a) + " -> " +
+                             std::to_string(b) + ": IsConnected says " +
+                             (truth_dist == kUnreachable ? "yes" : "no") +
+                             ", BFS disagrees");
+      continue;
+    }
+    const Distance exact_dist =
+        flix.FindDistance(a, b, /*max_distance=*/-1, /*exact=*/true);
+    if (exact_dist != truth_dist) {
+      report.diffs.push_back("connection " + std::to_string(a) + " -> " +
+                             std::to_string(b) + ": exact FindDistance says " +
+                             std::to_string(exact_dist) + ", BFS says " +
+                             std::to_string(truth_dist));
+    }
+  }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("flix.check.oracle_queries").Add(report.queries_diffed);
+  registry.GetCounter("flix.check.violations").Add(report.diffs.size());
+  return report;
+}
+
+}  // namespace flix::check

@@ -1,0 +1,52 @@
+// Differential query oracle: replays a sampled query workload through the
+// full FliX stack — streaming cursor evaluation, the legacy materialized
+// path, and exact mode — and diffs every answer against naive BFS over the
+// global element graph.
+//
+// What each mode must guarantee (and what is diffed):
+//   * streaming / materialized: the result *set* is exact (every reachable
+//     matching element exactly once); distances and order may be the
+//     documented approximation, so only the node sets are compared;
+//   * exact mode: set, per-node distance, and ascending emission order must
+//     all match the BFS ground truth;
+//   * connection tests: IsConnected agrees with BFS reachability and
+//     exact-mode FindDistance returns the true shortest distance.
+//
+// Complements check::ValidateFramework: the validator proves the stored
+// structures intact, the oracle proves the query pipeline on top of them
+// (PEE merging, cross-link traversal, duplicate elimination) end to end.
+#ifndef FLIX_CHECK_ORACLE_H_
+#define FLIX_CHECK_ORACLE_H_
+
+#include <string>
+#include <vector>
+
+#include "flix/flix.h"
+
+namespace flix::check {
+
+struct OracleOptions {
+  uint64_t seed = 20260806;
+  // Descendant queries replayed per run (deep mode doubles this and adds
+  // the wildcard variant per query).
+  size_t num_queries = 12;
+  // (a, b) pairs for connection / distance diffs.
+  size_t num_connection_pairs = 48;
+  bool deep = false;
+};
+
+struct OracleReport {
+  // Query evaluations diffed against the BFS ground truth.
+  size_t queries_diffed = 0;
+  std::vector<std::string> diffs;
+
+  bool ok() const { return diffs.empty(); }
+};
+
+// Replays the workload against `flix`. Deterministic for a fixed seed.
+OracleReport RunDifferentialOracle(const core::Flix& flix,
+                                   const OracleOptions& options = {});
+
+}  // namespace flix::check
+
+#endif  // FLIX_CHECK_ORACLE_H_

@@ -1,0 +1,52 @@
+// FLIX_DCHECK: debug assertions for structural invariants on hot paths.
+//
+// Compiled in only under -DFLIX_CHECKS (the FLIX_CHECKS=ON CMake option, on
+// by default in the sanitizer CI jobs); release builds pay nothing. Unlike
+// assert(), a failure prints the violated condition with a caller-supplied
+// context message before aborting, so a corrupted index structure pinpoints
+// itself instead of dying in a distant consumer.
+//
+//   FLIX_DCHECK(pre_[n] < order_.size(), "ppo preorder out of range");
+//
+// The condition must be side-effect free: it is not evaluated at all when
+// checks are off.
+#ifndef FLIX_COMMON_DCHECK_H_
+#define FLIX_COMMON_DCHECK_H_
+
+#ifdef FLIX_CHECKS
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace flix::internal {
+
+[[noreturn]] inline void DcheckFail(const char* condition, const char* message,
+                                    const char* file, int line) {
+  std::fprintf(stderr, "FLIX_DCHECK failed: %s (%s) at %s:%d\n", condition,
+               message, file, line);
+  std::abort();
+}
+
+}  // namespace flix::internal
+
+#define FLIX_DCHECK(condition, message)                                  \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      ::flix::internal::DcheckFail(#condition, (message), __FILE__,      \
+                                   __LINE__);                            \
+    }                                                                    \
+  } while (false)
+
+#else
+
+// The condition is not evaluated, but sizeof() still odr-uses the names it
+// mentions, so variables kept solely for a DCHECK do not trip
+// -Wunused-but-set-variable in release builds.
+#define FLIX_DCHECK(condition, message)       \
+  do {                                        \
+    (void)sizeof((condition) ? true : false); \
+  } while (false)
+
+#endif  // FLIX_CHECKS
+
+#endif  // FLIX_COMMON_DCHECK_H_

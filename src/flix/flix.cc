@@ -376,7 +376,54 @@ obs::MetricsSnapshot Flix::MetricsSnapshot() const {
   reg.GetCounter("flix.query.cursor.opened");
   reg.GetCounter("flix.query.cursor.pulled");
   reg.GetCounter("flix.query.cursor.saved");
+  // Likewise the correctness-tooling counters (see src/check/), so
+  // `flixctl stats` shows the check totals even when no check ran yet.
+  reg.GetCounter("flix.check.validations");
+  reg.GetCounter("flix.check.violations");
+  reg.GetCounter("flix.check.oracle_queries");
   return reg.Snapshot();
+}
+
+Status Flix::Validate(const index::ValidateOptions& options) const {
+  const size_t n = collection_.NumElements();
+  if (set_.meta_of_node.size() != n || set_.local_of_node.size() != n) {
+    return InternalError("node mapping covers " +
+                         std::to_string(set_.meta_of_node.size()) +
+                         " nodes, the collection has " + std::to_string(n));
+  }
+  size_t covered = 0;
+  for (uint32_t m = 0; m < set_.docs.size(); ++m) {
+    const MetaDocument& doc = set_.docs[m];
+    for (NodeId local = 0; local < doc.global_nodes.size(); ++local) {
+      const NodeId g = doc.global_nodes[local];
+      if (g >= n || set_.meta_of_node[g] != m ||
+          set_.local_of_node[g] != local) {
+        return InternalError("meta document " + std::to_string(m) +
+                             " local node " + std::to_string(local) +
+                             " claims global node " + std::to_string(g) +
+                             ", whose mapping disagrees");
+      }
+    }
+    covered += doc.global_nodes.size();
+  }
+  if (covered != n) {
+    return InternalError("meta documents hold " + std::to_string(covered) +
+                         " elements, the collection has " + std::to_string(n));
+  }
+  for (uint32_t m = 0; m < set_.docs.size(); ++m) {
+    const MetaDocument& doc = set_.docs[m];
+    if (doc.index == nullptr) {
+      return InternalError("meta document " + std::to_string(m) +
+                           " has no index");
+    }
+    if (Status status = doc.index->Validate(doc.graph, options);
+        !status.ok()) {
+      return InternalError("meta document " + std::to_string(m) + " [" +
+                           std::string(doc.index->name()) + "] " +
+                           status.message());
+    }
+  }
+  return Status::Ok();
 }
 
 Flix::TuningAdvice Flix::RecommendReconfiguration(

@@ -102,6 +102,14 @@ class Flix {
   // feed for the paper's self-tuning idea (Section 7).
   QueryStats CumulativeQueryStats() const;
 
+  // Verifies the built framework: the global-node mapping and the meta
+  // documents' global_nodes lists must be exact inverses (every element in
+  // exactly one meta document), and every meta document's index must pass
+  // its strategy-specific Validate(). Returns the first violation found.
+  // The full collecting walk — cross-link exactness, differential query
+  // oracle, metrics — lives in check::ValidateFramework (src/check/).
+  Status Validate(const index::ValidateOptions& options = {}) const;
+
   // Publishes this instance's state (build shape, cache stats, facade query
   // totals) as gauges into the process-wide registry and returns a combined
   // snapshot of everything recorded so far — build phase timings, PEE query

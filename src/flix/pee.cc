@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/dcheck.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -456,7 +457,12 @@ void PathExpressionEvaluator::RunMaterialized(
     sorted.reserve(best.size());
     for (const auto& [node, distance] : best) sorted.push_back({node, distance});
     index::SortByDistance(sorted);
+    Distance last = 0;
     for (const index::NodeDist& nd : sorted) {
+      // Exact mode promises globally ascending emission order.
+      FLIX_DCHECK(nd.distance >= last,
+                  "exact-mode results emitted out of ascending order");
+      last = nd.distance;
       ++emitted_count;
       if (!sink({nd.node, nd.distance})) return;
       if (options.max_results >= 0 && ++num_results >= options.max_results) {

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/dcheck.h"
 #include "common/types.h"
 #include "flix/streamed_list.h"
 
@@ -77,6 +78,12 @@ class QueryCache {
       lru_.pop_back();
       ++evictions_;
     }
+    // The LRU list and the key index must stay in lockstep, and eviction
+    // must keep the list within its capacity bound.
+    FLIX_DCHECK(index_.size() == lru_.size(),
+                "QueryCache index out of sync with LRU list");
+    FLIX_DCHECK(lru_.size() <= capacity_,
+                "QueryCache exceeded its capacity bound");
   }
 
   QueryCacheStats Stats() const {

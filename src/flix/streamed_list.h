@@ -9,13 +9,13 @@
 #ifndef FLIX_FLIX_STREAMED_LIST_H_
 #define FLIX_FLIX_STREAMED_LIST_H_
 
-#include <cassert>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/dcheck.h"
 #include "common/types.h"
 
 namespace flix::core {
@@ -47,8 +47,10 @@ class StreamedList {
     if (cancelled_) return false;
     // Pushing after Close is a producer-side protocol bug (a consumer
     // cancel, by contrast, can race with pushes and is expected).
-    assert(!closed_ && "StreamedList::Push after Close");
+    FLIX_DCHECK(!closed_, "StreamedList::Push after Close");
     if (closed_) return false;
+    FLIX_DCHECK(queue_.size() < capacity_,
+                "StreamedList queue exceeded its capacity bound");
     queue_.push_back(result);
     ++produced_;
     not_empty_.notify_one();

@@ -1,8 +1,7 @@
 #include "graph/digraph.h"
 
-#include <cassert>
-
 #include "common/bytes.h"
+#include "common/dcheck.h"
 
 namespace flix::graph {
 
@@ -15,14 +14,15 @@ NodeId Digraph::AddNode(TagId tag) {
 }
 
 void Digraph::Resize(size_t num_nodes) {
-  assert(num_nodes >= tags_.size());
+  FLIX_DCHECK(num_nodes >= tags_.size(), "Digraph::Resize cannot shrink");
   tags_.resize(num_nodes, kInvalidTag);
   out_.resize(num_nodes);
   in_.resize(num_nodes);
 }
 
 void Digraph::AddEdge(NodeId from, NodeId to, EdgeKind kind) {
-  assert(from < NumNodes() && to < NumNodes());
+  FLIX_DCHECK(from < NumNodes() && to < NumNodes(),
+              "Digraph::AddEdge endpoint out of range");
   out_[from].push_back({to, kind});
   in_[to].push_back({from, kind});
   ++num_edges_;

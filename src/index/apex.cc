@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <map>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -301,6 +302,157 @@ StatusOr<std::unique_ptr<ApexIndex>> ApexIndex::Load(BinaryReader& reader,
     }
   }
   return index;
+}
+
+Status ApexIndex::Validate(const graph::Digraph& g,
+                           const ValidateOptions& options) const {
+  if (&g != &g_) {
+    return InternalError("apex: validated against a graph other than the one "
+                         "the index is bound to");
+  }
+  const size_t n = g.NumNodes();
+  const size_t num_blocks = extents_.size();
+  if (block_of_.size() != n) {
+    return InternalError("apex: block map covers " +
+                         std::to_string(block_of_.size()) +
+                         " nodes, graph has " + std::to_string(n));
+  }
+
+  // Exact partition: every node sits in precisely the extent its block id
+  // names, and extents contain nothing else.
+  size_t extent_members = 0;
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    if (extents_[b].empty()) {
+      return InternalError("apex: block " + std::to_string(b) +
+                           " has an empty extent");
+    }
+    const TagId block_tag = g.Tag(extents_[b].front());
+    for (const NodeId v : extents_[b]) {
+      if (v >= n || block_of_[v] != b) {
+        return InternalError("apex: extent of block " + std::to_string(b) +
+                             " lists node " + std::to_string(v) +
+                             ", whose block id is " +
+                             std::to_string(v < n ? block_of_[v]
+                                                  : kInvalidNode));
+      }
+      if (g.Tag(v) != block_tag) {
+        return InternalError("apex: block " + std::to_string(b) +
+                             " is not tag-homogeneous (node " +
+                             std::to_string(v) + " has tag " +
+                             std::to_string(g.Tag(v)) + ", block tag is " +
+                             std::to_string(block_tag) + ")");
+      }
+    }
+    extent_members += extents_[b].size();
+  }
+  if (extent_members != n) {
+    return InternalError("apex: extents hold " +
+                         std::to_string(extent_members) +
+                         " members, graph has " + std::to_string(n) +
+                         " nodes — some node is missing or duplicated");
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (block_of_[v] >= num_blocks) {
+      return InternalError("apex: node " + std::to_string(v) +
+                           " maps to block " + std::to_string(block_of_[v]) +
+                           ", only " + std::to_string(num_blocks) + " exist");
+    }
+  }
+
+  // Summary = exact quotient graph: block edges are precisely the projected
+  // element edges. Soundness of every pruning decision hangs on this.
+  if (summary_.NumNodes() != num_blocks) {
+    return InternalError("apex: summary graph has " +
+                         std::to_string(summary_.NumNodes()) +
+                         " nodes, partition has " + std::to_string(num_blocks) +
+                         " blocks");
+  }
+  if (reachable_tags_.size() != num_blocks ||
+      (have_block_closure_ && block_closure_.size() != num_blocks)) {
+    return InternalError("apex: pruning tables cover " +
+                         std::to_string(reachable_tags_.size()) +
+                         " blocks, partition has " +
+                         std::to_string(num_blocks));
+  }
+  for (const auto& row : reachable_tags_) {
+    if (row.size() != tag_words_) {
+      return InternalError("apex: reachable-tag row width " +
+                           std::to_string(row.size()) + " != tag_words " +
+                           std::to_string(tag_words_));
+    }
+  }
+  std::vector<std::unordered_set<uint32_t>> projected(num_blocks);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const graph::Digraph::Arc& arc : g.OutArcs(u)) {
+      projected[block_of_[u]].insert(block_of_[arc.target]);
+    }
+  }
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    std::unordered_set<uint32_t> stored;
+    for (const graph::Digraph::Arc& arc : summary_.OutArcs(b)) {
+      stored.insert(static_cast<uint32_t>(arc.target));
+    }
+    if (stored != projected[b]) {
+      for (const uint32_t c : projected[b]) {
+        if (!stored.contains(c)) {
+          return InternalError("apex: summary is missing block edge " +
+                               std::to_string(b) + " -> " + std::to_string(c) +
+                               " implied by the element graph");
+        }
+      }
+      for (const uint32_t c : stored) {
+        if (!projected[b].contains(c)) {
+          return InternalError("apex: summary block edge " + std::to_string(b) +
+                               " -> " + std::to_string(c) +
+                               " has no witness in the element graph");
+        }
+      }
+    }
+  }
+
+  // Pruning tables must equal recomputed summary reachability: a missing
+  // bit makes the traversal cursors drop real results silently.
+  std::vector<uint8_t> reached(num_blocks);
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    std::fill(reached.begin(), reached.end(), 0);
+    std::deque<uint32_t> queue = {b};
+    reached[b] = 1;
+    while (!queue.empty()) {
+      const uint32_t c = queue.front();
+      queue.pop_front();
+      for (const graph::Digraph::Arc& arc : summary_.OutArcs(c)) {
+        if (!reached[arc.target]) {
+          reached[arc.target] = 1;
+          queue.push_back(static_cast<uint32_t>(arc.target));
+        }
+      }
+    }
+    std::vector<uint64_t> want_tags(tag_words_, 0);
+    for (uint32_t c = 0; c < num_blocks; ++c) {
+      if (!reached[c]) continue;
+      const TagId tag = g.Tag(extents_[c].front());
+      if (tag != kInvalidTag) {
+        want_tags[tag / 64] |= uint64_t{1} << (tag % 64);
+      }
+    }
+    if (reachable_tags_[b] != want_tags) {
+      return InternalError("apex: reachable-tag bitset of block " +
+                           std::to_string(b) +
+                           " differs from recomputed summary reachability");
+    }
+    if (have_block_closure_) {
+      std::vector<uint64_t> want_blocks((num_blocks + 63) / 64, 0);
+      for (uint32_t c = 0; c < num_blocks; ++c) {
+        if (reached[c]) want_blocks[c / 64] |= uint64_t{1} << (c % 64);
+      }
+      if (block_closure_[b] != want_blocks) {
+        return InternalError("apex: block-closure row of block " +
+                             std::to_string(b) +
+                             " differs from recomputed summary reachability");
+      }
+    }
+  }
+  return PathIndex::Validate(g, options);
 }
 
 size_t ApexIndex::MemoryBytes() const {

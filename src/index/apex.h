@@ -62,6 +62,15 @@ class ApexIndex : public PathIndex {
       NodeId from, const std::vector<NodeId>& sources) const override;
   size_t MemoryBytes() const override;
 
+  // Structural invariants: extents partition the node set exactly (each
+  // node in precisely the extent its block id names), blocks are
+  // tag-homogeneous, the summary is the exact quotient graph of the
+  // partition, and the pruning tables (reachable_tags_, block_closure_)
+  // equal the recomputed summary reachability — so pruning can never cut a
+  // real result. Then the base differential check.
+  Status Validate(const graph::Digraph& g,
+                  const ValidateOptions& options = {}) const override;
+
   // Binary persistence. Load rebinds to `g`, which must be the same graph
   // the saved index was built from.
   void Save(BinaryWriter& writer) const;
@@ -76,6 +85,8 @@ class ApexIndex : public PathIndex {
   }
 
  private:
+  friend struct CorruptionHook;
+
   explicit ApexIndex(const graph::Digraph& g) : g_(g) {}
 
   void BuildSummary(const ApexOptions& options);

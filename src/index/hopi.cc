@@ -5,12 +5,15 @@
 #include <limits>
 #include <numeric>
 #include <queue>
+#include <string>
 #include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/bytes.h"
+#include "common/rng.h"
 #include "graph/partition.h"
+#include "graph/traversal.h"
 
 namespace flix::index {
 namespace {
@@ -524,6 +527,153 @@ size_t HopiIndex::MemoryBytes() const {
   bytes += VectorBytes(tag_) + VectorBytes(rank_of_node_) +
            VectorBytes(node_of_rank_);
   return bytes;
+}
+
+namespace {
+
+// Rebuilds the inverted lists a label table implies and diffs them against
+// the stored ones; `what` names the side ("in"/"out") for the report.
+Status DiffInverted(const std::vector<std::vector<HopiIndex::LabelEntry>>& labels,
+                    const std::vector<std::vector<HopiIndex::LabelEntry>>& inverted,
+                    const std::string& what) {
+  const size_t n = labels.size();
+  if (inverted.size() != n) {
+    return InternalError("hopi: inverted_" + what + " has " +
+                         std::to_string(inverted.size()) +
+                         " hub lists, expected " + std::to_string(n));
+  }
+  std::vector<std::vector<HopiIndex::LabelEntry>> expected(n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const HopiIndex::LabelEntry& e : labels[v]) {
+      expected[e.hub].push_back({v, e.distance});
+    }
+  }
+  for (size_t r = 0; r < n; ++r) {
+    std::sort(expected[r].begin(), expected[r].end(),
+              [](const HopiIndex::LabelEntry& a, const HopiIndex::LabelEntry& b) {
+                return std::tie(a.distance, a.hub) < std::tie(b.distance, b.hub);
+              });
+    if (expected[r].size() != inverted[r].size()) {
+      return InternalError("hopi: inverted_" + what + " list of hub rank " +
+                           std::to_string(r) + " has " +
+                           std::to_string(inverted[r].size()) +
+                           " entries, labels imply " +
+                           std::to_string(expected[r].size()));
+    }
+    for (size_t i = 0; i < expected[r].size(); ++i) {
+      if (expected[r][i].hub != inverted[r][i].hub ||
+          expected[r][i].distance != inverted[r][i].distance) {
+        return InternalError(
+            "hopi: inverted_" + what + " list of hub rank " +
+            std::to_string(r) + " diverges from labels at position " +
+            std::to_string(i) + " (stored node " +
+            std::to_string(inverted[r][i].hub) + " dist " +
+            std::to_string(inverted[r][i].distance) + ", labels imply node " +
+            std::to_string(expected[r][i].hub) + " dist " +
+            std::to_string(expected[r][i].distance) + ")");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status HopiIndex::Validate(const graph::Digraph& g,
+                           const ValidateOptions& options) const {
+  const size_t n = g.NumNodes();
+  if (out_labels_.size() != n || in_labels_.size() != n ||
+      tag_.size() != n || rank_of_node_.size() != n ||
+      node_of_rank_.size() != n) {
+    return InternalError("hopi: label tables cover " +
+                         std::to_string(out_labels_.size()) +
+                         " nodes, graph has " + std::to_string(n));
+  }
+  for (NodeId r = 0; r < n; ++r) {
+    if (node_of_rank_[r] >= n || rank_of_node_[node_of_rank_[r]] != r) {
+      return InternalError("hopi: rank maps are not inverse at rank " +
+                           std::to_string(r) + " (node_of_rank=" +
+                           std::to_string(node_of_rank_[r]) + ")");
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (tag_[v] != g.Tag(v)) {
+      return InternalError("hopi: stored tag " + std::to_string(tag_[v]) +
+                           " at node " + std::to_string(v) +
+                           " differs from graph tag " +
+                           std::to_string(g.Tag(v)));
+    }
+    for (const auto* labels : {&out_labels_[v], &in_labels_[v]}) {
+      NodeId prev_hub = kInvalidNode;
+      for (const LabelEntry& e : *labels) {
+        if (e.hub >= n || e.distance < 0) {
+          return InternalError("hopi: label of node " + std::to_string(v) +
+                               " has invalid entry (hub rank " +
+                               std::to_string(e.hub) + ", dist " +
+                               std::to_string(e.distance) + ")");
+        }
+        if (prev_hub != kInvalidNode && e.hub <= prev_hub) {
+          return InternalError("hopi: label of node " + std::to_string(v) +
+                               " is not strictly ascending by hub rank (" +
+                               std::to_string(prev_hub) + " then " +
+                               std::to_string(e.hub) + ")");
+        }
+        prev_hub = e.hub;
+      }
+    }
+  }
+
+  // Inverted lists must be exactly the labels regrouped by hub, sorted by
+  // (distance, node) — the enumeration cursors merge them assuming this.
+  if (Status s = DiffInverted(in_labels_, inverted_in_, "in"); !s.ok()) {
+    return s;
+  }
+  if (Status s = DiffInverted(out_labels_, inverted_out_, "out"); !s.ok()) {
+    return s;
+  }
+
+  // Label soundness: every stored (hub, dist) must be the exact BFS distance
+  // between the node and the hub. Sampled (or all nodes in deep mode); cover
+  // *completeness* is checked by the base differential probes, which compare
+  // QueryLabels answers against the BFS oracle.
+  Rng rng(options.seed ^ 0x484f5049u);  // "HOPI"
+  std::vector<NodeId> sample;
+  if ((options.deep && n <= options.exhaustive_limit) ||
+      n <= options.sample_sources) {
+    sample.resize(n);
+    for (NodeId v = 0; v < n; ++v) sample[v] = v;
+  } else {
+    std::unordered_set<NodeId> seen;
+    while (sample.size() < options.sample_sources) {
+      const NodeId v = static_cast<NodeId>(rng.Uniform(n));
+      if (seen.insert(v).second) sample.push_back(v);
+    }
+  }
+  for (const NodeId v : sample) {
+    const std::vector<Distance> fwd =
+        graph::BfsDistances(g, v, graph::Direction::kForward);
+    for (const LabelEntry& e : out_labels_[v]) {
+      const NodeId hub = node_of_rank_[e.hub];
+      if (fwd[hub] != e.distance) {
+        return InternalError("hopi: out-label of node " + std::to_string(v) +
+                             " claims distance " + std::to_string(e.distance) +
+                             " to hub node " + std::to_string(hub) +
+                             ", BFS says " + std::to_string(fwd[hub]));
+      }
+    }
+    const std::vector<Distance> bwd =
+        graph::BfsDistances(g, v, graph::Direction::kBackward);
+    for (const LabelEntry& e : in_labels_[v]) {
+      const NodeId hub = node_of_rank_[e.hub];
+      if (bwd[hub] != e.distance) {
+        return InternalError("hopi: in-label of node " + std::to_string(v) +
+                             " claims distance " + std::to_string(e.distance) +
+                             " from hub node " + std::to_string(hub) +
+                             ", BFS says " + std::to_string(bwd[hub]));
+      }
+    }
+  }
+  return PathIndex::Validate(g, options);
 }
 
 }  // namespace flix::index

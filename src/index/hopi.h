@@ -91,6 +91,15 @@ class HopiIndex : public PathIndex {
   void RegisterEntryNodes(const std::vector<NodeId>& targets) override;
   size_t MemoryBytes() const override;
 
+  // Structural invariants: rank maps are a bijection, labels are sorted by
+  // hub rank with a self-entry at distance 0, every label entry appears in
+  // the matching inverted list (and vice versa), inverted lists are sorted
+  // by (distance, node), and sampled label distances equal BFS distances to
+  // the hub node — i.e. the 2-hop cover is sound and (sampled) complete.
+  // Then the base differential check.
+  Status Validate(const graph::Digraph& g,
+                  const ValidateOptions& options = {}) const override;
+
   // Binary persistence: labels and tags are stored; inverted lists are
   // rebuilt on load (call Register* afterwards for the filtered lists).
   void Save(BinaryWriter& writer) const;
@@ -105,6 +114,8 @@ class HopiIndex : public PathIndex {
   size_t LabelBytes() const;
 
  private:
+  friend struct CorruptionHook;
+
   HopiIndex() = default;
 
   void BuildGlobal(const graph::Digraph& g,

@@ -1,8 +1,10 @@
 #include "index/path_index.h"
 
 #include <algorithm>
+#include <string>
 #include <tuple>
 
+#include "common/rng.h"
 #include "index/apex.h"
 #include "index/hopi.h"
 #include "index/ppo.h"
@@ -177,6 +179,146 @@ StatusOr<std::unique_ptr<PathIndex>> LoadIndex(BinaryReader& reader,
   }
   return InvalidArgumentError("unknown index strategy kind " +
                               std::to_string(kind));
+}
+
+namespace {
+
+// Sampled node set for the differential checks: deterministic, deduplicated,
+// covering the whole graph in deep mode when it is small enough.
+std::vector<NodeId> SampleNodes(size_t num_nodes, size_t want, Rng& rng,
+                                bool exhaustive) {
+  std::vector<NodeId> nodes;
+  if (num_nodes == 0) return nodes;
+  if (exhaustive || want >= num_nodes) {
+    nodes.resize(num_nodes);
+    for (NodeId v = 0; v < num_nodes; ++v) nodes[v] = v;
+    return nodes;
+  }
+  std::unordered_set<NodeId> seen;
+  while (seen.size() < want) {
+    seen.insert(static_cast<NodeId>(rng.Uniform(num_nodes)));
+  }
+  nodes.assign(seen.begin(), seen.end());
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+std::string DescribeDiff(std::string_view what, NodeId from,
+                         const std::vector<NodeDist>& got,
+                         const std::vector<NodeDist>& want) {
+  std::string msg = std::string(what) + " mismatch at source node " +
+                    std::to_string(from) + ": index returned " +
+                    std::to_string(got.size()) + " results, oracle " +
+                    std::to_string(want.size());
+  const size_t n = std::min(got.size(), want.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (got[i] != want[i]) {
+      msg += "; first divergence at rank " + std::to_string(i) + ": index (" +
+             std::to_string(got[i].node) + ", d=" +
+             std::to_string(got[i].distance) + ") vs oracle (" +
+             std::to_string(want[i].node) + ", d=" +
+             std::to_string(want[i].distance) + ")";
+      return msg;
+    }
+  }
+  if (got.size() != want.size()) {
+    const std::vector<NodeDist>& longer = got.size() > want.size() ? got : want;
+    msg += "; first extra entry (" + std::to_string(longer[n].node) + ", d=" +
+           std::to_string(longer[n].distance) + ") on the " +
+           (got.size() > want.size() ? "index" : "oracle") + " side";
+  }
+  return msg;
+}
+
+}  // namespace
+
+Status PathIndex::Validate(const graph::Digraph& g,
+                           const ValidateOptions& options) const {
+  const size_t n = g.NumNodes();
+  if (n == 0) return Status::Ok();
+  const std::string who = std::string(name());
+  Rng rng(options.seed);
+  const bool exhaustive = options.deep && n <= options.exhaustive_limit;
+
+  // Distance probes: DistanceBetween must equal the BFS distance for every
+  // sampled pair (exhaustive on small graphs in deep mode). This is the
+  // 2-hop cover completeness check for HOPI (a missing hub shows up as
+  // kUnreachable or an inflated distance) and a window-test check for PPO.
+  if (exhaustive) {
+    for (NodeId from = 0; from < n; ++from) {
+      const std::vector<Distance> truth = graph::BfsDistances(g, from);
+      for (NodeId to = 0; to < n; ++to) {
+        const Distance got = DistanceBetween(from, to);
+        if (got != truth[to]) {
+          return InternalError(
+              who + ": distance(" + std::to_string(from) + ", " +
+              std::to_string(to) + ") = " + std::to_string(got) +
+              ", BFS oracle says " + std::to_string(truth[to]));
+        }
+      }
+    }
+  } else {
+    for (size_t i = 0; i < options.sample_pairs; ++i) {
+      const NodeId from = static_cast<NodeId>(rng.Uniform(n));
+      const NodeId to = static_cast<NodeId>(rng.Uniform(n));
+      const Distance got = DistanceBetween(from, to);
+      const Distance want = graph::BfsDistance(g, from, to);
+      if (got != want) {
+        return InternalError(who + ": distance(" + std::to_string(from) +
+                             ", " + std::to_string(to) + ") = " +
+                             std::to_string(got) + ", BFS oracle says " +
+                             std::to_string(want));
+      }
+    }
+  }
+
+  // Enumeration diffs: for sampled sources, the bulk vector, a full cursor
+  // drain, and the BFS oracle must agree element-for-element (set, distance
+  // and (distance, node) order). Covers the wildcard, tag-filtered and
+  // ancestor axes — the three probes the PEE issues.
+  const graph::ReachabilityOracle oracle(g);
+  const std::vector<NodeId> sources =
+      SampleNodes(n, options.sample_sources, rng, exhaustive);
+  for (const NodeId from : sources) {
+    {
+      const std::vector<NodeDist> want = oracle.Descendants(from);
+      const std::vector<NodeDist> bulk = Descendants(from);
+      if (bulk != want) {
+        return InternalError(who + ": " +
+                             DescribeDiff("descendants", from, bulk, want));
+      }
+      const std::vector<NodeDist> drained =
+          DrainCursor(*DescendantsCursor(from));
+      if (drained != want) {
+        return InternalError(
+            who + ": " + DescribeDiff("descendants cursor", from, drained,
+                                      want));
+      }
+    }
+    const TagId tag = g.Tag(from);
+    if (tag != kInvalidTag) {
+      const std::vector<NodeDist> want = oracle.DescendantsByTag(from, tag);
+      const std::vector<NodeDist> bulk = DescendantsByTag(from, tag);
+      if (bulk != want) {
+        return InternalError(
+            who + ": " + DescribeDiff("descendants-by-tag", from, bulk, want));
+      }
+      const std::vector<NodeDist> drained =
+          DrainCursor(*DescendantsByTagCursor(from, tag));
+      if (drained != want) {
+        return InternalError(
+            who + ": " + DescribeDiff("descendants-by-tag cursor", from,
+                                      drained, want));
+      }
+      const std::vector<NodeDist> want_up = oracle.AncestorsByTag(from, tag);
+      const std::vector<NodeDist> up = AncestorsByTag(from, tag);
+      if (up != want_up) {
+        return InternalError(
+            who + ": " + DescribeDiff("ancestors-by-tag", from, up, want_up));
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 void SortByDistance(std::vector<NodeDist>& v) {

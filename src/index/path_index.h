@@ -33,6 +33,28 @@ namespace flix::index {
 
 using graph::NodeDist;
 
+// Test hook for the mutation suite of the correctness tooling (see
+// src/check/corruption.h): a friend of every strategy that can seed
+// controlled corruptions, so the validators can be proven to detect them.
+// Never used outside tests.
+struct CorruptionHook;
+
+// Knobs for PathIndex::Validate / the check subsystem. Sampled checks use a
+// deterministic RNG so a reported violation reproduces bit-for-bit.
+struct ValidateOptions {
+  // Deep mode additionally runs the exhaustive variants of checks that are
+  // sampled by default (full pairwise distance diffs on small graphs, every
+  // TC row, every source enumerated).
+  bool deep = false;
+  uint64_t seed = 20260806;
+  // Sources sampled for enumeration diffs (cursor vs bulk vs BFS oracle).
+  size_t sample_sources = 24;
+  // (from, to) pairs sampled for distance diffs against the BFS oracle.
+  size_t sample_pairs = 192;
+  // Deep mode runs exhaustive pairwise checks only below this node count.
+  size_t exhaustive_limit = 512;
+};
+
 // Identifies a concrete strategy, used by the Indexing Strategy Selector.
 enum class StrategyKind {
   kPpo,
@@ -197,6 +219,18 @@ class PathIndex {
 
   // Heap footprint of the index structure in bytes.
   virtual size_t MemoryBytes() const = 0;
+
+  // Mechanically verifies the index against `g`, the graph it was built
+  // from. The base implementation is a differential check: sampled
+  // (from, to) distance probes and sampled enumeration diffs (cursor drain
+  // vs bulk vector vs a naive BFS oracle) — sound for any strategy.
+  // Strategies override to verify their structural invariants first (PPO
+  // interval nesting, HOPI label/inverted-list consistency, extent
+  // partitioning, TC row = BFS closure) and then run the base diff, so a
+  // violation is reported at the structure that broke, not at a distant
+  // query. Returns the first violation found, with a pinpointing message.
+  virtual Status Validate(const graph::Digraph& g,
+                          const ValidateOptions& options = {}) const;
 };
 
 // Sorts by (distance, node) — the canonical result order.

@@ -326,4 +326,93 @@ size_t PpoIndex::MemoryBytes() const {
          VectorBytes(order_) + VectorBytes(tag_);
 }
 
+Status PpoIndex::Validate(const graph::Digraph& g,
+                          const ValidateOptions& options) const {
+  const size_t n = g.NumNodes();
+  if (pre_.size() != n || post_.size() != n || depth_.size() != n ||
+      parent_.size() != n || subtree_size_.size() != n ||
+      order_.size() != n || tag_.size() != n) {
+    return InternalError("ppo: numbering covers " +
+                         std::to_string(pre_.size()) + " nodes, graph has " +
+                         std::to_string(n));
+  }
+
+  // Pre and post must be permutations of [0, n), with order_ the inverse of
+  // pre (the interval scans walk order_[pre+1 .. pre+size)).
+  std::vector<uint8_t> post_seen(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (pre_[v] >= n || order_[pre_[v]] != v) {
+      return InternalError("ppo: pre/order inversion broken at node " +
+                           std::to_string(v) + " (pre=" +
+                           std::to_string(pre_[v]) + ", order[pre]=" +
+                           std::to_string(pre_[v] < n
+                                              ? order_[pre_[v]]
+                                              : kInvalidNode) + ")");
+    }
+    if (post_[v] >= n || post_seen[post_[v]]++ != 0) {
+      return InternalError("ppo: postorder is not a permutation at node " +
+                           std::to_string(v) + " (post=" +
+                           std::to_string(post_[v]) + ")");
+    }
+    if (tag_[v] != g.Tag(v)) {
+      return InternalError("ppo: stored tag " + std::to_string(tag_[v]) +
+                           " at node " + std::to_string(v) +
+                           " differs from graph tag " +
+                           std::to_string(g.Tag(v)));
+    }
+    if (subtree_size_[v] == 0 || pre_[v] + subtree_size_[v] > n) {
+      return InternalError("ppo: subtree interval of node " +
+                           std::to_string(v) + " out of range (pre=" +
+                           std::to_string(pre_[v]) + ", size=" +
+                           std::to_string(subtree_size_[v]) + ")");
+    }
+  }
+
+  // Per-edge window invariants: each child's interval nests strictly inside
+  // its parent's, with depth +1 and descending post — the exact conditions
+  // IsReachable/DistanceBetween rely on.
+  for (NodeId p = 0; p < n; ++p) {
+    uint32_t children_size = 0;
+    for (const graph::Digraph::Arc& arc : g.OutArcs(p)) {
+      const NodeId c = arc.target;
+      if (parent_[c] != p) {
+        return InternalError("ppo: parent pointer of node " +
+                             std::to_string(c) + " is " +
+                             std::to_string(parent_[c]) +
+                             ", graph edge says " + std::to_string(p));
+      }
+      if (depth_[c] != depth_[p] + 1) {
+        return InternalError("ppo: depth of node " + std::to_string(c) +
+                             " is " + std::to_string(depth_[c]) +
+                             ", parent " + std::to_string(p) + " has depth " +
+                             std::to_string(depth_[p]));
+      }
+      if (pre_[c] <= pre_[p] ||
+          pre_[c] >= pre_[p] + subtree_size_[p] || post_[c] >= post_[p]) {
+        return InternalError(
+            "ppo: interval nesting violated on edge " + std::to_string(p) +
+            " -> " + std::to_string(c) + " (parent pre=" +
+            std::to_string(pre_[p]) + " size=" +
+            std::to_string(subtree_size_[p]) + " post=" +
+            std::to_string(post_[p]) + ", child pre=" +
+            std::to_string(pre_[c]) + " post=" + std::to_string(post_[c]) +
+            ")");
+      }
+      children_size += subtree_size_[c];
+    }
+    if (subtree_size_[p] != children_size + 1) {
+      return InternalError("ppo: subtree size of node " + std::to_string(p) +
+                           " is " + std::to_string(subtree_size_[p]) +
+                           ", children sum to " +
+                           std::to_string(children_size));
+    }
+    if (g.InDegree(p) == 0 &&
+        (parent_[p] != kInvalidNode || depth_[p] != 0)) {
+      return InternalError("ppo: root node " + std::to_string(p) +
+                           " has parent/depth bookkeeping");
+    }
+  }
+  return PathIndex::Validate(g, options);
+}
+
 }  // namespace flix::index

@@ -54,6 +54,13 @@ class PpoIndex : public PathIndex {
       NodeId from, const std::vector<NodeId>& targets) const override;
   size_t MemoryBytes() const override;
 
+  // Structural invariants: pre is a permutation with order_ as its inverse,
+  // every graph edge satisfies the interval window (child subtree nested in
+  // the parent's, depth +1, post descending), parents match the graph, and
+  // subtree sizes telescope. Then the base differential check.
+  Status Validate(const graph::Digraph& g,
+                  const ValidateOptions& options = {}) const override;
+
   // Binary persistence.
   void Save(BinaryWriter& writer) const;
   static StatusOr<std::unique_ptr<PpoIndex>> Load(BinaryReader& reader);
@@ -65,6 +72,8 @@ class PpoIndex : public PathIndex {
   uint32_t subtree_size(NodeId n) const { return subtree_size_[n]; }
 
  private:
+  friend struct CorruptionHook;
+
   PpoIndex() = default;
 
   std::vector<uint32_t> pre_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <map>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -290,6 +291,142 @@ std::unique_ptr<NodeDistCursor> SummaryIndex::AncestorsAmongCursor(
       g_, from, graph::Direction::kBackward, graph::BfsFrontier::ExpandFilter{},
       kInvalidTag, /*wildcard=*/true, /*include_source=*/true,
       std::unordered_set<NodeId>(sources.begin(), sources.end()));
+}
+
+
+Status SummaryIndex::Validate(const graph::Digraph& g,
+                              const ValidateOptions& options) const {
+  if (&g != &g_) {
+    return InternalError("summary: validated against a graph other than the "
+                         "one the index is bound to");
+  }
+  const size_t n = g.NumNodes();
+  const size_t num_blocks = extents_.size();
+  if (block_of_.size() != n) {
+    return InternalError("summary: block map covers " +
+                         std::to_string(block_of_.size()) +
+                         " nodes, graph has " + std::to_string(n));
+  }
+  size_t extent_members = 0;
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    if (extents_[b].empty()) {
+      return InternalError("summary: block " + std::to_string(b) +
+                           " has an empty extent");
+    }
+    const TagId block_tag = g.Tag(extents_[b].front());
+    for (const NodeId v : extents_[b]) {
+      if (v >= n || block_of_[v] != b) {
+        return InternalError("summary: extent of block " + std::to_string(b) +
+                             " lists node " + std::to_string(v) +
+                             ", whose block id is " +
+                             std::to_string(v < n ? block_of_[v]
+                                                  : kInvalidNode));
+      }
+      if (g.Tag(v) != block_tag) {
+        return InternalError("summary: block " + std::to_string(b) +
+                             " is not tag-homogeneous (node " +
+                             std::to_string(v) + " has tag " +
+                             std::to_string(g.Tag(v)) + ", block tag is " +
+                             std::to_string(block_tag) + ")");
+      }
+    }
+    extent_members += extents_[b].size();
+  }
+  if (extent_members != n) {
+    return InternalError("summary: extents hold " +
+                         std::to_string(extent_members) +
+                         " members, graph has " + std::to_string(n) +
+                         " nodes — some node is missing or duplicated");
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (block_of_[v] >= num_blocks) {
+      return InternalError("summary: node " + std::to_string(v) +
+                           " maps to block " + std::to_string(block_of_[v]) +
+                           ", only " + std::to_string(num_blocks) + " exist");
+    }
+  }
+
+  if (summary_.NumNodes() != num_blocks) {
+    return InternalError("summary: quotient graph has " +
+                         std::to_string(summary_.NumNodes()) +
+                         " nodes, partition has " +
+                         std::to_string(num_blocks) + " blocks");
+  }
+  if (forward_tags_.size() != num_blocks ||
+      backward_tags_.size() != num_blocks) {
+    return InternalError("summary: pruning tables cover " +
+                         std::to_string(forward_tags_.size()) + "/" +
+                         std::to_string(backward_tags_.size()) +
+                         " blocks, partition has " +
+                         std::to_string(num_blocks));
+  }
+  for (const auto* table : {&forward_tags_, &backward_tags_}) {
+    for (const auto& row : *table) {
+      if (row.size() != tag_words_) {
+        return InternalError("summary: pruning row width " +
+                             std::to_string(row.size()) + " != tag_words " +
+                             std::to_string(tag_words_));
+      }
+    }
+  }
+  std::vector<std::unordered_set<uint32_t>> projected(num_blocks);
+  for (NodeId u = 0; u < n; ++u) {
+    for (const graph::Digraph::Arc& arc : g.OutArcs(u)) {
+      projected[block_of_[u]].insert(block_of_[arc.target]);
+    }
+  }
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    std::unordered_set<uint32_t> stored;
+    for (const graph::Digraph::Arc& arc : summary_.OutArcs(b)) {
+      stored.insert(static_cast<uint32_t>(arc.target));
+    }
+    if (stored != projected[b]) {
+      return InternalError("summary: block edges of block " +
+                           std::to_string(b) +
+                           " are not the exact projection of the element "
+                           "graph (" +
+                           std::to_string(stored.size()) + " stored vs " +
+                           std::to_string(projected[b].size()) +
+                           " projected)");
+    }
+  }
+
+  // Both pruning tables must equal recomputed summary reachability — a
+  // missing bit silently cuts real results from the pruned traversals.
+  std::vector<uint8_t> reached(num_blocks);
+  for (const bool forward : {true, false}) {
+    for (uint32_t b = 0; b < num_blocks; ++b) {
+      std::fill(reached.begin(), reached.end(), 0);
+      std::deque<uint32_t> queue = {b};
+      reached[b] = 1;
+      while (!queue.empty()) {
+        const uint32_t c = queue.front();
+        queue.pop_front();
+        const auto arcs = forward ? summary_.OutArcs(c) : summary_.InArcs(c);
+        for (const graph::Digraph::Arc& arc : arcs) {
+          if (!reached[arc.target]) {
+            reached[arc.target] = 1;
+            queue.push_back(static_cast<uint32_t>(arc.target));
+          }
+        }
+      }
+      std::vector<uint64_t> want(tag_words_, 0);
+      for (uint32_t c = 0; c < num_blocks; ++c) {
+        if (!reached[c]) continue;
+        const TagId tag = g.Tag(extents_[c].front());
+        if (tag != kInvalidTag) want[tag / 64] |= uint64_t{1} << (tag % 64);
+      }
+      const std::vector<uint64_t>& got =
+          forward ? forward_tags_[b] : backward_tags_[b];
+      if (got != want) {
+        return InternalError("summary: " +
+                             std::string(forward ? "forward" : "backward") +
+                             "-tag bitset of block " + std::to_string(b) +
+                             " differs from recomputed summary reachability");
+      }
+    }
+  }
+  return PathIndex::Validate(g, options);
 }
 
 size_t SummaryIndex::MemoryBytes() const {

@@ -72,6 +72,13 @@ class SummaryIndex : public PathIndex {
       NodeId from, const std::vector<NodeId>& sources) const override;
   size_t MemoryBytes() const override;
 
+  // Structural invariants mirroring ApexIndex::Validate: exact extent
+  // partition, tag-homogeneous blocks, summary = exact quotient graph, and
+  // both pruning tables (forward_tags_, backward_tags_) equal to the
+  // recomputed summary reachability. Then the base differential check.
+  Status Validate(const graph::Digraph& g,
+                  const ValidateOptions& options = {}) const override;
+
   void Save(BinaryWriter& writer) const;
   static StatusOr<std::unique_ptr<SummaryIndex>> Load(BinaryReader& reader,
                                                       const graph::Digraph& g);
@@ -83,6 +90,8 @@ class SummaryIndex : public PathIndex {
   }
 
  private:
+  friend struct CorruptionHook;
+
   explicit SummaryIndex(const graph::Digraph& g) : g_(g) {}
 
   void BuildSummary(const SummaryOptions& options);

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <string>
+#include <tuple>
 #include <unordered_set>
 
 #include "common/bytes.h"
+#include "common/rng.h"
 #include "graph/traversal.h"
 
 namespace flix::index {
@@ -172,6 +175,123 @@ size_t TransitiveClosureIndex::MemoryBytes() const {
   for (const auto& row : reverse_) bytes += VectorBytes(row);
   bytes += VectorBytes(closure_) + VectorBytes(reverse_);
   return bytes;
+}
+
+Status TransitiveClosureIndex::Validate(const graph::Digraph& g,
+                                        const ValidateOptions& options) const {
+  const size_t n = g.NumNodes();
+  if (closure_.size() != n || reverse_.size() != n || tag_.size() != n) {
+    return InternalError("tc: closure has " + std::to_string(closure_.size()) +
+                         " rows, graph has " + std::to_string(n) + " nodes");
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (tag_[v] != g.Tag(v)) {
+      return InternalError("tc: stored tag " + std::to_string(tag_[v]) +
+                           " at node " + std::to_string(v) +
+                           " differs from graph tag " +
+                           std::to_string(g.Tag(v)));
+    }
+  }
+
+  // reverse_ must be the exact transpose of closure_ (same pairs, same
+  // distances), and both sides sorted ascending by (distance, node).
+  size_t forward_pairs = 0;
+  size_t reverse_pairs = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    for (const auto* side : {&closure_, &reverse_}) {
+      const std::vector<NodeDist>& row = (*side)[v];
+      const bool is_forward = side == &closure_;
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (row[i].node >= n || row[i].distance < 1 || row[i].node == v) {
+          return InternalError("tc: " +
+                               std::string(is_forward ? "closure" : "reverse") +
+                               " row of node " + std::to_string(v) +
+                               " has invalid entry (node " +
+                               std::to_string(row[i].node) + ", dist " +
+                               std::to_string(row[i].distance) + ")");
+        }
+        if (i > 0 && std::tie(row[i - 1].distance, row[i - 1].node) >=
+                         std::tie(row[i].distance, row[i].node)) {
+          return InternalError("tc: " +
+                               std::string(is_forward ? "closure" : "reverse") +
+                               " row of node " + std::to_string(v) +
+                               " is not ascending by (distance, node) at "
+                               "position " +
+                               std::to_string(i));
+        }
+      }
+    }
+    forward_pairs += closure_[v].size();
+    reverse_pairs += reverse_[v].size();
+  }
+  if (forward_pairs != reverse_pairs) {
+    return InternalError("tc: closure holds " + std::to_string(forward_pairs) +
+                         " pairs but reverse holds " +
+                         std::to_string(reverse_pairs));
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeDist& nd : closure_[u]) {
+      const std::vector<NodeDist>& row = reverse_[nd.node];
+      const auto it = std::lower_bound(
+          row.begin(), row.end(), NodeDist{u, nd.distance},
+          [](const NodeDist& a, const NodeDist& b) {
+            return std::tie(a.distance, a.node) < std::tie(b.distance, b.node);
+          });
+      if (it == row.end() || it->node != u || it->distance != nd.distance) {
+        return InternalError("tc: closure pair " + std::to_string(u) + " -> " +
+                             std::to_string(nd.node) + " (dist " +
+                             std::to_string(nd.distance) +
+                             ") is missing from the reverse row of node " +
+                             std::to_string(nd.node));
+      }
+    }
+  }
+
+  // Row = BFS closure: each checked row must be exactly the node's BFS level
+  // sets (a truncated or padded row shows up as a size or entry mismatch).
+  Rng rng(options.seed ^ 0x54435643u);  // "TCVC"
+  std::vector<NodeId> sample;
+  if ((options.deep && n <= options.exhaustive_limit) ||
+      n <= options.sample_sources) {
+    sample.resize(n);
+    for (NodeId v = 0; v < n; ++v) sample[v] = v;
+  } else {
+    std::unordered_set<NodeId> seen;
+    while (sample.size() < options.sample_sources) {
+      const NodeId v = static_cast<NodeId>(rng.Uniform(n));
+      if (seen.insert(v).second) sample.push_back(v);
+    }
+  }
+  for (const NodeId source : sample) {
+    const std::vector<Distance> dist =
+        graph::BfsDistances(g, source, graph::Direction::kForward);
+    std::vector<NodeDist> expected;
+    for (NodeId v = 0; v < n; ++v) {
+      if (v != source && dist[v] != kUnreachable) {
+        expected.push_back({v, dist[v]});
+      }
+    }
+    SortByDistance(expected);
+    const std::vector<NodeDist>& row = closure_[source];
+    if (row.size() != expected.size()) {
+      return InternalError("tc: closure row of node " + std::to_string(source) +
+                           " holds " + std::to_string(row.size()) +
+                           " entries, BFS reaches " +
+                           std::to_string(expected.size()) + " nodes");
+    }
+    for (size_t i = 0; i < expected.size(); ++i) {
+      if (row[i] != expected[i]) {
+        return InternalError(
+            "tc: closure row of node " + std::to_string(source) +
+            " diverges from BFS at position " + std::to_string(i) +
+            " (stored node " + std::to_string(row[i].node) + " dist " +
+            std::to_string(row[i].distance) + ", BFS has node " +
+            std::to_string(expected[i].node) + " dist " +
+            std::to_string(expected[i].distance) + ")");
+      }
+    }
+  }
+  return PathIndex::Validate(g, options);
 }
 
 void TransitiveClosureIndex::Save(BinaryWriter& writer) const {

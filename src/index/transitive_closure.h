@@ -47,6 +47,13 @@ class TransitiveClosureIndex : public PathIndex {
       NodeId from, const std::vector<NodeId>& sources) const override;
   size_t MemoryBytes() const override;
 
+  // Structural invariants: every closure row equals the node's exact BFS
+  // level sets (sampled rows by default, every row in deep mode), rows are
+  // ascending by (distance, node), and reverse_ is the exact transpose of
+  // closure_. Then the base differential check.
+  Status Validate(const graph::Digraph& g,
+                  const ValidateOptions& options = {}) const override;
+
   // Binary persistence.
   void Save(BinaryWriter& writer) const;
   static StatusOr<std::unique_ptr<TransitiveClosureIndex>> Load(
@@ -56,6 +63,8 @@ class TransitiveClosureIndex : public PathIndex {
   size_t NumPairs() const;
 
  private:
+  friend struct CorruptionHook;
+
   TransitiveClosureIndex() = default;
 
   // closure_[v]: proper descendants of v with distances, ascending by

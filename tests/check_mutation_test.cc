@@ -1,0 +1,266 @@
+// Mutation tests for the correctness tooling: each test seeds exactly one
+// corruption class into an otherwise valid structure (via
+// index::CorruptionHook or by editing the public MetaDocumentSet fields)
+// and proves the matching validator detects it with a pinpointing message.
+// A validator that passes clean builds (check_validator_test.cc) but also
+// passes these mutants would be vacuous.
+#include "check/corruption.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/validator.h"
+#include "common/rng.h"
+#include "flix/flix.h"
+#include "index/apex.h"
+#include "index/hopi.h"
+#include "index/ppo.h"
+#include "index/summary_index.h"
+#include "index/transitive_closure.h"
+#include "obs/metrics.h"
+#include "workload/synthetic_generator.h"
+
+namespace flix::index {
+namespace {
+
+// A small tree: 0(a) with children 1(b) and 4(b); 1 has children 2(c), 3(b).
+graph::Digraph SampleTree() {
+  graph::Digraph g;
+  g.AddNode(0);
+  g.AddNode(1);
+  g.AddNode(2);
+  g.AddNode(1);
+  g.AddNode(1);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  g.AddEdge(0, 4);
+  return g;
+}
+
+graph::Digraph RandomDigraph(size_t n, size_t edges, uint64_t seed,
+                             size_t num_tags = 4) {
+  Rng rng(seed);
+  graph::Digraph g;
+  for (size_t i = 0; i < n; ++i) {
+    g.AddNode(static_cast<TagId>(rng.Uniform(num_tags)));
+  }
+  for (size_t e = 0; e < edges; ++e) {
+    g.AddEdge(static_cast<NodeId>(rng.Uniform(n)),
+              static_cast<NodeId>(rng.Uniform(n)));
+  }
+  return g;
+}
+
+graph::Digraph ChainDag(size_t n) {
+  graph::Digraph g;
+  for (size_t i = 0; i < n; ++i) g.AddNode(static_cast<TagId>(i % 3));
+  for (NodeId i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+// Corruption class 1: swapped PPO preorder intervals. The pre/order
+// permutation still holds, so only the interval-nesting check can see it.
+TEST(MutationTest, SwappedPpoIntervalsAreDetected) {
+  const graph::Digraph g = SampleTree();
+  auto built = PpoIndex::Build(g);
+  ASSERT_TRUE(built.ok());
+  PpoIndex& ppo = **built;
+  ASSERT_TRUE(ppo.Validate(g).ok());
+
+  CorruptionHook::SwapPpoIntervals(ppo, 0, 2);  // root <-> grandchild
+  const Status status = ppo.Validate(g);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(std::string(status.message()).find("ppo:"), std::string::npos)
+      << status.ToString();
+}
+
+// Corruption class 2: dropped HOPI hub entry — an inverted list loses one
+// node, so a 2-hop enumeration through that hub would silently miss it.
+TEST(MutationTest, DroppedHopiHubEntryIsDetected) {
+  const graph::Digraph g = RandomDigraph(40, 80, 73);
+  const auto hopi = HopiIndex::Build(g);
+  ASSERT_TRUE(hopi->Validate(g).ok());
+
+  ASSERT_TRUE(CorruptionHook::DropHopiHubEntry(*hopi));
+  const Status status = hopi->Validate(g);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(std::string(status.message()).find("hopi: inverted_in"),
+            std::string::npos)
+      << status.ToString();
+}
+
+// Corruption class 2b: a label entry whose distance is no longer the true
+// BFS distance (the PLL exactness property).
+TEST(MutationTest, SkewedHopiLabelDistanceIsDetected) {
+  const graph::Digraph g = RandomDigraph(40, 80, 79);
+  const auto hopi = HopiIndex::Build(g);
+  ASSERT_TRUE(hopi->Validate(g).ok());
+
+  bool skewed = false;
+  for (NodeId v = 0; v < g.NumNodes() && !skewed; ++v) {
+    skewed = CorruptionHook::SkewHopiLabelDistance(*hopi, v);
+  }
+  ASSERT_TRUE(skewed);
+  ValidateOptions deep;
+  deep.deep = true;  // exhaustive label probes on a graph this small
+  const Status status = hopi->Validate(g, deep);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(std::string(status.message()).find("hopi:"), std::string::npos)
+      << status.ToString();
+}
+
+// Corruption class 3: truncated transitive-closure row — the forward row
+// disagrees with both its BFS closure and the reverse transpose.
+TEST(MutationTest, TruncatedTcRowIsDetected) {
+  const graph::Digraph g = ChainDag(8);
+  auto built = TransitiveClosureIndex::Build(g);
+  ASSERT_TRUE(built.ok());
+  TransitiveClosureIndex& tc = **built;
+  ASSERT_TRUE(tc.Validate(g).ok());
+
+  ASSERT_TRUE(CorruptionHook::TruncateTcRow(tc, 0));
+  const Status status = tc.Validate(g);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(std::string(status.message()).find("tc:"), std::string::npos)
+      << status.ToString();
+}
+
+// Corruption class 4: wrong APEX extent — a node filed under a foreign
+// block breaks the exact-partition invariant.
+TEST(MutationTest, MisfiledApexExtentIsDetected) {
+  const graph::Digraph g = RandomDigraph(40, 60, 83);
+  const auto apex = ApexIndex::Build(g);
+  ASSERT_TRUE(apex->Validate(g).ok());
+
+  ASSERT_TRUE(CorruptionHook::MisfileApexExtent(*apex, 0));
+  const Status status = apex->Validate(g);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(std::string(status.message()).find("apex:"), std::string::npos)
+      << status.ToString();
+}
+
+// Corruption class 4b: a cleared summary pruning bit — the pruned traversal
+// would cut branches that still hold results with that tag.
+TEST(MutationTest, ClearedSummaryPruningBitIsDetected) {
+  const graph::Digraph g = RandomDigraph(40, 60, 89);
+  const auto summary = SummaryIndex::Build(g);
+  ASSERT_TRUE(summary->Validate(g).ok());
+
+  ASSERT_TRUE(CorruptionHook::ClearSummaryPruningBit(*summary));
+  const Status status = summary->Validate(g);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(std::string(status.message()).find("summary:"), std::string::npos)
+      << status.ToString();
+}
+
+}  // namespace
+}  // namespace flix::index
+
+namespace flix::check {
+namespace {
+
+std::unique_ptr<core::Flix> BuildHybrid(const xml::Collection& collection) {
+  core::FlixOptions options;
+  options.config = core::MdbConfig::kHybrid;
+  options.partition_bound = 50;  // small bound => cross links exist
+  auto flix = core::Flix::Build(collection, options);
+  EXPECT_TRUE(flix.ok()) << flix.status().ToString();
+  return std::move(flix).value();
+}
+
+bool AnyViolationContains(const CheckReport& report,
+                          const std::string& needle) {
+  for (const std::string& v : report.violations) {
+    if (v.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// Framework-level mutations edit the public MetaDocumentSet fields; the
+// const_cast mirrors what an (impossible in production) in-place corruption
+// of the built structures would look like.
+core::MetaDocumentSet& MutableSet(core::Flix& flix) {
+  return const_cast<core::MetaDocumentSet&>(flix.meta_documents());
+}
+
+// Corruption class 5: stale L_i entry — a recorded cross link with no
+// witnessing element edge.
+TEST(FrameworkMutationTest, StaleLinkEntryIsDetected) {
+  const auto collection = workload::GenerateSynthetic({.seed = 97});
+  ASSERT_TRUE(collection.ok());
+  const auto flix = BuildHybrid(*collection);
+  ASSERT_TRUE(ValidateFramework(*flix).ok());
+
+  core::MetaDocumentSet& set = MutableSet(*flix);
+  core::MetaDocument* victim = nullptr;
+  for (core::MetaDocument& doc : set.docs) {
+    if (!doc.link_sources.empty()) {
+      victim = &doc;
+      break;
+    }
+  }
+  ASSERT_NE(victim, nullptr) << "expected cross links at this bound";
+  // The element graph has no self edges, so source -> source is never
+  // witnessed.
+  const NodeId local = victim->link_sources.front();
+  victim->link_targets[local].push_back(victim->global_nodes[local]);
+
+  CheckOptions options;
+  options.validate_indexes = false;  // the indexes themselves are intact
+  const CheckReport report = ValidateFramework(*flix, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(AnyViolationContains(report, "stale L_i entry"))
+      << report.violations.front();
+}
+
+// Corruption class 6: orphaned partition node — a global node whose mapping
+// no longer round-trips through its meta document.
+TEST(FrameworkMutationTest, OrphanedPartitionNodeIsDetected) {
+  const auto collection = workload::GenerateSynthetic({.seed = 101});
+  ASSERT_TRUE(collection.ok());
+  const auto flix = BuildHybrid(*collection);
+  ASSERT_TRUE(ValidateFramework(*flix).ok());
+
+  core::MetaDocumentSet& set = MutableSet(*flix);
+  // Remove the last element of the largest meta document from its
+  // global_nodes list: the node keeps pointing at the meta document, but
+  // the meta document no longer claims it.
+  core::MetaDocument* victim = &set.docs.front();
+  for (core::MetaDocument& doc : set.docs) {
+    if (doc.global_nodes.size() > victim->global_nodes.size()) victim = &doc;
+  }
+  ASSERT_GT(victim->global_nodes.size(), 1u);
+  victim->global_nodes.pop_back();
+
+  CheckOptions options;
+  options.validate_indexes = false;
+  const CheckReport report = ValidateFramework(*flix, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(AnyViolationContains(report, "orphaned"))
+      << report.violations.front();
+}
+
+// The violations counter must tick for failed runs.
+TEST(FrameworkMutationTest, ViolationsCounterAdvancesOnFailure) {
+  const auto collection = workload::GenerateSynthetic({.seed = 103});
+  ASSERT_TRUE(collection.ok());
+  const auto flix = BuildHybrid(*collection);
+  core::MetaDocumentSet& set = MutableSet(*flix);
+  ASSERT_GT(set.docs.front().global_nodes.size(), 1u);
+  set.docs.front().global_nodes.pop_back();
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const uint64_t before =
+      registry.GetCounter("flix.check.violations").Value();
+  CheckOptions options;
+  options.validate_indexes = false;
+  const CheckReport report = ValidateFramework(*flix, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(registry.GetCounter("flix.check.violations").Value(),
+            before + report.violations.size());
+}
+
+}  // namespace
+}  // namespace flix::check

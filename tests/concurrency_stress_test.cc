@@ -1,0 +1,227 @@
+// Concurrency stress tests (ctest label `stress`): hammer the thread-facing
+// pieces — StreamedList, AsyncQuery, QueryCache, MetricsRegistry — from
+// several threads at once. Under the plain build these assert functional
+// invariants (no lost or duplicated results, consistent stats); under
+// -DFLIX_SANITIZE=thread they are the workload the TSan CI job runs to
+// prove the synchronization itself.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "flix/flix.h"
+#include "flix/query_cache.h"
+#include "flix/streamed_list.h"
+#include "obs/metrics.h"
+#include "workload/query_workload.h"
+#include "workload/synthetic_generator.h"
+
+namespace flix::core {
+namespace {
+
+constexpr size_t kThreads = 4;
+
+TEST(StreamedListStressTest, ProducersAndConsumersAgreeOnTotals) {
+  StreamedList list(/*capacity=*/8);  // small: force blocking on both sides
+  constexpr size_t kPerProducer = 500;
+  constexpr size_t kProducers = 2;
+
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&list, p] {
+      for (size_t i = 0; i < kPerProducer; ++i) {
+        const NodeId node = static_cast<NodeId>(p * kPerProducer + i);
+        if (!list.Push({node, static_cast<Distance>(i % 7)})) return;
+      }
+    });
+  }
+
+  std::atomic<size_t> consumed{0};
+  std::vector<std::thread> consumers;
+  for (size_t c = 0; c < kThreads; ++c) {
+    consumers.emplace_back([&list, &consumed, c] {
+      while (true) {
+        // Mix the blocking and polling paths.
+        const std::optional<Result> r =
+            (c % 2 == 0) ? list.Next() : list.TryNext();
+        if (r.has_value()) {
+          consumed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (c % 2 == 0) return;  // Next(): closed and drained
+        // Pollers retire once production is done; any result still queued
+        // at that instant is drained by the blocking consumers.
+        if (list.produced() == kProducers * kPerProducer) return;
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  for (std::thread& t : producers) t.join();
+  list.Close();
+  for (std::thread& t : consumers) t.join();
+
+  EXPECT_EQ(list.produced(), kProducers * kPerProducer);
+  // Every produced result is handed to exactly one consumer: nothing lost,
+  // nothing duplicated.
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+}
+
+TEST(StreamedListStressTest, CancelRacesWithProducer) {
+  for (int round = 0; round < 20; ++round) {
+    StreamedList list(/*capacity=*/4);
+    std::thread producer([&list] {
+      NodeId n = 0;
+      while (list.Push({n, 0})) ++n;
+    });
+    std::thread canceller([&list] { list.Cancel(); });
+    canceller.join();
+    producer.join();
+    EXPECT_TRUE(list.cancelled());
+  }
+}
+
+TEST(QueryCacheStressTest, ConcurrentLookupsAndInsertsStayConsistent) {
+  QueryCache cache(/*capacity=*/32);
+  constexpr size_t kOps = 2000;
+
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      std::vector<Result> results;
+      for (size_t i = 0; i < kOps; ++i) {
+        const NodeId start = static_cast<NodeId>((t * 13 + i) % 64);
+        const TagId tag = static_cast<TagId>(i % 4);
+        if (!cache.Lookup(start, tag, &results)) {
+          cache.Insert(start, tag,
+                       {{start, static_cast<Distance>(i % 5)}});
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  const QueryCacheStats stats = cache.Stats();
+  EXPECT_LE(stats.size, 32u);
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kOps);
+  // Every miss triggered an insert (fresh or overwrite of a racing key).
+  EXPECT_EQ(stats.insertions + stats.overwrites, stats.misses);
+}
+
+TEST(MetricsStressTest, CountersAndHistogramsCountEveryUpdate) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const uint64_t counter_before =
+      registry.GetCounter("stress.test.counter").Value();
+  const uint64_t histogram_before =
+      registry.GetHistogram("stress.test.histogram").Count();
+  constexpr size_t kOps = 5000;
+
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      obs::Counter& counter = registry.GetCounter("stress.test.counter");
+      obs::Histogram& histogram =
+          registry.GetHistogram("stress.test.histogram");
+      for (size_t i = 0; i < kOps; ++i) {
+        counter.Add(1);
+        histogram.Record(i % 97);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  EXPECT_EQ(registry.GetCounter("stress.test.counter").Value(),
+            counter_before + kThreads * kOps);
+  EXPECT_EQ(registry.GetHistogram("stress.test.histogram").Count(),
+            histogram_before + kThreads * kOps);
+}
+
+class AsyncQueryStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto collection = workload::GenerateSynthetic({.seed = 107});
+    ASSERT_TRUE(collection.ok());
+    collection_ =
+        std::make_unique<xml::Collection>(std::move(collection).value());
+    FlixOptions options;
+    options.config = MdbConfig::kHybrid;
+    options.partition_bound = 60;
+    auto flix = Flix::Build(*collection_, options);
+    ASSERT_TRUE(flix.ok()) << flix.status().ToString();
+    flix_ = std::move(flix).value();
+
+    const graph::Digraph g = collection_->BuildGraph();
+    workload::QuerySamplerOptions sampler;
+    sampler.seed = 109;
+    sampler.count = 6;
+    sampler.min_results = 4;
+    queries_ = workload::SampleDescendantQueries(*collection_, g, sampler);
+    ASSERT_FALSE(queries_.empty());
+  }
+
+  std::unique_ptr<xml::Collection> collection_;
+  std::unique_ptr<Flix> flix_;
+  std::vector<workload::DescendantQuery> queries_;
+};
+
+TEST_F(AsyncQueryStressTest, ParallelStreamsDeliverExactResultSets) {
+  // Reference answer per query, computed single-threaded.
+  std::vector<std::set<NodeId>> expected;
+  for (const workload::DescendantQuery& q : queries_) {
+    std::set<NodeId> nodes;
+    for (const Result& r : flix_->FindDescendantsByName(q.start, q.tag_name)) {
+      nodes.insert(r.node);
+    }
+    expected.push_back(std::move(nodes));
+  }
+
+  // Each worker streams every query through its own AsyncQuery with a tiny
+  // list capacity, so producer and consumer genuinely interleave.
+  std::vector<std::thread> workers;
+  std::atomic<size_t> mismatches{0};
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([this, t, &expected, &mismatches] {
+      for (size_t i = 0; i < queries_.size(); ++i) {
+        const workload::DescendantQuery& q = queries_[i];
+        AsyncQuery async = flix_->pee().FindDescendantsByTagAsync(
+            q.start, q.tag, QueryOptions{}, /*capacity=*/4);
+        std::set<NodeId> nodes;
+        while (true) {
+          // Alternate the polling and blocking consumer paths: TryNext
+          // first on odd workers, with Next() settling the empty-or-done
+          // ambiguity so the loop can never hang.
+          std::optional<Result> r;
+          if (t % 2 != 0) r = async.TryNext();
+          if (!r.has_value()) r = async.Next();
+          if (!r.has_value()) break;
+          nodes.insert(r->node);
+        }
+        if (nodes != expected[i]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+TEST_F(AsyncQueryStressTest, CancellationRacesLeaveNoStuckThreads) {
+  for (int round = 0; round < 10; ++round) {
+    const workload::DescendantQuery& q = queries_[round % queries_.size()];
+    AsyncQuery async = flix_->pee().FindDescendantsByTagAsync(
+        q.start, q.tag, QueryOptions{}, /*capacity=*/2);
+    // Consume one result (if any), then cancel while the producer may
+    // still be blocked on the tiny list.
+    (void)async.TryNext();
+    async.Cancel();
+    // Destruction joins the worker; reaching the next round proves it.
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace flix::core

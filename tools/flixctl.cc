@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "check/oracle.h"
+#include "check/validator.h"
 #include "common/bytes.h"
 #include "common/stopwatch.h"
 #include "flix/flix.h"
@@ -103,6 +105,11 @@ int Usage() {
       "                  [--cache N]\n"
       "  flixctl stats   --collection FILE --index FILE\n"
       "                  [--workload N] [--repeat N] [--json]\n"
+      "  flixctl check   --collection FILE --index FILE\n"
+      "                  [--xml-dir DIR | --dblp N | --synthetic]  (build\n"
+      "                   in-process instead of loading saved files)\n"
+      "                  [--config naive|maxppo|uhopi|hybrid] [--bound N]\n"
+      "                  [--deep] [--seed N] [--queries N] [--no-oracle]\n"
       "  flixctl query   --collection FILE --index FILE --start DOC[#ID]\n"
       "                  --tag NAME [--k N] [--max-distance D] [--exact]\n"
       "                  [--legacy]  (materialize probes instead of streaming)\n"
@@ -340,6 +347,85 @@ int CmdStats(const Args& args) {
   return 0;
 }
 
+// `flixctl check`: run the framework validator and the differential query
+// oracle against a saved collection + index (or an in-process build when
+// --xml-dir/--dblp/--synthetic is given). Exits 1 on any violation.
+int CmdCheck(const Args& args) {
+  StatusOr<xml::Collection> collection =
+      InvalidArgumentError("--collection (or --xml-dir/--dblp/--synthetic) "
+                           "is required");
+  const bool in_process =
+      args.Has("xml-dir") || args.Has("dblp") || args.Has("synthetic");
+  if (args.Has("xml-dir")) {
+    collection = IngestXmlDir(args.Get("xml-dir"));
+  } else if (args.Has("dblp")) {
+    workload::DblpOptions options;
+    options.num_publications = args.GetSize("dblp", 6210);
+    collection = workload::GenerateDblp(options);
+  } else if (args.Has("synthetic")) {
+    collection = workload::GenerateSynthetic({});
+  } else {
+    collection = LoadCollection(args);
+  }
+  if (!collection.ok()) {
+    std::cerr << collection.status().ToString() << "\n";
+    return 1;
+  }
+  StatusOr<std::unique_ptr<core::Flix>> flix =
+      InvalidArgumentError("unreachable");
+  if (in_process) {
+    core::FlixOptions options;
+    options.config = ParseConfig(args.Get("config", "hybrid"));
+    options.partition_bound = args.GetSize("bound", 5000);
+    flix = core::Flix::Build(*collection, options);
+  } else {
+    flix = LoadIndex(args, *collection);
+  }
+  if (!flix.ok()) {
+    std::cerr << flix.status().ToString() << "\n";
+    return 1;
+  }
+
+  check::CheckOptions check_options;
+  check_options.index.deep = args.Has("deep");
+  check_options.index.seed = args.GetSize("seed", check_options.index.seed);
+  Stopwatch watch;
+  const check::CheckReport report =
+      check::ValidateFramework(**flix, check_options);
+  std::cout << "validator: " << report.checks_run << " checks, "
+            << report.violations.size() << " violations ("
+            << static_cast<int>(watch.ElapsedMillis()) << " ms)\n";
+  for (const std::string& violation : report.violations) {
+    std::cout << "  VIOLATION: " << violation << "\n";
+  }
+
+  bool oracle_ok = true;
+  if (!args.Has("no-oracle")) {
+    check::OracleOptions oracle_options;
+    oracle_options.deep = args.Has("deep");
+    oracle_options.seed = args.GetSize("seed", oracle_options.seed);
+    oracle_options.num_queries =
+        args.GetSize("queries", oracle_options.num_queries);
+    watch.Restart();
+    const check::OracleReport oracle =
+        check::RunDifferentialOracle(**flix, oracle_options);
+    std::cout << "oracle:    " << oracle.queries_diffed
+              << " queries diffed, " << oracle.diffs.size() << " diffs ("
+              << static_cast<int>(watch.ElapsedMillis()) << " ms)\n";
+    for (const std::string& diff : oracle.diffs) {
+      std::cout << "  DIFF: " << diff << "\n";
+    }
+    oracle_ok = oracle.ok();
+  }
+
+  if (report.ok() && oracle_ok) {
+    std::cout << "check passed\n";
+    return 0;
+  }
+  std::cout << "check FAILED\n";
+  return 1;
+}
+
 int CmdQuery(const Args& args) {
   auto collection = LoadCollection(args);
   if (!collection.ok()) {
@@ -524,6 +610,7 @@ int main(int argc, char** argv) {
   if (args.Has("trace")) flix::obs::SetTraceLog(&std::cerr);
   if (args.command == "build") return CmdBuild(args);
   if (args.command == "stats") return CmdStats(args);
+  if (args.command == "check") return CmdCheck(args);
   if (args.command == "query") return CmdQuery(args);
   if (args.command == "connect") return CmdConnect(args);
   if (args.command == "search") return CmdSearch(args);
