@@ -55,6 +55,8 @@ int main(int argc, char** argv) {
   std::printf("\npaper-reported shape: same trend as Figure 5 with lower "
               "absolute numbers (compare the per-query times above with the "
               "k=100 column of bench_fig5_descendants).\n");
-  bench::EmitMetricsBlock("connection_test");
+  bench::EmitMetricsBlock(
+      "connection_test",
+      {bench::Config("pubs", pubs), bench::Config("pairs", num_pairs)});
   return 0;
 }

@@ -202,6 +202,8 @@ int main(int argc, char** argv) {
                naive.total_time_ms >= hopi.total_time_ms);
   bench::Check("approximate configs have a nonzero but tolerable error rate",
                maxppo.error_rate > 0 && maxppo.error_rate < 0.4);
-  bench::EmitMetricsBlock("fig5_descendants");
+  bench::EmitMetricsBlock(
+      "fig5_descendants",
+      {bench::Config("pubs", pubs), bench::Config("repeats", repeats)});
   return 0;
 }

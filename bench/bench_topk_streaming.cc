@@ -9,7 +9,11 @@
 // front, while the cursor merge emits as soon as the first 2-hop lists
 // yield their heads.
 //
-//   $ ./bench_topk_streaming [--pubs 3000] [--repeats 5]
+//   $ ./bench_topk_streaming [--pubs 3000] [--repeats 5] [--no-profiler]
+//
+// --no-profiler disables per-partition workload attribution, so the bench
+// doubles as the profiler-overhead measurement (compare total_ms of the
+// two modes).
 #include "bench/bench_util.h"
 
 #include <string>
@@ -128,6 +132,7 @@ void Report(const char* label, const Timings& streaming,
 int main(int argc, char** argv) {
   const size_t pubs = bench::FlagOr(argc, argv, "--pubs", 3000);
   const size_t repeats = bench::FlagOr(argc, argv, "--repeats", 5);
+  const bool profiling = !bench::HasFlag(argc, argv, "--no-profiler");
 
   std::printf("=== top-k streaming: lazy cursors vs. materialized probes ===\n");
 
@@ -174,7 +179,8 @@ int main(int argc, char** argv) {
   }
 
   double headline_speedup = 0;
-  for (const Workload& w : workloads) {
+  for (Workload& w : workloads) {
+    w.options.workload_profiling = profiling;
     std::printf("\n--- %s: %zu documents, %zu elements, %zu links ---\n",
                 w.label.c_str(), w.collection.NumDocuments(),
                 w.collection.NumElements(),
@@ -197,6 +203,9 @@ int main(int argc, char** argv) {
   std::printf("\nacceptance:\n");
   bench::Check("streaming TTFR at least 2x faster on dblp-hopi",
                headline_speedup >= 2.0);
-  bench::EmitMetricsBlock("topk_streaming");
+  bench::EmitMetricsBlock(
+      "topk_streaming",
+      {bench::Config("pubs", pubs), bench::Config("repeats", repeats),
+       bench::Config("profiler", profiling ? "on" : "off")});
   return 0;
 }

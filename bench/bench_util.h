@@ -128,24 +128,69 @@ inline size_t FlagOr(int argc, char** argv, const char* name,
   return fallback;
 }
 
+// True when the bare flag `name` is present.
+inline bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
 // Relation check line for the qualitative, paper-reported shape.
 inline void Check(const char* what, bool ok) {
   std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+}
+
+// A bench-run parameter recorded in the emitted envelope. bench_compare
+// refuses to diff runs whose config key/value lists differ, so anything
+// that changes the workload shape (corpus size, repeats, k) belongs here.
+struct ConfigEntry {
+  std::string key;
+  std::string value;
+};
+
+inline ConfigEntry Config(const char* key, size_t value) {
+  return ConfigEntry{key, std::to_string(value)};
+}
+
+inline ConfigEntry Config(const char* key, const char* value) {
+  return ConfigEntry{key, value};
 }
 
 // Prints the machine-readable metrics block; call once at the end of main.
 // The core query series are touched first so the block always contains the
 // query latency histogram and the four QueryStats counters, even for a
 // bench that never queried (their values are then zero).
-inline void EmitMetricsBlock(const char* bench_name) {
+//
+// Envelope schema (version 2):
+//   BENCH_<name>.json: {"schema_version":2,"bench":"<name>",
+//                       "config":{"k":"v",...},"metrics":{<obs::ToJson>}}
+// Version 1 blocks were the bare obs::ToJson snapshot; bench_compare
+// refuses them (no identity to match against).
+inline void EmitMetricsBlock(const char* bench_name,
+                             const std::vector<ConfigEntry>& config = {}) {
   auto& reg = obs::MetricsRegistry::Global();
   reg.GetHistogram("flix.query.latency_ns");
   reg.GetCounter("flix.query.entries_processed");
   reg.GetCounter("flix.query.entries_dominated");
   reg.GetCounter("flix.query.links_followed");
   reg.GetCounter("flix.query.index_probes");
-  const std::string json = obs::ToJson(reg.Snapshot());
-  std::printf("\nBENCH_%s.json: %s\n", bench_name, json.c_str());
+  const std::string metrics = obs::ToJson(reg.Snapshot());
+  std::string envelope = "{\"schema_version\":2,\"bench\":\"";
+  envelope += bench_name;
+  envelope += "\",\"config\":{";
+  for (size_t i = 0; i < config.size(); ++i) {
+    if (i > 0) envelope += ',';
+    envelope += '"';
+    envelope += config[i].key;
+    envelope += "\":\"";
+    envelope += config[i].value;
+    envelope += '"';
+  }
+  envelope += "},\"metrics\":";
+  envelope += metrics;
+  envelope += '}';
+  std::printf("\nBENCH_%s.json: %s\n", bench_name, envelope.c_str());
 }
 
 }  // namespace flix::bench

@@ -73,6 +73,13 @@ struct FlixOptions {
   // name-based descendant queries of the facade; 0 disables caching
   // (Section 7: "caching results of frequent (sub-)queries").
   size_t query_cache_capacity = 0;
+
+  // Attribute query work (probes, cursor pulls, link fan-out, latency) to
+  // individual meta documents via the instance's obs::WorkloadProfiler —
+  // the telemetry the Section 7 self-tuning loop consumes. Runtime-only
+  // (not persisted with the index); costs a few relaxed atomic adds per
+  // query. Disable for overhead-critical benchmarking.
+  bool workload_profiling = true;
 };
 
 }  // namespace flix::core

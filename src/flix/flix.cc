@@ -37,6 +37,10 @@ StatusOr<std::unique_ptr<Flix>> Flix::Build(const xml::Collection& collection,
                                             const FlixOptions& options) {
   Stopwatch watch;
   auto flix = std::unique_ptr<Flix>(new Flix(collection, options));
+  // Root span of the build timeline; the MDB/ISS/IB spans nest under it
+  // when a TraceCollector is enabled (`flixctl trace`).
+  obs::TraceSpan build_span(nullptr, "flix.build");
+  build_span.AddAttr("config", MdbConfigName(options.config));
 
   const graph::Digraph graph = collection.BuildGraph();
   const std::vector<uint32_t> doc_of = collection.DocOfNode();
@@ -58,12 +62,15 @@ StatusOr<std::unique_ptr<Flix>> Flix::Build(const xml::Collection& collection,
   }
 
   StatusOr<std::vector<MetaIndexStats>> stats =
-      BuildIndexes(flix->set_, options);
+      BuildIndexes(flix->set_, options, &flix->profiler_);
   if (!stats.ok()) return stats.status();
+  flix->profiler_.SetEnabled(options.workload_profiling);
 
-  flix->pee_ = std::make_unique<PathExpressionEvaluator>(flix->set_);
+  flix->pee_ =
+      std::make_unique<PathExpressionEvaluator>(flix->set_, &flix->profiler_);
   if (options.query_cache_capacity > 0) {
     flix->cache_ = std::make_unique<QueryCache>(options.query_cache_capacity);
+    flix->cache_->AttachProfiler(&flix->profiler_);
   }
 
   FlixStats& out = flix->stats_;
@@ -218,9 +225,22 @@ StatusOr<std::unique_ptr<Flix>> Flix::Load(std::istream& in,
     }
   }
 
-  flix->pee_ = std::make_unique<PathExpressionEvaluator>(flix->set_);
+  // Loaded indexes carry no build timings, but the partition identities
+  // (strategy, node counts) still seed the profiler so query attribution
+  // starts from a described baseline.
+  flix->profiler_.Resize(set.docs.size());
+  for (const MetaDocument& meta : set.docs) {
+    flix->profiler_.SetPartitionInfo(meta.id,
+                                     index::StrategyName(meta.index->kind()),
+                                     meta.graph.NumNodes(), /*build_ns=*/0);
+  }
+  flix->profiler_.SetEnabled(options.workload_profiling);
+
+  flix->pee_ =
+      std::make_unique<PathExpressionEvaluator>(flix->set_, &flix->profiler_);
   if (options.query_cache_capacity > 0) {
     flix->cache_ = std::make_unique<QueryCache>(options.query_cache_capacity);
+    flix->cache_->AttachProfiler(&flix->profiler_);
   }
 
   FlixStats& stats = flix->stats_;
@@ -273,7 +293,14 @@ std::vector<Result> Flix::FindDescendantsByName(
   // Only unconstrained queries are cacheable: limits change the result list.
   const bool cacheable = cache_ != nullptr && options.max_distance < 0 &&
                          options.max_results < 0 && !options.exact;
-  if (cacheable && cache_->Lookup(start, tag, &results)) return results;
+  // Cache traffic is attributed to the start element's partition — the meta
+  // document whose queries the cache is absorbing.
+  const uint32_t partition = start < set_.meta_of_node.size()
+                                 ? set_.meta_of_node[start]
+                                 : QueryCache::kNoPartition;
+  if (cacheable && cache_->Lookup(start, tag, &results, partition)) {
+    return results;
+  }
 
   QueryStats stats;
   pee_->FindDescendantsByTag(start, tag, options,

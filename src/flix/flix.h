@@ -21,6 +21,7 @@
 #include "common/status.h"
 #include "flix/config.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "flix/index_builder.h"
 #include "flix/meta_document.h"
 #include "flix/pee.h"
@@ -98,6 +99,16 @@ class Flix {
   // by the vector-returning FindDescendantsByName for unconstrained queries.
   const QueryCache* query_cache() const { return cache_.get(); }
 
+  // Per-meta-document workload attribution (see obs/profile.h). Owned by
+  // this instance — partition ids are local to one index, so side-by-side
+  // Flix instances in one process never mix their profiles. Recording is
+  // gated by FlixOptions::workload_profiling (flip at runtime with
+  // profiler().SetEnabled()).
+  obs::WorkloadProfiler& profiler() { return profiler_; }
+  const obs::WorkloadProfiler& profiler() const { return profiler_; }
+  // Convenience snapshot of the profiler (serialize with ProfileToJson).
+  obs::WorkloadProfile Profile() const { return profiler_.Snapshot(); }
+
   // Cumulative traversal counters over all facade queries — the statistics
   // feed for the paper's self-tuning idea (Section 7).
   QueryStats CumulativeQueryStats() const;
@@ -136,6 +147,9 @@ class Flix {
   const xml::Collection& collection_;
   FlixOptions options_;
   MetaDocumentSet set_;
+  // Declared before pee_/cache_, which hold pointers to it: destruction
+  // runs in reverse order, so the consumers die first.
+  obs::WorkloadProfiler profiler_;
   std::unique_ptr<PathExpressionEvaluator> pee_;
   std::unique_ptr<QueryCache> cache_;
   FlixStats stats_;

@@ -6,6 +6,7 @@
 #include "index/hopi.h"
 #include "index/ppo.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace flix::core {
 namespace {
@@ -29,10 +30,12 @@ obs::Histogram& StrategyBuildHistogram(index::StrategyKind kind) {
 
 }  // namespace
 
-StatusOr<std::vector<MetaIndexStats>> BuildIndexes(MetaDocumentSet& set,
-                                                   const FlixOptions& options) {
+StatusOr<std::vector<MetaIndexStats>> BuildIndexes(
+    MetaDocumentSet& set, const FlixOptions& options,
+    obs::WorkloadProfiler* profiler) {
   auto& reg = obs::MetricsRegistry::Global();
   obs::Histogram& iss_hist = reg.GetHistogram("flix.build.iss_ns");
+  if (profiler != nullptr) profiler->Resize(set.docs.size());
   std::vector<MetaIndexStats> stats;
   stats.reserve(set.docs.size());
   for (MetaDocument& meta : set.docs) {
@@ -42,11 +45,23 @@ StatusOr<std::vector<MetaIndexStats>> BuildIndexes(MetaDocumentSet& set,
     s.edges = meta.graph.NumEdges();
 
     Stopwatch select_watch;
-    index::StrategyKind kind = SelectStrategy(meta.graph, options);
+    index::StrategyKind kind;
+    {
+      obs::TraceSpan iss_span(nullptr, "flix.iss");
+      iss_span.AddAttr("meta", static_cast<int64_t>(meta.id));
+      kind = SelectStrategy(meta.graph, options);
+      if (iss_span.Collecting()) {
+        iss_span.AddAttr("strategy", index::StrategyName(kind));
+      }
+    }
     const uint64_t select_ns = select_watch.ElapsedNanos();
     iss_hist.Record(select_ns);
     s.select_ms = static_cast<double>(select_ns) / 1e6;
     Stopwatch watch;
+    // The histogram is chosen *after* the switch: the PPO branch may fall
+    // back to HOPI, and the sample belongs to the strategy actually built.
+    obs::TraceSpan ib_span(nullptr, "flix.ib");
+    ib_span.AddAttr("meta", static_cast<int64_t>(meta.id));
     switch (kind) {
       case index::StrategyKind::kPpo: {
         auto built = index::PpoIndex::Build(meta.graph);
@@ -70,6 +85,10 @@ StatusOr<std::vector<MetaIndexStats>> BuildIndexes(MetaDocumentSet& set,
             std::string(index::StrategyName(kind)) +
             " is a baseline/extension, not an ISS choice");
     }
+    if (ib_span.Collecting()) {
+      ib_span.AddAttr("strategy", index::StrategyName(kind));
+    }
+    ib_span.Finish();
     // Let the strategy precompute filtered structures for the per-entry
     // L(a) probes (Section 4.2's L_i lookup).
     meta.index->RegisterLinkSources(meta.link_sources);
@@ -80,6 +99,10 @@ StatusOr<std::vector<MetaIndexStats>> BuildIndexes(MetaDocumentSet& set,
     StrategyBuildHistogram(kind).Record(build_ns);
     s.build_ms = static_cast<double>(build_ns) / 1e6;
     s.index_bytes = meta.index->MemoryBytes();
+    if (profiler != nullptr) {
+      profiler->SetPartitionInfo(meta.id, index::StrategyName(kind), s.nodes,
+                                 build_ns);
+    }
     stats.push_back(s);
   }
   return stats;

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "flix/config.h"
 #include "flix/meta_document.h"
+#include "obs/profile.h"
 
 namespace flix::core {
 
@@ -24,8 +25,12 @@ struct MetaIndexStats {
 // Builds an index for every meta document in `set` (ISS choice per
 // document). On a PPO selection whose graph turns out not to be a forest
 // (defensive; the MDB should prevent it) the builder falls back to HOPI.
-StatusOr<std::vector<MetaIndexStats>> BuildIndexes(MetaDocumentSet& set,
-                                                   const FlixOptions& options);
+// `profiler`, when non-null, is resized to the partition count and given
+// each partition's identity (strategy, node count, build time), so query
+// attribution can start from a described baseline.
+StatusOr<std::vector<MetaIndexStats>> BuildIndexes(
+    MetaDocumentSet& set, const FlixOptions& options,
+    obs::WorkloadProfiler* profiler = nullptr);
 
 }  // namespace flix::core
 

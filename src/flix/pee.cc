@@ -1,6 +1,7 @@
 #include "flix/pee.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -61,6 +62,10 @@ struct ActiveCursor {
   std::unique_ptr<index::NodeDistCursor> cursor;
   Distance base = 0;   // accumulated distance of the owning entry point
   uint32_t meta = 0;   // meta document the cursor probes
+  // Cached per-query attribution cell for `meta` (nullptr = profiling off).
+  // unordered_map values have stable addresses, so the pointer survives
+  // other partitions being inserted into the delta map mid-query.
+  obs::PartitionDelta* delta = nullptr;
 };
 
 // Cached references into the global registry so the hot path pays one
@@ -107,12 +112,18 @@ struct PeeMetrics {
   }
 };
 
-// Flushes one query's accumulated counters on every exit path of Run.
+// Flushes one query's accumulated counters on every exit path of Run: the
+// global registry counters, the per-partition profiler deltas, and (when
+// configured) the slow-query ring.
 struct QueryMetricsFlush {
   PeeMetrics& metrics;
   const QueryStats& stats;
   const size_t& emitted;
   const size_t& out_of_order;
+  obs::WorkloadProfiler* profiler;
+  const obs::PartitionDeltaMap& deltas;
+  const obs::TraceSpan& span;
+  size_t num_starts;
 
   ~QueryMetricsFlush() {
     metrics.queries.Increment();
@@ -126,6 +137,17 @@ struct QueryMetricsFlush {
     metrics.cursor_pulled.Add(stats.cursor_pulls);
     metrics.cursor_saved.Add(stats.cursor_saved);
     metrics.results_per_query.Record(emitted);
+    const uint64_t latency_ns = span.ElapsedNanos();
+    if (profiler != nullptr) profiler->RecordQuery(deltas, latency_ns);
+    obs::SlowQueryLog& slow = obs::SlowQueryLog::Global();
+    if (slow.ThresholdNanos() != 0 && latency_ns >= slow.ThresholdNanos()) {
+      char buf[112];
+      std::snprintf(buf, sizeof buf,
+                    "pee.query starts=%zu entries=%zu pulls=%zu emitted=%zu",
+                    num_starts, stats.entries_processed, stats.cursor_pulls,
+                    emitted);
+      slow.Record(buf, latency_ns);
+    }
   }
 };
 
@@ -169,10 +191,17 @@ void PathExpressionEvaluator::RunStreaming(const std::vector<NodeId>& starts,
 
   PeeMetrics& metrics = PeeMetrics::Get();
   obs::TraceSpan span(&metrics.latency_ns, "pee.query");
+  const bool collecting = span.Collecting();
+  // Profiler deltas accumulate in this per-query map (plain non-atomic
+  // adds) and flush to the shared profiler once, in ~QueryMetricsFlush.
+  obs::WorkloadProfiler* profiler =
+      profiler_ != nullptr && profiler_->Enabled() ? profiler_ : nullptr;
+  obs::PartitionDeltaMap deltas;
   size_t emitted_count = 0;
   size_t out_of_order = 0;
   Distance last_emitted_distance = 0;
-  QueryMetricsFlush flush{metrics, *stats, emitted_count, out_of_order};
+  QueryMetricsFlush flush{metrics,  *stats, emitted_count, out_of_order,
+                          profiler, deltas, span,          starts.size()};
 
   StreamQueue queue;
   uint64_t seq = 0;
@@ -195,6 +224,10 @@ void PathExpressionEvaluator::RunStreaming(const std::vector<NodeId>& starts,
     if (emitted_count > 0 && distance < last_emitted_distance) ++out_of_order;
     last_emitted_distance = distance;
     ++emitted_count;
+    // Results are attributed to the partition that holds the element.
+    if (profiler != nullptr) {
+      ++deltas[set_.meta_of_node[node]].results_emitted;
+    }
     if (!sink({node, distance})) return false;
     if (options.max_results >= 0 && ++num_results >= options.max_results) {
       return false;
@@ -210,6 +243,7 @@ void PathExpressionEvaluator::RunStreaming(const std::vector<NodeId>& starts,
     const MetaDocument& meta = set_.docs[ac.meta];
     while (true) {
       ++stats->cursor_pulls;
+      if (ac.delta != nullptr) ++ac.delta->cursor_pulls;
       const std::optional<index::NodeDist> r = ac.cursor->Next();
       if (!r.has_value()) {
         ac.cursor.reset();
@@ -227,6 +261,7 @@ void PathExpressionEvaluator::RunStreaming(const std::vector<NodeId>& starts,
   const auto arm_frontier = [&](uint32_t slot) {
     ActiveCursor& ac = slots[slot];
     ++stats->cursor_pulls;
+    if (ac.delta != nullptr) ++ac.delta->cursor_pulls;
     const std::optional<index::NodeDist> f = ac.cursor->Next();
     if (!f.has_value()) {
       ac.cursor.reset();
@@ -252,12 +287,16 @@ void PathExpressionEvaluator::RunStreaming(const std::vector<NodeId>& starts,
     }
 
     if (item.kind == ItemKind::kFrontier) {
-      const MetaDocument& meta = set_.docs[slots[item.slot].meta];
+      ActiveCursor& ac = slots[item.slot];
+      const MetaDocument& meta = set_.docs[ac.meta];
       const auto& hops = forward ? meta.link_targets.at(item.node)
                                  : meta.entry_origins.at(item.node);
       for (const NodeId target : hops) {
         queue.push({item.distance, seq++, target, ItemKind::kEntry, 0});
         ++stats->links_followed;
+        // Cross-link fan-out is charged to the partition being *left* —
+        // the one whose meta-document choice forced the hop.
+        if (ac.delta != nullptr) ++ac.delta->entry_fanout;
       }
       arm_frontier(item.slot);
       continue;
@@ -268,6 +307,12 @@ void PathExpressionEvaluator::RunStreaming(const std::vector<NodeId>& starts,
     const uint32_t m = set_.meta_of_node[e];
     const NodeId le = set_.local_of_node[e];
     const MetaDocument& meta = set_.docs[m];
+    obs::PartitionDelta* pdelta = profiler != nullptr ? &deltas[m] : nullptr;
+    obs::TraceSpan entry_span(nullptr, collecting ? "pee.entry" : nullptr);
+    if (entry_span.Collecting()) {
+      entry_span.AddAttr("meta", static_cast<int64_t>(m));
+      entry_span.AddAttr("strategy", meta.index->name());
+    }
 
     std::vector<NodeId>& meta_entries = entries[m];
     bool dominated = false;
@@ -281,10 +326,12 @@ void PathExpressionEvaluator::RunStreaming(const std::vector<NodeId>& starts,
     }
     if (dominated) {
       ++stats->entries_dominated;
+      if (pdelta != nullptr) ++pdelta->entries_dominated;
       continue;
     }
     meta_entries.push_back(le);
     ++stats->entries_processed;
+    if (pdelta != nullptr) ++pdelta->entries_processed;
 
     // The entry element itself is a proper result when it was reached via a
     // link (not an original start) and matches the condition.
@@ -294,24 +341,40 @@ void PathExpressionEvaluator::RunStreaming(const std::vector<NodeId>& starts,
     }
 
     // Local probe: a lazy cursor over matches within the meta document.
-    ++stats->index_probes;
-    ++stats->cursors_opened;
-    slots.push_back(
-        {forward ? (wildcard ? meta.index->DescendantsCursor(le)
-                             : meta.index->DescendantsByTagCursor(le, tag))
-                 : meta.index->AncestorsByTagCursor(le, tag),
-         item.distance, m});
-    arm_result(static_cast<uint32_t>(slots.size() - 1));
+    {
+      obs::TraceSpan cursor_span(nullptr,
+                                 collecting ? "pee.cursor.local" : nullptr);
+      ++stats->index_probes;
+      ++stats->cursors_opened;
+      if (pdelta != nullptr) {
+        ++pdelta->index_probes;
+        ++pdelta->cursors_opened;
+      }
+      slots.push_back(
+          {forward ? (wildcard ? meta.index->DescendantsCursor(le)
+                               : meta.index->DescendantsByTagCursor(le, tag))
+                   : meta.index->AncestorsByTagCursor(le, tag),
+           item.distance, m, pdelta});
+      arm_result(static_cast<uint32_t>(slots.size() - 1));
+    }
 
     // Frontier probe: a lazy cursor over the reachable link sources (or
     // entry nodes, for the ancestors axis).
-    ++stats->index_probes;
-    ++stats->cursors_opened;
-    slots.push_back(
-        {forward ? meta.index->ReachableAmongCursor(le, meta.link_sources)
-                 : meta.index->AncestorsAmongCursor(le, meta.entry_nodes),
-         item.distance, m});
-    arm_frontier(static_cast<uint32_t>(slots.size() - 1));
+    {
+      obs::TraceSpan cursor_span(nullptr,
+                                 collecting ? "pee.cursor.frontier" : nullptr);
+      ++stats->index_probes;
+      ++stats->cursors_opened;
+      if (pdelta != nullptr) {
+        ++pdelta->index_probes;
+        ++pdelta->cursors_opened;
+      }
+      slots.push_back(
+          {forward ? meta.index->ReachableAmongCursor(le, meta.link_sources)
+                   : meta.index->AncestorsAmongCursor(le, meta.entry_nodes),
+           item.distance, m, pdelta});
+      arm_frontier(static_cast<uint32_t>(slots.size() - 1));
+    }
   }
 }
 
@@ -327,10 +390,14 @@ void PathExpressionEvaluator::RunMaterialized(
   // path (the sampled out-of-order rate feeds the Section 7 tuning loop).
   PeeMetrics& metrics = PeeMetrics::Get();
   obs::TraceSpan span(&metrics.latency_ns, "pee.query");
+  obs::WorkloadProfiler* profiler =
+      profiler_ != nullptr && profiler_->Enabled() ? profiler_ : nullptr;
+  obs::PartitionDeltaMap deltas;
   size_t emitted_count = 0;
   size_t out_of_order = 0;
   Distance last_emitted_distance = 0;
-  QueryMetricsFlush flush{metrics, *stats, emitted_count, out_of_order};
+  QueryMetricsFlush flush{metrics,  *stats, emitted_count, out_of_order,
+                          profiler, deltas, span,          starts.size()};
 
   MinQueue queue;
   uint64_t seq = 0;
@@ -354,6 +421,9 @@ void PathExpressionEvaluator::RunMaterialized(
     if (emitted_count > 0 && distance < last_emitted_distance) ++out_of_order;
     last_emitted_distance = distance;
     ++emitted_count;
+    if (profiler != nullptr) {
+      ++deltas[set_.meta_of_node[node]].results_emitted;
+    }
     if (!sink({node, distance})) return false;
     if (options.max_results >= 0 && ++num_results >= options.max_results) {
       return false;
@@ -375,10 +445,12 @@ void PathExpressionEvaluator::RunMaterialized(
     const uint32_t m = set_.meta_of_node[e];
     const NodeId le = set_.local_of_node[e];
     const MetaDocument& meta = set_.docs[m];
+    obs::PartitionDelta* pdelta = profiler != nullptr ? &deltas[m] : nullptr;
 
     if (options.exact) {
       if (!processed.insert(e).second) {
         ++stats->entries_dominated;
+        if (pdelta != nullptr) ++pdelta->entries_dominated;
         continue;
       }
     } else {
@@ -397,11 +469,13 @@ void PathExpressionEvaluator::RunMaterialized(
       }
       if (dominated) {
         ++stats->entries_dominated;
+        if (pdelta != nullptr) ++pdelta->entries_dominated;
         continue;
       }
       meta_entries.push_back(le);
     }
     ++stats->entries_processed;
+    if (pdelta != nullptr) ++pdelta->entries_processed;
 
     // The entry element itself is a proper result when it was reached via a
     // link (not an original start) and matches the condition.
@@ -416,6 +490,7 @@ void PathExpressionEvaluator::RunMaterialized(
 
     // Local index probe: all matches within the meta document, ascending.
     ++stats->index_probes;
+    if (pdelta != nullptr) ++pdelta->index_probes;
     const std::vector<index::NodeDist> local_results =
         forward ? (wildcard ? meta.index->Descendants(le)
                             : meta.index->DescendantsByTag(le, tag))
@@ -435,6 +510,7 @@ void PathExpressionEvaluator::RunMaterialized(
     // Frontier expansion: elements of L_i (or the entry nodes, for the
     // ancestors axis) reachable from e, then one hop across each link.
     ++stats->index_probes;
+    if (pdelta != nullptr) ++pdelta->index_probes;
     const std::vector<index::NodeDist> frontier =
         forward ? meta.index->ReachableAmong(le, meta.link_sources)
                 : meta.index->AncestorsAmong(le, meta.entry_nodes);
@@ -448,6 +524,7 @@ void PathExpressionEvaluator::RunMaterialized(
       for (const NodeId target : hops) {
         queue.push({hop_distance, seq++, target});
         ++stats->links_followed;
+        if (pdelta != nullptr) ++pdelta->entry_fanout;
       }
     }
   }
@@ -464,6 +541,9 @@ void PathExpressionEvaluator::RunMaterialized(
                   "exact-mode results emitted out of ascending order");
       last = nd.distance;
       ++emitted_count;
+      if (profiler != nullptr) {
+        ++deltas[set_.meta_of_node[nd.node]].results_emitted;
+      }
       if (!sink({nd.node, nd.distance})) return;
       if (options.max_results >= 0 && ++num_results >= options.max_results) {
         return;

@@ -26,6 +26,7 @@
 #include "common/types.h"
 #include "flix/meta_document.h"
 #include "flix/streamed_list.h"
+#include "obs/profile.h"
 
 namespace flix::core {
 
@@ -100,7 +101,14 @@ class AsyncQuery {
 class PathExpressionEvaluator {
  public:
   // Keeps a reference; `set` (with built indexes) must outlive the PEE.
-  explicit PathExpressionEvaluator(const MetaDocumentSet& set) : set_(set) {}
+  // `profiler`, when non-null (and enabled), receives per-meta-document
+  // attribution of every query's work — entries, probes, cursor pulls,
+  // cross-link fan-out, emitted results, whole-query latency. Queries
+  // accumulate deltas in locals and flush once at query end, so the hot
+  // path stays free of shared-state writes.
+  explicit PathExpressionEvaluator(const MetaDocumentSet& set,
+                                   obs::WorkloadProfiler* profiler = nullptr)
+      : set_(set), profiler_(profiler) {}
 
   // a//B — descendants of `start` with tag `tag`. `stats`, when non-null,
   // receives the traversal counters (all query entry points below too).
@@ -181,6 +189,7 @@ class PathExpressionEvaluator {
                       bool exact) const;
 
   const MetaDocumentSet& set_;
+  obs::WorkloadProfiler* profiler_ = nullptr;
 };
 
 }  // namespace flix::core

@@ -4,6 +4,7 @@
 #ifndef FLIX_FLIX_QUERY_CACHE_H_
 #define FLIX_FLIX_QUERY_CACHE_H_
 
+#include <cstdint>
 #include <list>
 #include <mutex>
 #include <unordered_map>
@@ -12,6 +13,7 @@
 #include "common/dcheck.h"
 #include "common/types.h"
 #include "flix/streamed_list.h"
+#include "obs/profile.h"
 
 namespace flix::core {
 
@@ -39,24 +41,48 @@ struct QueryCacheStats {
 // Thread-safe LRU cache keyed by (start element, result tag).
 class QueryCache {
  public:
+  // Sentinel for Lookup's partition parameter: no per-partition attribution.
+  static constexpr uint32_t kNoPartition = UINT32_MAX;
+
   explicit QueryCache(size_t capacity) : capacity_(capacity) {}
 
   QueryCache(const QueryCache&) = delete;
   QueryCache& operator=(const QueryCache&) = delete;
 
+  // Routes per-partition hit/miss attribution to `profiler` (nullptr
+  // detaches). Callers then pass the start element's meta document to
+  // Lookup, so the profiler can report hit rates per partition.
+  void AttachProfiler(obs::WorkloadProfiler* profiler) {
+    profiler_ = profiler;
+  }
+
   // Returns true and fills `results` on a hit (also refreshes recency).
-  bool Lookup(NodeId start, TagId tag, std::vector<Result>* results) {
+  // `partition`, when not kNoPartition, attributes the hit/miss to that
+  // meta document in the attached profiler.
+  bool Lookup(NodeId start, TagId tag, std::vector<Result>* results,
+              uint32_t partition = kNoPartition) {
     if (capacity_ == 0) return false;
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = index_.find(Key(start, tag));
-    if (it == index_.end()) {
-      ++misses_;
-      return false;
+    bool hit = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = index_.find(Key(start, tag));
+      if (it == index_.end()) {
+        ++misses_;
+      } else {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        *results = it->second->results;
+        ++hits_;
+        hit = true;
+      }
     }
-    lru_.splice(lru_.begin(), lru_, it->second);
-    *results = it->second->results;
-    ++hits_;
-    return true;
+    if (profiler_ != nullptr && partition != kNoPartition) {
+      if (hit) {
+        profiler_->RecordCacheHit(partition);
+      } else {
+        profiler_->RecordCacheMiss(partition);
+      }
+    }
+    return hit;
   }
 
   void Insert(NodeId start, TagId tag, std::vector<Result> results) {
@@ -123,6 +149,7 @@ class QueryCache {
   }
 
   const size_t capacity_;
+  obs::WorkloadProfiler* profiler_ = nullptr;
   mutable std::mutex mutex_;
   std::list<Entry> lru_;
   std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;

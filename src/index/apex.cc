@@ -9,9 +9,18 @@
 
 #include "common/bytes.h"
 #include "graph/scc.h"
+#include "obs/metrics.h"
 
 namespace flix::index {
 namespace {
+
+// Process-wide count of results yielded by APEX frontier cursors (resolved
+// once; Counter addresses survive MetricsRegistry::Reset()).
+obs::Counter& ApexPullCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("flix.cursor.pulled.apex");
+  return counter;
+}
 
 // Maximum tag id occurring in g, plus one (0 if untagged).
 size_t TagUniverse(const graph::Digraph& g) {
@@ -217,14 +226,16 @@ std::unique_ptr<NodeDistCursor> ApexIndex::DescendantsByTagCursor(
   return std::make_unique<FrontierCursor>(
       g_, from, graph::Direction::kForward,
       [this, tag](NodeId w) { return BlockCanReachTag(block_of_[w], tag); },
-      tag, /*wildcard=*/false, /*include_source=*/false);
+      tag, /*wildcard=*/false, /*include_source=*/false, std::nullopt,
+      &ApexPullCounter());
 }
 
 std::unique_ptr<NodeDistCursor> ApexIndex::DescendantsCursor(
     NodeId from) const {
   return std::make_unique<FrontierCursor>(
       g_, from, graph::Direction::kForward, graph::BfsFrontier::ExpandFilter{},
-      kInvalidTag, /*wildcard=*/true, /*include_source=*/false);
+      kInvalidTag, /*wildcard=*/true, /*include_source=*/false, std::nullopt,
+      &ApexPullCounter());
 }
 
 std::unique_ptr<NodeDistCursor> ApexIndex::AncestorsByTagCursor(
@@ -233,7 +244,8 @@ std::unique_ptr<NodeDistCursor> ApexIndex::AncestorsByTagCursor(
   // forward-only), so this is a plain lazy reverse BFS with tag filtering.
   return std::make_unique<FrontierCursor>(
       g_, from, graph::Direction::kBackward, graph::BfsFrontier::ExpandFilter{},
-      tag, /*wildcard=*/false, /*include_source=*/false);
+      tag, /*wildcard=*/false, /*include_source=*/false, std::nullopt,
+      &ApexPullCounter());
 }
 
 std::unique_ptr<NodeDistCursor> ApexIndex::ReachableAmongCursor(
@@ -241,7 +253,8 @@ std::unique_ptr<NodeDistCursor> ApexIndex::ReachableAmongCursor(
   return std::make_unique<FrontierCursor>(
       g_, from, graph::Direction::kForward, graph::BfsFrontier::ExpandFilter{},
       kInvalidTag, /*wildcard=*/true, /*include_source=*/true,
-      std::unordered_set<NodeId>(targets.begin(), targets.end()));
+      std::unordered_set<NodeId>(targets.begin(), targets.end()),
+      &ApexPullCounter());
 }
 
 std::unique_ptr<NodeDistCursor> ApexIndex::AncestorsAmongCursor(
@@ -249,7 +262,8 @@ std::unique_ptr<NodeDistCursor> ApexIndex::AncestorsAmongCursor(
   return std::make_unique<FrontierCursor>(
       g_, from, graph::Direction::kBackward, graph::BfsFrontier::ExpandFilter{},
       kInvalidTag, /*wildcard=*/true, /*include_source=*/true,
-      std::unordered_set<NodeId>(sources.begin(), sources.end()));
+      std::unordered_set<NodeId>(sources.begin(), sources.end()),
+      &ApexPullCounter());
 }
 
 void ApexIndex::Save(BinaryWriter& writer) const {

@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "graph/partition.h"
 #include "graph/traversal.h"
+#include "obs/metrics.h"
 
 namespace flix::index {
 namespace {
@@ -200,6 +201,14 @@ Distance HopiIndex::DistanceBetween(NodeId from, NodeId to) const {
 
 namespace {
 
+// Process-wide count of results yielded by HOPI merge cursors (resolved
+// once; Counter addresses survive MetricsRegistry::Reset()).
+obs::Counter& HopiPullCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("flix.cursor.pulled.hopi");
+  return counter;
+}
+
 // K-way merge over the inverted lists of `from`'s hubs, keyed by
 // label-distance + entry-distance. Each list is ascending by (distance,
 // node), so the heap pops globally ascending (distance, node) pairs and the
@@ -245,6 +254,7 @@ class HopiMergeCursor : public index::NodeDistCursor {
       if (top.node == exclude_ || seen_[top.node]) continue;
       seen_[top.node] = 1;
       if (!wildcard_ && tag_of_[top.node] != tag_) continue;
+      HopiPullCounter().Increment();
       return NodeDist{top.node, top.distance};
     }
     return std::nullopt;

@@ -28,14 +28,16 @@ FrontierCursor::FrontierCursor(const graph::Digraph& g, NodeId source,
                                graph::Direction dir,
                                graph::BfsFrontier::ExpandFilter filter,
                                TagId tag, bool wildcard, bool include_source,
-                               std::optional<std::unordered_set<NodeId>> wanted)
+                               std::optional<std::unordered_set<NodeId>> wanted,
+                               obs::Counter* pull_counter)
     : g_(g),
       frontier_(g, source, dir, std::move(filter)),
       source_(source),
       tag_(tag),
       wildcard_(wildcard),
       include_source_(include_source),
-      wanted_(std::move(wanted)) {}
+      wanted_(std::move(wanted)),
+      pull_counter_(pull_counter) {}
 
 std::optional<NodeDist> FrontierCursor::Next() {
   while (pos_ >= buffer_.size()) {
@@ -52,6 +54,7 @@ std::optional<NodeDist> FrontierCursor::Next() {
       buffer_.push_back(v);
     }
   }
+  if (pull_counter_ != nullptr) pull_counter_->Increment();
   return NodeDist{buffer_[pos_++], depth_};
 }
 

@@ -28,6 +28,7 @@
 #include "common/types.h"
 #include "graph/digraph.h"
 #include "graph/traversal.h"
+#include "obs/metrics.h"
 
 namespace flix::index {
 
@@ -127,10 +128,14 @@ class FrontierCursor : public NodeDistCursor {
   // `wanted`, when set, restricts results to that node set (the Among
   // probes). The source node is reported (at distance 0) only when
   // `include_source` is true and it passes the filters.
+  // `pull_counter`, when non-null, is incremented once per yielded result —
+  // strategies pass their own flix.cursor.pulled.* counter so the shared
+  // frontier machinery stays strategy-agnostic.
   FrontierCursor(const graph::Digraph& g, NodeId source, graph::Direction dir,
                  graph::BfsFrontier::ExpandFilter filter, TagId tag,
                  bool wildcard, bool include_source,
-                 std::optional<std::unordered_set<NodeId>> wanted = {});
+                 std::optional<std::unordered_set<NodeId>> wanted = {},
+                 obs::Counter* pull_counter = nullptr);
 
   std::optional<NodeDist> Next() override;
   Distance BoundHint() const override;
@@ -144,6 +149,7 @@ class FrontierCursor : public NodeDistCursor {
   const bool wildcard_;
   const bool include_source_;
   const std::optional<std::unordered_set<NodeId>> wanted_;
+  obs::Counter* const pull_counter_;
   std::vector<NodeId> buffer_;
   size_t pos_ = 0;
   Distance depth_ = -1;

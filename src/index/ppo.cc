@@ -4,9 +4,19 @@
 
 #include "common/bytes.h"
 #include "graph/tree_utils.h"
+#include "obs/metrics.h"
 
 namespace flix::index {
 namespace {
+
+// Process-wide count of results yielded by PPO cursors. The reference is
+// resolved once (registry lookups take a lock); Counter addresses are
+// stable for the process lifetime, surviving MetricsRegistry::Reset().
+obs::Counter& PpoPullCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("flix.cursor.pulled.ppo");
+  return counter;
+}
 
 // Lazy descendant cursor over the preorder interval of `from`'s subtree.
 // The interval is bucketed by relative depth on the first pull (one linear
@@ -35,6 +45,7 @@ class PpoSubtreeCursor : public NodeDistCursor {
       if (pos_ == 0) std::sort(level.begin(), level.end());
       if (pos_ < level.size()) {
         --remaining_;
+        PpoPullCounter().Increment();
         return NodeDist{level[pos_++],
                         static_cast<Distance>(bucket_ + 1)};
       }
@@ -102,6 +113,7 @@ class PpoAncestorCursor : public NodeDistCursor {
     if (!pending_.has_value()) return std::nullopt;
     const NodeDist result = *pending_;
     Advance();
+    PpoPullCounter().Increment();
     return result;
   }
 

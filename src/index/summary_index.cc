@@ -9,9 +9,18 @@
 
 #include "common/bytes.h"
 #include "graph/scc.h"
+#include "obs/metrics.h"
 
 namespace flix::index {
 namespace {
+
+// Process-wide count of results yielded by summary-pruned frontier cursors
+// (resolved once; Counter addresses survive MetricsRegistry::Reset()).
+obs::Counter& SummaryPullCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("flix.cursor.pulled.summary");
+  return counter;
+}
 
 size_t TagUniverse(const graph::Digraph& g) {
   TagId max_tag = 0;
@@ -259,14 +268,16 @@ std::unique_ptr<NodeDistCursor> SummaryIndex::DescendantsByTagCursor(
   return std::make_unique<FrontierCursor>(
       g_, from, graph::Direction::kForward,
       [this, tag](NodeId w) { return CanReachTag(block_of_[w], tag); }, tag,
-      /*wildcard=*/false, /*include_source=*/false);
+      /*wildcard=*/false, /*include_source=*/false, std::nullopt,
+      &SummaryPullCounter());
 }
 
 std::unique_ptr<NodeDistCursor> SummaryIndex::DescendantsCursor(
     NodeId from) const {
   return std::make_unique<FrontierCursor>(
       g_, from, graph::Direction::kForward, graph::BfsFrontier::ExpandFilter{},
-      kInvalidTag, /*wildcard=*/true, /*include_source=*/false);
+      kInvalidTag, /*wildcard=*/true, /*include_source=*/false, std::nullopt,
+      &SummaryPullCounter());
 }
 
 std::unique_ptr<NodeDistCursor> SummaryIndex::AncestorsByTagCursor(
@@ -274,7 +285,8 @@ std::unique_ptr<NodeDistCursor> SummaryIndex::AncestorsByTagCursor(
   return std::make_unique<FrontierCursor>(
       g_, from, graph::Direction::kBackward,
       [this, tag](NodeId w) { return ReachedFromTag(block_of_[w], tag); }, tag,
-      /*wildcard=*/false, /*include_source=*/false);
+      /*wildcard=*/false, /*include_source=*/false, std::nullopt,
+      &SummaryPullCounter());
 }
 
 std::unique_ptr<NodeDistCursor> SummaryIndex::ReachableAmongCursor(
@@ -282,7 +294,8 @@ std::unique_ptr<NodeDistCursor> SummaryIndex::ReachableAmongCursor(
   return std::make_unique<FrontierCursor>(
       g_, from, graph::Direction::kForward, graph::BfsFrontier::ExpandFilter{},
       kInvalidTag, /*wildcard=*/true, /*include_source=*/true,
-      std::unordered_set<NodeId>(targets.begin(), targets.end()));
+      std::unordered_set<NodeId>(targets.begin(), targets.end()),
+      &SummaryPullCounter());
 }
 
 std::unique_ptr<NodeDistCursor> SummaryIndex::AncestorsAmongCursor(
@@ -290,7 +303,8 @@ std::unique_ptr<NodeDistCursor> SummaryIndex::AncestorsAmongCursor(
   return std::make_unique<FrontierCursor>(
       g_, from, graph::Direction::kBackward, graph::BfsFrontier::ExpandFilter{},
       kInvalidTag, /*wildcard=*/true, /*include_source=*/true,
-      std::unordered_set<NodeId>(sources.begin(), sources.end()));
+      std::unordered_set<NodeId>(sources.begin(), sources.end()),
+      &SummaryPullCounter());
 }
 
 

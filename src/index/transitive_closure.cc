@@ -9,9 +9,18 @@
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "graph/traversal.h"
+#include "obs/metrics.h"
 
 namespace flix::index {
 namespace {
+
+// Process-wide count of results yielded by TC row cursors (resolved once;
+// Counter addresses survive MetricsRegistry::Reset()).
+obs::Counter& TcPullCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("flix.cursor.pulled.tc");
+  return counter;
+}
 
 // Scans one pre-sorted closure row, filtering by tag or by a wanted set.
 // With a wanted set that contains the row's owner, the owner is emitted
@@ -44,6 +53,7 @@ class TcRowCursor : public NodeDistCursor {
     if (!pending_.has_value()) return std::nullopt;
     const NodeDist result = *pending_;
     Advance();
+    TcPullCounter().Increment();
     return result;
   }
 

@@ -1,48 +1,17 @@
 #include "obs/export.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cinttypes>
 #include <cstdio>
-#include <cstdlib>
 #include <sstream>
 #include <string>
+
+#include "obs/json_util.h"
 
 namespace flix::obs {
 namespace {
 
-void AppendEscaped(std::string& out, std::string_view s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
-void AppendDouble(std::string& out, double value) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", value);
-  out += buf;
-}
-
-void AppendU64(std::string& out, uint64_t value) {
-  char buf[24];
-  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
-  out += buf;
-}
+using jsonutil::JsonCursor;
 
 // Adaptive rendering of a nanosecond quantity for the text exporter.
 std::string FormatNanos(double nanos) {
@@ -63,132 +32,6 @@ bool EndsWithNs(std::string_view name) {
   return name.size() >= 3 && name.substr(name.size() - 3) == "_ns";
 }
 
-// Minimal recursive-descent reader for the exact schema ToJson emits.
-class JsonCursor {
- public:
-  explicit JsonCursor(std::string_view text) : text_(text) {}
-
-  bool Consume(char expected) {
-    SkipSpace();
-    if (pos_ >= text_.size() || text_[pos_] != expected) return false;
-    ++pos_;
-    return true;
-  }
-
-  bool Peek(char expected) {
-    SkipSpace();
-    return pos_ < text_.size() && text_[pos_] == expected;
-  }
-
-  bool ReadString(std::string* out) {
-    SkipSpace();
-    if (!Consume('"')) return false;
-    out->clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return false;
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': *out += '"'; break;
-          case '\\': *out += '\\'; break;
-          case 'n': *out += '\n'; break;
-          case 't': *out += '\t'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) return false;
-            const std::string hex(text_.substr(pos_, 4));
-            pos_ += 4;
-            *out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
-            break;
-          }
-          default: return false;
-        }
-      } else {
-        *out += c;
-      }
-    }
-    return false;
-  }
-
-  bool ReadDouble(double* out) {
-    SkipSpace();
-    const size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    *out = std::strtod(token.c_str(), &end);
-    return end == token.c_str() + token.size();
-  }
-
-  bool ReadU64(uint64_t* out) {
-    double value = 0;
-    if (!ReadDouble(&value) || value < 0) return false;
-    *out = static_cast<uint64_t>(value);
-    return true;
-  }
-
-  bool ReadI64(int64_t* out) {
-    double value = 0;
-    if (!ReadDouble(&value)) return false;
-    *out = static_cast<int64_t>(value);
-    return true;
-  }
-
-  bool AtEnd() {
-    SkipSpace();
-    return pos_ == text_.size();
-  }
-
- private:
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-};
-
-bool ParseHistogramObject(JsonCursor& cursor, HistogramStats* stats) {
-  if (!cursor.Consume('{')) return false;
-  bool first = true;
-  while (!cursor.Peek('}')) {
-    if (!first && !cursor.Consume(',')) return false;
-    first = false;
-    std::string field;
-    if (!cursor.ReadString(&field) || !cursor.Consume(':')) return false;
-    if (field == "count") {
-      if (!cursor.ReadU64(&stats->count)) return false;
-    } else if (field == "sum") {
-      if (!cursor.ReadU64(&stats->sum)) return false;
-    } else if (field == "min") {
-      if (!cursor.ReadU64(&stats->min)) return false;
-    } else if (field == "max") {
-      if (!cursor.ReadU64(&stats->max)) return false;
-    } else if (field == "mean") {
-      if (!cursor.ReadDouble(&stats->mean)) return false;
-    } else if (field == "p50") {
-      if (!cursor.ReadDouble(&stats->p50)) return false;
-    } else if (field == "p95") {
-      if (!cursor.ReadDouble(&stats->p95)) return false;
-    } else if (field == "p99") {
-      if (!cursor.ReadDouble(&stats->p99)) return false;
-    } else {
-      return false;  // unknown field: not our schema
-    }
-  }
-  return cursor.Consume('}');
-}
-
 }  // namespace
 
 std::string ToJson(const MetricsSnapshot& snapshot) {
@@ -197,44 +40,27 @@ std::string ToJson(const MetricsSnapshot& snapshot) {
   for (const auto& [name, value] : snapshot.counters) {
     if (!first) out += ',';
     first = false;
-    AppendEscaped(out, name);
+    jsonutil::AppendEscaped(out, name);
     out += ':';
-    AppendU64(out, value);
+    jsonutil::AppendU64(out, value);
   }
   out += "},\"gauges\":{";
   first = true;
   for (const auto& [name, value] : snapshot.gauges) {
     if (!first) out += ',';
     first = false;
-    AppendEscaped(out, name);
+    jsonutil::AppendEscaped(out, name);
     out += ':';
-    char buf[24];
-    std::snprintf(buf, sizeof buf, "%" PRId64, value);
-    out += buf;
+    jsonutil::AppendI64(out, value);
   }
   out += "},\"histograms\":{";
   first = true;
   for (const auto& [name, h] : snapshot.histograms) {
     if (!first) out += ',';
     first = false;
-    AppendEscaped(out, name);
-    out += ":{\"count\":";
-    AppendU64(out, h.count);
-    out += ",\"sum\":";
-    AppendU64(out, h.sum);
-    out += ",\"min\":";
-    AppendU64(out, h.min);
-    out += ",\"max\":";
-    AppendU64(out, h.max);
-    out += ",\"mean\":";
-    AppendDouble(out, h.mean);
-    out += ",\"p50\":";
-    AppendDouble(out, h.p50);
-    out += ",\"p95\":";
-    AppendDouble(out, h.p95);
-    out += ",\"p99\":";
-    AppendDouble(out, h.p99);
-    out += '}';
+    jsonutil::AppendEscaped(out, name);
+    out += ':';
+    jsonutil::AppendHistogramObject(out, h);
   }
   out += "}}";
   return out;
@@ -276,13 +102,15 @@ std::string ToText(const MetricsSnapshot& snapshot) {
         if (EndsWithNs(name)) {
           out << "  mean " << FormatNanos(h.mean) << "  p50 "
               << FormatNanos(h.p50) << "  p95 " << FormatNanos(h.p95)
-              << "  p99 " << FormatNanos(h.p99) << "  max "
+              << "  p99 " << FormatNanos(h.p99) << "  p999 "
+              << FormatNanos(h.p999) << "  max "
               << FormatNanos(static_cast<double>(h.max));
         } else {
-          char buf[160];
+          char buf[192];
           std::snprintf(buf, sizeof buf,
-                        "  mean %.1f  p50 %.0f  p95 %.0f  p99 %.0f  max %" PRIu64,
-                        h.mean, h.p50, h.p95, h.p99, h.max);
+                        "  mean %.1f  p50 %.0f  p95 %.0f  p99 %.0f  p999 %.0f"
+                        "  max %" PRIu64,
+                        h.mean, h.p50, h.p95, h.p99, h.p999, h.max);
           out << buf;
         }
       }
@@ -323,7 +151,7 @@ bool FromJson(std::string_view json, MetricsSnapshot* snapshot) {
         snapshot->gauges.emplace_back(std::move(name), value);
       } else {
         HistogramStats stats;
-        if (!ParseHistogramObject(cursor, &stats)) return false;
+        if (!jsonutil::ParseHistogramObject(cursor, &stats)) return false;
         snapshot->histograms.emplace_back(std::move(name), stats);
       }
     }

@@ -8,8 +8,14 @@
 //     "histograms": {"<name>": {"count": <uint>, "sum": <uint>,
 //                               "min": <uint>, "max": <uint>,
 //                               "mean": <num>, "p50": <num>,
-//                               "p95": <num>, "p99": <num>}, ...}
+//                               "p95": <num>, "p99": <num>,
+//                               "p999": <num>,
+//                               "buckets": [[<idx>, <uint>], ...]}, ...}
 //   }
+//
+// "p999" and "buckets" (sparse raw bucket counts, ascending by index — see
+// Histogram::BucketFor) were added later; FromJson tolerates documents
+// without them so snapshots written by older builds still load.
 #ifndef FLIX_OBS_EXPORT_H_
 #define FLIX_OBS_EXPORT_H_
 

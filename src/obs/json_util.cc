@@ -1,0 +1,237 @@
+#include "obs/json_util.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace flix::obs::jsonutil {
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendDouble(std::string& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out += buf;
+}
+
+void AppendU64(std::string& out, uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  out += buf;
+}
+
+void AppendI64(std::string& out, int64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRId64, value);
+  out += buf;
+}
+
+bool JsonCursor::Consume(char expected) {
+  SkipSpace();
+  if (pos_ >= text_.size() || text_[pos_] != expected) return false;
+  ++pos_;
+  return true;
+}
+
+bool JsonCursor::Peek(char expected) {
+  SkipSpace();
+  return pos_ < text_.size() && text_[pos_] == expected;
+}
+
+bool JsonCursor::ReadString(std::string* out) {
+  SkipSpace();
+  if (!Consume('"')) return false;
+  out->clear();
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_++];
+    if (c == '"') return true;
+    if (c == '\\') {
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case 'n': *out += '\n'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          const std::string hex(text_.substr(pos_, 4));
+          pos_ += 4;
+          *out += static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16));
+          break;
+        }
+        default: return false;
+      }
+    } else {
+      *out += c;
+    }
+  }
+  return false;
+}
+
+bool JsonCursor::ReadDouble(double* out) {
+  SkipSpace();
+  const size_t start = pos_;
+  while (pos_ < text_.size() &&
+         (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+          text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+          text_[pos_] == 'e' || text_[pos_] == 'E')) {
+    ++pos_;
+  }
+  if (pos_ == start) return false;
+  const std::string token(text_.substr(start, pos_ - start));
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+bool JsonCursor::ReadU64(uint64_t* out) {
+  double value = 0;
+  if (!ReadDouble(&value) || value < 0) return false;
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+bool JsonCursor::ReadI64(int64_t* out) {
+  double value = 0;
+  if (!ReadDouble(&value)) return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+bool JsonCursor::ReadBool(bool* out) {
+  SkipSpace();
+  if (text_.substr(pos_, 4) == "true") {
+    pos_ += 4;
+    *out = true;
+    return true;
+  }
+  if (text_.substr(pos_, 5) == "false") {
+    pos_ += 5;
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+void JsonCursor::SkipSpace() {
+  while (pos_ < text_.size() &&
+         std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+    ++pos_;
+  }
+}
+
+bool JsonCursor::AtEnd() {
+  SkipSpace();
+  return pos_ == text_.size();
+}
+
+void AppendHistogramObject(std::string& out, const HistogramStats& h) {
+  out += "{\"count\":";
+  AppendU64(out, h.count);
+  out += ",\"sum\":";
+  AppendU64(out, h.sum);
+  out += ",\"min\":";
+  AppendU64(out, h.min);
+  out += ",\"max\":";
+  AppendU64(out, h.max);
+  out += ",\"mean\":";
+  AppendDouble(out, h.mean);
+  out += ",\"p50\":";
+  AppendDouble(out, h.p50);
+  out += ",\"p95\":";
+  AppendDouble(out, h.p95);
+  out += ",\"p99\":";
+  AppendDouble(out, h.p99);
+  out += ",\"p999\":";
+  AppendDouble(out, h.p999);
+  out += ",\"buckets\":[";
+  bool first = true;
+  for (const auto& [index, n] : h.buckets) {
+    if (!first) out += ',';
+    first = false;
+    out += '[';
+    AppendU64(out, index);
+    out += ',';
+    AppendU64(out, n);
+    out += ']';
+  }
+  out += "]}";
+}
+
+bool ParseHistogramObject(JsonCursor& cursor, HistogramStats* stats) {
+  if (!cursor.Consume('{')) return false;
+  bool first = true;
+  while (!cursor.Peek('}')) {
+    if (!first && !cursor.Consume(',')) return false;
+    first = false;
+    std::string field;
+    if (!cursor.ReadString(&field) || !cursor.Consume(':')) return false;
+    if (field == "count") {
+      if (!cursor.ReadU64(&stats->count)) return false;
+    } else if (field == "sum") {
+      if (!cursor.ReadU64(&stats->sum)) return false;
+    } else if (field == "min") {
+      if (!cursor.ReadU64(&stats->min)) return false;
+    } else if (field == "max") {
+      if (!cursor.ReadU64(&stats->max)) return false;
+    } else if (field == "mean") {
+      if (!cursor.ReadDouble(&stats->mean)) return false;
+    } else if (field == "p50") {
+      if (!cursor.ReadDouble(&stats->p50)) return false;
+    } else if (field == "p95") {
+      if (!cursor.ReadDouble(&stats->p95)) return false;
+    } else if (field == "p99") {
+      if (!cursor.ReadDouble(&stats->p99)) return false;
+    } else if (field == "p999") {
+      // Absent from the pre-bucket schema; tolerated on read.
+      if (!cursor.ReadDouble(&stats->p999)) return false;
+    } else if (field == "buckets") {
+      if (!cursor.Consume('[')) return false;
+      bool first_bucket = true;
+      while (!cursor.Peek(']')) {
+        if (!first_bucket && !cursor.Consume(',')) return false;
+        first_bucket = false;
+        uint64_t index = 0;
+        uint64_t n = 0;
+        if (!cursor.Consume('[') || !cursor.ReadU64(&index) ||
+            !cursor.Consume(',') || !cursor.ReadU64(&n) ||
+            !cursor.Consume(']')) {
+          return false;
+        }
+        if (index >= Histogram::kNumBuckets) return false;
+        if (!stats->buckets.empty() &&
+            stats->buckets.back().first >= index) {
+          return false;  // must be ascending, no duplicates
+        }
+        stats->buckets.emplace_back(static_cast<uint32_t>(index), n);
+      }
+      if (!cursor.Consume(']')) return false;
+    } else {
+      return false;  // unknown field: not our schema
+    }
+  }
+  return cursor.Consume('}');
+}
+
+}  // namespace flix::obs::jsonutil

@@ -1,0 +1,65 @@
+// Minimal JSON writing/reading helpers shared by the obs exporters
+// (obs/export.cc for metrics snapshots, obs/profile.cc for workload
+// profiles). Writing is append-to-string; reading is a strict
+// recursive-descent cursor over exactly the schemas our writers emit —
+// not a general JSON parser.
+#ifndef FLIX_OBS_JSON_UTIL_H_
+#define FLIX_OBS_JSON_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace flix::obs::jsonutil {
+
+// Appends `s` as a double-quoted JSON string with escapes.
+void AppendEscaped(std::string& out, std::string_view s);
+
+// Appends a double via printf("%.17g") — enough digits that strtod reads
+// the same value back, making numeric round-trips exact.
+void AppendDouble(std::string& out, double value);
+
+void AppendU64(std::string& out, uint64_t value);
+void AppendI64(std::string& out, int64_t value);
+
+// Strict reader over a JSON text. All methods skip leading whitespace and
+// return false on any deviation instead of throwing.
+class JsonCursor {
+ public:
+  explicit JsonCursor(std::string_view text) : text_(text) {}
+
+  // Consumes `expected` if it is the next non-space character.
+  bool Consume(char expected);
+  // True iff `expected` is the next non-space character (not consumed).
+  bool Peek(char expected);
+
+  bool ReadString(std::string* out);
+  bool ReadDouble(double* out);
+  bool ReadU64(uint64_t* out);
+  bool ReadI64(int64_t* out);
+  bool ReadBool(bool* out);
+
+  bool AtEnd();
+
+ private:
+  void SkipSpace();
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// Appends one histogram-stats object:
+//   {"count":u,"sum":u,"min":u,"max":u,"mean":d,"p50":d,"p95":d,"p99":d,
+//    "p999":d,"buckets":[[idx,count],...]}
+void AppendHistogramObject(std::string& out, const HistogramStats& h);
+
+// Parses one histogram-stats object. Tolerates documents from the
+// pre-p999/pre-buckets schema (fields simply absent); rejects unknown
+// fields, out-of-range bucket indices and non-ascending bucket lists.
+bool ParseHistogramObject(JsonCursor& cursor, HistogramStats* stats);
+
+}  // namespace flix::obs::jsonutil
+
+#endif  // FLIX_OBS_JSON_UTIL_H_

@@ -38,7 +38,94 @@ HistogramStats Histogram::Snapshot() const {
   stats.p50 = Quantile(0.50);
   stats.p95 = Quantile(0.95);
   stats.p99 = Quantile(0.99);
+  stats.p999 = Quantile(0.999);
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    const uint64_t n = buckets_[b].load(std::memory_order_relaxed);
+    if (n != 0) stats.buckets.emplace_back(static_cast<uint32_t>(b), n);
+  }
   return stats;
+}
+
+namespace {
+
+// Quantile over a sparse ascending bucket list, mirroring
+// Histogram::Quantile: upper bound of the bucket holding the q-sample,
+// clamped to the observed max.
+double SparseQuantile(const std::vector<std::pair<uint32_t, uint64_t>>& buckets,
+                      uint64_t count, uint64_t max, double q) {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * count)));
+  uint64_t cumulative = 0;
+  for (const auto& [bucket, n] : buckets) {
+    cumulative += n;
+    if (cumulative >= target) {
+      const uint64_t upper = bucket + 1 < Histogram::kNumBuckets
+                                 ? Histogram::BucketLowerBound(bucket + 1) - 1
+                                 : UINT64_MAX;
+      return static_cast<double>(std::min(upper, max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+}  // namespace
+
+void RecomputeQuantilesFromBuckets(HistogramStats& stats) {
+  stats.mean = stats.count == 0 ? 0
+                                : static_cast<double>(stats.sum) /
+                                      static_cast<double>(stats.count);
+  stats.p50 = SparseQuantile(stats.buckets, stats.count, stats.max, 0.50);
+  stats.p95 = SparseQuantile(stats.buckets, stats.count, stats.max, 0.95);
+  stats.p99 = SparseQuantile(stats.buckets, stats.count, stats.max, 0.99);
+  stats.p999 = SparseQuantile(stats.buckets, stats.count, stats.max, 0.999);
+}
+
+void MergeHistogramStats(HistogramStats& into, const HistogramStats& from) {
+  if (from.count == 0) return;
+  const bool have_buckets =
+      (into.count == 0 || !into.buckets.empty()) && !from.buckets.empty();
+  if (into.count == 0) {
+    into = from;
+    return;
+  }
+  into.min = std::min(into.min, from.min);
+  into.max = std::max(into.max, from.max);
+  into.count += from.count;
+  into.sum += from.sum;
+  if (have_buckets) {
+    // Merge the two ascending sparse lists.
+    std::vector<std::pair<uint32_t, uint64_t>> merged;
+    merged.reserve(into.buckets.size() + from.buckets.size());
+    size_t a = 0;
+    size_t b = 0;
+    while (a < into.buckets.size() || b < from.buckets.size()) {
+      if (b >= from.buckets.size() ||
+          (a < into.buckets.size() &&
+           into.buckets[a].first < from.buckets[b].first)) {
+        merged.push_back(into.buckets[a++]);
+      } else if (a >= into.buckets.size() ||
+                 from.buckets[b].first < into.buckets[a].first) {
+        merged.push_back(from.buckets[b++]);
+      } else {
+        merged.emplace_back(into.buckets[a].first,
+                            into.buckets[a].second + from.buckets[b].second);
+        ++a;
+        ++b;
+      }
+    }
+    into.buckets = std::move(merged);
+    RecomputeQuantilesFromBuckets(into);
+  } else {
+    into.buckets.clear();
+    into.mean =
+        static_cast<double>(into.sum) / static_cast<double>(into.count);
+    into.p50 = std::max(into.p50, from.p50);
+    into.p95 = std::max(into.p95, from.p95);
+    into.p99 = std::max(into.p99, from.p99);
+    into.p999 = std::max(into.p999, from.p999);
+  }
 }
 
 void Histogram::Reset() {

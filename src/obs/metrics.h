@@ -26,6 +26,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace flix::obs {
@@ -64,7 +65,26 @@ struct HistogramStats {
   double p50 = 0;
   double p95 = 0;
   double p99 = 0;
+  double p999 = 0;
+  // Sparse raw bucket counts, ascending by bucket index (the mapping is
+  // Histogram::BucketFor / BucketLowerBound). Carrying the raw buckets makes
+  // snapshots mergeable: quantiles of a merged histogram are recomputed from
+  // the summed buckets instead of being guessed from two quantile sets.
+  std::vector<std::pair<uint32_t, uint64_t>> buckets;
 };
+
+// Recomputes mean and the quantile fields of `stats` from its sparse raw
+// buckets; count/sum/min/max must already be set. Uses the same
+// upper-bound-clamped-to-max rule as Histogram::Quantile, so a snapshot
+// passed through (buckets -> recompute) is a fixed point.
+void RecomputeQuantilesFromBuckets(HistogramStats& stats);
+
+// Accumulates `from` into `into`: counts, sums and raw buckets add, min/max
+// widen, and the quantiles are recomputed from the merged buckets. When
+// either side carries no raw buckets (a snapshot read from the pre-bucket
+// JSON schema), the quantile fields fall back to the pairwise maximum — a
+// conservative upper bound.
+void MergeHistogramStats(HistogramStats& into, const HistogramStats& from);
 
 // Log-bucketed histogram of non-negative integer samples (latencies in
 // nanoseconds, result counts, ...). Values below 16 get exact buckets; above

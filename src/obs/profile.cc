@@ -1,0 +1,381 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+#include "obs/json_util.h"
+
+namespace flix::obs {
+namespace {
+
+using jsonutil::JsonCursor;
+
+void RecordStatsInto(HistogramStats& stats, const Histogram* histogram) {
+  if (histogram != nullptr) stats = histogram->Snapshot();
+}
+
+}  // namespace
+
+void PartitionProfile::Accumulate(const PartitionProfile& other) {
+  if (strategy.empty()) strategy = other.strategy;
+  if (nodes == 0) nodes = other.nodes;
+  if (build_ns == 0) build_ns = other.build_ns;
+  queries += other.queries;
+  entries_processed += other.entries_processed;
+  entries_dominated += other.entries_dominated;
+  index_probes += other.index_probes;
+  cursors_opened += other.cursors_opened;
+  cursor_pulls += other.cursor_pulls;
+  entry_fanout += other.entry_fanout;
+  results_emitted += other.results_emitted;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  MergeHistogramStats(latency, other.latency);
+}
+
+void WorkloadProfile::Merge(const WorkloadProfile& other) {
+  if (other.partitions.size() > partitions.size()) {
+    const size_t old_size = partitions.size();
+    partitions.resize(other.partitions.size());
+    for (size_t p = old_size; p < partitions.size(); ++p) {
+      partitions[p].partition = static_cast<uint32_t>(p);
+    }
+  }
+  for (size_t p = 0; p < other.partitions.size(); ++p) {
+    partitions[p].Accumulate(other.partitions[p]);
+  }
+}
+
+PartitionProfile WorkloadProfile::Totals() const {
+  PartitionProfile totals;
+  for (const PartitionProfile& partition : partitions) {
+    totals.Accumulate(partition);
+  }
+  totals.strategy.clear();
+  totals.nodes = 0;
+  totals.build_ns = 0;
+  for (const PartitionProfile& partition : partitions) {
+    totals.nodes += partition.nodes;
+    totals.build_ns += partition.build_ns;
+  }
+  return totals;
+}
+
+std::vector<uint32_t> WorkloadProfile::RankByWork() const {
+  std::vector<uint32_t> order(partitions.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    return partitions[a].WorkScore() > partitions[b].WorkScore();
+  });
+  return order;
+}
+
+void WorkloadProfiler::Resize(size_t num_partitions) {
+  partitions_.clear();
+  partitions_.reserve(num_partitions);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    partitions_.push_back(std::make_unique<Slot>());
+  }
+  std::lock_guard<std::mutex> lock(info_mutex_);
+  info_.assign(num_partitions, Info{});
+}
+
+void WorkloadProfiler::SetPartitionInfo(uint32_t partition,
+                                        std::string_view strategy,
+                                        uint64_t nodes, uint64_t build_ns) {
+  std::lock_guard<std::mutex> lock(info_mutex_);
+  if (partition >= info_.size()) return;
+  info_[partition].strategy = std::string(strategy);
+  info_[partition].nodes = nodes;
+  info_[partition].build_ns = build_ns;
+}
+
+Histogram& WorkloadProfiler::LatencyHistogram(Slot& slot) {
+  Histogram* histogram = slot.latency.load(std::memory_order_acquire);
+  if (histogram == nullptr) {
+    auto fresh = std::make_unique<Histogram>();
+    if (slot.latency.compare_exchange_strong(histogram, fresh.get(),
+                                             std::memory_order_acq_rel)) {
+      return *fresh.release();
+    }
+    // Lost the race; `histogram` now holds the winner.
+  }
+  return *histogram;
+}
+
+void WorkloadProfiler::RecordQuery(const PartitionDeltaMap& deltas,
+                                   uint64_t latency_ns) {
+  if (!Enabled()) return;
+  for (const auto& [partition, delta] : deltas) {
+    if (partition >= partitions_.size()) continue;
+    Slot& slot = *partitions_[partition];
+    slot.queries.fetch_add(1, std::memory_order_relaxed);
+    slot.entries_processed.fetch_add(delta.entries_processed,
+                                     std::memory_order_relaxed);
+    slot.entries_dominated.fetch_add(delta.entries_dominated,
+                                     std::memory_order_relaxed);
+    slot.index_probes.fetch_add(delta.index_probes, std::memory_order_relaxed);
+    slot.cursors_opened.fetch_add(delta.cursors_opened,
+                                  std::memory_order_relaxed);
+    slot.cursor_pulls.fetch_add(delta.cursor_pulls, std::memory_order_relaxed);
+    slot.entry_fanout.fetch_add(delta.entry_fanout, std::memory_order_relaxed);
+    slot.results_emitted.fetch_add(delta.results_emitted,
+                                   std::memory_order_relaxed);
+    LatencyHistogram(slot).Record(latency_ns);
+  }
+}
+
+void WorkloadProfiler::RecordCacheHit(uint32_t partition) {
+  if (!Enabled() || partition >= partitions_.size()) return;
+  partitions_[partition]->cache_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+void WorkloadProfiler::RecordCacheMiss(uint32_t partition) {
+  if (!Enabled() || partition >= partitions_.size()) return;
+  partitions_[partition]->cache_misses.fetch_add(1, std::memory_order_relaxed);
+}
+
+WorkloadProfile WorkloadProfiler::Snapshot() const {
+  WorkloadProfile profile;
+  profile.partitions.resize(partitions_.size());
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    const Slot& slot = *partitions_[p];
+    PartitionProfile& out = profile.partitions[p];
+    out.partition = static_cast<uint32_t>(p);
+    out.queries = slot.queries.load(std::memory_order_relaxed);
+    out.entries_processed =
+        slot.entries_processed.load(std::memory_order_relaxed);
+    out.entries_dominated =
+        slot.entries_dominated.load(std::memory_order_relaxed);
+    out.index_probes = slot.index_probes.load(std::memory_order_relaxed);
+    out.cursors_opened = slot.cursors_opened.load(std::memory_order_relaxed);
+    out.cursor_pulls = slot.cursor_pulls.load(std::memory_order_relaxed);
+    out.entry_fanout = slot.entry_fanout.load(std::memory_order_relaxed);
+    out.results_emitted = slot.results_emitted.load(std::memory_order_relaxed);
+    out.cache_hits = slot.cache_hits.load(std::memory_order_relaxed);
+    out.cache_misses = slot.cache_misses.load(std::memory_order_relaxed);
+    RecordStatsInto(out.latency, slot.latency.load(std::memory_order_acquire));
+  }
+  std::lock_guard<std::mutex> lock(info_mutex_);
+  for (size_t p = 0; p < partitions_.size() && p < info_.size(); ++p) {
+    profile.partitions[p].strategy = info_[p].strategy;
+    profile.partitions[p].nodes = info_[p].nodes;
+    profile.partitions[p].build_ns = info_[p].build_ns;
+  }
+  return profile;
+}
+
+void WorkloadProfiler::Reset() {
+  for (const auto& slot : partitions_) {
+    slot->queries.store(0, std::memory_order_relaxed);
+    slot->entries_processed.store(0, std::memory_order_relaxed);
+    slot->entries_dominated.store(0, std::memory_order_relaxed);
+    slot->index_probes.store(0, std::memory_order_relaxed);
+    slot->cursors_opened.store(0, std::memory_order_relaxed);
+    slot->cursor_pulls.store(0, std::memory_order_relaxed);
+    slot->entry_fanout.store(0, std::memory_order_relaxed);
+    slot->results_emitted.store(0, std::memory_order_relaxed);
+    slot->cache_hits.store(0, std::memory_order_relaxed);
+    slot->cache_misses.store(0, std::memory_order_relaxed);
+    if (Histogram* histogram = slot->latency.load(std::memory_order_acquire)) {
+      histogram->Reset();
+    }
+  }
+}
+
+std::string ProfileToJson(const WorkloadProfile& profile) {
+  std::string out = "{\"schema_version\":";
+  jsonutil::AppendU64(out, WorkloadProfile::kSchemaVersion);
+  out += ",\"partitions\":[";
+  bool first = true;
+  for (const PartitionProfile& p : profile.partitions) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"partition\":";
+    jsonutil::AppendU64(out, p.partition);
+    out += ",\"strategy\":";
+    jsonutil::AppendEscaped(out, p.strategy);
+    out += ",\"nodes\":";
+    jsonutil::AppendU64(out, p.nodes);
+    out += ",\"build_ns\":";
+    jsonutil::AppendU64(out, p.build_ns);
+    out += ",\"queries\":";
+    jsonutil::AppendU64(out, p.queries);
+    out += ",\"entries_processed\":";
+    jsonutil::AppendU64(out, p.entries_processed);
+    out += ",\"entries_dominated\":";
+    jsonutil::AppendU64(out, p.entries_dominated);
+    out += ",\"index_probes\":";
+    jsonutil::AppendU64(out, p.index_probes);
+    out += ",\"cursors_opened\":";
+    jsonutil::AppendU64(out, p.cursors_opened);
+    out += ",\"cursor_pulls\":";
+    jsonutil::AppendU64(out, p.cursor_pulls);
+    out += ",\"entry_fanout\":";
+    jsonutil::AppendU64(out, p.entry_fanout);
+    out += ",\"results_emitted\":";
+    jsonutil::AppendU64(out, p.results_emitted);
+    out += ",\"cache_hits\":";
+    jsonutil::AppendU64(out, p.cache_hits);
+    out += ",\"cache_misses\":";
+    jsonutil::AppendU64(out, p.cache_misses);
+    out += ",\"latency\":";
+    jsonutil::AppendHistogramObject(out, p.latency);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+bool ParsePartitionObject(JsonCursor& cursor, PartitionProfile* p) {
+  if (!cursor.Consume('{')) return false;
+  bool first = true;
+  while (!cursor.Peek('}')) {
+    if (!first && !cursor.Consume(',')) return false;
+    first = false;
+    std::string field;
+    if (!cursor.ReadString(&field) || !cursor.Consume(':')) return false;
+    uint64_t u = 0;
+    if (field == "partition") {
+      if (!cursor.ReadU64(&u)) return false;
+      p->partition = static_cast<uint32_t>(u);
+    } else if (field == "strategy") {
+      if (!cursor.ReadString(&p->strategy)) return false;
+    } else if (field == "nodes") {
+      if (!cursor.ReadU64(&p->nodes)) return false;
+    } else if (field == "build_ns") {
+      if (!cursor.ReadU64(&p->build_ns)) return false;
+    } else if (field == "queries") {
+      if (!cursor.ReadU64(&p->queries)) return false;
+    } else if (field == "entries_processed") {
+      if (!cursor.ReadU64(&p->entries_processed)) return false;
+    } else if (field == "entries_dominated") {
+      if (!cursor.ReadU64(&p->entries_dominated)) return false;
+    } else if (field == "index_probes") {
+      if (!cursor.ReadU64(&p->index_probes)) return false;
+    } else if (field == "cursors_opened") {
+      if (!cursor.ReadU64(&p->cursors_opened)) return false;
+    } else if (field == "cursor_pulls") {
+      if (!cursor.ReadU64(&p->cursor_pulls)) return false;
+    } else if (field == "entry_fanout") {
+      if (!cursor.ReadU64(&p->entry_fanout)) return false;
+    } else if (field == "results_emitted") {
+      if (!cursor.ReadU64(&p->results_emitted)) return false;
+    } else if (field == "cache_hits") {
+      if (!cursor.ReadU64(&p->cache_hits)) return false;
+    } else if (field == "cache_misses") {
+      if (!cursor.ReadU64(&p->cache_misses)) return false;
+    } else if (field == "latency") {
+      if (!jsonutil::ParseHistogramObject(cursor, &p->latency)) return false;
+    } else {
+      return false;  // unknown field: not our schema
+    }
+  }
+  return cursor.Consume('}');
+}
+
+}  // namespace
+
+bool ProfileFromJson(std::string_view json, WorkloadProfile* profile) {
+  *profile = WorkloadProfile{};
+  JsonCursor cursor(json);
+  std::string key;
+  uint64_t version = 0;
+  if (!cursor.Consume('{') || !cursor.ReadString(&key) ||
+      key != "schema_version" || !cursor.Consume(':') ||
+      !cursor.ReadU64(&version) ||
+      version != WorkloadProfile::kSchemaVersion) {
+    return false;
+  }
+  if (!cursor.Consume(',') || !cursor.ReadString(&key) ||
+      key != "partitions" || !cursor.Consume(':') || !cursor.Consume('[')) {
+    return false;
+  }
+  bool first = true;
+  while (!cursor.Peek(']')) {
+    if (!first && !cursor.Consume(',')) return false;
+    first = false;
+    PartitionProfile p;
+    if (!ParsePartitionObject(cursor, &p)) return false;
+    // Partition ids must be dense and in order — that is how ToJson emits
+    // them, and Merge relies on index == id.
+    if (p.partition != profile->partitions.size()) return false;
+    profile->partitions.push_back(std::move(p));
+  }
+  return cursor.Consume(']') && cursor.Consume('}') && cursor.AtEnd();
+}
+
+std::string ProfileToText(const WorkloadProfile& profile, size_t top_n) {
+  std::ostringstream out;
+  const std::vector<uint32_t> order = profile.RankByWork();
+  const size_t limit =
+      top_n == 0 ? order.size() : std::min(top_n, order.size());
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%4s  %-8s  %8s  %8s  %10s  %10s  %10s  %8s  %8s  %10s\n",
+                "meta", "strategy", "nodes", "queries", "probes", "pulls",
+                "entries", "fanout", "hit%", "p95_ns");
+  out << buf;
+  for (size_t i = 0; i < limit; ++i) {
+    const PartitionProfile& p = profile.partitions[order[i]];
+    const uint64_t lookups = p.cache_hits + p.cache_misses;
+    const double hit_rate =
+        lookups == 0 ? 0.0
+                     : 100.0 * static_cast<double>(p.cache_hits) /
+                           static_cast<double>(lookups);
+    std::snprintf(buf, sizeof buf,
+                  "%4u  %-8s  %8llu  %8llu  %10llu  %10llu  %10llu  %8llu"
+                  "  %7.1f%%  %10.0f\n",
+                  p.partition,
+                  p.strategy.empty() ? "?" : p.strategy.c_str(),
+                  static_cast<unsigned long long>(p.nodes),
+                  static_cast<unsigned long long>(p.queries),
+                  static_cast<unsigned long long>(p.index_probes),
+                  static_cast<unsigned long long>(p.cursor_pulls),
+                  static_cast<unsigned long long>(p.entries_processed),
+                  static_cast<unsigned long long>(p.entry_fanout), hit_rate,
+                  p.latency.p95);
+    out << buf;
+  }
+  const PartitionProfile totals = profile.Totals();
+  std::snprintf(
+      buf, sizeof buf,
+      "total: %zu partitions  probes %llu  pulls %llu  entries %llu"
+      "  fanout %llu  cache %llu/%llu\n",
+      profile.partitions.size(),
+      static_cast<unsigned long long>(totals.index_probes),
+      static_cast<unsigned long long>(totals.cursor_pulls),
+      static_cast<unsigned long long>(totals.entries_processed),
+      static_cast<unsigned long long>(totals.entry_fanout),
+      static_cast<unsigned long long>(totals.cache_hits),
+      static_cast<unsigned long long>(totals.cache_hits +
+                                      totals.cache_misses));
+  out << buf;
+  return out.str();
+}
+
+std::string ProfileFilePath(std::string_view index_path) {
+  return std::string(index_path) + ".profile.json";
+}
+
+bool SaveProfileFile(const std::string& path, const WorkloadProfile& profile) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << ProfileToJson(profile) << "\n";
+  return static_cast<bool>(out);
+}
+
+bool LoadProfileFile(const std::string& path, WorkloadProfile* profile) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ProfileFromJson(buffer.str(), profile);
+}
+
+}  // namespace flix::obs

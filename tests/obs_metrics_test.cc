@@ -203,6 +203,121 @@ TEST(ExportTest, JsonRoundTrip) {
   EXPECT_EQ(obs::ToJson(after), json);
 }
 
+TEST(ExportTest, P999AndBucketsRoundTripExactly) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("rt.wide_ns");
+  for (uint64_t v = 0; v < 2000; ++v) h.Record(v * v);
+  const MetricsSnapshot before = registry.Snapshot();
+  const HistogramStats& b = before.histograms[0].second;
+  EXPECT_GE(b.p999, b.p99);
+  ASSERT_FALSE(b.buckets.empty());
+  uint64_t bucket_total = 0;
+  for (const auto& [index, count] : b.buckets) bucket_total += count;
+  EXPECT_EQ(bucket_total, b.count);
+
+  const std::string json = obs::ToJson(before);
+  MetricsSnapshot after;
+  ASSERT_TRUE(obs::FromJson(json, &after)) << json;
+  const HistogramStats& a = after.histograms[0].second;
+  EXPECT_EQ(a.p999, b.p999);
+  EXPECT_EQ(a.buckets, b.buckets);
+  // Quantiles recomputed from the parsed buckets reproduce themselves: the
+  // sparse representation carries the full quantile information.
+  HistogramStats recomputed = a;
+  obs::RecomputeQuantilesFromBuckets(recomputed);
+  EXPECT_EQ(recomputed.p50, a.p50);
+  EXPECT_EQ(recomputed.p95, a.p95);
+  EXPECT_EQ(recomputed.p99, a.p99);
+  EXPECT_EQ(recomputed.p999, a.p999);
+}
+
+TEST(ExportTest, FromJsonToleratesOldSchemaWithoutP999OrBuckets) {
+  // A document written before p999/buckets existed must still parse, with
+  // the new fields defaulting to zero/empty.
+  MetricsSnapshot snapshot;
+  ASSERT_TRUE(obs::FromJson(
+      "{\"counters\":{},\"gauges\":{},\"histograms\":{\"old.h\":"
+      "{\"count\":4,\"sum\":100,\"min\":10,\"max\":40,\"mean\":25,"
+      "\"p50\":20,\"p95\":40,\"p99\":40}}}",
+      &snapshot));
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const HistogramStats& h = snapshot.histograms[0].second;
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.p999, 0.0);
+  EXPECT_TRUE(h.buckets.empty());
+}
+
+TEST(ExportTest, FromJsonRejectsBadBucketLists) {
+  const char* kPrefix =
+      "{\"counters\":{},\"gauges\":{},\"histograms\":{\"h\":"
+      "{\"count\":2,\"sum\":3,\"min\":1,\"max\":2,\"mean\":1.5,"
+      "\"p50\":1,\"p95\":2,\"p99\":2,\"p999\":2,\"buckets\":";
+  MetricsSnapshot snapshot;
+  // Non-ascending and duplicate bucket indices violate the writer's order.
+  EXPECT_FALSE(obs::FromJson(
+      std::string(kPrefix) + "[[5,1],[3,1]]}}}", &snapshot));
+  EXPECT_FALSE(obs::FromJson(
+      std::string(kPrefix) + "[[3,1],[3,1]]}}}", &snapshot));
+  // Bucket index beyond the histogram's range.
+  EXPECT_FALSE(obs::FromJson(
+      std::string(kPrefix) + "[[99999,2]]}}}", &snapshot));
+  // The well-formed variant parses.
+  EXPECT_TRUE(obs::FromJson(
+      std::string(kPrefix) + "[[3,1],[5,1]]}}}", &snapshot));
+}
+
+TEST(HistogramMergeTest, MergeWithBucketsRecomputesQuantiles) {
+  Histogram low;
+  Histogram high;
+  Histogram both;
+  for (uint64_t v = 1; v <= 100; ++v) {
+    low.Record(v);
+    both.Record(v);
+  }
+  for (uint64_t v = 100000; v <= 100100; ++v) {
+    high.Record(v);
+    both.Record(v);
+  }
+  HistogramStats merged = low.Snapshot();
+  obs::MergeHistogramStats(merged, high.Snapshot());
+  const HistogramStats expected = both.Snapshot();
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_EQ(merged.sum, expected.sum);
+  EXPECT_EQ(merged.min, expected.min);
+  EXPECT_EQ(merged.max, expected.max);
+  EXPECT_EQ(merged.buckets, expected.buckets);
+  EXPECT_EQ(merged.p50, expected.p50);
+  EXPECT_EQ(merged.p95, expected.p95);
+  EXPECT_EQ(merged.p99, expected.p99);
+  EXPECT_EQ(merged.p999, expected.p999);
+}
+
+TEST(HistogramMergeTest, MergeHandlesEmptySidesAndOldSchema) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10; ++v) h.Record(v);
+  const HistogramStats full = h.Snapshot();
+
+  HistogramStats into;  // empty target: plain copy
+  obs::MergeHistogramStats(into, full);
+  EXPECT_EQ(into.count, full.count);
+  EXPECT_EQ(into.buckets, full.buckets);
+
+  HistogramStats unchanged = full;  // empty source: no-op
+  obs::MergeHistogramStats(unchanged, HistogramStats{});
+  EXPECT_EQ(unchanged.count, full.count);
+  EXPECT_EQ(unchanged.p99, full.p99);
+
+  // Old-schema side (no buckets): counts still add, quantiles fall back to
+  // the conservative pairwise max, and the merged stats carry no buckets.
+  HistogramStats old_schema = full;
+  old_schema.buckets.clear();
+  HistogramStats mixed = full;
+  obs::MergeHistogramStats(mixed, old_schema);
+  EXPECT_EQ(mixed.count, 2 * full.count);
+  EXPECT_TRUE(mixed.buckets.empty());
+  EXPECT_EQ(mixed.p95, full.p95);
+}
+
 TEST(ExportTest, FromJsonRejectsGarbage) {
   MetricsSnapshot snapshot;
   EXPECT_FALSE(obs::FromJson("", &snapshot));

@@ -1,0 +1,346 @@
+// Tests for per-partition workload attribution (obs/profile.h): the
+// reconciliation invariant (per-partition sums equal the global
+// flix.query.* counters, for every MDB configuration), the profile JSON
+// round trip and its rejection of malformed documents, merging, and the
+// persistence helpers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "flix/flix.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "workload/dblp_generator.h"
+#include "xml/collection.h"
+
+namespace flix {
+namespace {
+
+using core::Flix;
+using core::FlixOptions;
+using core::MdbConfig;
+using core::QueryOptions;
+using obs::MetricsRegistry;
+using obs::PartitionDeltaMap;
+using obs::PartitionProfile;
+using obs::WorkloadProfile;
+using obs::WorkloadProfiler;
+
+xml::Collection SmallDblp() {
+  workload::DblpOptions options;
+  options.num_publications = 120;
+  auto collection = workload::GenerateDblp(options);
+  EXPECT_TRUE(collection.ok());
+  return std::move(collection).value();
+}
+
+// Global counter values the profiler must reconcile against.
+struct GlobalCounters {
+  uint64_t entries_processed;
+  uint64_t entries_dominated;
+  uint64_t index_probes;
+  uint64_t links_followed;
+  uint64_t cursors_opened;
+  uint64_t cursor_pulls;
+  uint64_t results_emitted;
+
+  static GlobalCounters Read() {
+    auto& reg = MetricsRegistry::Global();
+    return GlobalCounters{
+        reg.GetCounter("flix.query.entries_processed").Value(),
+        reg.GetCounter("flix.query.entries_dominated").Value(),
+        reg.GetCounter("flix.query.index_probes").Value(),
+        reg.GetCounter("flix.query.links_followed").Value(),
+        reg.GetCounter("flix.query.cursor.opened").Value(),
+        reg.GetCounter("flix.query.cursor.pulled").Value(),
+        reg.GetCounter("flix.query.results_emitted").Value(),
+    };
+  }
+};
+
+PartitionProfile SumPartitions(const WorkloadProfile& profile) {
+  return profile.Totals();
+}
+
+// Runs a mixed workload through the facade: streaming descendants,
+// materialized (exact) descendants, ancestors, and a type query — every
+// evaluator path that flushes per-partition deltas.
+void RunMixedWorkload(const Flix& flix, const xml::Collection& collection) {
+  for (DocId d = 0; d < collection.NumDocuments(); d += 7) {
+    const NodeId start = collection.GlobalId(d, 0);
+    flix.FindDescendantsByName(start, "author", {},
+                               [](const core::Result&) { return true; });
+    QueryOptions topk;
+    topk.max_results = 5;
+    flix.FindDescendantsByName(start, "title", topk);
+    QueryOptions exact;
+    exact.exact = true;
+    flix.FindDescendantsByName(start, "cite", exact);
+  }
+  for (NodeId n = 1; n < collection.NumElements(); n += 257) {
+    flix.FindAncestorsByName(n, "article");
+  }
+  flix.EvaluateTypeQuery("article", "author");
+}
+
+TEST(WorkloadProfilerReconciliation, PartitionSumsMatchGlobalCounters) {
+  const xml::Collection collection = SmallDblp();
+  const MdbConfig configs[] = {MdbConfig::kNaive, MdbConfig::kMaximalPpo,
+                               MdbConfig::kUnconnectedHopi,
+                               MdbConfig::kHybrid};
+  for (const MdbConfig config : configs) {
+    SCOPED_TRACE(core::MdbConfigName(config));
+    FlixOptions options;
+    options.config = config;
+    options.partition_bound = 400;  // several partitions even at this scale
+    auto flix = Flix::Build(collection, options);
+    ASSERT_TRUE(flix.ok());
+
+    const GlobalCounters before = GlobalCounters::Read();
+    RunMixedWorkload(**flix, collection);
+    const GlobalCounters after = GlobalCounters::Read();
+
+    const WorkloadProfile profile = (*flix)->Profile();
+    EXPECT_EQ(profile.partitions.size(),
+              (*flix)->stats().num_meta_documents);
+    const PartitionProfile sum = SumPartitions(profile);
+
+    EXPECT_EQ(sum.entries_processed,
+              after.entries_processed - before.entries_processed);
+    EXPECT_EQ(sum.entries_dominated,
+              after.entries_dominated - before.entries_dominated);
+    EXPECT_EQ(sum.index_probes, after.index_probes - before.index_probes);
+    EXPECT_EQ(sum.entry_fanout, after.links_followed - before.links_followed);
+    EXPECT_EQ(sum.cursors_opened,
+              after.cursors_opened - before.cursors_opened);
+    EXPECT_EQ(sum.cursor_pulls, after.cursor_pulls - before.cursor_pulls);
+    EXPECT_EQ(sum.results_emitted,
+              after.results_emitted - before.results_emitted);
+    // The workload produced real work, so the reconciliation is not an
+    // empty 0 == 0 identity.
+    EXPECT_GT(sum.entries_processed, 0u);
+    EXPECT_GT(sum.results_emitted, 0u);
+    EXPECT_GT(sum.queries, 0u);
+  }
+}
+
+TEST(WorkloadProfilerTest, DisabledProfilerRecordsNothing) {
+  const xml::Collection collection = SmallDblp();
+  FlixOptions options;
+  options.workload_profiling = false;
+  auto flix = Flix::Build(collection, options);
+  ASSERT_TRUE(flix.ok());
+  RunMixedWorkload(**flix, collection);
+  const PartitionProfile sum = SumPartitions((*flix)->Profile());
+  EXPECT_EQ(sum.queries, 0u);
+  EXPECT_EQ(sum.entries_processed, 0u);
+  EXPECT_EQ(sum.cursor_pulls, 0u);
+  EXPECT_EQ(sum.latency.count, 0u);
+  // Partition identity is still described (strategy/node counts are
+  // build-time facts, not recordings).
+  EXPECT_GT(sum.nodes, 0u);
+}
+
+TEST(WorkloadProfilerTest, CacheHitsAttributeToStartPartition) {
+  const xml::Collection collection = SmallDblp();
+  FlixOptions options;
+  options.query_cache_capacity = 64;
+  auto flix = Flix::Build(collection, options);
+  ASSERT_TRUE(flix.ok());
+
+  const NodeId start = collection.GlobalId(0, 0);
+  (*flix)->FindDescendantsByName(start, "author");  // miss + insert
+  (*flix)->FindDescendantsByName(start, "author");  // hit
+  const WorkloadProfile profile = (*flix)->Profile();
+  const uint32_t partition = (*flix)->meta_documents().meta_of_node[start];
+  ASSERT_LT(partition, profile.partitions.size());
+  EXPECT_EQ(profile.partitions[partition].cache_misses, 1u);
+  EXPECT_EQ(profile.partitions[partition].cache_hits, 1u);
+  const PartitionProfile sum = SumPartitions(profile);
+  EXPECT_EQ(sum.cache_hits, 1u);
+  EXPECT_EQ(sum.cache_misses, 1u);
+}
+
+TEST(WorkloadProfilerTest, ResetClearsObservationsButKeepsIdentity) {
+  WorkloadProfiler profiler;
+  profiler.Resize(2);
+  profiler.SetPartitionInfo(0, "PPO", 10, 1000);
+  profiler.SetPartitionInfo(1, "HOPI", 20, 2000);
+  PartitionDeltaMap deltas;
+  deltas[1].index_probes = 3;
+  profiler.RecordQuery(deltas, 5000);
+  profiler.RecordCacheHit(0);
+
+  profiler.Reset();
+  const WorkloadProfile profile = profiler.Snapshot();
+  ASSERT_EQ(profile.partitions.size(), 2u);
+  EXPECT_EQ(profile.partitions[1].index_probes, 0u);
+  EXPECT_EQ(profile.partitions[0].cache_hits, 0u);
+  EXPECT_EQ(profile.partitions[1].latency.count, 0u);
+  EXPECT_EQ(profile.partitions[0].strategy, "PPO");
+  EXPECT_EQ(profile.partitions[1].nodes, 20u);
+}
+
+TEST(WorkloadProfilerTest, OutOfRangePartitionsAreDropped) {
+  WorkloadProfiler profiler;
+  profiler.Resize(1);
+  PartitionDeltaMap deltas;
+  deltas[0].cursor_pulls = 2;
+  deltas[7].cursor_pulls = 99;  // no such partition
+  profiler.RecordQuery(deltas, 100);
+  profiler.RecordCacheHit(7);
+  const WorkloadProfile profile = profiler.Snapshot();
+  ASSERT_EQ(profile.partitions.size(), 1u);
+  EXPECT_EQ(profile.partitions[0].cursor_pulls, 2u);
+  EXPECT_EQ(SumPartitions(profile).cache_hits, 0u);
+}
+
+WorkloadProfile MakeSampleProfile() {
+  WorkloadProfiler profiler;
+  profiler.Resize(3);
+  profiler.SetPartitionInfo(0, "PPO", 100, 12345);
+  profiler.SetPartitionInfo(1, "HOPI", 2000, 6789000);
+  profiler.SetPartitionInfo(2, "APEX", 50, 42);
+  PartitionDeltaMap deltas;
+  deltas[0] = obs::PartitionDelta{5, 1, 7, 2, 31, 4, 6};
+  deltas[1] = obs::PartitionDelta{50, 10, 70, 20, 310, 40, 60};
+  profiler.RecordQuery(deltas, 1234567);
+  PartitionDeltaMap more;
+  more[1].results_emitted = 3;
+  profiler.RecordQuery(more, 999);
+  profiler.RecordCacheHit(2);
+  profiler.RecordCacheMiss(2);
+  return profiler.Snapshot();
+}
+
+TEST(WorkloadProfileJson, RoundTripIsExact) {
+  const WorkloadProfile original = MakeSampleProfile();
+  const std::string json = obs::ProfileToJson(original);
+  WorkloadProfile reparsed;
+  ASSERT_TRUE(obs::ProfileFromJson(json, &reparsed));
+  ASSERT_EQ(reparsed.partitions.size(), original.partitions.size());
+  for (size_t i = 0; i < original.partitions.size(); ++i) {
+    const PartitionProfile& a = original.partitions[i];
+    const PartitionProfile& b = reparsed.partitions[i];
+    EXPECT_EQ(a.partition, b.partition);
+    EXPECT_EQ(a.strategy, b.strategy);
+    EXPECT_EQ(a.nodes, b.nodes);
+    EXPECT_EQ(a.build_ns, b.build_ns);
+    EXPECT_EQ(a.queries, b.queries);
+    EXPECT_EQ(a.entries_processed, b.entries_processed);
+    EXPECT_EQ(a.entries_dominated, b.entries_dominated);
+    EXPECT_EQ(a.index_probes, b.index_probes);
+    EXPECT_EQ(a.cursors_opened, b.cursors_opened);
+    EXPECT_EQ(a.cursor_pulls, b.cursor_pulls);
+    EXPECT_EQ(a.entry_fanout, b.entry_fanout);
+    EXPECT_EQ(a.results_emitted, b.results_emitted);
+    EXPECT_EQ(a.cache_hits, b.cache_hits);
+    EXPECT_EQ(a.cache_misses, b.cache_misses);
+    EXPECT_EQ(a.latency.count, b.latency.count);
+    EXPECT_EQ(a.latency.sum, b.latency.sum);
+    EXPECT_EQ(a.latency.min, b.latency.min);
+    EXPECT_EQ(a.latency.max, b.latency.max);
+    EXPECT_EQ(a.latency.mean, b.latency.mean);      // %.17g: exact
+    EXPECT_EQ(a.latency.p50, b.latency.p50);
+    EXPECT_EQ(a.latency.p95, b.latency.p95);
+    EXPECT_EQ(a.latency.p99, b.latency.p99);
+    EXPECT_EQ(a.latency.p999, b.latency.p999);
+    EXPECT_EQ(a.latency.buckets, b.latency.buckets);
+  }
+  // A second serialization of the reparsed profile is byte-identical.
+  EXPECT_EQ(obs::ProfileToJson(reparsed), json);
+}
+
+TEST(WorkloadProfileJson, RejectsMalformedDocuments) {
+  const std::string good = obs::ProfileToJson(MakeSampleProfile());
+  WorkloadProfile out;
+  EXPECT_FALSE(obs::ProfileFromJson("", &out));
+  EXPECT_FALSE(obs::ProfileFromJson("{}", &out));
+  EXPECT_FALSE(obs::ProfileFromJson("not json at all", &out));
+  EXPECT_FALSE(obs::ProfileFromJson("{\"schema_version\":1}", &out));
+  // Wrong version.
+  EXPECT_FALSE(obs::ProfileFromJson(
+      "{\"schema_version\":99,\"partitions\":[]}", &out));
+  // Truncations at every prefix must fail, never crash.
+  for (size_t len = 0; len < good.size(); len += 13) {
+    EXPECT_FALSE(obs::ProfileFromJson(good.substr(0, len), &out)) << len;
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(obs::ProfileFromJson(good + "x", &out));
+  // Partition ids must be dense and in order.
+  EXPECT_FALSE(obs::ProfileFromJson(
+      "{\"schema_version\":1,\"partitions\":[{\"partition\":1,"
+      "\"strategy\":\"PPO\",\"nodes\":1,\"build_ns\":0,\"queries\":0,"
+      "\"entries_processed\":0,\"entries_dominated\":0,\"index_probes\":0,"
+      "\"cursors_opened\":0,\"cursor_pulls\":0,\"entry_fanout\":0,"
+      "\"results_emitted\":0,\"cache_hits\":0,\"cache_misses\":0,"
+      "\"latency\":{\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"mean\":0,"
+      "\"p50\":0,\"p95\":0,\"p99\":0,\"p999\":0,\"buckets\":[]}}]}",
+      &out));
+  // An empty but well-formed profile parses.
+  EXPECT_TRUE(obs::ProfileFromJson(
+      "{\"schema_version\":1,\"partitions\":[]}", &out));
+  EXPECT_TRUE(out.partitions.empty());
+}
+
+TEST(WorkloadProfileTest, MergeAccumulatesAndGrows) {
+  const WorkloadProfile a = MakeSampleProfile();
+  WorkloadProfile b = MakeSampleProfile();
+  b.partitions.resize(2);  // shorter profile: merge must grow the target
+
+  WorkloadProfile merged = b;
+  merged.Merge(a);
+  ASSERT_EQ(merged.partitions.size(), 3u);
+  EXPECT_EQ(merged.partitions[1].cursor_pulls,
+            a.partitions[1].cursor_pulls + b.partitions[1].cursor_pulls);
+  EXPECT_EQ(merged.partitions[1].queries,
+            a.partitions[1].queries + b.partitions[1].queries);
+  EXPECT_EQ(merged.partitions[1].latency.count,
+            a.partitions[1].latency.count + b.partitions[1].latency.count);
+  // Partition 2 exists only in `a` and carries over unchanged.
+  EXPECT_EQ(merged.partitions[2].cache_hits, a.partitions[2].cache_hits);
+  EXPECT_EQ(merged.partitions[2].strategy, "APEX");
+}
+
+TEST(WorkloadProfileTest, RankByWorkOrdersByWorkScore) {
+  const WorkloadProfile profile = MakeSampleProfile();
+  const std::vector<uint32_t> ranked = profile.RankByWork();
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0], 1u);  // partition 1 got 10x the work
+  EXPECT_EQ(ranked[1], 0u);
+  EXPECT_EQ(ranked[2], 2u);  // never touched
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(profile.partitions[ranked[i - 1]].WorkScore(),
+              profile.partitions[ranked[i]].WorkScore());
+  }
+}
+
+TEST(WorkloadProfileTest, ToTextRanksAndTotals) {
+  const std::string text = obs::ProfileToText(MakeSampleProfile(), 2);
+  EXPECT_NE(text.find("strategy"), std::string::npos);
+  EXPECT_NE(text.find("HOPI"), std::string::npos);
+  EXPECT_NE(text.find("total:"), std::string::npos);
+  // top_n=2 hides the idle APEX partition.
+  EXPECT_EQ(text.find("APEX"), std::string::npos);
+}
+
+TEST(WorkloadProfilePersistence, SaveLoadRoundTrip) {
+  const WorkloadProfile original = MakeSampleProfile();
+  const std::string path = testing::TempDir() + "/flix_profile_test.json";
+  ASSERT_TRUE(obs::SaveProfileFile(path, original));
+  WorkloadProfile loaded;
+  ASSERT_TRUE(obs::LoadProfileFile(path, &loaded));
+  EXPECT_EQ(obs::ProfileToJson(loaded), obs::ProfileToJson(original));
+  std::remove(path.c_str());
+  EXPECT_FALSE(obs::LoadProfileFile(path, &loaded));
+}
+
+TEST(WorkloadProfilePersistence, ProfileFilePathAppendsSuffix) {
+  EXPECT_EQ(obs::ProfileFilePath("data.flix"), "data.flix.profile.json");
+  EXPECT_EQ(obs::ProfileFilePath("/x/y/i"), "/x/y/i.profile.json");
+}
+
+}  // namespace
+}  // namespace flix

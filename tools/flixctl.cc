@@ -17,12 +17,14 @@
 //       --start vldb/pub6205 --tag article --k 10 [--exact]
 //   flixctl connect --collection data.flxc --index data.flix
 //       --from vldb/pub6205 --to edbt/pub0
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "check/oracle.h"
@@ -32,6 +34,7 @@
 #include "flix/flix.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "ontology/ontology.h"
 #include "ontology/relaxation.h"
@@ -105,6 +108,20 @@ int Usage() {
       "                  [--cache N]\n"
       "  flixctl stats   --collection FILE --index FILE\n"
       "                  [--workload N] [--repeat N] [--json]\n"
+      "                  [--watch SEC]  (redraw every SEC seconds; the\n"
+      "                   workload reruns each tick)\n"
+      "  flixctl profile --collection FILE --index FILE\n"
+      "                  [--workload N] [--repeat N] [--top N] [--json]\n"
+      "                  [--profile-file FILE] [--no-save]  (per-partition\n"
+      "                   workload attribution; merges with and updates the\n"
+      "                   profile persisted next to the index)\n"
+      "  flixctl trace   --chrome OUT.json\n"
+      "                  [--xml-dir DIR | --dblp N | --synthetic |\n"
+      "                   --collection FILE]\n"
+      "                  [--config naive|maxppo|uhopi|hybrid] [--bound N]\n"
+      "                  [--workload N] [--capacity N] [--slow-ms N]\n"
+      "                  (in-process build + workload under the trace\n"
+      "                   collector; writes a Chrome trace-event file)\n"
       "  flixctl check   --collection FILE --index FILE\n"
       "                  [--xml-dir DIR | --dblp N | --synthetic]  (build\n"
       "                   in-process instead of loading saved files)\n"
@@ -281,37 +298,29 @@ size_t RunStatsWorkload(const core::Flix& flix,
   return executed;
 }
 
-int CmdStats(const Args& args) {
-  auto collection = LoadCollection(args);
-  if (!collection.ok()) {
-    std::cerr << collection.status().ToString() << "\n";
-    return 1;
-  }
-  auto flix = LoadIndex(args, *collection);
-  if (!flix.ok()) {
-    std::cerr << flix.status().ToString() << "\n";
-    return 1;
-  }
-
+// One stats rendering pass: optionally run the sampled workload, then
+// print either the JSON snapshot or the human-readable report.
+void StatsTick(const Args& args, const core::Flix& flix,
+               const xml::Collection& collection) {
   size_t executed = 0;
   if (args.Has("workload")) {
-    executed = RunStatsWorkload(**flix, *collection,
+    executed = RunStatsWorkload(flix, collection,
                                 args.GetSize("workload", 100),
                                 args.GetSize("repeat", 2));
   }
-  const obs::MetricsSnapshot snapshot = (*flix)->MetricsSnapshot();
+  const obs::MetricsSnapshot snapshot = flix.MetricsSnapshot();
 
   if (args.Has("json")) {
     std::cout << obs::ToJson(snapshot) << "\n";
-    return 0;
+    return;
   }
 
-  const core::FlixStats& stats = (*flix)->stats();
+  const core::FlixStats& stats = flix.stats();
   std::cout << "configuration: "
-            << core::MdbConfigName((*flix)->options().config) << "\n"
-            << "documents:     " << collection->NumDocuments() << "\n"
-            << "elements:      " << collection->NumElements() << "\n"
-            << "links:         " << collection->links().links.size() << "\n"
+            << core::MdbConfigName(flix.options().config) << "\n"
+            << "documents:     " << collection.NumDocuments() << "\n"
+            << "elements:      " << collection.NumElements() << "\n"
+            << "links:         " << collection.links().links.size() << "\n"
             << "meta docs:     " << stats.num_meta_documents << " ("
             << stats.num_ppo << " PPO / " << stats.num_hopi << " HOPI / "
             << stats.num_apex << " APEX)\n"
@@ -336,7 +345,7 @@ int CmdStats(const Args& args) {
                 << " ms\n";
     }
   }
-  if (const core::QueryCache* cache = (*flix)->query_cache()) {
+  if (const core::QueryCache* cache = flix.query_cache()) {
     const core::QueryCacheStats cs = cache->Stats();
     std::cout << "cache:         " << cs.size << "/" << cs.capacity
               << " entries, hit rate " << 100 * cs.HitRate() << "% ("
@@ -344,6 +353,145 @@ int CmdStats(const Args& args) {
               << cs.evictions << " evictions)\n";
   }
   std::cout << "\n" << obs::ToText(snapshot);
+}
+
+int CmdStats(const Args& args) {
+  auto collection = LoadCollection(args);
+  if (!collection.ok()) {
+    std::cerr << collection.status().ToString() << "\n";
+    return 1;
+  }
+  auto flix = LoadIndex(args, *collection);
+  if (!flix.ok()) {
+    std::cerr << flix.status().ToString() << "\n";
+    return 1;
+  }
+  const size_t watch_sec = args.GetSize("watch", 0);
+  for (size_t tick = 0;; ++tick) {
+    if (watch_sec != 0) {
+      std::cout << "--- tick " << tick << " (every " << watch_sec << "s, ^C "
+                << "to stop) ---\n";
+    }
+    StatsTick(args, **flix, *collection);
+    if (watch_sec == 0) break;
+    std::cout.flush();
+    std::this_thread::sleep_for(std::chrono::seconds(watch_sec));
+  }
+  return 0;
+}
+
+int CmdProfile(const Args& args) {
+  auto collection = LoadCollection(args);
+  if (!collection.ok()) {
+    std::cerr << collection.status().ToString() << "\n";
+    return 1;
+  }
+  auto flix = LoadIndex(args, *collection);
+  if (!flix.ok()) {
+    std::cerr << flix.status().ToString() << "\n";
+    return 1;
+  }
+  const size_t executed = RunStatsWorkload(**flix, *collection,
+                                           args.GetSize("workload", 100),
+                                           args.GetSize("repeat", 1));
+
+  obs::WorkloadProfile profile = (*flix)->Profile();
+  const std::string profile_path =
+      args.Get("profile-file", obs::ProfileFilePath(args.Get("index")));
+  obs::WorkloadProfile merged;
+  if (obs::LoadProfileFile(profile_path, &merged)) {
+    // Accumulate this run on top of what earlier runs persisted, so the
+    // profile reflects the workload history of the index, not one process.
+    merged.Merge(profile);
+  } else {
+    merged = std::move(profile);
+  }
+  if (!args.Has("no-save")) {
+    if (!obs::SaveProfileFile(profile_path, merged)) {
+      std::cerr << "warning: could not write " << profile_path << "\n";
+    }
+  }
+
+  if (args.Has("json")) {
+    std::cout << obs::ProfileToJson(merged) << "\n";
+    return 0;
+  }
+  std::cout << "workload: " << executed << " queries this run; profile at "
+            << profile_path << "\n\n";
+  std::cout << obs::ProfileToText(merged, args.GetSize("top", 0));
+  return 0;
+}
+
+int CmdTrace(const Args& args) {
+  const std::string out_path = args.Get("chrome");
+  if (out_path.empty() || out_path == "true") {
+    std::cerr << "--chrome OUT.json is required\n";
+    return 2;
+  }
+
+  StatusOr<xml::Collection> collection =
+      InvalidArgumentError("one of --xml-dir/--dblp/--synthetic/--collection "
+                           "is required");
+  if (args.Has("xml-dir")) {
+    collection = IngestXmlDir(args.Get("xml-dir"));
+  } else if (args.Has("dblp")) {
+    workload::DblpOptions options;
+    options.num_publications = args.GetSize("dblp", 500);
+    collection = workload::GenerateDblp(options);
+  } else if (args.Has("synthetic")) {
+    collection = workload::GenerateSynthetic({});
+  } else if (args.Has("collection")) {
+    collection = LoadCollection(args);
+  }
+  if (!collection.ok()) {
+    std::cerr << collection.status().ToString() << "\n";
+    return 1;
+  }
+
+  obs::TraceCollector::Global().Enable(args.GetSize("capacity", 65536));
+  if (args.Has("slow-ms")) {
+    obs::SlowQueryLog::Global().Configure(args.GetSize("slow-ms", 0) *
+                                          1000000ull);
+  }
+
+  // Build in-process so the MDB -> ISS -> IB spans are part of the timeline,
+  // then run the sampled workload for the query-side spans.
+  core::FlixOptions options;
+  options.config = ParseConfig(args.Get("config", "hybrid"));
+  options.partition_bound = args.GetSize("bound", 5000);
+  auto flix = core::Flix::Build(*collection, options);
+  if (!flix.ok()) {
+    std::cerr << flix.status().ToString() << "\n";
+    return 1;
+  }
+  RunStatsWorkload(**flix, *collection, args.GetSize("workload", 25),
+                   args.GetSize("repeat", 1));
+
+  auto& collector = obs::TraceCollector::Global();
+  const std::vector<obs::TraceEvent> events = collector.Events();
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot write '" << out_path << "'\n";
+    return 1;
+  }
+  out << obs::ToChromeTraceJson(events);
+  if (!out) {
+    std::cerr << "writing '" << out_path << "' failed\n";
+    return 1;
+  }
+  std::cout << "wrote " << events.size() << " spans to " << out_path;
+  if (collector.Dropped() > 0) {
+    std::cout << " (" << collector.Dropped()
+              << " dropped; raise --capacity to keep them)";
+  }
+  std::cout << "\n";
+  for (const obs::SlowQueryRecord& slow :
+       obs::SlowQueryLog::Global().Entries()) {
+    std::cout << "slow query #" << slow.seq << " ("
+              << static_cast<double>(slow.dur_ns) / 1e6 << " ms): "
+              << slow.description << "\n";
+  }
+  collector.Disable();
   return 0;
 }
 
@@ -610,6 +758,8 @@ int main(int argc, char** argv) {
   if (args.Has("trace")) flix::obs::SetTraceLog(&std::cerr);
   if (args.command == "build") return CmdBuild(args);
   if (args.command == "stats") return CmdStats(args);
+  if (args.command == "profile") return CmdProfile(args);
+  if (args.command == "trace") return CmdTrace(args);
   if (args.command == "check") return CmdCheck(args);
   if (args.command == "query") return CmdQuery(args);
   if (args.command == "connect") return CmdConnect(args);
