@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Adaptive-ISS walkthrough: provision a DBLP index on the wrong strategy,
+# watch the workload profile expose the mistake, and let `flixctl adapt`
+# repair it online. docs/operations.md ("Adaptive re-selection") narrates
+# each step; this script is the copy-paste version.
+#
+#   $ ./examples/adaptive_workload.sh [BUILD_DIR]
+#
+# BUILD_DIR defaults to ./build (a configured cmake build tree with the
+# flixctl target already compiled: `cmake -B build -S . && cmake --build
+# build --target flixctl`).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+FLIXCTL="$BUILD_DIR/tools/flixctl"
+WORK_DIR="$(mktemp -d)"
+trap 'rm -rf "$WORK_DIR"' EXIT
+
+COLLECTION="$WORK_DIR/dblp.flxc"
+INDEX="$WORK_DIR/dblp.flix"
+
+if [[ ! -x "$FLIXCTL" ]]; then
+  echo "flixctl not found at $FLIXCTL — build it first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR --target flixctl" >&2
+  exit 1
+fi
+
+echo "### 1. Build a partitioned DBLP index forced onto APEX everywhere"
+echo "###    (a mis-provisioned deployment: APEX probes are ~14x a HOPI"
+echo "###    label join on point-query-heavy workloads)"
+"$FLIXCTL" build --dblp 2000 --config uhopi --iss-policy apex \
+  --collection "$COLLECTION" --index "$INDEX"
+echo
+
+echo "### 2. Serve a workload and inspect the per-partition profile —"
+echo "###    every hot partition is paying APEX probe prices"
+"$FLIXCTL" profile --collection "$COLLECTION" --index "$INDEX" \
+  --workload 200 --repeat 5 --top 5
+echo
+
+echo "### 3. Dry-run: what would the adaptive ISS change, and why?"
+"$FLIXCTL" adapt --collection "$COLLECTION" --index "$INDEX" --dry-run
+echo
+
+echo "### 4. Apply: build replacements off the query path, validate them"
+echo "###    (structural Validate + sampled differential probe), swap"
+echo "###    atomically, re-save the index"
+"$FLIXCTL" adapt --collection "$COLLECTION" --index "$INDEX" --apply
+echo
+
+echo "### 5. The migrated index still answers every query correctly"
+"$FLIXCTL" check --collection "$COLLECTION" --index "$INDEX"
+echo
+
+echo "### 6. Profile again: the same workload now runs on the cheap strategy"
+"$FLIXCTL" profile --collection "$COLLECTION" --index "$INDEX" \
+  --workload 200 --repeat 5 --top 5 --no-save

@@ -1,6 +1,7 @@
 #include "check/validator.h"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -257,14 +258,16 @@ CheckReport ValidateFramework(const core::Flix& flix,
     for (uint32_t m = 0; m < set.docs.size(); ++m) {
       const core::MetaDocument& doc = set.docs[m];
       ++report.checks_run;
-      if (doc.index == nullptr) {
+      // Snapshot: a migration may swap the handle while the walk runs.
+      const std::shared_ptr<index::PathIndex> index = doc.index.Acquire();
+      if (index == nullptr) {
         report.violations.push_back(MetaPrefix(m) + "has no index");
         continue;
       }
-      const Status status = doc.index->Validate(doc.graph, options.index);
+      const Status status = index->Validate(doc.graph, options.index);
       if (!status.ok()) {
         report.violations.push_back(MetaPrefix(m) + "[" +
-                                    std::string(doc.index->name()) + "] " +
+                                    std::string(index->name()) + "] " +
                                     status.message());
       }
     }

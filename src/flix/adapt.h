@@ -1,0 +1,186 @@
+// Workload-adaptive Indexing Strategy Selection (paper Section 7 made
+// operational): re-select each meta document's strategy from the observed
+// workload and migrate to the winner online, without stopping queries.
+//
+// The observe→decide→act loop:
+//   observe — obs::WorkloadProfiler attributes probes, cursor pulls and
+//             queries to individual meta documents (PR 4);
+//   decide  — RecommendStrategies projects each partition's observed work
+//             onto per-strategy calibration constants (CostModel, measured
+//             once by bench_strategy_costs) and recommends the cheapest
+//             strategy, with a hysteresis bar so a migration only happens
+//             when the projected win clearly exceeds the rebuild cost;
+//   act     — StrategyMigrator builds the replacement index off the query
+//             path, validates it (per-strategy Validate() + a sampled
+//             differential probe against the live index), then swaps it
+//             atomically through IndexHandle::Replace. Queries holding
+//             Acquire() snapshots of the old index drain safely.
+//
+// Cost model. For strategy s over a partition with n nodes and observed
+// counters (probes, pulls):
+//
+//   cost(s)    = probes * probe_ns(s) + pulls * pull_ns(s)
+//                + memory_weight * bytes_per_node(s) * n
+//   rebuild(s) = n * build_ns_per_node(s)
+//
+// and a partition migrates from `current` to the cheapest candidate `best`
+// iff it has enough evidence (queries >= min_queries) and
+//
+//   cost(current) - cost(best) > hysteresis * rebuild(best).
+//
+// The hysteresis factor is what prevents flapping: after a migration the
+// observed counters describe the *new* strategy, so the reverse move has to
+// clear the same multiple of the rebuild cost from scratch — an A→B→A
+// oscillation would need the workload itself to swing by more than
+// 2 * hysteresis rebuilds' worth of probe cost.
+//
+// Counters: flix.adapt.recommended, flix.adapt.migrated,
+// flix.adapt.rejected_hysteresis, flix.adapt.validation_failed.
+#ifndef FLIX_FLIX_ADAPT_H_
+#define FLIX_FLIX_ADAPT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "flix/flix.h"
+#include "index/path_index.h"
+#include "obs/profile.h"
+
+namespace flix::core {
+
+// Calibration constants for one strategy. All values are per-operation
+// averages measured on a representative machine by bench_strategy_costs;
+// recommendations depend only on cost *ratios*, so constants measured on a
+// different machine still rank strategies correctly unless the hardware
+// inverts a ratio (e.g. an APEX probe becoming cheaper than a HOPI lookup).
+struct StrategyCosts {
+  double probe_ns = 0;          // one IsReachable/DistanceBetween/list probe
+  double pull_ns = 0;           // one cursor Next()
+  double bytes_per_node = 0;    // index heap footprint per graph node
+  double build_ns_per_node = 0; // construction time per graph node
+};
+
+struct CostModel {
+  StrategyCosts ppo;
+  StrategyCosts hopi;
+  StrategyCosts apex;
+
+  const StrategyCosts& For(index::StrategyKind kind) const;
+
+  // Constants measured by `bench_strategy_costs` (see bench/) on the
+  // reference container; re-run it and update these when the hardware or a
+  // strategy implementation changes materially.
+  static CostModel Measured();
+};
+
+struct AdaptOptions {
+  // A migration must win back this multiple of the replacement's projected
+  // build cost before it is applied. 0 migrates on any projected win.
+  double hysteresis = 3.0;
+  // Partitions with fewer observed queries than this are never touched —
+  // too little evidence to project a workload from.
+  uint64_t min_queries = 8;
+  // Weight (ns per byte) of index memory in the cost; 0 ranks purely by
+  // query work, > 0 lets cold partitions drift to memory-lean strategies.
+  double memory_weight = 0;
+};
+
+// One per-partition verdict of the cost model.
+struct Recommendation {
+  uint32_t partition = 0;
+  index::StrategyKind current = index::StrategyKind::kHopi;
+  index::StrategyKind best = index::StrategyKind::kHopi;
+  uint64_t nodes = 0;
+  uint64_t queries = 0;       // observed queries (evidence)
+  double current_cost_ns = 0; // projected cost of staying
+  double best_cost_ns = 0;    // projected cost of the cheapest candidate
+  double rebuild_cost_ns = 0; // projected build cost of `best`
+  // The verdict: migrate now, or a positive win that did not clear the
+  // hysteresis bar (mutually exclusive; both false = keep).
+  bool migrate = false;
+  bool rejected_hysteresis = false;
+};
+
+// Projects `profile`'s observed per-partition work onto `model` and emits
+// one Recommendation per eligible meta document (current strategy PPO, HOPI
+// or APEX; PPO is only a candidate where the local graph is a forest). The
+// current strategy is read from the live index handles, never from the
+// profile, so recommendations stay correct across earlier migrations.
+// Increments flix.adapt.{recommended,rejected_hysteresis}.
+std::vector<Recommendation> RecommendStrategies(
+    const Flix& flix, const obs::WorkloadProfile& profile,
+    const CostModel& model = CostModel::Measured(),
+    const AdaptOptions& options = {});
+
+// Renders the `flixctl adapt` recommendation table (all partitions, hottest
+// first; `top_n` = 0 prints every partition).
+std::string RecommendationsToText(const std::vector<Recommendation>& recs,
+                                  size_t top_n = 0);
+
+struct MigrationOptions {
+  // Structural validation knobs for the replacement index.
+  index::ValidateOptions validate;
+  // Sampled differential probe against the live index: (from, to) pairs for
+  // IsReachable/DistanceBetween diffs, sources for enumeration diffs.
+  size_t sample_pairs = 256;
+  size_t sample_sources = 16;
+  uint64_t seed = 20260809;
+  // Test-only: runs on the replacement after build and link registration
+  // but before validation (the mutation tests corrupt it here to prove a
+  // broken replacement is rejected and the old index stays live).
+  std::function<void(index::PathIndex&)> replacement_hook;
+};
+
+// Executes migrations against one Flix instance. Use either synchronously
+// (Migrate / RunOnce, e.g. from `flixctl adapt --apply`) or as a background
+// loop (Start / Stop). Single-writer: run at most one migrator per Flix
+// instance; queries may run concurrently throughout.
+class StrategyMigrator {
+ public:
+  explicit StrategyMigrator(Flix& flix, CostModel model = CostModel::Measured(),
+                            AdaptOptions options = {},
+                            MigrationOptions migration = {});
+  ~StrategyMigrator();  // Stops the background loop if running.
+
+  StrategyMigrator(const StrategyMigrator&) = delete;
+  StrategyMigrator& operator=(const StrategyMigrator&) = delete;
+
+  // Builds, validates and swaps in `rec.best` for one partition. A no-op
+  // (Ok) if the partition already runs `best`. On validation failure the
+  // replacement is discarded, the old index stays live, and
+  // flix.adapt.validation_failed is incremented. Requires
+  // FlixOptions::adaptive_iss (FailedPreconditionError otherwise).
+  Status Migrate(const Recommendation& rec);
+
+  // One full observe→decide→act pass over the live profile; returns the
+  // number of partitions migrated. Per-partition validation failures are
+  // counted and skipped, not fatal.
+  StatusOr<size_t> RunOnce();
+
+  // Background re-selection every `interval` (the `--watch` mode and the
+  // embedded deployment). Start replaces a previous loop.
+  void Start(std::chrono::milliseconds interval);
+  void Stop();
+
+ private:
+  Flix& flix_;
+  const CostModel model_;
+  const AdaptOptions options_;
+  const MigrationOptions migration_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace flix::core
+
+#endif  // FLIX_FLIX_ADAPT_H_

@@ -80,6 +80,14 @@ struct FlixOptions {
   // (not persisted with the index); costs a few relaxed atomic adds per
   // query. Disable for overhead-critical benchmarking.
   bool workload_profiling = true;
+
+  // Allow the workload-adaptive ISS (src/flix/adapt.h) to re-select
+  // strategies online and swap indexes under live queries. Runtime-only
+  // like workload_profiling — the persisted index format is unchanged;
+  // flip after Load with Flix::SetAdaptiveIss. Off by default: migrations
+  // only happen when an operator (flixctl adapt --apply / --watch) or an
+  // embedding application opts in.
+  bool adaptive_iss = false;
 };
 
 }  // namespace flix::core

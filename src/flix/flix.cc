@@ -116,7 +116,9 @@ Status Flix::Save(std::ostream& out) const {
     SaveIdListMap(writer, meta.link_targets);
     writer.WriteVec(meta.entry_nodes);
     SaveIdListMap(writer, meta.entry_origins);
-    index::SaveIndex(*meta.index, writer);
+    // Snapshot so a concurrent migration cannot free the index mid-write.
+    const std::shared_ptr<index::PathIndex> index = meta.index.Acquire();
+    index::SaveIndex(*index, writer);
   }
   if (!writer.ok()) return InternalError("write failed while saving index");
   return Status::Ok();
@@ -408,6 +410,11 @@ obs::MetricsSnapshot Flix::MetricsSnapshot() const {
   reg.GetCounter("flix.check.validations");
   reg.GetCounter("flix.check.violations");
   reg.GetCounter("flix.check.oracle_queries");
+  // And the adaptive-ISS counters (see src/flix/adapt.h).
+  reg.GetCounter("flix.adapt.recommended");
+  reg.GetCounter("flix.adapt.migrated");
+  reg.GetCounter("flix.adapt.rejected_hysteresis");
+  reg.GetCounter("flix.adapt.validation_failed");
   return reg.Snapshot();
 }
 
@@ -439,18 +446,29 @@ Status Flix::Validate(const index::ValidateOptions& options) const {
   }
   for (uint32_t m = 0; m < set_.docs.size(); ++m) {
     const MetaDocument& doc = set_.docs[m];
-    if (doc.index == nullptr) {
+    const std::shared_ptr<index::PathIndex> index = doc.index.Acquire();
+    if (index == nullptr) {
       return InternalError("meta document " + std::to_string(m) +
                            " has no index");
     }
-    if (Status status = doc.index->Validate(doc.graph, options);
-        !status.ok()) {
+    if (Status status = index->Validate(doc.graph, options); !status.ok()) {
       return InternalError("meta document " + std::to_string(m) + " [" +
-                           std::string(doc.index->name()) + "] " +
+                           std::string(index->name()) + "] " +
                            status.message());
     }
   }
   return Status::Ok();
+}
+
+void Flix::ReplacePartitionIndex(uint32_t partition,
+                                 std::shared_ptr<index::PathIndex> index,
+                                 uint64_t build_ns) {
+  MetaDocument& meta = set_.docs[partition];
+  // Identity first: by the time a query attributes work to the new index,
+  // the profiler already names the strategy it ran against.
+  profiler_.SetPartitionInfo(partition, index::StrategyName(index->kind()),
+                             meta.graph.NumNodes(), build_ns);
+  meta.index.Replace(std::move(index));
 }
 
 Flix::TuningAdvice Flix::RecommendReconfiguration(

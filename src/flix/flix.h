@@ -99,6 +99,20 @@ class Flix {
   // by the vector-returning FindDescendantsByName for unconstrained queries.
   const QueryCache* query_cache() const { return cache_.get(); }
 
+  // Atomically publishes a replacement index for one meta document and
+  // updates the profiler's partition identity. Called by the adaptive ISS
+  // (flix/adapt.h) after the replacement passed validation; queries holding
+  // Acquire() snapshots of the displaced index drain safely and release it.
+  // Single writer assumed — run one StrategyMigrator per Flix instance.
+  void ReplacePartitionIndex(uint32_t partition,
+                             std::shared_ptr<index::PathIndex> index,
+                             uint64_t build_ns);
+
+  // Runtime switch for workload-adaptive strategy re-selection. Not
+  // persisted (like FlixOptions::workload_profiling); StrategyMigrator
+  // refuses to apply migrations while it is off.
+  void SetAdaptiveIss(bool enabled) { options_.adaptive_iss = enabled; }
+
   // Per-meta-document workload attribution (see obs/profile.h). Owned by
   // this instance — partition ids are local to one index, so side-by-side
   // Flix instances in one process never mix their profiles. Recording is

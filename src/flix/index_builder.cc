@@ -48,7 +48,7 @@ StatusOr<std::vector<MetaIndexStats>> BuildIndexes(
     index::StrategyKind kind;
     {
       obs::TraceSpan iss_span(nullptr, "flix.iss");
-      iss_span.AddAttr("meta", static_cast<int64_t>(meta.id));
+      iss_span.AddAttr("partition", static_cast<int64_t>(meta.id));
       kind = SelectStrategy(meta.graph, options);
       if (iss_span.Collecting()) {
         iss_span.AddAttr("strategy", index::StrategyName(kind));
@@ -61,7 +61,7 @@ StatusOr<std::vector<MetaIndexStats>> BuildIndexes(
     // The histogram is chosen *after* the switch: the PPO branch may fall
     // back to HOPI, and the sample belongs to the strategy actually built.
     obs::TraceSpan ib_span(nullptr, "flix.ib");
-    ib_span.AddAttr("meta", static_cast<int64_t>(meta.id));
+    ib_span.AddAttr("partition", static_cast<int64_t>(meta.id));
     switch (kind) {
       case index::StrategyKind::kPpo: {
         auto built = index::PpoIndex::Build(meta.graph);

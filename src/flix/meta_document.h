@@ -8,8 +8,10 @@
 #ifndef FLIX_FLIX_META_DOCUMENT_H_
 #define FLIX_FLIX_META_DOCUMENT_H_
 
+#include <atomic>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -17,6 +19,75 @@
 #include "index/path_index.h"
 
 namespace flix::core {
+
+// A refcounted, swappable handle to a meta document's path index.
+//
+// The workload-adaptive ISS (flix/adapt.h) replaces indexes while queries
+// run. Cursors hold raw pointers into index internals, and PathIndex's
+// contract requires an index to outlive its cursors — so the query paths
+// take Acquire() snapshots (shared_ptr) and pin them for as long as any
+// cursor they opened is alive. Replace() publishes a new index without
+// disturbing snapshots already handed out; the displaced index dies when
+// the last in-flight query holding it drains.
+//
+// Acquire/Replace synchronize through a spinlock around a shared_ptr copy —
+// one uncontended atomic exchange per entry point processed, no allocation.
+// The unsynchronized conveniences (get, ->, *, bool) are for the
+// single-writer phases (build, load, tests); code that can race a migration
+// must go through Acquire().
+class IndexHandle {
+ public:
+  IndexHandle() = default;
+  IndexHandle(const IndexHandle&) = delete;
+  IndexHandle& operator=(const IndexHandle&) = delete;
+  // Moves happen only while the MDB grows its docs vector (single-threaded
+  // build phase), never concurrently with Acquire/Replace.
+  IndexHandle(IndexHandle&& other) noexcept
+      : index_(std::move(other.index_)) {}
+  IndexHandle& operator=(IndexHandle&& other) noexcept {
+    index_ = std::move(other.index_);
+    return *this;
+  }
+  IndexHandle& operator=(std::unique_ptr<index::PathIndex> index) {
+    Replace(std::shared_ptr<index::PathIndex>(std::move(index)));
+    return *this;
+  }
+
+  // Snapshot for query-path use; keeps the index alive past a Replace().
+  std::shared_ptr<index::PathIndex> Acquire() const {
+    Lock();
+    std::shared_ptr<index::PathIndex> snapshot = index_;
+    Unlock();
+    return snapshot;
+  }
+
+  // Publishes `next` as the current index. The displaced index is released
+  // outside the lock (its destruction may be the heavy part).
+  void Replace(std::shared_ptr<index::PathIndex> next) {
+    Lock();
+    index_.swap(next);
+    Unlock();
+  }
+
+  index::PathIndex* get() const { return index_.get(); }
+  index::PathIndex* operator->() const { return index_.get(); }
+  index::PathIndex& operator*() const { return *index_; }
+  explicit operator bool() const { return index_ != nullptr; }
+  friend bool operator==(const IndexHandle& handle, std::nullptr_t) {
+    return handle.index_ == nullptr;
+  }
+
+ private:
+  void Lock() const {
+    while (lock_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void Unlock() const { lock_.clear(std::memory_order_release); }
+
+  // C++20 default-initializes atomic_flag to clear.
+  mutable std::atomic_flag lock_;
+  std::shared_ptr<index::PathIndex> index_;
+};
 
 class MetaDocument {
  public:
@@ -32,8 +103,9 @@ class MetaDocument {
   // Local element graph (the edges the index will reflect).
   graph::Digraph graph;
 
-  // The index built by the Index Builder (null until then).
-  std::unique_ptr<index::PathIndex> index;
+  // The index built by the Index Builder (null until then); a refcounted
+  // handle so the adaptive ISS can swap strategies under live queries.
+  IndexHandle index;
 
   // L_i: local ids of elements with outgoing links that are *not* reflected
   // in the index, ascending. The PEE intersects descendants(e) with this set

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -60,6 +61,11 @@ using StreamQueue =
 // An open cursor merged into the stream queue.
 struct ActiveCursor {
   std::unique_ptr<index::NodeDistCursor> cursor;
+  // Pins the index snapshot that produced `cursor`: cursors hold raw
+  // pointers into index internals, so the slot must keep its index alive
+  // even if an online migration (flix/adapt.h) swaps the meta document's
+  // handle mid-query. Released with the slot when the query unwinds.
+  std::shared_ptr<index::PathIndex> pin;
   Distance base = 0;   // accumulated distance of the owning entry point
   uint32_t meta = 0;   // meta document the cursor probes
   // Cached per-query attribution cell for `meta` (nullptr = profiling off).
@@ -307,18 +313,23 @@ void PathExpressionEvaluator::RunStreaming(const std::vector<NodeId>& starts,
     const uint32_t m = set_.meta_of_node[e];
     const NodeId le = set_.local_of_node[e];
     const MetaDocument& meta = set_.docs[m];
+    // One snapshot per entry point: every probe and cursor opened below
+    // works against this index even if a migration swaps the handle. An
+    // entry processed later may see the replacement — both are exact over
+    // the same local graph, so mixing them mid-query stays correct.
+    const std::shared_ptr<index::PathIndex> index = meta.index.Acquire();
     obs::PartitionDelta* pdelta = profiler != nullptr ? &deltas[m] : nullptr;
     obs::TraceSpan entry_span(nullptr, collecting ? "pee.entry" : nullptr);
     if (entry_span.Collecting()) {
-      entry_span.AddAttr("meta", static_cast<int64_t>(m));
-      entry_span.AddAttr("strategy", meta.index->name());
+      entry_span.AddAttr("partition", static_cast<int64_t>(m));
+      entry_span.AddAttr("strategy", index->name());
     }
 
     std::vector<NodeId>& meta_entries = entries[m];
     bool dominated = false;
     for (const NodeId p : meta_entries) {
-      const bool covers = forward ? meta.index->IsReachable(p, le)
-                                  : meta.index->IsReachable(le, p);
+      const bool covers = forward ? index->IsReachable(p, le)
+                                  : index->IsReachable(le, p);
       if (covers) {
         dominated = true;
         break;
@@ -351,10 +362,10 @@ void PathExpressionEvaluator::RunStreaming(const std::vector<NodeId>& starts,
         ++pdelta->cursors_opened;
       }
       slots.push_back(
-          {forward ? (wildcard ? meta.index->DescendantsCursor(le)
-                               : meta.index->DescendantsByTagCursor(le, tag))
-                   : meta.index->AncestorsByTagCursor(le, tag),
-           item.distance, m, pdelta});
+          {forward ? (wildcard ? index->DescendantsCursor(le)
+                               : index->DescendantsByTagCursor(le, tag))
+                   : index->AncestorsByTagCursor(le, tag),
+           index, item.distance, m, pdelta});
       arm_result(static_cast<uint32_t>(slots.size() - 1));
     }
 
@@ -370,9 +381,9 @@ void PathExpressionEvaluator::RunStreaming(const std::vector<NodeId>& starts,
         ++pdelta->cursors_opened;
       }
       slots.push_back(
-          {forward ? meta.index->ReachableAmongCursor(le, meta.link_sources)
-                   : meta.index->AncestorsAmongCursor(le, meta.entry_nodes),
-           item.distance, m, pdelta});
+          {forward ? index->ReachableAmongCursor(le, meta.link_sources)
+                   : index->AncestorsAmongCursor(le, meta.entry_nodes),
+           index, item.distance, m, pdelta});
       arm_frontier(static_cast<uint32_t>(slots.size() - 1));
     }
   }
@@ -445,6 +456,9 @@ void PathExpressionEvaluator::RunMaterialized(
     const uint32_t m = set_.meta_of_node[e];
     const NodeId le = set_.local_of_node[e];
     const MetaDocument& meta = set_.docs[m];
+    // Snapshot per entry point (see RunStreaming): all probes for this
+    // entry hit one index even across an online migration.
+    const std::shared_ptr<index::PathIndex> index = meta.index.Acquire();
     obs::PartitionDelta* pdelta = profiler != nullptr ? &deltas[m] : nullptr;
 
     if (options.exact) {
@@ -460,8 +474,8 @@ void PathExpressionEvaluator::RunMaterialized(
       std::vector<NodeId>& meta_entries = entries[m];
       bool dominated = false;
       for (const NodeId p : meta_entries) {
-        const bool covers = forward ? meta.index->IsReachable(p, le)
-                                    : meta.index->IsReachable(le, p);
+        const bool covers = forward ? index->IsReachable(p, le)
+                                    : index->IsReachable(le, p);
         if (covers) {
           dominated = true;
           break;
@@ -492,9 +506,9 @@ void PathExpressionEvaluator::RunMaterialized(
     ++stats->index_probes;
     if (pdelta != nullptr) ++pdelta->index_probes;
     const std::vector<index::NodeDist> local_results =
-        forward ? (wildcard ? meta.index->Descendants(le)
-                            : meta.index->DescendantsByTag(le, tag))
-                : meta.index->AncestorsByTag(le, tag);
+        forward ? (wildcard ? index->Descendants(le)
+                            : index->DescendantsByTag(le, tag))
+                : index->AncestorsByTag(le, tag);
     for (const index::NodeDist& r : local_results) {
       const NodeId global = meta.global_nodes[r.node];
       if (start_set.contains(global)) continue;
@@ -512,8 +526,8 @@ void PathExpressionEvaluator::RunMaterialized(
     ++stats->index_probes;
     if (pdelta != nullptr) ++pdelta->index_probes;
     const std::vector<index::NodeDist> frontier =
-        forward ? meta.index->ReachableAmong(le, meta.link_sources)
-                : meta.index->AncestorsAmong(le, meta.entry_nodes);
+        forward ? index->ReachableAmong(le, meta.link_sources)
+                : index->AncestorsAmong(le, meta.entry_nodes);
     for (const index::NodeDist& f : frontier) {
       const auto& hops = forward ? meta.link_targets.at(f.node)
                                  : meta.entry_origins.at(f.node);
@@ -618,6 +632,8 @@ Distance PathExpressionEvaluator::PointQuery(NodeId a, NodeId b,
     const uint32_t m = set_.meta_of_node[e];
     const NodeId le = set_.local_of_node[e];
     const MetaDocument& meta = set_.docs[m];
+    // Migration-safe snapshot for every probe of this entry point.
+    const std::shared_ptr<index::PathIndex> index = meta.index.Acquire();
 
     if (exact) {
       if (!processed.insert(e).second) continue;
@@ -625,7 +641,7 @@ Distance PathExpressionEvaluator::PointQuery(NodeId a, NodeId b,
       std::vector<NodeId>& meta_entries = entries[m];
       bool dominated = false;
       for (const NodeId p : meta_entries) {
-        if (meta.index->IsReachable(p, le)) {
+        if (index->IsReachable(p, le)) {
           dominated = true;
           break;
         }
@@ -635,7 +651,7 @@ Distance PathExpressionEvaluator::PointQuery(NodeId a, NodeId b,
     }
 
     if (m == target_meta) {
-      const Distance d = meta.index->DistanceBetween(le, target_local);
+      const Distance d = index->DistanceBetween(le, target_local);
       if (d != kUnreachable) {
         const Distance total = item.distance + d;
         if (best == kUnreachable || total < best) best = total;
@@ -643,7 +659,7 @@ Distance PathExpressionEvaluator::PointQuery(NodeId a, NodeId b,
     }
 
     const std::vector<index::NodeDist> frontier =
-        meta.index->ReachableAmong(le, meta.link_sources);
+        index->ReachableAmong(le, meta.link_sources);
     for (const index::NodeDist& f : frontier) {
       const Distance hop_distance = item.distance + f.distance + 1;
       if (max_distance >= 0 && hop_distance > max_distance) continue;
@@ -694,11 +710,13 @@ bool PathExpressionEvaluator::IsConnectedBidirectional(
     const uint32_t m = set_.meta_of_node[e];
     const NodeId le = set_.local_of_node[e];
     const MetaDocument& meta = set_.docs[m];
+    // Migration-safe snapshot for every probe of this entry point.
+    const std::shared_ptr<index::PathIndex> index = meta.index.Acquire();
 
     std::vector<NodeId>& meta_entries = side.entries[m];
     for (const NodeId p : meta_entries) {
-      const bool covers = forward ? meta.index->IsReachable(p, le)
-                                  : meta.index->IsReachable(le, p);
+      const bool covers = forward ? index->IsReachable(p, le)
+                                  : index->IsReachable(le, p);
       if (covers) return false;
     }
     meta_entries.push_back(le);
@@ -708,15 +726,15 @@ bool PathExpressionEvaluator::IsConnectedBidirectional(
     const auto it = other.entries.find(m);
     if (it != other.entries.end()) {
       for (const NodeId q : it->second) {
-        const bool connected = forward ? meta.index->IsReachable(le, q)
-                                       : meta.index->IsReachable(q, le);
+        const bool connected = forward ? index->IsReachable(le, q)
+                                       : index->IsReachable(q, le);
         if (connected) return true;
       }
     }
 
     const std::vector<index::NodeDist> frontier =
-        forward ? meta.index->ReachableAmong(le, meta.link_sources)
-                : meta.index->AncestorsAmong(le, meta.entry_nodes);
+        forward ? index->ReachableAmong(le, meta.link_sources)
+                : index->AncestorsAmong(le, meta.entry_nodes);
     for (const index::NodeDist& f : frontier) {
       const Distance hop_distance = item.distance + f.distance + 1;
       if (max_distance >= 0 && hop_distance > max_distance) continue;

@@ -1,6 +1,8 @@
 // LRU cache for query results — the "caching results of frequent
-// (sub-)queries" improvement of Section 7. FliX indexes are immutable after
-// the build phase, so cached result lists never need invalidation.
+// (sub-)queries" improvement of Section 7. Cached result lists never need
+// invalidation: an index is only ever replaced by the adaptive ISS with
+// another exact index over the same graph, so every strategy swap preserves
+// result sets bit-for-bit.
 #ifndef FLIX_FLIX_QUERY_CACHE_H_
 #define FLIX_FLIX_QUERY_CACHE_H_
 
@@ -17,10 +19,11 @@
 
 namespace flix::core {
 
-// Aggregate view of the cache's activity since construction. FliX indexes
-// are immutable, so an overwrite only ever replaces a result list with an
-// identical one recomputed by a racing query — the insertions/overwrites
-// split makes that (otherwise invisible) wasted work observable.
+// Aggregate view of the cache's activity since construction. All live
+// indexes answer exactly, so an overwrite only ever replaces a result list
+// with an identical one recomputed by a racing query — the
+// insertions/overwrites split makes that (otherwise invisible) wasted work
+// observable.
 struct QueryCacheStats {
   size_t size = 0;
   size_t capacity = 0;

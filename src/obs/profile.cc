@@ -317,8 +317,8 @@ std::string ProfileToText(const WorkloadProfile& profile, size_t top_n) {
       top_n == 0 ? order.size() : std::min(top_n, order.size());
   char buf[256];
   std::snprintf(buf, sizeof buf,
-                "%4s  %-8s  %8s  %8s  %10s  %10s  %10s  %8s  %8s  %10s\n",
-                "meta", "strategy", "nodes", "queries", "probes", "pulls",
+                "%9s  %-8s  %8s  %8s  %10s  %10s  %10s  %8s  %8s  %10s\n",
+                "partition", "strategy", "nodes", "queries", "probes", "pulls",
                 "entries", "fanout", "hit%", "p95_ns");
   out << buf;
   for (size_t i = 0; i < limit; ++i) {
@@ -329,7 +329,7 @@ std::string ProfileToText(const WorkloadProfile& profile, size_t top_n) {
                      : 100.0 * static_cast<double>(p.cache_hits) /
                            static_cast<double>(lookups);
     std::snprintf(buf, sizeof buf,
-                  "%4u  %-8s  %8llu  %8llu  %10llu  %10llu  %10llu  %8llu"
+                  "%9u  %-8s  %8llu  %8llu  %10llu  %10llu  %10llu  %8llu"
                   "  %7.1f%%  %10.0f\n",
                   p.partition,
                   p.strategy.empty() ? "?" : p.strategy.c_str(),

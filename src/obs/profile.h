@@ -16,8 +16,10 @@
 // per-query locals (see PartitionDelta) and flush once per touched
 // partition at query end — a handful of relaxed atomic adds per query, no
 // locks on the hot path. Partition latency histograms are allocated lazily
-// with a CAS so untouched partitions cost 8 bytes. Resize/SetPartitionInfo
-// happen at build/load time, before queries run.
+// with a CAS so untouched partitions cost 8 bytes. Resize happens at
+// build/load time, before queries run; SetPartitionInfo is mutex-guarded so
+// the adaptive ISS may also call it when a migration changes a partition's
+// strategy while queries are in flight.
 #ifndef FLIX_OBS_PROFILE_H_
 #define FLIX_OBS_PROFILE_H_
 

@@ -326,6 +326,20 @@ TEST(WorkloadProfileTest, ToTextRanksAndTotals) {
   EXPECT_EQ(text.find("APEX"), std::string::npos);
 }
 
+// Every surface that names a partition id — the JSON profile, the text
+// table, and the trace span attrs (see obs_trace_test) — uses the field
+// name "partition". The JSON/text emitters once disagreed ("meta" in some
+// headers); this pins the schema so downstream join scripts keep working.
+TEST(WorkloadProfileSchema, PartitionIdFieldIsNamedPartition) {
+  const std::string json = obs::ProfileToJson(MakeSampleProfile());
+  EXPECT_NE(json.find("\"partition\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"meta\""), std::string::npos);
+
+  const std::string text = obs::ProfileToText(MakeSampleProfile(), 0);
+  EXPECT_NE(text.find("partition"), std::string::npos);
+  EXPECT_EQ(text.find("meta"), std::string::npos);
+}
+
 TEST(WorkloadProfilePersistence, SaveLoadRoundTrip) {
   const WorkloadProfile original = MakeSampleProfile();
   const std::string path = testing::TempDir() + "/flix_profile_test.json";

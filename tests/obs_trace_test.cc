@@ -211,6 +211,18 @@ TEST_F(TraceCollectorTest, EngineEmitsNestedBuildAndQuerySpans) {
     if (key == "strategy") has_strategy = !value.empty();
   }
   EXPECT_TRUE(has_strategy);
+
+  // Partition ids use the key "partition" on every span that carries one —
+  // the same field name `flixctl profile --json` emits, so trace and profile
+  // output can be joined without a translation table.
+  for (const TraceEvent* span : {iss, ib, entry}) {
+    bool has_partition = false;
+    for (const auto& [key, value] : span->attrs) {
+      EXPECT_NE(key, "meta") << span->name << ": renamed to 'partition'";
+      if (key == "partition") has_partition = true;
+    }
+    EXPECT_TRUE(has_partition) << span->name;
+  }
 }
 
 TEST_F(TraceCollectorTest, SlowQueryLogThresholdAndBound) {

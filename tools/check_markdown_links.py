@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Checks that every relative link in the repo's markdown files resolves.
+
+Scans *.md at the repo root and everything under docs/, extracts inline
+links and images (``[text](target)``), and fails if a target that points
+inside the repository does not exist. External schemes (http/https/mailto),
+pure anchors (``#section``) and bare URLs are skipped; ``target#anchor``
+is checked for the file part only.
+
+Stdlib-only on purpose: runs anywhere python3 exists, including the
+docs-lint CI job (.github/workflows/ci.yml).
+
+    $ python3 tools/check_markdown_links.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) and ![alt](target); target may carry an optional "title".
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files():
+    files = sorted(REPO.glob("*.md"))
+    docs = REPO / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return files
+
+
+def strip_code(text):
+    """Drops fenced and inline code spans so example links are not checked."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def check_file(path):
+    broken = []
+    for target in LINK_RE.findall(strip_code(path.read_text(encoding="utf-8"))):
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if REPO not in resolved.parents and resolved != REPO:
+            broken.append((target, "points outside the repository"))
+        elif not resolved.exists():
+            broken.append((target, "does not exist"))
+    return broken
+
+
+def main():
+    files = markdown_files()
+    if not files:
+        print("check_markdown_links: no markdown files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        for target, why in check_file(path):
+            print(f"{path.relative_to(REPO)}: broken link '{target}' ({why})")
+            failures += 1
+    print(
+        f"check_markdown_links: {len(files)} files scanned, "
+        f"{failures} broken link(s)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@
 //   flixctl connect --collection data.flxc --index data.flix
 //       --from vldb/pub6205 --to edbt/pub0
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -31,6 +32,7 @@
 #include "check/validator.h"
 #include "common/bytes.h"
 #include "common/stopwatch.h"
+#include "flix/adapt.h"
 #include "flix/flix.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -74,6 +76,18 @@ struct Args {
     }
     return value;
   }
+  double GetDouble(const std::string& name, double fallback) const {
+    const auto it = flags.find(name);
+    if (it == flags.end()) return fallback;
+    char* end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+      std::cerr << "--" << name << " expects a number, got '" << it->second
+                << "'\n";
+      std::exit(2);
+    }
+    return value;
+  }
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -105,7 +119,7 @@ int Usage() {
       "  flixctl build   --collection FILE --index FILE\n"
       "                  [--xml-dir DIR | --dblp N | --synthetic]\n"
       "                  [--config naive|maxppo|uhopi|hybrid] [--bound N]\n"
-      "                  [--cache N]\n"
+      "                  [--iss-policy auto|hopi|apex] [--cache N]\n"
       "  flixctl stats   --collection FILE --index FILE\n"
       "                  [--workload N] [--repeat N] [--json]\n"
       "                  [--watch SEC]  (redraw every SEC seconds; the\n"
@@ -115,6 +129,15 @@ int Usage() {
       "                  [--profile-file FILE] [--no-save]  (per-partition\n"
       "                   workload attribution; merges with and updates the\n"
       "                   profile persisted next to the index)\n"
+      "  flixctl adapt   --collection FILE --index FILE\n"
+      "                  [--dry-run | --apply] [--watch SEC]\n"
+      "                  [--workload N] [--repeat N] [--top N]\n"
+      "                  [--hysteresis X] [--min-queries N]\n"
+      "                  [--memory-weight X] [--profile-file FILE]\n"
+      "                  (workload-adaptive strategy re-selection: prints\n"
+      "                   the recommendation table with projected costs;\n"
+      "                   --apply migrates and re-saves the index,\n"
+      "                   --watch repeats every SEC seconds)\n"
       "  flixctl trace   --chrome OUT.json\n"
       "                  [--xml-dir DIR | --dblp N | --synthetic |\n"
       "                   --collection FILE]\n"
@@ -148,6 +171,12 @@ core::MdbConfig ParseConfig(const std::string& name) {
   if (name == "maxppo") return core::MdbConfig::kMaximalPpo;
   if (name == "uhopi") return core::MdbConfig::kUnconnectedHopi;
   return core::MdbConfig::kHybrid;
+}
+
+core::IssPolicy ParseIssPolicy(const std::string& name) {
+  if (name == "hopi") return core::IssPolicy::kForceHopi;
+  if (name == "apex") return core::IssPolicy::kForceApex;
+  return core::IssPolicy::kAuto;
 }
 
 // Resolves "docname" or "docname#anchor" to a global element id.
@@ -239,6 +268,7 @@ int CmdBuild(const Args& args) {
 
   core::FlixOptions options;
   options.config = ParseConfig(args.Get("config", "hybrid"));
+  options.iss_policy = ParseIssPolicy(args.Get("iss-policy", "auto"));
   options.partition_bound = args.GetSize("bound", 5000);
   options.query_cache_capacity = args.GetSize("cache", 0);
   Stopwatch watch;
@@ -395,16 +425,16 @@ int CmdProfile(const Args& args) {
                                            args.GetSize("workload", 100),
                                            args.GetSize("repeat", 1));
 
-  obs::WorkloadProfile profile = (*flix)->Profile();
+  // Live snapshot first, persisted history merged *into* it: Accumulate
+  // keeps the identity fields (strategy, nodes) of the side that has them
+  // set first, so after an adaptive migration the table names the strategy
+  // actually running, not the one recorded by an earlier process.
+  obs::WorkloadProfile merged = (*flix)->Profile();
   const std::string profile_path =
       args.Get("profile-file", obs::ProfileFilePath(args.Get("index")));
-  obs::WorkloadProfile merged;
-  if (obs::LoadProfileFile(profile_path, &merged)) {
-    // Accumulate this run on top of what earlier runs persisted, so the
-    // profile reflects the workload history of the index, not one process.
-    merged.Merge(profile);
-  } else {
-    merged = std::move(profile);
+  obs::WorkloadProfile persisted;
+  if (obs::LoadProfileFile(profile_path, &persisted)) {
+    merged.Merge(persisted);
   }
   if (!args.Has("no-save")) {
     if (!obs::SaveProfileFile(profile_path, merged)) {
@@ -419,6 +449,94 @@ int CmdProfile(const Args& args) {
   std::cout << "workload: " << executed << " queries this run; profile at "
             << profile_path << "\n\n";
   std::cout << obs::ProfileToText(merged, args.GetSize("top", 0));
+  return 0;
+}
+
+// `flixctl adapt`: workload-adaptive strategy re-selection (src/flix/adapt.h).
+// Default is a dry run — print the recommendation table with projected
+// costs and touch nothing. --apply migrates the recommended partitions
+// (validated swaps) and re-saves the index; --watch SEC repeats the loop.
+int CmdAdapt(const Args& args) {
+  auto collection = LoadCollection(args);
+  if (!collection.ok()) {
+    std::cerr << collection.status().ToString() << "\n";
+    return 1;
+  }
+  auto flix = LoadIndex(args, *collection);
+  if (!flix.ok()) {
+    std::cerr << flix.status().ToString() << "\n";
+    return 1;
+  }
+  const bool apply = args.Has("apply");
+  if (apply && args.Has("dry-run")) {
+    std::cerr << "--apply and --dry-run are mutually exclusive\n";
+    return 2;
+  }
+
+  core::AdaptOptions options;
+  options.hysteresis = args.GetDouble("hysteresis", options.hysteresis);
+  options.min_queries = args.GetSize("min-queries", options.min_queries);
+  options.memory_weight =
+      args.GetDouble("memory-weight", options.memory_weight);
+  const core::CostModel model = core::CostModel::Measured();
+  const std::string profile_path =
+      args.Get("profile-file", obs::ProfileFilePath(args.Get("index")));
+
+  if (apply) (*flix)->SetAdaptiveIss(true);
+  core::StrategyMigrator migrator(**flix, model, options);
+
+  const size_t watch_sec = args.GetSize("watch", 0);
+  for (size_t tick = 0;; ++tick) {
+    if (watch_sec != 0) {
+      std::cout << "--- tick " << tick << " (every " << watch_sec << "s, ^C "
+                << "to stop) ---\n";
+    }
+    if (args.Has("workload")) {
+      RunStatsWorkload(**flix, *collection, args.GetSize("workload", 100),
+                       args.GetSize("repeat", 1));
+    }
+    // Live observations first, persisted history merged in — same identity
+    // rule as CmdProfile: the table names the strategy currently running.
+    obs::WorkloadProfile profile = (*flix)->Profile();
+    obs::WorkloadProfile persisted;
+    if (obs::LoadProfileFile(profile_path, &persisted)) {
+      profile.Merge(persisted);
+    }
+    const std::vector<core::Recommendation> recs =
+        core::RecommendStrategies(**flix, profile, model, options);
+    std::cout << core::RecommendationsToText(recs, args.GetSize("top", 0));
+
+    if (apply) {
+      size_t migrated = 0;
+      for (const core::Recommendation& rec : recs) {
+        if (!rec.migrate) continue;
+        if (Status status = migrator.Migrate(rec); status.ok()) {
+          std::cout << "migrated partition " << rec.partition << ": "
+                    << index::StrategyName(rec.current) << " -> "
+                    << index::StrategyName(rec.best) << "\n";
+          ++migrated;
+        } else {
+          std::cout << "migration of partition " << rec.partition
+                    << " FAILED (old index stays live): "
+                    << status.ToString() << "\n";
+        }
+      }
+      if (migrated > 0) {
+        std::ofstream out(args.Get("index"), std::ios::binary);
+        if (Status status = (*flix)->Save(out); !status.ok() || !out) {
+          std::cerr << "re-saving index failed: " << status.ToString() << "\n";
+          return 1;
+        }
+        std::cout << "re-saved " << args.Get("index") << " after " << migrated
+                  << " migration(s)\n";
+      } else {
+        std::cout << "nothing to migrate\n";
+      }
+    }
+    if (watch_sec == 0) break;
+    std::cout.flush();
+    std::this_thread::sleep_for(std::chrono::seconds(watch_sec));
+  }
   return 0;
 }
 
@@ -759,6 +877,7 @@ int main(int argc, char** argv) {
   if (args.command == "build") return CmdBuild(args);
   if (args.command == "stats") return CmdStats(args);
   if (args.command == "profile") return CmdProfile(args);
+  if (args.command == "adapt") return CmdAdapt(args);
   if (args.command == "trace") return CmdTrace(args);
   if (args.command == "check") return CmdCheck(args);
   if (args.command == "query") return CmdQuery(args);
