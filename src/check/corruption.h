@@ -35,7 +35,7 @@ struct CorruptionHook {
   // list, desynchronizing it from the label tables (a 2-hop enumeration
   // would silently lose that node).
   static bool DropHopiHubEntry(HopiIndex& index) {
-    for (auto& list : index.inverted_in_) {
+    for (auto& list : index.inverted_in_.OwnedRows()) {
       if (!list.empty()) {
         list.pop_back();
         return true;
@@ -48,7 +48,7 @@ struct CorruptionHook {
   // label-soundness BFS probe and the inverted-list diff can catch it.
   static bool SkewHopiLabelDistance(HopiIndex& index, NodeId v) {
     if (index.out_labels_[v].empty()) return false;
-    index.out_labels_[v].back().distance += 1;
+    index.out_labels_.Row(v).back().distance += 1;
     return true;
   }
 
@@ -56,7 +56,7 @@ struct CorruptionHook {
   // rows untouched.
   static bool TruncateTcRow(TransitiveClosureIndex& index, NodeId v) {
     if (index.closure_[v].empty()) return false;
-    index.closure_[v].pop_back();
+    index.closure_.Row(v).pop_back();
     return true;
   }
 
@@ -68,9 +68,9 @@ struct CorruptionHook {
     const uint32_t home_block = index.block_of_[v];
     const uint32_t to_block =
         (home_block + 1) % static_cast<uint32_t>(index.extents_.size());
-    auto& home = index.extents_[home_block];
+    auto& home = index.extents_.Row(home_block);
     home.erase(std::find(home.begin(), home.end(), v));
-    index.extents_[to_block].push_back(v);
+    index.extents_.Row(to_block).push_back(v);
     return true;
   }
 
@@ -78,7 +78,7 @@ struct CorruptionHook {
   // pruning word — the pruned traversals would silently drop every result
   // carrying that tag.
   static bool ClearSummaryPruningBit(SummaryIndex& index) {
-    for (auto& row : index.forward_tags_) {
+    for (auto& row : index.forward_tags_.OwnedRows()) {
       for (uint64_t& word : row) {
         if (word != 0) {
           word &= word - 1;

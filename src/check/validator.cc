@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <memory>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -25,8 +25,8 @@ std::string MetaPrefix(uint32_t m) {
 // L_i / entry-node exactness within one meta document: the sorted list must
 // be precisely the key set of the per-node target map, with no empty rows.
 void CheckLinkList(uint32_t m, const std::string& what,
-                   const std::vector<NodeId>& list,
-                   const std::unordered_map<NodeId, std::vector<NodeId>>& map,
+                   const storage::FlatVec<NodeId>& list,
+                   const storage::FlatMultiMap& map,
                    std::vector<std::string>& violations) {
   if (!std::is_sorted(list.begin(), list.end()) ||
       std::adjacent_find(list.begin(), list.end()) != list.end()) {
@@ -34,23 +34,20 @@ void CheckLinkList(uint32_t m, const std::string& what,
                          " is not sorted and deduplicated");
     return;
   }
-  if (list.size() != map.size()) {
+  if (list.size() != map.NumKeys()) {
     violations.push_back(MetaPrefix(m) + what + " lists " +
                          std::to_string(list.size()) +
                          " nodes but the target map has " +
-                         std::to_string(map.size()) + " rows");
+                         std::to_string(map.NumKeys()) + " rows");
     return;
   }
   for (const NodeId v : list) {
-    const auto it = map.find(v);
-    if (it == map.end()) {
+    // At() returns empty both for a missing row and for an empty one;
+    // either way the list entry has no targets behind it.
+    if (map.At(v).empty()) {
       violations.push_back(MetaPrefix(m) + what + " lists local node " +
-                           std::to_string(v) + " with no target-map row");
-      return;
-    }
-    if (it->second.empty()) {
-      violations.push_back(MetaPrefix(m) + what + " row of local node " +
-                           std::to_string(v) + " is empty");
+                           std::to_string(v) +
+                           " with no (or an empty) target-map row");
       return;
     }
   }
@@ -164,7 +161,8 @@ CheckReport ValidateFramework(const core::Flix& flix,
         }
       }
     }
-    for (const auto& [local, targets] : doc.link_targets) {
+    doc.link_targets.ForEach([&](NodeId local,
+                                 std::span<const NodeId> targets) {
       recorded_cross_links += targets.size();
       const NodeId gu =
           local < doc.global_nodes.size() ? doc.global_nodes[local] : n;
@@ -177,8 +175,9 @@ CheckReport ValidateFramework(const core::Flix& flix,
               ") has no witnessing element edge");
         }
       }
-    }
-    for (const auto& [local, origins] : doc.entry_origins) {
+    });
+    doc.entry_origins.ForEach([&](NodeId local,
+                                  std::span<const NodeId> origins) {
       const NodeId gv =
           local < doc.global_nodes.size() ? doc.global_nodes[local] : n;
       for (const NodeId gu : origins) {
@@ -189,7 +188,7 @@ CheckReport ValidateFramework(const core::Flix& flix,
               " has no witnessing element edge");
         }
       }
-    }
+    });
   }
   if (mapping_ok) {
     // Global sweep: every element edge is reflected exactly once — inside
@@ -213,11 +212,9 @@ CheckReport ValidateFramework(const core::Flix& flix,
             }
           }
         }
-        const auto targets = src.link_targets.find(lu);
+        const std::span<const NodeId> targets = src.link_targets.At(lu);
         const bool crossed =
-            targets != src.link_targets.end() &&
-            std::find(targets->second.begin(), targets->second.end(), v) !=
-                targets->second.end();
+            std::find(targets.begin(), targets.end(), v) != targets.end();
         if (internal == crossed) {
           report.violations.push_back(
               "element edge " + std::to_string(u) + " -> " +
@@ -232,10 +229,9 @@ CheckReport ValidateFramework(const core::Flix& flix,
         }
         if (crossed) {
           const core::MetaDocument& dst = set.docs[mv];
-          const auto origins = dst.entry_origins.find(lv);
-          if (origins == dst.entry_origins.end() ||
-              std::find(origins->second.begin(), origins->second.end(), u) ==
-                  origins->second.end()) {
+          const std::span<const NodeId> origins = dst.entry_origins.At(lv);
+          if (std::find(origins.begin(), origins.end(), u) ==
+              origins.end()) {
             report.violations.push_back(
                 "cross link " + std::to_string(u) + " -> " +
                 std::to_string(v) + " has no entry point in meta document " +

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <istream>
 #include <ostream>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -42,6 +43,16 @@ class BinaryWriter {
     WriteU64(v.size());
     out_.write(reinterpret_cast<const char*>(v.data()),
                static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+
+  // Same wire format as WriteVec, for data that lives in a span (e.g. a
+  // mapped view being re-saved as a stream).
+  template <typename T>
+  void WriteSpan(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(v.size());
+    out_.write(reinterpret_cast<const char*>(v.data()),
+               static_cast<std::streamsize>(v.size_bytes()));
   }
 
   template <typename T>

@@ -11,22 +11,27 @@ namespace {
 constexpr uint32_t kFlixMagic = 0x464C4958;  // "FLIX"
 constexpr uint32_t kFlixVersion = 1;
 
-void SaveIdListMap(BinaryWriter& writer,
-                   const std::unordered_map<NodeId, std::vector<NodeId>>& map) {
-  writer.WriteU64(map.size());
-  for (const auto& [key, values] : map) {
-    writer.WriteU32(key);
-    writer.WriteVec(values);
+void SaveIdListMap(BinaryWriter& writer, const storage::FlatMultiMap& map) {
+  // Flatten for a deterministic (ascending-key) byte stream; entry layout
+  // matches the original per-pair WriteU32 + WriteVec format.
+  std::vector<NodeId> keys;
+  std::vector<uint64_t> offsets;
+  std::vector<NodeId> flat;
+  map.Flatten(keys, offsets, flat);
+  writer.WriteU64(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    writer.WriteU32(keys[i]);
+    writer.WriteSpan(std::span<const NodeId>(flat.data() + offsets[i],
+                                             offsets[i + 1] - offsets[i]));
   }
 }
 
-std::unordered_map<NodeId, std::vector<NodeId>> LoadIdListMap(
-    BinaryReader& reader) {
-  std::unordered_map<NodeId, std::vector<NodeId>> map;
+storage::FlatMultiMap LoadIdListMap(BinaryReader& reader) {
+  storage::FlatMultiMap map;
   const uint64_t size = reader.ReadU64();
   for (uint64_t i = 0; i < size && reader.ok(); ++i) {
     const NodeId key = reader.ReadU32();
-    map.emplace(key, reader.ReadVec<NodeId>());
+    for (const NodeId value : reader.ReadVec<NodeId>()) map.Add(key, value);
   }
   return map;
 }
@@ -110,11 +115,11 @@ Status Flix::Save(std::ostream& out) const {
   writer.WriteU64(set_.docs.size());
   for (const MetaDocument& meta : set_.docs) {
     writer.WriteU32(meta.id);
-    writer.WriteVec(meta.global_nodes);
+    writer.WriteSpan(meta.global_nodes.span());
     meta.graph.Save(writer);
-    writer.WriteVec(meta.link_sources);
+    writer.WriteSpan(meta.link_sources.span());
     SaveIdListMap(writer, meta.link_targets);
-    writer.WriteVec(meta.entry_nodes);
+    writer.WriteSpan(meta.entry_nodes.span());
     SaveIdListMap(writer, meta.entry_origins);
     // Snapshot so a concurrent migration cannot free the index mid-write.
     const std::shared_ptr<index::PathIndex> index = meta.index.Acquire();
@@ -194,17 +199,17 @@ StatusOr<std::unique_ptr<Flix>> Flix::Load(std::istream& in,
         return InvalidArgumentError("corrupt entry node");
       }
     }
+    bool links_ok = true;
     for (const auto* map : {&meta.link_targets, &meta.entry_origins}) {
-      for (const auto& [local, globals] : *map) {
-        if (local >= local_count) {
-          return InvalidArgumentError("corrupt link map key");
-        }
+      map->ForEach([&](NodeId local, std::span<const NodeId> globals) {
+        if (local >= local_count) links_ok = false;
         for (const NodeId global : globals) {
-          if (global >= num_elements) {
-            return InvalidArgumentError("corrupt link map target");
-          }
+          if (global >= num_elements) links_ok = false;
         }
-      }
+      });
+    }
+    if (!links_ok) {
+      return InvalidArgumentError("corrupt link map entry");
     }
     StatusOr<std::unique_ptr<index::PathIndex>> loaded =
         index::LoadIndex(reader, meta.graph);
@@ -221,55 +226,54 @@ StatusOr<std::unique_ptr<Flix>> Flix::Load(std::istream& in,
       set.meta_of_node[global] = meta.id;
       set.local_of_node[global] = local;
     }
-    for (const auto& [src, targets] : meta.link_targets) {
-      (void)src;
-      set.num_cross_links += targets.size();
-    }
+    set.num_cross_links += meta.link_targets.TotalValues();
   }
 
+  flix->FinishLoadedInstance(watch.ElapsedNanos());
+  return flix;
+}
+
+void Flix::FinishLoadedInstance(uint64_t load_ns) {
   // Loaded indexes carry no build timings, but the partition identities
   // (strategy, node counts) still seed the profiler so query attribution
   // starts from a described baseline.
-  flix->profiler_.Resize(set.docs.size());
-  for (const MetaDocument& meta : set.docs) {
-    flix->profiler_.SetPartitionInfo(meta.id,
-                                     index::StrategyName(meta.index->kind()),
-                                     meta.graph.NumNodes(), /*build_ns=*/0);
+  profiler_.Resize(set_.docs.size());
+  for (const MetaDocument& meta : set_.docs) {
+    profiler_.SetPartitionInfo(meta.id,
+                               index::StrategyName(meta.index->kind()),
+                               meta.graph.NumNodes(), /*build_ns=*/0);
   }
-  flix->profiler_.SetEnabled(options.workload_profiling);
+  profiler_.SetEnabled(options_.workload_profiling);
 
-  flix->pee_ =
-      std::make_unique<PathExpressionEvaluator>(flix->set_, &flix->profiler_);
-  if (options.query_cache_capacity > 0) {
-    flix->cache_ = std::make_unique<QueryCache>(options.query_cache_capacity);
-    flix->cache_->AttachProfiler(&flix->profiler_);
+  pee_ = std::make_unique<PathExpressionEvaluator>(set_, &profiler_);
+  if (options_.query_cache_capacity > 0) {
+    cache_ = std::make_unique<QueryCache>(options_.query_cache_capacity);
+    cache_->AttachProfiler(&profiler_);
   }
 
-  FlixStats& stats = flix->stats_;
-  stats.num_meta_documents = set.docs.size();
-  stats.num_cross_links = set.num_cross_links;
-  for (const MetaDocument& meta : set.docs) {
+  stats_.num_meta_documents = set_.docs.size();
+  stats_.num_cross_links = set_.num_cross_links;
+  for (const MetaDocument& meta : set_.docs) {
     MetaIndexStats s;
     s.meta_id = meta.id;
     s.strategy = meta.index->kind();
     s.nodes = meta.graph.NumNodes();
     s.edges = meta.graph.NumEdges();
     s.index_bytes = meta.index->MemoryBytes();
-    stats.per_meta.push_back(s);
-    stats.total_index_bytes += s.index_bytes;
+    stats_.per_meta.push_back(s);
+    stats_.total_index_bytes += s.index_bytes;
     switch (s.strategy) {
-      case index::StrategyKind::kPpo: ++stats.num_ppo; break;
-      case index::StrategyKind::kHopi: ++stats.num_hopi; break;
-      case index::StrategyKind::kApex: ++stats.num_apex; break;
+      case index::StrategyKind::kPpo: ++stats_.num_ppo; break;
+      case index::StrategyKind::kHopi: ++stats_.num_hopi; break;
+      case index::StrategyKind::kApex: ++stats_.num_apex; break;
       case index::StrategyKind::kTransitiveClosure: break;
       case index::StrategyKind::kSummary: break;
     }
   }
-  stats.build_ms = watch.ElapsedMillis();  // load time, not build time
+  stats_.build_ms = static_cast<double>(load_ns) / 1e6;  // load, not build
   auto& reg = obs::MetricsRegistry::Global();
-  reg.GetHistogram("flix.load.total_ns").Record(watch.ElapsedNanos());
+  reg.GetHistogram("flix.load.total_ns").Record(static_cast<int64_t>(load_ns));
   reg.GetCounter("flix.load.count").Increment();
-  return flix;
 }
 
 TagId Flix::LookupTag(std::string_view name) const {

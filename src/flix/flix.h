@@ -28,6 +28,10 @@
 #include "flix/query_cache.h"
 #include "xml/collection.h"
 
+namespace flix::storage {
+class PagedFileReader;
+}  // namespace flix::storage
+
 namespace flix::core {
 
 struct FlixStats {
@@ -64,6 +68,38 @@ class Flix {
   Status Save(std::ostream& out) const;
   static StatusOr<std::unique_ptr<Flix>> Load(std::istream& in,
                                               const xml::Collection& collection);
+
+  // On-disk representation for the path-based Save overload.
+  enum class IndexFormat {
+    // Stream format: compact, but Load copies everything onto the heap.
+    kHeap,
+    // Paged format (storage/format.h): Load mmaps the file and serves
+    // queries zero-copy out of the mapping — cold opens touch only the
+    // pages a query needs, so collections larger than RAM stay usable.
+    kMapped,
+  };
+
+  struct LoadOptions {
+    // Verify every segment checksum up front when opening a paged file.
+    // Costs one sequential read of the file; turning it off defers
+    // corruption detection to `flixctl check` / Validate.
+    bool verify_checksums = true;
+  };
+
+  // Path-based persistence. Save writes the requested format; Load sniffs
+  // the format from the file's magic, so either format loads through the
+  // same call. A paged load pins the file mapping for the instance's
+  // lifetime; indexes replaced later (adaptive ISS) are ordinary heap
+  // indexes layered over the mapped base.
+  Status Save(const std::string& path,
+              IndexFormat format = IndexFormat::kHeap) const;
+  static StatusOr<std::unique_ptr<Flix>> Load(const std::string& path,
+                                              const xml::Collection& collection,
+                                              const LoadOptions& options);
+  static StatusOr<std::unique_ptr<Flix>> Load(
+      const std::string& path, const xml::Collection& collection) {
+    return Load(path, collection, LoadOptions());
+  }
 
   const FlixStats& stats() const { return stats_; }
   const xml::Collection& collection() const { return collection_; }
@@ -158,8 +194,22 @@ class Flix {
 
   void AccumulateStats(const QueryStats& stats) const;
 
+  // Shared tail of both Load paths (stream and paged): profiler seeding,
+  // PEE/cache construction, stats and load metrics.
+  void FinishLoadedInstance(uint64_t load_ns);
+
+  // Paged-format persistence (flix_paged.cc).
+  Status SavePaged(const std::string& path) const;
+  static StatusOr<std::unique_ptr<Flix>> LoadPaged(
+      const std::string& path, const xml::Collection& collection,
+      const LoadOptions& options);
+
   const xml::Collection& collection_;
   FlixOptions options_;
+  // Pins the file mapping a paged Load borrowed set_'s views from; declared
+  // before set_ so it is destroyed after everything that aliases it. Null
+  // for built or stream-loaded instances.
+  std::shared_ptr<storage::PagedFileReader> mapping_;
   MetaDocumentSet set_;
   // Declared before pee_/cache_, which hold pointers to it: destruction
   // runs in reverse order, so the consumers die first.

@@ -2,41 +2,32 @@
 
 #include <algorithm>
 
-#include "common/bytes.h"
-
 namespace flix::core {
 
 void MetaDocument::AddCrossLink(NodeId local_source, NodeId global_target) {
   link_sources.push_back(local_source);
-  link_targets[local_source].push_back(global_target);
+  link_targets.Add(local_source, global_target);
 }
 
 void MetaDocument::AddEntry(NodeId local_target, NodeId global_origin) {
   entry_nodes.push_back(local_target);
-  entry_origins[local_target].push_back(global_origin);
+  entry_origins.Add(local_target, global_origin);
 }
 
 void MetaDocument::FinalizeLinks() {
-  std::sort(link_sources.begin(), link_sources.end());
-  link_sources.erase(std::unique(link_sources.begin(), link_sources.end()),
-                     link_sources.end());
-  std::sort(entry_nodes.begin(), entry_nodes.end());
-  entry_nodes.erase(std::unique(entry_nodes.begin(), entry_nodes.end()),
-                    entry_nodes.end());
+  std::vector<NodeId>& sources = link_sources.MutableOwned();
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  std::vector<NodeId>& entries = entry_nodes.MutableOwned();
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
 }
 
 size_t MetaDocument::MemoryBytes() const {
-  size_t bytes = VectorBytes(global_nodes) + graph.MemoryBytes() +
-                 VectorBytes(link_sources) + VectorBytes(entry_nodes);
+  size_t bytes = global_nodes.MemoryBytes() + graph.MemoryBytes() +
+                 link_sources.MemoryBytes() + entry_nodes.MemoryBytes() +
+                 link_targets.MemoryBytes() + entry_origins.MemoryBytes();
   if (index != nullptr) bytes += index->MemoryBytes();
-  for (const auto& [src, targets] : link_targets) {
-    (void)src;
-    bytes += targets.capacity() * sizeof(NodeId) + 32;
-  }
-  for (const auto& [tgt, origins] : entry_origins) {
-    (void)tgt;
-    bytes += origins.capacity() * sizeof(NodeId) + 32;
-  }
   return bytes;
 }
 

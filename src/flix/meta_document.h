@@ -10,13 +10,13 @@
 
 #include <atomic>
 #include <memory>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/types.h"
 #include "graph/digraph.h"
 #include "index/path_index.h"
+#include "storage/flat.h"
 
 namespace flix::core {
 
@@ -97,8 +97,12 @@ class MetaDocument {
 
   uint32_t id = 0;
 
+  // All link bookkeeping below is dual-mode (storage/flat.h): owned vectors
+  // and hash maps while the MDB builds, borrowed spans into the file mapping
+  // after a paged load. The read accessors are identical either way.
+
   // Local node i corresponds to global element global_nodes[i].
-  std::vector<NodeId> global_nodes;
+  storage::FlatVec<NodeId> global_nodes;
 
   // Local element graph (the edges the index will reflect).
   graph::Digraph graph;
@@ -110,15 +114,15 @@ class MetaDocument {
   // L_i: local ids of elements with outgoing links that are *not* reflected
   // in the index, ascending. The PEE intersects descendants(e) with this set
   // via PathIndex::ReachableAmong.
-  std::vector<NodeId> link_sources;
+  storage::FlatVec<NodeId> link_sources;
 
   // Outgoing link targets per link source (global element ids).
-  std::unordered_map<NodeId, std::vector<NodeId>> link_targets;
+  storage::FlatMultiMap link_targets;
 
   // Reverse direction, for ancestor queries: local ids of elements that are
   // targets of unindexed links, ascending, plus their global link origins.
-  std::vector<NodeId> entry_nodes;
-  std::unordered_map<NodeId, std::vector<NodeId>> entry_origins;
+  storage::FlatVec<NodeId> entry_nodes;
+  storage::FlatMultiMap entry_origins;
 
   size_t NumNodes() const { return graph.NumNodes(); }
 
@@ -137,8 +141,8 @@ class MetaDocument {
 // global-node -> (meta document, local node) mapping.
 struct MetaDocumentSet {
   std::vector<MetaDocument> docs;
-  std::vector<uint32_t> meta_of_node;
-  std::vector<NodeId> local_of_node;
+  storage::FlatVec<uint32_t> meta_of_node;
+  storage::FlatVec<NodeId> local_of_node;
   // Total number of cross (meta-document-spanning or unindexed) links.
   size_t num_cross_links = 0;
 };

@@ -295,8 +295,9 @@ void PathExpressionEvaluator::RunStreaming(const std::vector<NodeId>& starts,
     if (item.kind == ItemKind::kFrontier) {
       ActiveCursor& ac = slots[item.slot];
       const MetaDocument& meta = set_.docs[ac.meta];
-      const auto& hops = forward ? meta.link_targets.at(item.node)
-                                 : meta.entry_origins.at(item.node);
+      const std::span<const NodeId> hops =
+          forward ? meta.link_targets.At(item.node)
+                  : meta.entry_origins.At(item.node);
       for (const NodeId target : hops) {
         queue.push({item.distance, seq++, target, ItemKind::kEntry, 0});
         ++stats->links_followed;
@@ -529,8 +530,9 @@ void PathExpressionEvaluator::RunMaterialized(
         forward ? index->ReachableAmong(le, meta.link_sources)
                 : index->AncestorsAmong(le, meta.entry_nodes);
     for (const index::NodeDist& f : frontier) {
-      const auto& hops = forward ? meta.link_targets.at(f.node)
-                                 : meta.entry_origins.at(f.node);
+      const std::span<const NodeId> hops =
+          forward ? meta.link_targets.At(f.node)
+                  : meta.entry_origins.At(f.node);
       const Distance hop_distance = item.distance + f.distance + 1;
       if (options.max_distance >= 0 && hop_distance > options.max_distance) {
         continue;
@@ -664,7 +666,7 @@ Distance PathExpressionEvaluator::PointQuery(NodeId a, NodeId b,
       const Distance hop_distance = item.distance + f.distance + 1;
       if (max_distance >= 0 && hop_distance > max_distance) continue;
       if (best != kUnreachable && hop_distance >= best) continue;
-      for (const NodeId target : meta.link_targets.at(f.node)) {
+      for (const NodeId target : meta.link_targets.At(f.node)) {
         queue.push({hop_distance, seq++, target});
       }
     }
@@ -738,8 +740,9 @@ bool PathExpressionEvaluator::IsConnectedBidirectional(
     for (const index::NodeDist& f : frontier) {
       const Distance hop_distance = item.distance + f.distance + 1;
       if (max_distance >= 0 && hop_distance > max_distance) continue;
-      const auto& hops = forward ? meta.link_targets.at(f.node)
-                                 : meta.entry_origins.at(f.node);
+      const std::span<const NodeId> hops =
+          forward ? meta.link_targets.At(f.node)
+                  : meta.entry_origins.At(f.node);
       for (const NodeId target : hops) {
         side.queue.push({hop_distance, side.seq++, target});
       }
@@ -772,9 +775,8 @@ std::vector<Result> PathExpressionEvaluator::Children(NodeId node) const {
   for (const graph::Digraph::Arc& arc : meta.graph.OutArcs(local)) {
     children.push_back({meta.global_nodes[arc.target], 1});
   }
-  const auto it = meta.link_targets.find(local);
-  if (it != meta.link_targets.end()) {
-    for (const NodeId target : it->second) children.push_back({target, 1});
+  for (const NodeId target : meta.link_targets.At(local)) {
+    children.push_back({target, 1});
   }
   return children;
 }
@@ -787,9 +789,8 @@ std::vector<Result> PathExpressionEvaluator::Parents(NodeId node) const {
   for (const graph::Digraph::Arc& arc : meta.graph.InArcs(local)) {
     parents.push_back({meta.global_nodes[arc.target], 1});
   }
-  const auto it = meta.entry_origins.find(local);
-  if (it != meta.entry_origins.end()) {
-    for (const NodeId origin : it->second) parents.push_back({origin, 1});
+  for (const NodeId origin : meta.entry_origins.At(local)) {
+    parents.push_back({origin, 1});
   }
   return parents;
 }

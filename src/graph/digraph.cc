@@ -2,29 +2,41 @@
 
 #include "common/bytes.h"
 #include "common/dcheck.h"
+#include "storage/format.h"
 
 namespace flix::graph {
+namespace {
+
+// Array ids relative to the caller-chosen base.
+constexpr uint32_t kTagsArray = 0;
+constexpr uint32_t kOutOffsets = 1;
+constexpr uint32_t kOutArcs = 2;
+constexpr uint32_t kInOffsets = 3;
+constexpr uint32_t kInArcs = 4;
+constexpr uint32_t kParams = 5;  // [num_edges, num_link_edges]
+
+}  // namespace
 
 NodeId Digraph::AddNode(TagId tag) {
   const NodeId id = static_cast<NodeId>(tags_.size());
   tags_.push_back(tag);
-  out_.emplace_back();
-  in_.emplace_back();
+  out_.OwnedRows().emplace_back();
+  in_.OwnedRows().emplace_back();
   return id;
 }
 
 void Digraph::Resize(size_t num_nodes) {
   FLIX_DCHECK(num_nodes >= tags_.size(), "Digraph::Resize cannot shrink");
-  tags_.resize(num_nodes, kInvalidTag);
-  out_.resize(num_nodes);
-  in_.resize(num_nodes);
+  tags_.MutableOwned().resize(num_nodes, kInvalidTag);
+  out_.OwnedRows().resize(num_nodes);
+  in_.OwnedRows().resize(num_nodes);
 }
 
 void Digraph::AddEdge(NodeId from, NodeId to, EdgeKind kind) {
   FLIX_DCHECK(from < NumNodes() && to < NumNodes(),
               "Digraph::AddEdge endpoint out of range");
-  out_[from].push_back({to, kind});
-  in_[to].push_back({from, kind});
+  out_.Row(from).push_back({to, kind});
+  in_.Row(to).push_back({from, kind});
   ++num_edges_;
   if (kind == EdgeKind::kLink) ++num_link_edges_;
 }
@@ -33,7 +45,7 @@ std::vector<Edge> Digraph::Edges() const {
   std::vector<Edge> edges;
   edges.reserve(num_edges_);
   for (NodeId n = 0; n < NumNodes(); ++n) {
-    for (const Arc& arc : out_[n]) {
+    for (const Arc& arc : OutArcs(n)) {
       edges.push_back({n, arc.target, arc.kind});
     }
   }
@@ -57,7 +69,7 @@ Digraph Digraph::InducedSubgraph(const std::vector<NodeId>& nodes,
     sub.SetTag(static_cast<NodeId>(i), tags_[nodes[i]]);
   }
   for (const NodeId global : nodes) {
-    for (const Arc& arc : out_[global]) {
+    for (const Arc& arc : OutArcs(global)) {
       if (local[arc.target] != kInvalidNode) {
         sub.AddEdge(local[global], local[arc.target], arc.kind);
       }
@@ -68,7 +80,7 @@ Digraph Digraph::InducedSubgraph(const std::vector<NodeId>& nodes,
 }
 
 void Digraph::Save(BinaryWriter& writer) const {
-  writer.WriteVec(tags_);
+  writer.WriteSpan(tags_.span());
   std::vector<Edge> edges = Edges();
   writer.WriteU64(edges.size());
   for (const Edge& e : edges) {
@@ -81,8 +93,8 @@ void Digraph::Save(BinaryWriter& writer) const {
 Digraph Digraph::Load(BinaryReader& reader) {
   Digraph g;
   g.tags_ = reader.ReadVec<TagId>();
-  g.out_.resize(g.tags_.size());
-  g.in_.resize(g.tags_.size());
+  g.out_.Assign(g.tags_.size());
+  g.in_.Assign(g.tags_.size());
   const uint64_t num_edges = reader.ReadU64();
   for (uint64_t i = 0; i < num_edges && reader.ok(); ++i) {
     const NodeId from = reader.ReadU32();
@@ -97,12 +109,60 @@ Digraph Digraph::Load(BinaryReader& reader) {
   return g;
 }
 
+void Digraph::AppendArrays(storage::SegmentWriter& seg,
+                           uint32_t base_id) const {
+  seg.Add(base_id + kTagsArray, tags_.span());
+  std::vector<uint64_t> offsets;
+  std::vector<Arc> flat;
+  out_.Flatten(offsets, flat);
+  seg.Add(base_id + kOutOffsets, offsets);
+  seg.Add(base_id + kOutArcs, flat);
+  in_.Flatten(offsets, flat);
+  seg.Add(base_id + kInOffsets, offsets);
+  seg.Add(base_id + kInArcs, flat);
+  const std::vector<uint64_t> params = {num_edges_, num_link_edges_};
+  seg.Add(base_id + kParams, params);
+}
+
+StatusOr<Digraph> Digraph::FromSegment(const storage::SegmentView& view,
+                                       uint32_t base_id) {
+  auto tags = view.GetArray<TagId>(base_id + kTagsArray);
+  if (!tags.ok()) return tags.status();
+  auto out_off = view.GetArray<uint64_t>(base_id + kOutOffsets);
+  if (!out_off.ok()) return out_off.status();
+  auto out_arcs = view.GetArray<Arc>(base_id + kOutArcs);
+  if (!out_arcs.ok()) return out_arcs.status();
+  auto in_off = view.GetArray<uint64_t>(base_id + kInOffsets);
+  if (!in_off.ok()) return in_off.status();
+  auto in_arcs = view.GetArray<Arc>(base_id + kInArcs);
+  if (!in_arcs.ok()) return in_arcs.status();
+  auto params = view.GetArray<uint64_t>(base_id + kParams);
+  if (!params.ok()) return params.status();
+  if (params.value().size() != 2) {
+    return InvalidArgumentError("digraph segment: bad parameter array");
+  }
+
+  const size_t n = tags.value().size();
+  if (out_off.value().size() != n + 1 || in_off.value().size() != n + 1) {
+    return InvalidArgumentError("digraph segment: offset count mismatch");
+  }
+  auto out = storage::FlatRows<Arc>::FromView(out_off.value(),
+                                              out_arcs.value());
+  if (!out.ok()) return out.status();
+  auto in = storage::FlatRows<Arc>::FromView(in_off.value(), in_arcs.value());
+  if (!in.ok()) return in.status();
+
+  Digraph g;
+  g.tags_ = storage::FlatVec<TagId>::FromView(tags.value());
+  g.out_ = std::move(out).value();
+  g.in_ = std::move(in).value();
+  g.num_edges_ = params.value()[0];
+  g.num_link_edges_ = params.value()[1];
+  return g;
+}
+
 size_t Digraph::MemoryBytes() const {
-  size_t bytes = VectorBytes(tags_);
-  for (const auto& arcs : out_) bytes += VectorBytes(arcs);
-  for (const auto& arcs : in_) bytes += VectorBytes(arcs);
-  bytes += VectorBytes(out_) + VectorBytes(in_);
-  return bytes;
+  return tags_.MemoryBytes() + out_.MemoryBytes() + in_.MemoryBytes();
 }
 
 }  // namespace flix::graph

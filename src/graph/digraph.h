@@ -5,10 +5,14 @@
 #define FLIX_GRAPH_DIGRAPH_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/binary_io.h"
+#include "common/status.h"
 #include "common/types.h"
+#include "storage/flat.h"
+#include "storage/segment.h"
 
 namespace flix::graph {
 
@@ -29,9 +33,11 @@ struct Edge {
   friend bool operator==(const Edge&, const Edge&) = default;
 };
 
-// Mutable adjacency-list digraph. Nodes carry a TagId label; edges carry an
-// EdgeKind. Both out- and in-adjacency are maintained so that ancestor
-// queries and backward BFS are as cheap as forward ones.
+// Adjacency-list digraph with two storage modes: heap-owned (mutable — the
+// build path) or a zero-copy view into a mapped paged-index segment (see
+// storage/). Nodes carry a TagId label; edges carry an EdgeKind. Both out-
+// and in-adjacency are maintained so that ancestor queries and backward BFS
+// are as cheap as forward ones.
 class Digraph {
  public:
   Digraph() = default;
@@ -54,13 +60,21 @@ class Digraph {
   TagId Tag(NodeId n) const { return tags_[n]; }
   void SetTag(NodeId n, TagId tag) { tags_[n] = tag; }
 
+  // One adjacency entry. The explicit (always-zero) padding makes the
+  // in-memory bytes deterministic, so mapped segments checksum reproducibly.
   struct Arc {
     NodeId target;
     EdgeKind kind;
-  };
+    uint8_t pad_[3] = {0, 0, 0};
 
-  const std::vector<Arc>& OutArcs(NodeId n) const { return out_[n]; }
-  const std::vector<Arc>& InArcs(NodeId n) const { return in_[n]; }
+    friend bool operator==(const Arc& a, const Arc& b) {
+      return a.target == b.target && a.kind == b.kind;
+    }
+  };
+  static_assert(sizeof(Arc) == 8);
+
+  std::span<const Arc> OutArcs(NodeId n) const { return out_[n]; }
+  std::span<const Arc> InArcs(NodeId n) const { return in_[n]; }
 
   size_t OutDegree(NodeId n) const { return out_[n].size(); }
   size_t InDegree(NodeId n) const { return in_[n].size(); }
@@ -78,17 +92,28 @@ class Digraph {
   Digraph InducedSubgraph(const std::vector<NodeId>& nodes,
                           std::vector<NodeId>* local_of = nullptr) const;
 
+  // True when the adjacency borrows a mapped segment (zero-copy load)
+  // instead of owning heap storage.
+  bool is_view() const { return tags_.is_view(); }
+
   // Approximate heap footprint, for index size accounting.
   size_t MemoryBytes() const;
 
   // Binary persistence (nodes, tags and edges, insertion order preserved).
+  // Works in both modes; always produces the stream format.
   void Save(BinaryWriter& writer) const;
   static Digraph Load(BinaryReader& reader);
 
+  // Paged persistence: appends this graph's arrays to a segment under ids
+  // base_id+0 .. base_id+5, and reconstructs a zero-copy view from them.
+  void AppendArrays(storage::SegmentWriter& seg, uint32_t base_id) const;
+  static StatusOr<Digraph> FromSegment(const storage::SegmentView& view,
+                                       uint32_t base_id);
+
  private:
-  std::vector<TagId> tags_;
-  std::vector<std::vector<Arc>> out_;
-  std::vector<std::vector<Arc>> in_;
+  storage::FlatVec<TagId> tags_;
+  storage::FlatRows<Arc> out_;
+  storage::FlatRows<Arc> in_;
   size_t num_edges_ = 0;
   size_t num_link_edges_ = 0;
 };

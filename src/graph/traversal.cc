@@ -2,13 +2,14 @@
 
 #include <algorithm>
 #include <deque>
+#include <span>
 #include <tuple>
 
 namespace flix::graph {
 namespace {
 
-const std::vector<Digraph::Arc>& Arcs(const Digraph& g, NodeId n,
-                                      Direction dir) {
+std::span<const Digraph::Arc> Arcs(const Digraph& g, NodeId n,
+                                   Direction dir) {
   return dir == Direction::kForward ? g.OutArcs(n) : g.InArcs(n);
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <map>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -34,6 +35,18 @@ size_t TagUniverse(const graph::Digraph& g) {
   }
   return any ? static_cast<size_t>(max_tag) + 1 : 0;
 }
+
+// Segment array ids (kIndex segment, strategy = kApex). The summary graph's
+// arrays start at kSummaryBase (graph::Digraph::AppendArrays convention).
+constexpr uint32_t kBlockOfArray = 1;
+constexpr uint32_t kExtentOffsets = 2;
+constexpr uint32_t kExtentFlat = 3;
+constexpr uint32_t kReachTagsOffsets = 4;
+constexpr uint32_t kReachTagsFlat = 5;
+constexpr uint32_t kBlockClosureOffsets = 6;
+constexpr uint32_t kBlockClosureFlat = 7;
+constexpr uint32_t kApexParams = 8;  // [tag_words, have_block_closure]
+constexpr uint32_t kSummaryBase = 10;
 
 }  // namespace
 
@@ -81,7 +94,9 @@ void ApexIndex::BuildSummary(const ApexOptions& options) {
           static_cast<uint32_t>(blocks.size()));
       next[v] = it->second;
     }
-    const bool stable = blocks.size() == num_blocks && next == block_of_;
+    const bool stable =
+        blocks.size() == num_blocks &&
+        std::equal(next.begin(), next.end(), block_of_.begin());
     block_of_ = std::move(next);
     num_blocks = blocks.size();
     if (stable) break;
@@ -96,8 +111,8 @@ void ApexIndex::BuildSummary(const ApexOptions& options) {
         remap.emplace(block_of_[v], static_cast<uint32_t>(remap.size()));
     block_of_[v] = it->second;
   }
-  extents_.assign(remap.size(), {});
-  for (NodeId v = 0; v < n; ++v) extents_[block_of_[v]].push_back(v);
+  extents_.Assign(remap.size());
+  for (NodeId v = 0; v < n; ++v) extents_.Row(block_of_[v]).push_back(v);
 
   // Summary graph: deduplicated block edges.
   summary_ = graph::Digraph(extents_.size());
@@ -122,12 +137,13 @@ void ApexIndex::BuildReachability(const ApexOptions& options) {
 
   // reachable_tags_ via reverse-topological accumulation over the summary's
   // SCC condensation (the summary may be cyclic when the data graph is).
-  reachable_tags_.assign(num_blocks, std::vector<uint64_t>(tag_words_, 0));
+  reachable_tags_.Assign(num_blocks);
   for (uint32_t b = 0; b < num_blocks; ++b) {
+    reachable_tags_.Row(b).assign(tag_words_, 0);
     const TagId tag = extents_[b].empty() ? kInvalidTag
                                           : g_.Tag(extents_[b].front());
     if (tag != kInvalidTag) {
-      reachable_tags_[b][tag / 64] |= uint64_t{1} << (tag % 64);
+      reachable_tags_.Row(b)[tag / 64] |= uint64_t{1} << (tag % 64);
     }
   }
   const graph::SccResult scc = graph::StronglyConnectedComponents(summary_);
@@ -150,7 +166,7 @@ void ApexIndex::BuildReachability(const ApexOptions& options) {
     }
   }
   for (uint32_t b = 0; b < num_blocks; ++b) {
-    reachable_tags_[b] = comp_tags[scc.component_of[b]];
+    reachable_tags_.Row(b) = comp_tags[scc.component_of[b]];
   }
 
   // Optional block-level closure for fast IsReachable pruning.
@@ -168,9 +184,9 @@ void ApexIndex::BuildReachability(const ApexOptions& options) {
         }
       }
     }
-    block_closure_.assign(num_blocks, {});
+    block_closure_.Assign(num_blocks);
     for (uint32_t b = 0; b < num_blocks; ++b) {
-      block_closure_[b] = comp_reach[scc.component_of[b]];
+      block_closure_.Row(b) = comp_reach[scc.component_of[b]];
     }
     have_block_closure_ = true;
   }
@@ -249,7 +265,7 @@ std::unique_ptr<NodeDistCursor> ApexIndex::AncestorsByTagCursor(
 }
 
 std::unique_ptr<NodeDistCursor> ApexIndex::ReachableAmongCursor(
-    NodeId from, const std::vector<NodeId>& targets) const {
+    NodeId from, std::span<const NodeId> targets) const {
   return std::make_unique<FrontierCursor>(
       g_, from, graph::Direction::kForward, graph::BfsFrontier::ExpandFilter{},
       kInvalidTag, /*wildcard=*/true, /*include_source=*/true,
@@ -258,7 +274,7 @@ std::unique_ptr<NodeDistCursor> ApexIndex::ReachableAmongCursor(
 }
 
 std::unique_ptr<NodeDistCursor> ApexIndex::AncestorsAmongCursor(
-    NodeId from, const std::vector<NodeId>& sources) const {
+    NodeId from, std::span<const NodeId> sources) const {
   return std::make_unique<FrontierCursor>(
       g_, from, graph::Direction::kBackward, graph::BfsFrontier::ExpandFilter{},
       kInvalidTag, /*wildcard=*/true, /*include_source=*/true,
@@ -267,13 +283,24 @@ std::unique_ptr<NodeDistCursor> ApexIndex::AncestorsAmongCursor(
 }
 
 void ApexIndex::Save(BinaryWriter& writer) const {
-  writer.WriteVec(block_of_);
-  writer.WriteNestedVec(extents_);
+  // Row-wise writes keep the exact WriteNestedVec byte layout in both
+  // storage modes.
+  writer.WriteSpan(block_of_.span());
+  writer.WriteU64(extents_.size());
+  for (size_t b = 0; b < extents_.size(); ++b) writer.WriteSpan(extents_[b]);
   summary_.Save(writer);
-  writer.WriteNestedVec(reachable_tags_);
+  writer.WriteU64(reachable_tags_.size());
+  for (size_t b = 0; b < reachable_tags_.size(); ++b) {
+    writer.WriteSpan(reachable_tags_[b]);
+  }
   writer.WriteU64(tag_words_);
   writer.WriteBool(have_block_closure_);
-  if (have_block_closure_) writer.WriteNestedVec(block_closure_);
+  if (have_block_closure_) {
+    writer.WriteU64(block_closure_.size());
+    for (size_t b = 0; b < block_closure_.size(); ++b) {
+      writer.WriteSpan(block_closure_[b]);
+    }
+  }
 }
 
 StatusOr<std::unique_ptr<ApexIndex>> ApexIndex::Load(BinaryReader& reader,
@@ -293,14 +320,14 @@ StatusOr<std::unique_ptr<ApexIndex>> ApexIndex::Load(BinaryReader& reader,
     return InvalidArgumentError("corrupt APEX index payload");
   }
   const size_t num_blocks = index->extents_.size();
-  for (const uint32_t b : index->block_of_) {
+  for (const uint32_t b : index->block_of_.span()) {
     if (b >= num_blocks) return InvalidArgumentError("corrupt APEX block id");
   }
   if (index->reachable_tags_.size() != num_blocks) {
     return InvalidArgumentError("corrupt APEX tag table");
   }
-  for (const auto& row : index->reachable_tags_) {
-    if (row.size() != index->tag_words_) {
+  for (size_t b = 0; b < num_blocks; ++b) {
+    if (index->reachable_tags_[b].size() != index->tag_words_) {
       return InvalidArgumentError("corrupt APEX tag row");
     }
   }
@@ -309,11 +336,90 @@ StatusOr<std::unique_ptr<ApexIndex>> ApexIndex::Load(BinaryReader& reader,
     if (index->block_closure_.size() != num_blocks) {
       return InvalidArgumentError("corrupt APEX closure");
     }
-    for (const auto& row : index->block_closure_) {
-      if (row.size() != block_words) {
+    for (size_t b = 0; b < num_blocks; ++b) {
+      if (index->block_closure_[b].size() != block_words) {
         return InvalidArgumentError("corrupt APEX closure row");
       }
     }
+  }
+  return index;
+}
+
+void ApexIndex::SaveSegment(storage::SegmentWriter& seg) const {
+  seg.Add(kBlockOfArray, block_of_.span());
+  std::vector<uint64_t> offsets;
+  std::vector<NodeId> extent_flat;
+  extents_.Flatten(offsets, extent_flat);
+  seg.Add(kExtentOffsets, offsets);
+  seg.Add(kExtentFlat, extent_flat);
+  std::vector<uint64_t> bit_flat;
+  reachable_tags_.Flatten(offsets, bit_flat);
+  seg.Add(kReachTagsOffsets, offsets);
+  seg.Add(kReachTagsFlat, bit_flat);
+  if (have_block_closure_) {
+    block_closure_.Flatten(offsets, bit_flat);
+    seg.Add(kBlockClosureOffsets, offsets);
+    seg.Add(kBlockClosureFlat, bit_flat);
+  }
+  const std::vector<uint64_t> params = {
+      static_cast<uint64_t>(tag_words_),
+      have_block_closure_ ? uint64_t{1} : uint64_t{0}};
+  seg.Add(kApexParams, params);
+  summary_.AppendArrays(seg, kSummaryBase);
+}
+
+StatusOr<std::unique_ptr<ApexIndex>> ApexIndex::LoadSegment(
+    const storage::SegmentView& view, const graph::Digraph& g) {
+  auto params = view.GetArray<uint64_t>(kApexParams);
+  if (!params.ok()) return params.status();
+  if (params.value().size() != 2) {
+    return InvalidArgumentError("apex segment: bad parameter array");
+  }
+  auto block_of = view.GetArray<uint32_t>(kBlockOfArray);
+  if (!block_of.ok()) return block_of.status();
+  auto extent_offsets = view.GetArray<uint64_t>(kExtentOffsets);
+  if (!extent_offsets.ok()) return extent_offsets.status();
+  auto extent_flat = view.GetArray<NodeId>(kExtentFlat);
+  if (!extent_flat.ok()) return extent_flat.status();
+  auto extents = storage::FlatRows<NodeId>::FromView(extent_offsets.value(),
+                                                     extent_flat.value());
+  if (!extents.ok()) return extents.status();
+  auto tags_offsets = view.GetArray<uint64_t>(kReachTagsOffsets);
+  if (!tags_offsets.ok()) return tags_offsets.status();
+  auto tags_flat = view.GetArray<uint64_t>(kReachTagsFlat);
+  if (!tags_flat.ok()) return tags_flat.status();
+  auto reach_tags = storage::FlatRows<uint64_t>::FromView(tags_offsets.value(),
+                                                          tags_flat.value());
+  if (!reach_tags.ok()) return reach_tags.status();
+  auto summary = graph::Digraph::FromSegment(view, kSummaryBase);
+  if (!summary.ok()) return summary.status();
+
+  auto index = std::unique_ptr<ApexIndex>(new ApexIndex(g));
+  index->tag_words_ = static_cast<size_t>(params.value()[0]);
+  index->have_block_closure_ = params.value()[1] != 0;
+  index->block_of_ = storage::FlatVec<uint32_t>::FromView(block_of.value());
+  index->extents_ = std::move(extents).value();
+  index->reachable_tags_ = std::move(reach_tags).value();
+  index->summary_ = std::move(summary).value();
+  if (index->have_block_closure_) {
+    auto closure_offsets = view.GetArray<uint64_t>(kBlockClosureOffsets);
+    if (!closure_offsets.ok()) return closure_offsets.status();
+    auto closure_flat = view.GetArray<uint64_t>(kBlockClosureFlat);
+    if (!closure_flat.ok()) return closure_flat.status();
+    auto closure = storage::FlatRows<uint64_t>::FromView(
+        closure_offsets.value(), closure_flat.value());
+    if (!closure.ok()) return closure.status();
+    index->block_closure_ = std::move(closure).value();
+    if (index->block_closure_.size() != index->extents_.size()) {
+      return InvalidArgumentError("apex segment: array size mismatch");
+    }
+  }
+  // Shape checks only; segment checksums prove the bytes, `check --deep`
+  // covers the semantics.
+  if (index->block_of_.size() != g.NumNodes() ||
+      index->extents_.size() != index->summary_.NumNodes() ||
+      index->reachable_tags_.size() != index->extents_.size()) {
+    return InvalidArgumentError("apex segment: array size mismatch");
   }
   return index;
 }
@@ -388,11 +494,11 @@ Status ApexIndex::Validate(const graph::Digraph& g,
                          " blocks, partition has " +
                          std::to_string(num_blocks));
   }
-  for (const auto& row : reachable_tags_) {
-    if (row.size() != tag_words_) {
+  for (size_t b = 0; b < num_blocks; ++b) {
+    if (reachable_tags_[b].size() != tag_words_) {
       return InternalError("apex: reachable-tag row width " +
-                           std::to_string(row.size()) + " != tag_words " +
-                           std::to_string(tag_words_));
+                           std::to_string(reachable_tags_[b].size()) +
+                           " != tag_words " + std::to_string(tag_words_));
     }
   }
   std::vector<std::unordered_set<uint32_t>> projected(num_blocks);
@@ -449,7 +555,9 @@ Status ApexIndex::Validate(const graph::Digraph& g,
         want_tags[tag / 64] |= uint64_t{1} << (tag % 64);
       }
     }
-    if (reachable_tags_[b] != want_tags) {
+    const std::span<const uint64_t> have_tags = reachable_tags_[b];
+    if (!std::equal(have_tags.begin(), have_tags.end(), want_tags.begin(),
+                    want_tags.end())) {
       return InternalError("apex: reachable-tag bitset of block " +
                            std::to_string(b) +
                            " differs from recomputed summary reachability");
@@ -459,7 +567,9 @@ Status ApexIndex::Validate(const graph::Digraph& g,
       for (uint32_t c = 0; c < num_blocks; ++c) {
         if (reached[c]) want_blocks[c / 64] |= uint64_t{1} << (c % 64);
       }
-      if (block_closure_[b] != want_blocks) {
+      const std::span<const uint64_t> have_blocks = block_closure_[b];
+      if (!std::equal(have_blocks.begin(), have_blocks.end(),
+                      want_blocks.begin(), want_blocks.end())) {
         return InternalError("apex: block-closure row of block " +
                              std::to_string(b) +
                              " differs from recomputed summary reachability");
@@ -470,15 +580,9 @@ Status ApexIndex::Validate(const graph::Digraph& g,
 }
 
 size_t ApexIndex::MemoryBytes() const {
-  size_t bytes = VectorBytes(block_of_);
-  for (const auto& extent : extents_) bytes += VectorBytes(extent);
-  bytes += VectorBytes(extents_);
-  bytes += summary_.MemoryBytes();
-  for (const auto& row : reachable_tags_) bytes += VectorBytes(row);
-  bytes += VectorBytes(reachable_tags_);
-  for (const auto& row : block_closure_) bytes += VectorBytes(row);
-  bytes += VectorBytes(block_closure_);
-  return bytes;
+  return block_of_.MemoryBytes() + extents_.MemoryBytes() +
+         summary_.MemoryBytes() + reachable_tags_.MemoryBytes() +
+         block_closure_.MemoryBytes();
 }
 
 }  // namespace flix::index

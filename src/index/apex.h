@@ -19,11 +19,13 @@
 #define FLIX_INDEX_APEX_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/binary_io.h"
 #include "common/status.h"
 #include "index/path_index.h"
+#include "storage/flat.h"
 
 namespace flix::index {
 
@@ -57,9 +59,9 @@ class ApexIndex : public PathIndex {
   // One lazy BFS watching all listed targets — far cheaper than the default
   // per-target point query (which would BFS once per target).
   std::unique_ptr<NodeDistCursor> ReachableAmongCursor(
-      NodeId from, const std::vector<NodeId>& targets) const override;
+      NodeId from, std::span<const NodeId> targets) const override;
   std::unique_ptr<NodeDistCursor> AncestorsAmongCursor(
-      NodeId from, const std::vector<NodeId>& sources) const override;
+      NodeId from, std::span<const NodeId> sources) const override;
   size_t MemoryBytes() const override;
 
   // Structural invariants: extents partition the node set exactly (each
@@ -77,10 +79,15 @@ class ApexIndex : public PathIndex {
   static StatusOr<std::unique_ptr<ApexIndex>> Load(BinaryReader& reader,
                                                    const graph::Digraph& g);
 
+  // Paged persistence. Like the stream Load, LoadSegment rebinds to `g`.
+  void SaveSegment(storage::SegmentWriter& seg) const;
+  static StatusOr<std::unique_ptr<ApexIndex>> LoadSegment(
+      const storage::SegmentView& view, const graph::Digraph& g);
+
   // Summary introspection (tests, stats).
   size_t NumBlocks() const { return extents_.size(); }
   uint32_t BlockOf(NodeId v) const { return block_of_[v]; }
-  const std::vector<NodeId>& Extent(uint32_t block) const {
+  std::span<const NodeId> Extent(uint32_t block) const {
     return extents_[block];
   }
 
@@ -100,17 +107,17 @@ class ApexIndex : public PathIndex {
   Distance PointSearch(NodeId from, NodeId stop_at) const;
 
   const graph::Digraph& g_;
-  std::vector<uint32_t> block_of_;
-  std::vector<std::vector<NodeId>> extents_;
+  storage::FlatVec<uint32_t> block_of_;
+  storage::FlatRows<NodeId> extents_;
   // Summary graph over blocks.
   graph::Digraph summary_;
   // Per block: bitset over tag ids reachable via summary edges (including
   // the block's own tag), for traversal pruning. Words of 64 tags.
-  std::vector<std::vector<uint64_t>> reachable_tags_;
+  storage::FlatRows<uint64_t> reachable_tags_;
   size_t tag_words_ = 0;
   // Optional block-level reachability closure (bitset rows over blocks).
   bool have_block_closure_ = false;
-  std::vector<std::vector<uint64_t>> block_closure_;
+  storage::FlatRows<uint64_t> block_closure_;
 };
 
 }  // namespace flix::index

@@ -21,11 +21,38 @@ namespace {
 
 constexpr Distance kInfinity = std::numeric_limits<Distance>::max();
 
+bool SameIds(std::span<const NodeId> a, const std::vector<NodeId>& b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
 // Degree-product hub priority: nodes on many paths first.
 uint64_t DegreePriority(const graph::Digraph& g, NodeId v) {
   return static_cast<uint64_t>(g.InDegree(v) + 1) *
          static_cast<uint64_t>(g.OutDegree(v) + 1);
 }
+
+// Paged-segment array ids.
+constexpr uint32_t kOutOffsets = 1;
+constexpr uint32_t kOutFlat = 2;
+constexpr uint32_t kInOffsets = 3;
+constexpr uint32_t kInFlat = 4;
+constexpr uint32_t kTagArray = 5;
+constexpr uint32_t kRankOfNode = 6;
+constexpr uint32_t kNodeOfRank = 7;
+constexpr uint32_t kInvInOffsets = 8;
+constexpr uint32_t kInvInFlat = 9;
+constexpr uint32_t kInvOutOffsets = 10;
+constexpr uint32_t kInvOutFlat = 11;
+// Registered probe sets and their pre-filtered inverted lists (see
+// RegisterLinkSources). Persisted so a paged load binds them as views
+// instead of re-deriving them from the full label volume; absent from
+// files saved before registration (the loader then leaves them empty).
+constexpr uint32_t kRegSourcesArray = 12;
+constexpr uint32_t kInvInSrcOffsets = 13;
+constexpr uint32_t kInvInSrcFlat = 14;
+constexpr uint32_t kRegEntriesArray = 15;
+constexpr uint32_t kInvOutEntOffsets = 16;
+constexpr uint32_t kInvOutEntFlat = 17;
 
 // Bit-reversal of a node id. Used as the tie-break among equal-degree
 // nodes: on chain-shaped regions (where every degree product ties and node
@@ -76,8 +103,8 @@ std::unique_ptr<HopiIndex> HopiIndex::Build(const graph::Digraph& g,
 void HopiIndex::BuildGlobal(const graph::Digraph& g,
                             const std::vector<uint32_t>* hub_priority) {
   const size_t n = g.NumNodes();
-  out_labels_.assign(n, {});
-  in_labels_.assign(n, {});
+  out_labels_.Assign(n);
+  in_labels_.Assign(n);
   tag_.resize(n);
   for (NodeId v = 0; v < n; ++v) tag_[v] = g.Tag(v);
 
@@ -133,9 +160,9 @@ void HopiIndex::BuildGlobal(const graph::Digraph& g,
                     : QueryLabels(out_labels_[v], in_labels_[hub]);
         if (certified <= d) continue;
         if (forward) {
-          in_labels_[v].push_back({rank, d});
+          in_labels_.Row(v).push_back({rank, d});
         } else {
-          out_labels_[v].push_back({rank, d});
+          out_labels_.Row(v).push_back({rank, d});
         }
         const auto& arcs = forward ? g.OutArcs(v) : g.InArcs(v);
         for (const graph::Digraph::Arc& arc : arcs) {
@@ -149,20 +176,20 @@ void HopiIndex::BuildGlobal(const graph::Digraph& g,
     }
   }
 
-  for (auto& labels : out_labels_) labels.shrink_to_fit();
-  for (auto& labels : in_labels_) labels.shrink_to_fit();
+  for (auto& labels : out_labels_.OwnedRows()) labels.shrink_to_fit();
+  for (auto& labels : in_labels_.OwnedRows()) labels.shrink_to_fit();
 }
 
 void HopiIndex::BuildInverted() {
   const size_t n = in_labels_.size();
-  inverted_in_.assign(n, {});
-  inverted_out_.assign(n, {});
+  inverted_in_.Assign(n);
+  inverted_out_.Assign(n);
   for (NodeId v = 0; v < n; ++v) {
     for (const LabelEntry& e : in_labels_[v]) {
-      inverted_in_[e.hub].push_back({v, e.distance});
+      inverted_in_.Row(e.hub).push_back({v, e.distance});
     }
     for (const LabelEntry& e : out_labels_[v]) {
-      inverted_out_[e.hub].push_back({v, e.distance});
+      inverted_out_.Row(e.hub).push_back({v, e.distance});
     }
   }
   // Sort each hub's list by (distance, node): the enumeration cursors merge
@@ -170,12 +197,16 @@ void HopiIndex::BuildInverted() {
   const auto by_distance = [](const LabelEntry& a, const LabelEntry& b) {
     return std::tie(a.distance, a.hub) < std::tie(b.distance, b.hub);
   };
-  for (auto& list : inverted_in_) std::sort(list.begin(), list.end(), by_distance);
-  for (auto& list : inverted_out_) std::sort(list.begin(), list.end(), by_distance);
+  for (auto& list : inverted_in_.OwnedRows()) {
+    std::sort(list.begin(), list.end(), by_distance);
+  }
+  for (auto& list : inverted_out_.OwnedRows()) {
+    std::sort(list.begin(), list.end(), by_distance);
+  }
 }
 
-Distance HopiIndex::QueryLabels(const std::vector<LabelEntry>& out,
-                                const std::vector<LabelEntry>& in) {
+Distance HopiIndex::QueryLabels(std::span<const LabelEntry> out,
+                                std::span<const LabelEntry> in) {
   Distance best = kInfinity;
   size_t i = 0;
   size_t j = 0;
@@ -218,9 +249,9 @@ obs::Counter& HopiPullCounter() {
 // materialization ever happens.
 class HopiMergeCursor : public index::NodeDistCursor {
  public:
-  HopiMergeCursor(const std::vector<HopiIndex::LabelEntry>& from_labels,
-                  const std::vector<std::vector<HopiIndex::LabelEntry>>& inverted,
-                  const std::vector<TagId>& tag_of, TagId tag, bool wildcard,
+  HopiMergeCursor(std::span<const HopiIndex::LabelEntry> from_labels,
+                  const storage::FlatRows<HopiIndex::LabelEntry>& inverted,
+                  std::span<const TagId> tag_of, TagId tag, bool wildcard,
                   NodeId exclude)
       : inverted_(inverted),
         tag_of_(tag_of),
@@ -230,7 +261,8 @@ class HopiMergeCursor : public index::NodeDistCursor {
         seen_(tag_of.size(), 0) {
     heads_.reserve(from_labels.size());
     for (const HopiIndex::LabelEntry& hub_entry : from_labels) {
-      const std::vector<HopiIndex::LabelEntry>& list = inverted_[hub_entry.hub];
+      const std::span<const HopiIndex::LabelEntry> list =
+          inverted_[hub_entry.hub];
       if (list.empty()) continue;
       const uint32_t list_idx = static_cast<uint32_t>(heads_.size());
       heads_.push_back({hub_entry.distance, hub_entry.hub, 0});
@@ -246,7 +278,7 @@ class HopiMergeCursor : public index::NodeDistCursor {
       heap_.pop();
       --remaining_;
       Head& head = heads_[top.list];
-      const std::vector<HopiIndex::LabelEntry>& list = inverted_[head.hub];
+      const std::span<const HopiIndex::LabelEntry> list = inverted_[head.hub];
       if (++head.pos < list.size()) {
         heap_.push({head.base + list[head.pos].distance, list[head.pos].hub,
                     top.list});
@@ -284,8 +316,8 @@ class HopiMergeCursor : public index::NodeDistCursor {
     size_t pos;
   };
 
-  const std::vector<std::vector<HopiIndex::LabelEntry>>& inverted_;
-  const std::vector<TagId>& tag_of_;
+  const storage::FlatRows<HopiIndex::LabelEntry>& inverted_;
+  const std::span<const TagId> tag_of_;
   const TagId tag_;
   const bool wildcard_;
   const NodeId exclude_;
@@ -299,10 +331,10 @@ class HopiMergeCursor : public index::NodeDistCursor {
 
 std::unique_ptr<NodeDistCursor> HopiIndex::MergeCursor(
     NodeId from, TagId tag, bool wildcard, NodeId exclude,
-    const std::vector<std::vector<LabelEntry>>& labels,
-    const std::vector<std::vector<LabelEntry>>& inverted) const {
-  return std::make_unique<HopiMergeCursor>(labels[from], inverted, tag_, tag,
-                                           wildcard, exclude);
+    const storage::FlatRows<LabelEntry>& labels,
+    const storage::FlatRows<LabelEntry>& inverted) const {
+  return std::make_unique<HopiMergeCursor>(labels[from], inverted, tag_.span(),
+                                           tag, wildcard, exclude);
 }
 
 std::unique_ptr<NodeDistCursor> HopiIndex::DescendantsByTagCursor(
@@ -325,8 +357,8 @@ std::unique_ptr<NodeDistCursor> HopiIndex::AncestorsByTagCursor(
 
 std::vector<NodeDist> HopiIndex::Collect(
     NodeId from, TagId tag, bool wildcard,
-    const std::vector<std::vector<LabelEntry>>& labels,
-    const std::vector<std::vector<LabelEntry>>& inverted) const {
+    const storage::FlatRows<LabelEntry>& labels,
+    const storage::FlatRows<LabelEntry>& inverted) const {
   // Relax dist(from, v) over all of from's hubs; per-call scratch keeps the
   // index safely shareable across query threads.
   std::vector<Distance> best(tag_.size(), kInfinity);
@@ -361,8 +393,8 @@ std::vector<NodeDist> HopiIndex::AncestorsByTag(NodeId from, TagId tag) const {
 }
 
 std::vector<NodeDist> HopiIndex::CollectAmong(
-    NodeId from, const std::vector<std::vector<LabelEntry>>& labels,
-    const std::vector<std::vector<LabelEntry>>& filtered_inverted) const {
+    NodeId from, const storage::FlatRows<LabelEntry>& labels,
+    const storage::FlatRows<LabelEntry>& filtered_inverted) const {
   std::unordered_map<NodeId, Distance> best;
   for (const LabelEntry& hub_entry : labels[from]) {
     for (const LabelEntry& e : filtered_inverted[hub_entry.hub]) {
@@ -383,8 +415,8 @@ std::vector<NodeDist> HopiIndex::CollectAmong(
 }
 
 std::vector<NodeDist> HopiIndex::ReachableAmong(
-    NodeId from, const std::vector<NodeId>& targets) const {
-  if (!registered_sources_.empty() && targets == registered_sources_) {
+    NodeId from, std::span<const NodeId> targets) const {
+  if (!registered_sources_.empty() && SameIds(targets, registered_sources_)) {
     return CollectAmong(from, out_labels_, inverted_in_sources_);
   }
   // Few targets: a label merge-join per target is cheaper than touching the
@@ -404,38 +436,61 @@ std::vector<NodeDist> HopiIndex::ReachableAmong(
 }
 
 std::vector<NodeDist> HopiIndex::AncestorsAmong(
-    NodeId from, const std::vector<NodeId>& sources) const {
-  if (!registered_entries_.empty() && sources == registered_entries_) {
+    NodeId from, std::span<const NodeId> sources) const {
+  if (!registered_entries_.empty() && SameIds(sources, registered_entries_)) {
     return CollectAmong(from, in_labels_, inverted_out_entries_);
   }
   return PathIndex::AncestorsAmong(from, sources);
 }
 
-void HopiIndex::RegisterLinkSources(const std::vector<NodeId>& sources) {
-  registered_sources_ = sources;
-  inverted_in_sources_.assign(inverted_in_.size(), {});
+void HopiIndex::RegisterLinkSources(std::span<const NodeId> sources) {
+  // Already derived for this exact probe set (typically bound as a view by
+  // a paged load): the O(labels) filtering pass below would only recompute
+  // what the mapping already holds.
+  if (SameIds(sources, registered_sources_) &&
+      (sources.empty() ||
+       inverted_in_sources_.size() == inverted_in_.size())) {
+    return;
+  }
+  registered_sources_.assign(sources.begin(), sources.end());
+  if (sources.empty()) {
+    // An empty probe set is never consulted (the Among fast paths require a
+    // non-empty registration), so don't touch the label volume.
+    inverted_in_sources_ = storage::FlatRows<LabelEntry>();
+    return;
+  }
+  inverted_in_sources_.Assign(inverted_in_.size());
   const std::unordered_set<NodeId> wanted(sources.begin(), sources.end());
   for (NodeId hub = 0; hub < inverted_in_.size(); ++hub) {
     for (const LabelEntry& e : inverted_in_[hub]) {
-      if (wanted.contains(e.hub)) inverted_in_sources_[hub].push_back(e);
+      if (wanted.contains(e.hub)) inverted_in_sources_.Row(hub).push_back(e);
     }
   }
 }
 
-void HopiIndex::RegisterEntryNodes(const std::vector<NodeId>& targets) {
-  registered_entries_ = targets;
-  inverted_out_entries_.assign(inverted_out_.size(), {});
+void HopiIndex::RegisterEntryNodes(std::span<const NodeId> targets) {
+  if (SameIds(targets, registered_entries_) &&
+      (targets.empty() ||
+       inverted_out_entries_.size() == inverted_out_.size())) {
+    return;
+  }
+  registered_entries_.assign(targets.begin(), targets.end());
+  if (targets.empty()) {
+    inverted_out_entries_ = storage::FlatRows<LabelEntry>();
+    return;
+  }
+  inverted_out_entries_.Assign(inverted_out_.size());
   const std::unordered_set<NodeId> wanted(targets.begin(), targets.end());
   for (NodeId hub = 0; hub < inverted_out_.size(); ++hub) {
     for (const LabelEntry& e : inverted_out_[hub]) {
-      if (wanted.contains(e.hub)) inverted_out_entries_[hub].push_back(e);
+      if (wanted.contains(e.hub)) inverted_out_entries_.Row(hub).push_back(e);
     }
   }
 }
 
 std::unique_ptr<NodeDistCursor> HopiIndex::ReachableAmongCursor(
-    NodeId from, const std::vector<NodeId>& targets) const {
-  if (!registered_sources_.empty() && targets == registered_sources_) {
+    NodeId from, std::span<const NodeId> targets) const {
+  if (!registered_sources_.empty() && SameIds(targets, registered_sources_)) {
     // Merge over the pre-filtered inverted lists; `from` itself streams out
     // at distance 0 when it is in the probe set (its (self, 0) hub label
     // joins the filtered lists), so nothing is excluded.
@@ -459,8 +514,8 @@ std::unique_ptr<NodeDistCursor> HopiIndex::ReachableAmongCursor(
 }
 
 std::unique_ptr<NodeDistCursor> HopiIndex::AncestorsAmongCursor(
-    NodeId from, const std::vector<NodeId>& sources) const {
-  if (!registered_entries_.empty() && sources == registered_entries_) {
+    NodeId from, std::span<const NodeId> sources) const {
+  if (!registered_entries_.empty() && SameIds(sources, registered_entries_)) {
     return MergeCursor(from, kInvalidTag, /*wildcard=*/true, kInvalidNode,
                        in_labels_, inverted_out_entries_);
   }
@@ -468,11 +523,19 @@ std::unique_ptr<NodeDistCursor> HopiIndex::AncestorsAmongCursor(
 }
 
 void HopiIndex::Save(BinaryWriter& writer) const {
-  writer.WriteNestedVec(out_labels_);
-  writer.WriteNestedVec(in_labels_);
-  writer.WriteVec(tag_);
-  writer.WriteVec(rank_of_node_);
-  writer.WriteVec(node_of_rank_);
+  // Row-wise writes produce the exact WriteNestedVec byte layout, so stream
+  // files stay compatible regardless of the storage mode Save runs in.
+  writer.WriteU64(out_labels_.size());
+  for (size_t v = 0; v < out_labels_.size(); ++v) {
+    writer.WriteSpan(out_labels_[v]);
+  }
+  writer.WriteU64(in_labels_.size());
+  for (size_t v = 0; v < in_labels_.size(); ++v) {
+    writer.WriteSpan(in_labels_[v]);
+  }
+  writer.WriteSpan(tag_.span());
+  writer.WriteSpan(rank_of_node_.span());
+  writer.WriteSpan(node_of_rank_.span());
 }
 
 StatusOr<std::unique_ptr<HopiIndex>> HopiIndex::Load(BinaryReader& reader) {
@@ -491,8 +554,8 @@ StatusOr<std::unique_ptr<HopiIndex>> HopiIndex::Load(BinaryReader& reader) {
   // Semantic validation: label hubs are ranks in [0, n) (BuildInverted
   // indexes by them) and distances are non-negative.
   for (const auto* labels : {&index->out_labels_, &index->in_labels_}) {
-    for (const auto& entries : *labels) {
-      for (const LabelEntry& e : entries) {
+    for (size_t v = 0; v < labels->size(); ++v) {
+      for (const LabelEntry& e : (*labels)[v]) {
         if (e.hub >= n || e.distance < 0) {
           return InvalidArgumentError("corrupt HOPI label entry");
         }
@@ -509,42 +572,140 @@ StatusOr<std::unique_ptr<HopiIndex>> HopiIndex::Load(BinaryReader& reader) {
   return index;
 }
 
+void HopiIndex::SaveSegment(storage::SegmentWriter& seg) const {
+  std::vector<uint64_t> offsets;
+  std::vector<LabelEntry> flat;
+  out_labels_.Flatten(offsets, flat);
+  seg.Add(kOutOffsets, offsets);
+  seg.Add(kOutFlat, flat);
+  in_labels_.Flatten(offsets, flat);
+  seg.Add(kInOffsets, offsets);
+  seg.Add(kInFlat, flat);
+  seg.Add(kTagArray, tag_.span());
+  seg.Add(kRankOfNode, rank_of_node_.span());
+  seg.Add(kNodeOfRank, node_of_rank_.span());
+  // Persist the inverted lists too: rebuilding them on load would copy the
+  // whole label volume back onto the heap.
+  inverted_in_.Flatten(offsets, flat);
+  seg.Add(kInvInOffsets, offsets);
+  seg.Add(kInvInFlat, flat);
+  inverted_out_.Flatten(offsets, flat);
+  seg.Add(kInvOutOffsets, offsets);
+  seg.Add(kInvOutFlat, flat);
+  // The registered probe sets and their filtered inverted lists: deriving
+  // them at load time scans the entire label volume, which would turn the
+  // zero-copy cold open back into an O(index) pass.
+  if (!registered_sources_.empty()) {
+    seg.Add(kRegSourcesArray, registered_sources_);
+    inverted_in_sources_.Flatten(offsets, flat);
+    seg.Add(kInvInSrcOffsets, offsets);
+    seg.Add(kInvInSrcFlat, flat);
+  }
+  if (!registered_entries_.empty()) {
+    seg.Add(kRegEntriesArray, registered_entries_);
+    inverted_out_entries_.Flatten(offsets, flat);
+    seg.Add(kInvOutEntOffsets, offsets);
+    seg.Add(kInvOutEntFlat, flat);
+  }
+}
+
+namespace {
+
+StatusOr<storage::FlatRows<HopiIndex::LabelEntry>> LabelRowsFromSegment(
+    const storage::SegmentView& view, uint32_t offsets_id, uint32_t flat_id) {
+  auto offsets = view.GetArray<uint64_t>(offsets_id);
+  if (!offsets.ok()) return offsets.status();
+  auto flat = view.GetArray<HopiIndex::LabelEntry>(flat_id);
+  if (!flat.ok()) return flat.status();
+  return storage::FlatRows<HopiIndex::LabelEntry>::FromView(offsets.value(),
+                                                            flat.value());
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<HopiIndex>> HopiIndex::LoadSegment(
+    const storage::SegmentView& view) {
+  auto out_labels = LabelRowsFromSegment(view, kOutOffsets, kOutFlat);
+  if (!out_labels.ok()) return out_labels.status();
+  auto in_labels = LabelRowsFromSegment(view, kInOffsets, kInFlat);
+  if (!in_labels.ok()) return in_labels.status();
+  auto inv_in = LabelRowsFromSegment(view, kInvInOffsets, kInvInFlat);
+  if (!inv_in.ok()) return inv_in.status();
+  auto inv_out = LabelRowsFromSegment(view, kInvOutOffsets, kInvOutFlat);
+  if (!inv_out.ok()) return inv_out.status();
+  auto tag = view.GetArray<TagId>(kTagArray);
+  if (!tag.ok()) return tag.status();
+  auto rank_of_node = view.GetArray<NodeId>(kRankOfNode);
+  if (!rank_of_node.ok()) return rank_of_node.status();
+  auto node_of_rank = view.GetArray<NodeId>(kNodeOfRank);
+  if (!node_of_rank.ok()) return node_of_rank.status();
+  const size_t n = tag.value().size();
+  if (out_labels.value().size() != n || in_labels.value().size() != n ||
+      inv_in.value().size() != n || inv_out.value().size() != n ||
+      rank_of_node.value().size() != n || node_of_rank.value().size() != n) {
+    return InvalidArgumentError("hopi segment: array size mismatch");
+  }
+  auto index = std::unique_ptr<HopiIndex>(new HopiIndex());
+  index->out_labels_ = std::move(out_labels).value();
+  index->in_labels_ = std::move(in_labels).value();
+  index->inverted_in_ = std::move(inv_in).value();
+  index->inverted_out_ = std::move(inv_out).value();
+  index->tag_ = storage::FlatVec<TagId>::FromView(tag.value());
+  index->rank_of_node_ = storage::FlatVec<NodeId>::FromView(rank_of_node.value());
+  index->node_of_rank_ = storage::FlatVec<NodeId>::FromView(node_of_rank.value());
+  // Pre-filtered probe-set lists, when the writer had them registered; the
+  // later RegisterLinkSources/RegisterEntryNodes call with the same ids then
+  // short-circuits instead of re-scanning the labels.
+  if (view.HasArray(kRegSourcesArray)) {
+    auto reg = view.GetArray<NodeId>(kRegSourcesArray);
+    if (!reg.ok()) return reg.status();
+    auto rows = LabelRowsFromSegment(view, kInvInSrcOffsets, kInvInSrcFlat);
+    if (!rows.ok()) return rows.status();
+    if (rows.value().size() != n) {
+      return InvalidArgumentError("hopi segment: filtered source rows "
+                                  "mismatch");
+    }
+    index->registered_sources_.assign(reg.value().begin(), reg.value().end());
+    index->inverted_in_sources_ = std::move(rows).value();
+  }
+  if (view.HasArray(kRegEntriesArray)) {
+    auto reg = view.GetArray<NodeId>(kRegEntriesArray);
+    if (!reg.ok()) return reg.status();
+    auto rows = LabelRowsFromSegment(view, kInvOutEntOffsets, kInvOutEntFlat);
+    if (!rows.ok()) return rows.status();
+    if (rows.value().size() != n) {
+      return InvalidArgumentError("hopi segment: filtered entry rows "
+                                  "mismatch");
+    }
+    index->registered_entries_.assign(reg.value().begin(), reg.value().end());
+    index->inverted_out_entries_ = std::move(rows).value();
+  }
+  return index;
+}
+
 size_t HopiIndex::NumLabelEntries() const {
-  size_t count = 0;
-  for (const auto& labels : out_labels_) count += labels.size();
-  for (const auto& labels : in_labels_) count += labels.size();
-  return count;
+  return out_labels_.TotalEntries() + in_labels_.TotalEntries();
 }
 
 size_t HopiIndex::LabelBytes() const {
-  size_t bytes = 0;
-  for (const auto& labels : out_labels_) bytes += VectorBytes(labels);
-  for (const auto& labels : in_labels_) bytes += VectorBytes(labels);
-  bytes += VectorBytes(out_labels_) + VectorBytes(in_labels_);
-  return bytes;
+  return out_labels_.MemoryBytes() + in_labels_.MemoryBytes();
 }
 
 size_t HopiIndex::MemoryBytes() const {
-  size_t bytes = LabelBytes();
-  for (const auto& lists : inverted_in_) bytes += VectorBytes(lists);
-  for (const auto& lists : inverted_out_) bytes += VectorBytes(lists);
-  bytes += VectorBytes(inverted_in_) + VectorBytes(inverted_out_);
-  for (const auto& lists : inverted_in_sources_) bytes += VectorBytes(lists);
-  for (const auto& lists : inverted_out_entries_) bytes += VectorBytes(lists);
-  bytes += VectorBytes(inverted_in_sources_) +
-           VectorBytes(inverted_out_entries_) +
-           VectorBytes(registered_sources_) + VectorBytes(registered_entries_);
-  bytes += VectorBytes(tag_) + VectorBytes(rank_of_node_) +
-           VectorBytes(node_of_rank_);
-  return bytes;
+  return LabelBytes() + inverted_in_.MemoryBytes() +
+         inverted_out_.MemoryBytes() + inverted_in_sources_.MemoryBytes() +
+         inverted_out_entries_.MemoryBytes() +
+         VectorBytes(registered_sources_) + VectorBytes(registered_entries_) +
+         tag_.MemoryBytes() + rank_of_node_.MemoryBytes() +
+         node_of_rank_.MemoryBytes();
 }
 
 namespace {
 
 // Rebuilds the inverted lists a label table implies and diffs them against
 // the stored ones; `what` names the side ("in"/"out") for the report.
-Status DiffInverted(const std::vector<std::vector<HopiIndex::LabelEntry>>& labels,
-                    const std::vector<std::vector<HopiIndex::LabelEntry>>& inverted,
+Status DiffInverted(const storage::FlatRows<HopiIndex::LabelEntry>& labels,
+                    const storage::FlatRows<HopiIndex::LabelEntry>& inverted,
                     const std::string& what) {
   const size_t n = labels.size();
   if (inverted.size() != n) {
@@ -613,9 +774,10 @@ Status HopiIndex::Validate(const graph::Digraph& g,
                            " differs from graph tag " +
                            std::to_string(g.Tag(v)));
     }
-    for (const auto* labels : {&out_labels_[v], &in_labels_[v]}) {
+    for (const std::span<const LabelEntry> labels :
+         {out_labels_[v], in_labels_[v]}) {
       NodeId prev_hub = kInvalidNode;
-      for (const LabelEntry& e : *labels) {
+      for (const LabelEntry& e : labels) {
         if (e.hub >= n || e.distance < 0) {
           return InternalError("hopi: label of node " + std::to_string(v) +
                                " has invalid entry (hub rank " +

@@ -30,11 +30,13 @@
 #define FLIX_INDEX_HOPI_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/binary_io.h"
 #include "common/status.h"
 #include "index/path_index.h"
+#include "storage/flat.h"
 
 namespace flix::index {
 
@@ -57,6 +59,7 @@ class HopiIndex : public PathIndex {
     NodeId hub;
     Distance distance;
   };
+  static_assert(sizeof(LabelEntry) == 8);
 
   Distance DistanceBetween(NodeId from, NodeId to) const override;
   // Enumeration cursors run a k-way merge over the per-hub inverted lists
@@ -70,9 +73,9 @@ class HopiIndex : public PathIndex {
   std::unique_ptr<NodeDistCursor> AncestorsByTagCursor(
       NodeId from, TagId tag) const override;
   std::unique_ptr<NodeDistCursor> ReachableAmongCursor(
-      NodeId from, const std::vector<NodeId>& targets) const override;
+      NodeId from, std::span<const NodeId> targets) const override;
   std::unique_ptr<NodeDistCursor> AncestorsAmongCursor(
-      NodeId from, const std::vector<NodeId>& sources) const override;
+      NodeId from, std::span<const NodeId> sources) const override;
   // Bulk overrides: a full drain is cheaper as one dense relax over the
   // inverted lists of `from`'s hubs (then a single sort) than as a k-way
   // merge pulled to exhaustion — the cursors win only when the consumer
@@ -81,14 +84,15 @@ class HopiIndex : public PathIndex {
   std::vector<NodeDist> Descendants(NodeId from) const override;
   std::vector<NodeDist> AncestorsByTag(NodeId from, TagId tag) const override;
   std::vector<NodeDist> ReachableAmong(
-      NodeId from, const std::vector<NodeId>& targets) const override;
+      NodeId from, std::span<const NodeId> targets) const override;
   std::vector<NodeDist> AncestorsAmong(
-      NodeId from, const std::vector<NodeId>& sources) const override;
+      NodeId from, std::span<const NodeId> sources) const override;
   // Precompute inverted lists filtered to the registered sets, making the
   // per-entry L(a) probes of the PEE proportional to the filtered label
-  // volume instead of the whole partition.
-  void RegisterLinkSources(const std::vector<NodeId>& sources) override;
-  void RegisterEntryNodes(const std::vector<NodeId>& targets) override;
+  // volume instead of the whole partition. Works in both storage modes (the
+  // filtered lists are heap-derived caches, even over a mapped base).
+  void RegisterLinkSources(std::span<const NodeId> sources) override;
+  void RegisterEntryNodes(std::span<const NodeId> targets) override;
   size_t MemoryBytes() const override;
 
   // Structural invariants: rank maps are a bijection, labels are sorted by
@@ -104,6 +108,13 @@ class HopiIndex : public PathIndex {
   // rebuilt on load (call Register* afterwards for the filtered lists).
   void Save(BinaryWriter& writer) const;
   static StatusOr<std::unique_ptr<HopiIndex>> Load(BinaryReader& reader);
+
+  // Paged persistence. Unlike the stream format, the inverted lists are
+  // persisted too — rebuilding them on load would re-copy the whole label
+  // volume onto the heap and defeat the zero-copy open.
+  void SaveSegment(storage::SegmentWriter& seg) const;
+  static StatusOr<std::unique_ptr<HopiIndex>> LoadSegment(
+      const storage::SegmentView& view);
 
   // Total number of (hub, distance) label entries — the classic 2-hop cover
   // size measure; |TC| / labels is the compression the paper reports.
@@ -122,47 +133,49 @@ class HopiIndex : public PathIndex {
                    const std::vector<uint32_t>* hub_priority);
   void BuildInverted();
 
-  static Distance QueryLabels(const std::vector<LabelEntry>& out,
-                              const std::vector<LabelEntry>& in);
+  static Distance QueryLabels(std::span<const LabelEntry> out,
+                              std::span<const LabelEntry> in);
 
   // Opens a merge cursor over `labels[from]` against the matching inverted
   // lists; `exclude` drops one node (the query origin) from the stream.
   std::unique_ptr<NodeDistCursor> MergeCursor(
       NodeId from, TagId tag, bool wildcard, NodeId exclude,
-      const std::vector<std::vector<LabelEntry>>& labels,
-      const std::vector<std::vector<LabelEntry>>& inverted) const;
+      const storage::FlatRows<LabelEntry>& labels,
+      const storage::FlatRows<LabelEntry>& inverted) const;
 
   // Bulk enumeration: relax dist(from, v) over all of from's hubs into a
   // dense scratch array, then sort once.
   std::vector<NodeDist> Collect(
       NodeId from, TagId tag, bool wildcard,
-      const std::vector<std::vector<LabelEntry>>& labels,
-      const std::vector<std::vector<LabelEntry>>& inverted) const;
+      const storage::FlatRows<LabelEntry>& labels,
+      const storage::FlatRows<LabelEntry>& inverted) const;
   std::vector<NodeDist> CollectAmong(
-      NodeId from, const std::vector<std::vector<LabelEntry>>& labels,
-      const std::vector<std::vector<LabelEntry>>& filtered_inverted) const;
+      NodeId from, const storage::FlatRows<LabelEntry>& labels,
+      const storage::FlatRows<LabelEntry>& filtered_inverted) const;
 
   // Per-node labels, each sorted by hub id (for merge-join queries).
-  std::vector<std::vector<LabelEntry>> out_labels_;
-  std::vector<std::vector<LabelEntry>> in_labels_;
+  storage::FlatRows<LabelEntry> out_labels_;
+  storage::FlatRows<LabelEntry> in_labels_;
   // Per-hub inverted lists: inverted_in_[h] = nodes v with (h,d) in L_in(v),
   // i.e., nodes reachable *from* h; inverted_out_[h] symmetrically holds
-  // nodes that can reach h. Rebuilt from the labels after construction and
-  // kept sorted by (distance, node) so enumeration cursors can merge them.
-  std::vector<std::vector<LabelEntry>> inverted_in_;
-  std::vector<std::vector<LabelEntry>> inverted_out_;
-  std::vector<TagId> tag_;
+  // nodes that can reach h. Rebuilt from the labels after construction (or
+  // mapped directly from a paged segment) and kept sorted by (distance,
+  // node) so enumeration cursors can merge them.
+  storage::FlatRows<LabelEntry> inverted_in_;
+  storage::FlatRows<LabelEntry> inverted_out_;
+  storage::FlatVec<TagId> tag_;
   // Label entries store hub *ranks* (processing order), which keeps each
   // label vector sorted as it is appended to; these map rank <-> node id.
-  std::vector<NodeId> rank_of_node_;
-  std::vector<NodeId> node_of_rank_;
+  storage::FlatVec<NodeId> rank_of_node_;
+  storage::FlatVec<NodeId> node_of_rank_;
 
   // Registered probe sets (see RegisterLinkSources/RegisterEntryNodes) and
-  // the per-hub inverted lists filtered down to them.
+  // the per-hub inverted lists filtered down to them. Always heap-owned:
+  // they are small derived caches, recomputed after any load.
   std::vector<NodeId> registered_sources_;
-  std::vector<std::vector<LabelEntry>> inverted_in_sources_;
+  storage::FlatRows<LabelEntry> inverted_in_sources_;
   std::vector<NodeId> registered_entries_;
-  std::vector<std::vector<LabelEntry>> inverted_out_entries_;
+  storage::FlatRows<LabelEntry> inverted_out_entries_;
 };
 
 }  // namespace flix::index

@@ -77,7 +77,7 @@ std::vector<NodeDist> DrainCursor(NodeDistCursor& cursor) {
 }
 
 std::unique_ptr<NodeDistCursor> PathIndex::ReachableAmongCursor(
-    NodeId from, const std::vector<NodeId>& targets) const {
+    NodeId from, std::span<const NodeId> targets) const {
   std::vector<NodeDist> result;
   for (const NodeId t : targets) {
     const Distance d = DistanceBetween(from, t);
@@ -88,7 +88,7 @@ std::unique_ptr<NodeDistCursor> PathIndex::ReachableAmongCursor(
 }
 
 std::unique_ptr<NodeDistCursor> PathIndex::AncestorsAmongCursor(
-    NodeId from, const std::vector<NodeId>& sources) const {
+    NodeId from, std::span<const NodeId> sources) const {
   std::vector<NodeDist> result;
   for (const NodeId s : sources) {
     const Distance d = DistanceBetween(s, from);
@@ -111,20 +111,20 @@ std::vector<NodeDist> PathIndex::AncestorsByTag(NodeId from, TagId tag) const {
 }
 
 std::vector<NodeDist> PathIndex::ReachableAmong(
-    NodeId from, const std::vector<NodeId>& targets) const {
+    NodeId from, std::span<const NodeId> targets) const {
   return DrainCursor(*ReachableAmongCursor(from, targets));
 }
 
 std::vector<NodeDist> PathIndex::AncestorsAmong(
-    NodeId from, const std::vector<NodeId>& sources) const {
+    NodeId from, std::span<const NodeId> sources) const {
   return DrainCursor(*AncestorsAmongCursor(from, sources));
 }
 
-void PathIndex::RegisterLinkSources(const std::vector<NodeId>& sources) {
+void PathIndex::RegisterLinkSources(std::span<const NodeId> sources) {
   (void)sources;
 }
 
-void PathIndex::RegisterEntryNodes(const std::vector<NodeId>& targets) {
+void PathIndex::RegisterEntryNodes(std::span<const NodeId> targets) {
   (void)targets;
 }
 
@@ -182,6 +182,60 @@ StatusOr<std::unique_ptr<PathIndex>> LoadIndex(BinaryReader& reader,
   }
   return InvalidArgumentError("unknown index strategy kind " +
                               std::to_string(kind));
+}
+
+void SaveIndexSegment(const PathIndex& index, storage::SegmentWriter& seg) {
+  switch (index.kind()) {
+    case StrategyKind::kPpo:
+      static_cast<const PpoIndex&>(index).SaveSegment(seg);
+      break;
+    case StrategyKind::kHopi:
+      static_cast<const HopiIndex&>(index).SaveSegment(seg);
+      break;
+    case StrategyKind::kApex:
+      static_cast<const ApexIndex&>(index).SaveSegment(seg);
+      break;
+    case StrategyKind::kTransitiveClosure:
+      static_cast<const TransitiveClosureIndex&>(index).SaveSegment(seg);
+      break;
+    case StrategyKind::kSummary:
+      static_cast<const SummaryIndex&>(index).SaveSegment(seg);
+      break;
+  }
+}
+
+StatusOr<std::unique_ptr<PathIndex>> LoadIndexSegment(
+    const storage::SegmentView& view, StrategyKind kind,
+    const graph::Digraph& graph) {
+  switch (kind) {
+    case StrategyKind::kPpo: {
+      auto loaded = PpoIndex::LoadSegment(view);
+      if (!loaded.ok()) return loaded.status();
+      return StatusOr<std::unique_ptr<PathIndex>>(std::move(loaded).value());
+    }
+    case StrategyKind::kHopi: {
+      auto loaded = HopiIndex::LoadSegment(view);
+      if (!loaded.ok()) return loaded.status();
+      return StatusOr<std::unique_ptr<PathIndex>>(std::move(loaded).value());
+    }
+    case StrategyKind::kApex: {
+      auto loaded = ApexIndex::LoadSegment(view, graph);
+      if (!loaded.ok()) return loaded.status();
+      return StatusOr<std::unique_ptr<PathIndex>>(std::move(loaded).value());
+    }
+    case StrategyKind::kTransitiveClosure: {
+      auto loaded = TransitiveClosureIndex::LoadSegment(view);
+      if (!loaded.ok()) return loaded.status();
+      return StatusOr<std::unique_ptr<PathIndex>>(std::move(loaded).value());
+    }
+    case StrategyKind::kSummary: {
+      auto loaded = SummaryIndex::LoadSegment(view, graph);
+      if (!loaded.ok()) return loaded.status();
+      return StatusOr<std::unique_ptr<PathIndex>>(std::move(loaded).value());
+    }
+  }
+  return InvalidArgumentError("unknown index strategy kind " +
+                              std::to_string(static_cast<uint32_t>(kind)));
 }
 
 namespace {

@@ -19,6 +19,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <unordered_set>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "graph/digraph.h"
 #include "graph/traversal.h"
 #include "obs/metrics.h"
+#include "storage/segment.h"
 
 namespace flix::index {
 
@@ -193,13 +195,13 @@ class PathIndex {
   // listed. The default materializes a per-target DistanceBetween loop;
   // strategies override with cheaper plans.
   virtual std::unique_ptr<NodeDistCursor> ReachableAmongCursor(
-      NodeId from, const std::vector<NodeId>& targets) const;
+      NodeId from, std::span<const NodeId> targets) const;
 
   // Reverse variant: elements among `sources` that can reach `from`, with
   // their distances *to* `from`. Used when evaluating ancestors-or-self
   // queries across meta documents.
   virtual std::unique_ptr<NodeDistCursor> AncestorsAmongCursor(
-      NodeId from, const std::vector<NodeId>& sources) const;
+      NodeId from, std::span<const NodeId> sources) const;
 
   // Vector-returning conveniences: by default thin wrappers that drain the
   // matching cursor. Kept for persistence checks, step axes and batch
@@ -211,17 +213,17 @@ class PathIndex {
   virtual std::vector<NodeDist> Descendants(NodeId from) const;
   virtual std::vector<NodeDist> AncestorsByTag(NodeId from, TagId tag) const;
   virtual std::vector<NodeDist> ReachableAmong(
-      NodeId from, const std::vector<NodeId>& targets) const;
+      NodeId from, std::span<const NodeId> targets) const;
   virtual std::vector<NodeDist> AncestorsAmong(
-      NodeId from, const std::vector<NodeId>& sources) const;
+      NodeId from, std::span<const NodeId> sources) const;
 
   // Optional optimization hooks: the Index Builder registers the meta
   // document's link-source set L_i and entry-node set once, so strategies
   // can precompute filtered structures for the ReachableAmong /
   // AncestorsAmong probes the PEE issues per visited entry point. Defaults
   // are no-ops.
-  virtual void RegisterLinkSources(const std::vector<NodeId>& sources);
-  virtual void RegisterEntryNodes(const std::vector<NodeId>& targets);
+  virtual void RegisterLinkSources(std::span<const NodeId> sources);
+  virtual void RegisterEntryNodes(std::span<const NodeId> targets);
 
   // Heap footprint of the index structure in bytes.
   virtual size_t MemoryBytes() const = 0;
@@ -252,6 +254,15 @@ void SaveIndex(const PathIndex& index, BinaryWriter& writer);
 // (needed by APEX, ignored by the others) and must outlive the index.
 StatusOr<std::unique_ptr<PathIndex>> LoadIndex(BinaryReader& reader,
                                                const graph::Digraph& graph);
+
+// Paged-format dispatchers. SaveIndexSegment appends the strategy's flat
+// arrays to `seg` (the strategy kind itself travels in the segment-table
+// entry, not the payload); LoadIndexSegment reconstructs a zero-copy view —
+// the mapping behind `view` and `graph` must outlive the index.
+void SaveIndexSegment(const PathIndex& index, storage::SegmentWriter& seg);
+StatusOr<std::unique_ptr<PathIndex>> LoadIndexSegment(
+    const storage::SegmentView& view, StrategyKind kind,
+    const graph::Digraph& graph);
 
 }  // namespace flix::index
 

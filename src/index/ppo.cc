@@ -9,6 +9,15 @@
 namespace flix::index {
 namespace {
 
+// Paged-segment array ids.
+constexpr uint32_t kPreArray = 1;
+constexpr uint32_t kPostArray = 2;
+constexpr uint32_t kDepthArray = 3;
+constexpr uint32_t kParentArray = 4;
+constexpr uint32_t kSubtreeSizeArray = 5;
+constexpr uint32_t kOrderArray = 6;
+constexpr uint32_t kTagArray = 7;
+
 // Process-wide count of results yielded by PPO cursors. The reference is
 // resolved once (registry lookups take a lock); Counter addresses are
 // stable for the process lifetime, surviving MetricsRegistry::Reset().
@@ -25,9 +34,9 @@ obs::Counter& PpoPullCounter() {
 // sorts entirely.
 class PpoSubtreeCursor : public NodeDistCursor {
  public:
-  PpoSubtreeCursor(const std::vector<uint32_t>& depth,
-                   const std::vector<NodeId>& order,
-                   const std::vector<TagId>& tag_of, NodeId from, TagId tag,
+  PpoSubtreeCursor(std::span<const uint32_t> depth,
+                   std::span<const NodeId> order,
+                   std::span<const TagId> tag_of, NodeId from, TagId tag,
                    bool wildcard, uint32_t begin, uint32_t end)
       : depth_(depth),
         order_(order),
@@ -83,9 +92,9 @@ class PpoSubtreeCursor : public NodeDistCursor {
     }
   }
 
-  const std::vector<uint32_t>& depth_;
-  const std::vector<NodeId>& order_;
-  const std::vector<TagId>& tag_of_;
+  const std::span<const uint32_t> depth_;
+  const std::span<const NodeId> order_;
+  const std::span<const TagId> tag_of_;
   const uint32_t from_depth_;
   const TagId tag_;
   const bool wildcard_;
@@ -103,8 +112,8 @@ class PpoSubtreeCursor : public NodeDistCursor {
 // so BoundHint is exact.
 class PpoAncestorCursor : public NodeDistCursor {
  public:
-  PpoAncestorCursor(const std::vector<NodeId>& parent,
-                    const std::vector<TagId>& tag_of, NodeId from, TagId tag)
+  PpoAncestorCursor(std::span<const NodeId> parent,
+                    std::span<const TagId> tag_of, NodeId from, TagId tag)
       : parent_(parent), tag_of_(tag_of), walk_(from), tag_(tag) {
     Advance();
   }
@@ -138,8 +147,8 @@ class PpoAncestorCursor : public NodeDistCursor {
     }
   }
 
-  const std::vector<NodeId>& parent_;
-  const std::vector<TagId>& tag_of_;
+  const std::span<const NodeId> parent_;
+  const std::span<const TagId> tag_of_;
   NodeId walk_;
   const TagId tag_;
   Distance walk_distance_ = 0;
@@ -217,24 +226,25 @@ Distance PpoIndex::DistanceBetween(NodeId from, NodeId to) const {
 std::unique_ptr<NodeDistCursor> PpoIndex::DescendantsByTagCursor(
     NodeId from, TagId tag) const {
   return std::make_unique<PpoSubtreeCursor>(
-      depth_, order_, tag_, from, tag, /*wildcard=*/false, pre_[from] + 1,
-      pre_[from] + subtree_size_[from]);
+      depth_.span(), order_.span(), tag_.span(), from, tag,
+      /*wildcard=*/false, pre_[from] + 1, pre_[from] + subtree_size_[from]);
 }
 
 std::unique_ptr<NodeDistCursor> PpoIndex::DescendantsCursor(
     NodeId from) const {
   return std::make_unique<PpoSubtreeCursor>(
-      depth_, order_, tag_, from, kInvalidTag, /*wildcard=*/true,
-      pre_[from] + 1, pre_[from] + subtree_size_[from]);
+      depth_.span(), order_.span(), tag_.span(), from, kInvalidTag,
+      /*wildcard=*/true, pre_[from] + 1, pre_[from] + subtree_size_[from]);
 }
 
 std::unique_ptr<NodeDistCursor> PpoIndex::AncestorsByTagCursor(
     NodeId from, TagId tag) const {
-  return std::make_unique<PpoAncestorCursor>(parent_, tag_, from, tag);
+  return std::make_unique<PpoAncestorCursor>(parent_.span(), tag_.span(),
+                                             from, tag);
 }
 
 std::unique_ptr<NodeDistCursor> PpoIndex::ReachableAmongCursor(
-    NodeId from, const std::vector<NodeId>& targets) const {
+    NodeId from, std::span<const NodeId> targets) const {
   return std::make_unique<MaterializedCursor>(ReachableAmong(from, targets));
 }
 
@@ -279,7 +289,7 @@ std::vector<NodeDist> PpoIndex::AncestorsByTag(NodeId from, TagId tag) const {
 }
 
 std::vector<NodeDist> PpoIndex::ReachableAmong(
-    NodeId from, const std::vector<NodeId>& targets) const {
+    NodeId from, std::span<const NodeId> targets) const {
   std::vector<NodeDist> result;
   const uint32_t lo = pre_[from];
   const uint32_t end = pre_[from] + subtree_size_[from];  // exclusive
@@ -295,13 +305,13 @@ std::vector<NodeDist> PpoIndex::ReachableAmong(
 }
 
 void PpoIndex::Save(BinaryWriter& writer) const {
-  writer.WriteVec(pre_);
-  writer.WriteVec(post_);
-  writer.WriteVec(depth_);
-  writer.WriteVec(parent_);
-  writer.WriteVec(subtree_size_);
-  writer.WriteVec(order_);
-  writer.WriteVec(tag_);
+  writer.WriteSpan(pre_.span());
+  writer.WriteSpan(post_.span());
+  writer.WriteSpan(depth_.span());
+  writer.WriteSpan(parent_.span());
+  writer.WriteSpan(subtree_size_.span());
+  writer.WriteSpan(order_.span());
+  writer.WriteSpan(tag_.span());
 }
 
 StatusOr<std::unique_ptr<PpoIndex>> PpoIndex::Load(BinaryReader& reader) {
@@ -332,10 +342,57 @@ StatusOr<std::unique_ptr<PpoIndex>> PpoIndex::Load(BinaryReader& reader) {
   return index;
 }
 
+void PpoIndex::SaveSegment(storage::SegmentWriter& seg) const {
+  seg.Add(kPreArray, pre_.span());
+  seg.Add(kPostArray, post_.span());
+  seg.Add(kDepthArray, depth_.span());
+  seg.Add(kParentArray, parent_.span());
+  seg.Add(kSubtreeSizeArray, subtree_size_.span());
+  seg.Add(kOrderArray, order_.span());
+  seg.Add(kTagArray, tag_.span());
+}
+
+StatusOr<std::unique_ptr<PpoIndex>> PpoIndex::LoadSegment(
+    const storage::SegmentView& view) {
+  auto pre = view.GetArray<uint32_t>(kPreArray);
+  if (!pre.ok()) return pre.status();
+  auto post = view.GetArray<uint32_t>(kPostArray);
+  if (!post.ok()) return post.status();
+  auto depth = view.GetArray<uint32_t>(kDepthArray);
+  if (!depth.ok()) return depth.status();
+  auto parent = view.GetArray<NodeId>(kParentArray);
+  if (!parent.ok()) return parent.status();
+  auto subtree = view.GetArray<uint32_t>(kSubtreeSizeArray);
+  if (!subtree.ok()) return subtree.status();
+  auto order = view.GetArray<NodeId>(kOrderArray);
+  if (!order.ok()) return order.status();
+  auto tag = view.GetArray<TagId>(kTagArray);
+  if (!tag.ok()) return tag.status();
+  const size_t n = pre.value().size();
+  if (post.value().size() != n || depth.value().size() != n ||
+      parent.value().size() != n || subtree.value().size() != n ||
+      order.value().size() != n || tag.value().size() != n) {
+    return InvalidArgumentError("ppo segment: array size mismatch");
+  }
+  // Deeper semantic validation is intentionally skipped here: the segment
+  // checksum already proves these are the writer's bytes, and touching
+  // every page would defeat the lazy zero-copy open. `check --deep` covers
+  // semantics.
+  auto index = std::unique_ptr<PpoIndex>(new PpoIndex());
+  index->pre_ = storage::FlatVec<uint32_t>::FromView(pre.value());
+  index->post_ = storage::FlatVec<uint32_t>::FromView(post.value());
+  index->depth_ = storage::FlatVec<uint32_t>::FromView(depth.value());
+  index->parent_ = storage::FlatVec<NodeId>::FromView(parent.value());
+  index->subtree_size_ = storage::FlatVec<uint32_t>::FromView(subtree.value());
+  index->order_ = storage::FlatVec<NodeId>::FromView(order.value());
+  index->tag_ = storage::FlatVec<TagId>::FromView(tag.value());
+  return index;
+}
+
 size_t PpoIndex::MemoryBytes() const {
-  return VectorBytes(pre_) + VectorBytes(post_) + VectorBytes(depth_) +
-         VectorBytes(parent_) + VectorBytes(subtree_size_) +
-         VectorBytes(order_) + VectorBytes(tag_);
+  return pre_.MemoryBytes() + post_.MemoryBytes() + depth_.MemoryBytes() +
+         parent_.MemoryBytes() + subtree_size_.MemoryBytes() +
+         order_.MemoryBytes() + tag_.MemoryBytes();
 }
 
 Status PpoIndex::Validate(const graph::Digraph& g,

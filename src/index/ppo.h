@@ -14,11 +14,13 @@
 #define FLIX_INDEX_PPO_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/binary_io.h"
 #include "common/status.h"
 #include "index/path_index.h"
+#include "storage/flat.h"
 
 namespace flix::index {
 
@@ -44,14 +46,14 @@ class PpoIndex : public PathIndex {
   // Interval containment test per target (materialized; target lists are
   // small link-source sets).
   std::unique_ptr<NodeDistCursor> ReachableAmongCursor(
-      NodeId from, const std::vector<NodeId>& targets) const override;
+      NodeId from, std::span<const NodeId> targets) const override;
   // Bulk overrides: one interval scan + one sort beats draining the
   // depth-bucketed cursor when the whole subtree is wanted anyway.
   std::vector<NodeDist> DescendantsByTag(NodeId from, TagId tag) const override;
   std::vector<NodeDist> Descendants(NodeId from) const override;
   std::vector<NodeDist> AncestorsByTag(NodeId from, TagId tag) const override;
   std::vector<NodeDist> ReachableAmong(
-      NodeId from, const std::vector<NodeId>& targets) const override;
+      NodeId from, std::span<const NodeId> targets) const override;
   size_t MemoryBytes() const override;
 
   // Structural invariants: pre is a permutation with order_ as its inverse,
@@ -61,9 +63,14 @@ class PpoIndex : public PathIndex {
   Status Validate(const graph::Digraph& g,
                   const ValidateOptions& options = {}) const override;
 
-  // Binary persistence.
+  // Binary persistence (stream format; works in both storage modes).
   void Save(BinaryWriter& writer) const;
   static StatusOr<std::unique_ptr<PpoIndex>> Load(BinaryReader& reader);
+
+  // Paged persistence: flat arrays in a segment, loaded as a zero-copy view.
+  void SaveSegment(storage::SegmentWriter& seg) const;
+  static StatusOr<std::unique_ptr<PpoIndex>> LoadSegment(
+      const storage::SegmentView& view);
 
   // Accessors used by tests.
   uint32_t pre(NodeId n) const { return pre_[n]; }
@@ -76,14 +83,14 @@ class PpoIndex : public PathIndex {
 
   PpoIndex() = default;
 
-  std::vector<uint32_t> pre_;
-  std::vector<uint32_t> post_;
-  std::vector<uint32_t> depth_;
-  std::vector<NodeId> parent_;
-  std::vector<uint32_t> subtree_size_;
+  storage::FlatVec<uint32_t> pre_;
+  storage::FlatVec<uint32_t> post_;
+  storage::FlatVec<uint32_t> depth_;
+  storage::FlatVec<NodeId> parent_;
+  storage::FlatVec<uint32_t> subtree_size_;
   // order_[pre(n)] == n: nodes in preorder, for subtree interval scans.
-  std::vector<NodeId> order_;
-  std::vector<TagId> tag_;
+  storage::FlatVec<NodeId> order_;
+  storage::FlatVec<TagId> tag_;
 };
 
 }  // namespace flix::index

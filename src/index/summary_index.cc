@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <map>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -39,6 +40,18 @@ int DepthLimit(const SummaryOptions& options, TagId tag) {
   if (tag == kInvalidTag || tag >= options.depth_of_tag.size()) return 0;
   return options.depth_of_tag[tag];
 }
+
+// Segment array ids (kIndex segment, strategy = kSummary). The quotient
+// graph's arrays start at kSummaryBase (graph::Digraph::AppendArrays).
+constexpr uint32_t kBlockOfArray = 1;
+constexpr uint32_t kExtentOffsets = 2;
+constexpr uint32_t kExtentFlat = 3;
+constexpr uint32_t kFwdTagsOffsets = 4;
+constexpr uint32_t kFwdTagsFlat = 5;
+constexpr uint32_t kBwdTagsOffsets = 6;
+constexpr uint32_t kBwdTagsFlat = 7;
+constexpr uint32_t kSummaryParams = 8;  // [tag_words]
+constexpr uint32_t kSummaryBase = 10;
 
 }  // namespace
 
@@ -131,7 +144,9 @@ void SummaryIndex::BuildSummary(const SummaryOptions& options) {
       if (inserted) ++next_id;
       next[v] = it->second;
     }
-    const bool stable = next_id == num_blocks && next == block_of_;
+    const bool stable =
+        next_id == num_blocks &&
+        std::equal(next.begin(), next.end(), block_of_.begin());
     block_of_ = std::move(next);
     num_blocks = next_id;
     if (stable) break;
@@ -144,8 +159,8 @@ void SummaryIndex::BuildSummary(const SummaryOptions& options) {
         remap.emplace(block_of_[v], static_cast<uint32_t>(remap.size()));
     block_of_[v] = it->second;
   }
-  extents_.assign(remap.size(), {});
-  for (NodeId v = 0; v < n; ++v) extents_[block_of_[v]].push_back(v);
+  extents_.Assign(remap.size());
+  for (NodeId v = 0; v < n; ++v) extents_.Row(block_of_[v]).push_back(v);
 
   summary_ = graph::Digraph(extents_.size());
   std::vector<uint32_t> last_seen(extents_.size(), UINT32_MAX);
@@ -166,14 +181,16 @@ void SummaryIndex::BuildPruning() {
   const size_t num_tags = TagUniverse(g_);
   tag_words_ = (num_tags + 63) / 64;
 
-  forward_tags_.assign(num_blocks, std::vector<uint64_t>(tag_words_, 0));
-  backward_tags_.assign(num_blocks, std::vector<uint64_t>(tag_words_, 0));
+  forward_tags_.Assign(num_blocks);
+  backward_tags_.Assign(num_blocks);
   for (uint32_t b = 0; b < num_blocks; ++b) {
+    forward_tags_.Row(b).assign(tag_words_, 0);
+    backward_tags_.Row(b).assign(tag_words_, 0);
     const TagId tag =
         extents_[b].empty() ? kInvalidTag : g_.Tag(extents_[b].front());
     if (tag != kInvalidTag) {
-      forward_tags_[b][tag / 64] |= uint64_t{1} << (tag % 64);
-      backward_tags_[b][tag / 64] |= uint64_t{1} << (tag % 64);
+      forward_tags_.Row(b)[tag / 64] |= uint64_t{1} << (tag % 64);
+      backward_tags_.Row(b)[tag / 64] |= uint64_t{1} << (tag % 64);
     }
   }
 
@@ -214,8 +231,8 @@ void SummaryIndex::BuildPruning() {
     }
   }
   for (uint32_t b = 0; b < num_blocks; ++b) {
-    forward_tags_[b] = comp_fwd[scc.component_of[b]];
-    backward_tags_[b] = comp_bwd[scc.component_of[b]];
+    forward_tags_.Row(b) = comp_fwd[scc.component_of[b]];
+    backward_tags_.Row(b) = comp_bwd[scc.component_of[b]];
   }
 }
 
@@ -290,7 +307,7 @@ std::unique_ptr<NodeDistCursor> SummaryIndex::AncestorsByTagCursor(
 }
 
 std::unique_ptr<NodeDistCursor> SummaryIndex::ReachableAmongCursor(
-    NodeId from, const std::vector<NodeId>& targets) const {
+    NodeId from, std::span<const NodeId> targets) const {
   return std::make_unique<FrontierCursor>(
       g_, from, graph::Direction::kForward, graph::BfsFrontier::ExpandFilter{},
       kInvalidTag, /*wildcard=*/true, /*include_source=*/true,
@@ -299,7 +316,7 @@ std::unique_ptr<NodeDistCursor> SummaryIndex::ReachableAmongCursor(
 }
 
 std::unique_ptr<NodeDistCursor> SummaryIndex::AncestorsAmongCursor(
-    NodeId from, const std::vector<NodeId>& sources) const {
+    NodeId from, std::span<const NodeId> sources) const {
   return std::make_unique<FrontierCursor>(
       g_, from, graph::Direction::kBackward, graph::BfsFrontier::ExpandFilter{},
       kInvalidTag, /*wildcard=*/true, /*include_source=*/true,
@@ -375,11 +392,11 @@ Status SummaryIndex::Validate(const graph::Digraph& g,
                          std::to_string(num_blocks));
   }
   for (const auto* table : {&forward_tags_, &backward_tags_}) {
-    for (const auto& row : *table) {
-      if (row.size() != tag_words_) {
+    for (size_t b = 0; b < table->size(); ++b) {
+      if ((*table)[b].size() != tag_words_) {
         return InternalError("summary: pruning row width " +
-                             std::to_string(row.size()) + " != tag_words " +
-                             std::to_string(tag_words_));
+                             std::to_string((*table)[b].size()) +
+                             " != tag_words " + std::to_string(tag_words_));
       }
     }
   }
@@ -430,9 +447,9 @@ Status SummaryIndex::Validate(const graph::Digraph& g,
         const TagId tag = g.Tag(extents_[c].front());
         if (tag != kInvalidTag) want[tag / 64] |= uint64_t{1} << (tag % 64);
       }
-      const std::vector<uint64_t>& got =
+      const std::span<const uint64_t> got =
           forward ? forward_tags_[b] : backward_tags_[b];
-      if (got != want) {
+      if (!std::equal(got.begin(), got.end(), want.begin(), want.end())) {
         return InternalError("summary: " +
                              std::string(forward ? "forward" : "backward") +
                              "-tag bitset of block " + std::to_string(b) +
@@ -444,21 +461,26 @@ Status SummaryIndex::Validate(const graph::Digraph& g,
 }
 
 size_t SummaryIndex::MemoryBytes() const {
-  size_t bytes = VectorBytes(block_of_);
-  for (const auto& extent : extents_) bytes += VectorBytes(extent);
-  bytes += VectorBytes(extents_) + summary_.MemoryBytes();
-  for (const auto& row : forward_tags_) bytes += VectorBytes(row);
-  for (const auto& row : backward_tags_) bytes += VectorBytes(row);
-  bytes += VectorBytes(forward_tags_) + VectorBytes(backward_tags_);
-  return bytes;
+  return block_of_.MemoryBytes() + extents_.MemoryBytes() +
+         summary_.MemoryBytes() + forward_tags_.MemoryBytes() +
+         backward_tags_.MemoryBytes();
 }
 
 void SummaryIndex::Save(BinaryWriter& writer) const {
-  writer.WriteVec(block_of_);
-  writer.WriteNestedVec(extents_);
+  // Row-wise writes keep the exact WriteNestedVec byte layout in both
+  // storage modes.
+  writer.WriteSpan(block_of_.span());
+  writer.WriteU64(extents_.size());
+  for (size_t b = 0; b < extents_.size(); ++b) writer.WriteSpan(extents_[b]);
   summary_.Save(writer);
-  writer.WriteNestedVec(forward_tags_);
-  writer.WriteNestedVec(backward_tags_);
+  writer.WriteU64(forward_tags_.size());
+  for (size_t b = 0; b < forward_tags_.size(); ++b) {
+    writer.WriteSpan(forward_tags_[b]);
+  }
+  writer.WriteU64(backward_tags_.size());
+  for (size_t b = 0; b < backward_tags_.size(); ++b) {
+    writer.WriteSpan(backward_tags_[b]);
+  }
   writer.WriteU64(tag_words_);
 }
 
@@ -476,7 +498,7 @@ StatusOr<std::unique_ptr<SummaryIndex>> SummaryIndex::Load(
     return InvalidArgumentError("corrupt summary index payload");
   }
   const size_t num_blocks = index->extents_.size();
-  for (const uint32_t b : index->block_of_) {
+  for (const uint32_t b : index->block_of_.span()) {
     if (b >= num_blocks) {
       return InvalidArgumentError("corrupt summary block id");
     }
@@ -486,11 +508,81 @@ StatusOr<std::unique_ptr<SummaryIndex>> SummaryIndex::Load(
     return InvalidArgumentError("corrupt summary tag tables");
   }
   for (const auto* table : {&index->forward_tags_, &index->backward_tags_}) {
-    for (const auto& row : *table) {
-      if (row.size() != index->tag_words_) {
+    for (size_t b = 0; b < table->size(); ++b) {
+      if ((*table)[b].size() != index->tag_words_) {
         return InvalidArgumentError("corrupt summary tag row");
       }
     }
+  }
+  return index;
+}
+
+void SummaryIndex::SaveSegment(storage::SegmentWriter& seg) const {
+  seg.Add(kBlockOfArray, block_of_.span());
+  std::vector<uint64_t> offsets;
+  std::vector<NodeId> extent_flat;
+  extents_.Flatten(offsets, extent_flat);
+  seg.Add(kExtentOffsets, offsets);
+  seg.Add(kExtentFlat, extent_flat);
+  std::vector<uint64_t> bit_flat;
+  forward_tags_.Flatten(offsets, bit_flat);
+  seg.Add(kFwdTagsOffsets, offsets);
+  seg.Add(kFwdTagsFlat, bit_flat);
+  backward_tags_.Flatten(offsets, bit_flat);
+  seg.Add(kBwdTagsOffsets, offsets);
+  seg.Add(kBwdTagsFlat, bit_flat);
+  const std::vector<uint64_t> params = {static_cast<uint64_t>(tag_words_)};
+  seg.Add(kSummaryParams, params);
+  summary_.AppendArrays(seg, kSummaryBase);
+}
+
+StatusOr<std::unique_ptr<SummaryIndex>> SummaryIndex::LoadSegment(
+    const storage::SegmentView& view, const graph::Digraph& g) {
+  auto params = view.GetArray<uint64_t>(kSummaryParams);
+  if (!params.ok()) return params.status();
+  if (params.value().size() != 1) {
+    return InvalidArgumentError("summary segment: bad parameter array");
+  }
+  auto block_of = view.GetArray<uint32_t>(kBlockOfArray);
+  if (!block_of.ok()) return block_of.status();
+  auto extent_offsets = view.GetArray<uint64_t>(kExtentOffsets);
+  if (!extent_offsets.ok()) return extent_offsets.status();
+  auto extent_flat = view.GetArray<NodeId>(kExtentFlat);
+  if (!extent_flat.ok()) return extent_flat.status();
+  auto extents = storage::FlatRows<NodeId>::FromView(extent_offsets.value(),
+                                                     extent_flat.value());
+  if (!extents.ok()) return extents.status();
+  auto fwd_offsets = view.GetArray<uint64_t>(kFwdTagsOffsets);
+  if (!fwd_offsets.ok()) return fwd_offsets.status();
+  auto fwd_flat = view.GetArray<uint64_t>(kFwdTagsFlat);
+  if (!fwd_flat.ok()) return fwd_flat.status();
+  auto forward = storage::FlatRows<uint64_t>::FromView(fwd_offsets.value(),
+                                                       fwd_flat.value());
+  if (!forward.ok()) return forward.status();
+  auto bwd_offsets = view.GetArray<uint64_t>(kBwdTagsOffsets);
+  if (!bwd_offsets.ok()) return bwd_offsets.status();
+  auto bwd_flat = view.GetArray<uint64_t>(kBwdTagsFlat);
+  if (!bwd_flat.ok()) return bwd_flat.status();
+  auto backward = storage::FlatRows<uint64_t>::FromView(bwd_offsets.value(),
+                                                        bwd_flat.value());
+  if (!backward.ok()) return backward.status();
+  auto summary = graph::Digraph::FromSegment(view, kSummaryBase);
+  if (!summary.ok()) return summary.status();
+
+  auto index = std::unique_ptr<SummaryIndex>(new SummaryIndex(g));
+  index->tag_words_ = static_cast<size_t>(params.value()[0]);
+  index->block_of_ = storage::FlatVec<uint32_t>::FromView(block_of.value());
+  index->extents_ = std::move(extents).value();
+  index->forward_tags_ = std::move(forward).value();
+  index->backward_tags_ = std::move(backward).value();
+  index->summary_ = std::move(summary).value();
+  // Shape checks only; segment checksums prove the bytes, `check --deep`
+  // covers the semantics.
+  if (index->block_of_.size() != g.NumNodes() ||
+      index->extents_.size() != index->summary_.NumNodes() ||
+      index->forward_tags_.size() != index->extents_.size() ||
+      index->backward_tags_.size() != index->extents_.size()) {
+    return InvalidArgumentError("summary segment: array size mismatch");
   }
   return index;
 }

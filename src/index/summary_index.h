@@ -21,11 +21,13 @@
 #define FLIX_INDEX_SUMMARY_INDEX_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/binary_io.h"
 #include "common/status.h"
 #include "index/path_index.h"
+#include "storage/flat.h"
 
 namespace flix::index {
 
@@ -67,9 +69,9 @@ class SummaryIndex : public PathIndex {
   std::unique_ptr<NodeDistCursor> AncestorsByTagCursor(
       NodeId from, TagId tag) const override;
   std::unique_ptr<NodeDistCursor> ReachableAmongCursor(
-      NodeId from, const std::vector<NodeId>& targets) const override;
+      NodeId from, std::span<const NodeId> targets) const override;
   std::unique_ptr<NodeDistCursor> AncestorsAmongCursor(
-      NodeId from, const std::vector<NodeId>& sources) const override;
+      NodeId from, std::span<const NodeId> sources) const override;
   size_t MemoryBytes() const override;
 
   // Structural invariants mirroring ApexIndex::Validate: exact extent
@@ -83,9 +85,14 @@ class SummaryIndex : public PathIndex {
   static StatusOr<std::unique_ptr<SummaryIndex>> Load(BinaryReader& reader,
                                                       const graph::Digraph& g);
 
+  // Paged persistence. Like the stream Load, LoadSegment rebinds to `g`.
+  void SaveSegment(storage::SegmentWriter& seg) const;
+  static StatusOr<std::unique_ptr<SummaryIndex>> LoadSegment(
+      const storage::SegmentView& view, const graph::Digraph& g);
+
   size_t NumBlocks() const { return extents_.size(); }
   uint32_t BlockOf(NodeId v) const { return block_of_[v]; }
-  const std::vector<NodeId>& Extent(uint32_t block) const {
+  std::span<const NodeId> Extent(uint32_t block) const {
     return extents_[block];
   }
 
@@ -105,13 +112,13 @@ class SummaryIndex : public PathIndex {
   Distance PointSearch(NodeId from, NodeId stop_at) const;
 
   const graph::Digraph& g_;
-  std::vector<uint32_t> block_of_;
-  std::vector<std::vector<NodeId>> extents_;
+  storage::FlatVec<uint32_t> block_of_;
+  storage::FlatRows<NodeId> extents_;
   graph::Digraph summary_;
   // Forward pruning: tags reachable from each block; backward pruning: tags
   // occurring on paths into each block.
-  std::vector<std::vector<uint64_t>> forward_tags_;
-  std::vector<std::vector<uint64_t>> backward_tags_;
+  storage::FlatRows<uint64_t> forward_tags_;
+  storage::FlatRows<uint64_t> backward_tags_;
   size_t tag_words_ = 0;
 };
 

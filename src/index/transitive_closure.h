@@ -9,11 +9,13 @@
 #define FLIX_INDEX_TRANSITIVE_CLOSURE_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/binary_io.h"
 #include "common/status.h"
 #include "index/path_index.h"
+#include "storage/flat.h"
 
 namespace flix::index {
 
@@ -42,9 +44,9 @@ class TransitiveClosureIndex : public PathIndex {
   std::unique_ptr<NodeDistCursor> AncestorsByTagCursor(
       NodeId from, TagId tag) const override;
   std::unique_ptr<NodeDistCursor> ReachableAmongCursor(
-      NodeId from, const std::vector<NodeId>& targets) const override;
+      NodeId from, std::span<const NodeId> targets) const override;
   std::unique_ptr<NodeDistCursor> AncestorsAmongCursor(
-      NodeId from, const std::vector<NodeId>& sources) const override;
+      NodeId from, std::span<const NodeId> sources) const override;
   size_t MemoryBytes() const override;
 
   // Structural invariants: every closure row equals the node's exact BFS
@@ -54,10 +56,15 @@ class TransitiveClosureIndex : public PathIndex {
   Status Validate(const graph::Digraph& g,
                   const ValidateOptions& options = {}) const override;
 
-  // Binary persistence.
+  // Binary persistence (stream format; works in both storage modes).
   void Save(BinaryWriter& writer) const;
   static StatusOr<std::unique_ptr<TransitiveClosureIndex>> Load(
       BinaryReader& reader);
+
+  // Paged persistence: CSR rows in a segment, loaded as a zero-copy view.
+  void SaveSegment(storage::SegmentWriter& seg) const;
+  static StatusOr<std::unique_ptr<TransitiveClosureIndex>> LoadSegment(
+      const storage::SegmentView& view);
 
   // Number of (ancestor, descendant) pairs in the closure (self excluded).
   size_t NumPairs() const;
@@ -69,9 +76,9 @@ class TransitiveClosureIndex : public PathIndex {
 
   // closure_[v]: proper descendants of v with distances, ascending by
   // (distance, node). reverse_[v]: proper ancestors likewise.
-  std::vector<std::vector<NodeDist>> closure_;
-  std::vector<std::vector<NodeDist>> reverse_;
-  std::vector<TagId> tag_;
+  storage::FlatRows<NodeDist> closure_;
+  storage::FlatRows<NodeDist> reverse_;
+  storage::FlatVec<TagId> tag_;
 };
 
 // Counts the closure without materializing it: number of reachable proper

@@ -1,0 +1,95 @@
+#include "storage/mapped_file.h"
+
+#include <utility>
+
+#if defined(_WIN32)
+#include <cstdio>
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace flix::storage {
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    path_ = std::move(other.path_);
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    fallback_ = std::move(other.fallback_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+void MappedFile::Reset() {
+#if !defined(_WIN32)
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(data_, size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  fallback_.clear();
+}
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+  MappedFile file;
+  file.path_ = path;
+#if defined(_WIN32)
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFoundError("cannot open " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return InternalError("cannot stat " + path);
+  }
+  file.fallback_.resize(static_cast<size_t>(size));
+  if (size > 0 &&
+      std::fread(file.fallback_.data(), 1, file.fallback_.size(), f) !=
+          file.fallback_.size()) {
+    std::fclose(f);
+    return InternalError("short read of " + path);
+  }
+  std::fclose(f);
+  file.data_ = file.fallback_.data();
+  file.size_ = file.fallback_.size();
+#else
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return NotFoundError("cannot open " + path);
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return InternalError("cannot stat " + path);
+  }
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      file.size_ = 0;
+      return InternalError("mmap failed for " + path);
+    }
+    file.data_ = addr;
+    file.mapped_ = true;
+  }
+  // The mapping survives the descriptor.
+  ::close(fd);
+#endif
+  return file;
+}
+
+}  // namespace flix::storage

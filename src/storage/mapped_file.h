@@ -1,0 +1,50 @@
+// Read-only memory-mapped file (RAII). On POSIX this is mmap(PROT_READ);
+// on platforms without mmap the file is read into a heap buffer instead —
+// same interface, no zero-copy, so the paged format stays loadable
+// everywhere.
+#ifndef FLIX_STORAGE_MAPPED_FILE_H_
+#define FLIX_STORAGE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace flix::storage {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { Reset(); }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+
+  // Maps `path` read-only. Empty files map successfully to an empty span.
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  std::span<const std::byte> bytes() const {
+    return {static_cast<const std::byte*>(data_), size_};
+  }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void Reset();
+
+  std::string path_;
+  void* data_ = nullptr;
+  size_t size_ = 0;
+  // True when data_ came from mmap (and must be munmap'ed); false for the
+  // heap-buffer fallback.
+  bool mapped_ = false;
+  std::vector<std::byte> fallback_;
+};
+
+}  // namespace flix::storage
+
+#endif  // FLIX_STORAGE_MAPPED_FILE_H_

@@ -1,0 +1,78 @@
+#include "storage/segment.h"
+
+namespace flix::storage {
+
+std::vector<std::byte> SegmentWriter::Finish() const {
+  // Layout: header, directory, then payloads, each kArrayAlign-aligned.
+  uint64_t cursor =
+      sizeof(SegmentHeader) + arrays_.size() * sizeof(ArrayEntry);
+  std::vector<ArrayEntry> entries;
+  entries.reserve(arrays_.size());
+  for (const Array& array : arrays_) {
+    cursor = AlignUp(cursor, kArrayAlign);
+    ArrayEntry entry;
+    entry.id = array.id;
+    entry.elem_bytes = array.elem_bytes;
+    entry.count = array.count;
+    entry.offset = cursor;
+    entries.push_back(entry);
+    cursor += array.bytes.size();
+  }
+
+  std::vector<std::byte> out(cursor, std::byte{0});
+  SegmentHeader header;
+  header.array_count = static_cast<uint32_t>(arrays_.size());
+  std::memcpy(out.data(), &header, sizeof(header));
+  if (!entries.empty()) {
+    std::memcpy(out.data() + sizeof(header), entries.data(),
+                entries.size() * sizeof(ArrayEntry));
+  }
+  for (size_t i = 0; i < arrays_.size(); ++i) {
+    if (!arrays_[i].bytes.empty()) {
+      std::memcpy(out.data() + entries[i].offset, arrays_[i].bytes.data(),
+                  arrays_[i].bytes.size());
+    }
+  }
+  return out;
+}
+
+StatusOr<SegmentView> SegmentView::Parse(std::span<const std::byte> payload) {
+  if (payload.size() < sizeof(SegmentHeader)) {
+    return InvalidArgumentError("segment: payload shorter than header");
+  }
+  SegmentHeader header;
+  std::memcpy(&header, payload.data(), sizeof(header));
+  if (header.magic != SegmentHeader::kSegmentMagic) {
+    return InvalidArgumentError("segment: bad magic");
+  }
+  const uint64_t dir_end = sizeof(SegmentHeader) +
+                           uint64_t{header.array_count} * sizeof(ArrayEntry);
+  if (dir_end > payload.size()) {
+    return InvalidArgumentError("segment: directory exceeds payload");
+  }
+
+  SegmentView view;
+  view.payload_ = payload;
+  view.entries_ = std::span<const ArrayEntry>(
+      reinterpret_cast<const ArrayEntry*>(payload.data() +
+                                          sizeof(SegmentHeader)),
+      header.array_count);
+  for (const ArrayEntry& entry : view.entries_) {
+    if (entry.elem_bytes == 0) {
+      return InvalidArgumentError("segment: zero-sized array element");
+    }
+    if (entry.offset % kArrayAlign != 0) {
+      return InvalidArgumentError("segment: misaligned array payload");
+    }
+    const uint64_t bytes = entry.count * uint64_t{entry.elem_bytes};
+    if (entry.count != 0 && bytes / entry.count != entry.elem_bytes) {
+      return InvalidArgumentError("segment: array size overflow");
+    }
+    if (entry.offset > payload.size() || bytes > payload.size() - entry.offset) {
+      return InvalidArgumentError("segment: array exceeds payload");
+    }
+  }
+  return view;
+}
+
+}  // namespace flix::storage

@@ -1,0 +1,102 @@
+// Segment writer/reader for the paged index format.
+//
+// A segment is a self-describing blob: SegmentHeader, then a directory of
+// ArrayEntry rows, then the kArrayAlign-aligned typed array payloads. The
+// writer collects arrays and emits the blob; the view parses a mapped blob,
+// bounds-checks the directory, and hands out typed spans that alias the
+// mapping directly (zero-copy).
+#ifndef FLIX_STORAGE_SEGMENT_H_
+#define FLIX_STORAGE_SEGMENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/format.h"
+
+namespace flix::storage {
+
+// Accumulates typed arrays and serializes them as one segment payload.
+// Array ids must be unique within a segment; the reader looks arrays up by
+// id, so writers may append in any order and later add arrays without
+// breaking old readers (unknown ids are simply not requested).
+class SegmentWriter {
+ public:
+  template <typename T>
+  void Add(uint32_t id, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Array array;
+    array.id = id;
+    array.elem_bytes = sizeof(T);
+    array.count = data.size();
+    array.bytes.resize(data.size_bytes());
+    if (!data.empty()) {
+      std::memcpy(array.bytes.data(), data.data(), data.size_bytes());
+    }
+    arrays_.push_back(std::move(array));
+  }
+
+  template <typename T>
+  void Add(uint32_t id, const std::vector<T>& data) {
+    Add(id, std::span<const T>(data.data(), data.size()));
+  }
+
+  // Serializes header + directory + aligned payloads.
+  std::vector<std::byte> Finish() const;
+
+ private:
+  struct Array {
+    uint32_t id = 0;
+    uint32_t elem_bytes = 0;
+    uint64_t count = 0;
+    std::vector<std::byte> bytes;
+  };
+  std::vector<Array> arrays_;
+};
+
+// A parsed, validated segment inside a mapping. GetArray<T> returns spans
+// that alias the mapping; the mapping must outlive every span.
+class SegmentView {
+ public:
+  static StatusOr<SegmentView> Parse(std::span<const std::byte> payload);
+
+  // The typed array with this id. Errors if absent, if the element size
+  // recorded on disk does not match sizeof(T), or (impossible after Parse,
+  // but re-checked) if it escapes the payload.
+  template <typename T>
+  StatusOr<std::span<const T>> GetArray(uint32_t id) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    for (const ArrayEntry& entry : entries_) {
+      if (entry.id != id) continue;
+      if (entry.elem_bytes != sizeof(T)) {
+        return InvalidArgumentError("segment array " + std::to_string(id) +
+                             ": element size mismatch");
+      }
+      return std::span<const T>(
+          reinterpret_cast<const T*>(payload_.data() + entry.offset),
+          entry.count);
+    }
+    return InvalidArgumentError("segment array " + std::to_string(id) + ": missing");
+  }
+
+  bool HasArray(uint32_t id) const {
+    for (const ArrayEntry& entry : entries_) {
+      if (entry.id == id) return true;
+    }
+    return false;
+  }
+
+  size_t array_count() const { return entries_.size(); }
+
+ private:
+  std::span<const std::byte> payload_;
+  std::span<const ArrayEntry> entries_;
+};
+
+}  // namespace flix::storage
+
+#endif  // FLIX_STORAGE_SEGMENT_H_

@@ -8,11 +8,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "check/validator.h"
 #include "common/rng.h"
 #include "flix/flix.h"
+#include "storage/format.h"
 #include "index/apex.h"
 #include "index/hopi.h"
 #include "index/ppo.h"
@@ -204,8 +210,8 @@ TEST(FrameworkMutationTest, StaleLinkEntryIsDetected) {
   ASSERT_NE(victim, nullptr) << "expected cross links at this bound";
   // The element graph has no self edges, so source -> source is never
   // witnessed.
-  const NodeId local = victim->link_sources.front();
-  victim->link_targets[local].push_back(victim->global_nodes[local]);
+  const NodeId local = victim->link_sources[0];
+  victim->link_targets.Add(local, victim->global_nodes[local]);
 
   CheckOptions options;
   options.validate_indexes = false;  // the indexes themselves are intact
@@ -232,7 +238,7 @@ TEST(FrameworkMutationTest, OrphanedPartitionNodeIsDetected) {
     if (doc.global_nodes.size() > victim->global_nodes.size()) victim = &doc;
   }
   ASSERT_GT(victim->global_nodes.size(), 1u);
-  victim->global_nodes.pop_back();
+  victim->global_nodes.MutableOwned().pop_back();
 
   CheckOptions options;
   options.validate_indexes = false;
@@ -249,7 +255,7 @@ TEST(FrameworkMutationTest, ViolationsCounterAdvancesOnFailure) {
   const auto flix = BuildHybrid(*collection);
   core::MetaDocumentSet& set = MutableSet(*flix);
   ASSERT_GT(set.docs.front().global_nodes.size(), 1u);
-  set.docs.front().global_nodes.pop_back();
+  set.docs.front().global_nodes.MutableOwned().pop_back();
 
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   const uint64_t before =
@@ -260,6 +266,121 @@ TEST(FrameworkMutationTest, ViolationsCounterAdvancesOnFailure) {
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(registry.GetCounter("flix.check.violations").Value(),
             before + report.violations.size());
+}
+
+// ---------------------------------------------------------------------------
+// On-disk corruption classes: damage a saved index *file* (instead of the
+// in-memory structures above) and prove the load path rejects it with a
+// clean Status — never a crash, never a silently wrong instance. The default
+// paged load verifies all payload checksums, so every class below must be
+// caught before a single query runs.
+
+class OnDiskCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto collection = workload::GenerateSynthetic({.seed = 107});
+    ASSERT_TRUE(collection.ok());
+    collection_ = std::move(collection).value();
+    flix_ = BuildHybrid(collection_);
+    // One file per test: ctest runs tests as parallel processes, so a
+    // shared name would race.
+    const char* test_name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    path_ = (std::filesystem::path(::testing::TempDir()) /
+             (std::string("ondisk_") + test_name + ".flix"))
+                .string();
+  }
+
+  void SavePaged() {
+    ASSERT_TRUE(flix_->Save(path_, core::Flix::IndexFormat::kMapped).ok());
+  }
+
+  std::vector<char> ReadFile() {
+    std::ifstream in(path_, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>());
+  }
+
+  void WriteFile(const std::vector<char>& bytes) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  Status Reload() {
+    auto loaded = core::Flix::Load(path_, collection_);
+    return loaded.ok() ? Status::Ok() : loaded.status();
+  }
+
+  xml::Collection collection_;
+  std::unique_ptr<core::Flix> flix_;
+  std::string path_;
+};
+
+// Corruption class 7: truncation — at the superblock, mid-segment, and
+// inside the trailing segment table.
+TEST_F(OnDiskCorruptionTest, TruncatedPagedFileIsRejected) {
+  SavePaged();
+  const std::vector<char> bytes = ReadFile();
+  ASSERT_GT(bytes.size(), storage::kPageBytes);
+  for (const size_t keep :
+       {size_t{32}, size_t{storage::kPageBytes}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    WriteFile(std::vector<char>(bytes.begin(),
+                                bytes.begin() + static_cast<ptrdiff_t>(keep)));
+    EXPECT_FALSE(Reload().ok()) << "kept " << keep << " of " << bytes.size();
+  }
+}
+
+// Corruption class 8: a flipped bit in a superblock identity field — the
+// superblock checksum no longer matches.
+TEST_F(OnDiskCorruptionTest, FlippedSuperblockBitIsRejected) {
+  SavePaged();
+  std::vector<char> bytes = ReadFile();
+  bytes[offsetof(storage::Superblock, num_elements)] ^= 0x01;
+  WriteFile(bytes);
+  const Status status = Reload();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(std::string(status.message()).find("checksum"), std::string::npos)
+      << status.ToString();
+}
+
+// Corruption class 9: a flipped bit deep inside a segment payload — caught
+// by the up-front payload checksum sweep of the default load.
+TEST_F(OnDiskCorruptionTest, FlippedSegmentPayloadBitIsRejected) {
+  SavePaged();
+  std::vector<char> bytes = ReadFile();
+  // First segment begins on page 1; kArrayAlign past its header sits inside
+  // the first array's data, past the self-describing directory.
+  bytes[storage::kPageBytes + storage::kArrayAlign + 1] ^= 0x20;
+  WriteFile(bytes);
+  EXPECT_FALSE(Reload().ok());
+}
+
+// Corruption class 10: a damaged segment-table row (length field) — the
+// table checksum in the superblock catches it before any segment is mapped.
+TEST_F(OnDiskCorruptionTest, FlippedSegmentTableBitIsRejected) {
+  SavePaged();
+  std::vector<char> bytes = ReadFile();
+  storage::Superblock sb;
+  std::memcpy(&sb, bytes.data(), sizeof(sb));
+  ASSERT_LT(sb.segment_table_offset, bytes.size());
+  bytes[sb.segment_table_offset + offsetof(storage::SegmentEntry, length)] ^=
+      0x02;
+  WriteFile(bytes);
+  EXPECT_FALSE(Reload().ok());
+}
+
+// Corruption class 11: the stream (heap) format must reject truncation just
+// as cleanly through the same path-based Load.
+TEST_F(OnDiskCorruptionTest, TruncatedStreamFileIsRejected) {
+  ASSERT_TRUE(flix_->Save(path_, core::Flix::IndexFormat::kHeap).ok());
+  const std::vector<char> bytes = ReadFile();
+  ASSERT_GT(bytes.size(), 64u);
+  for (const size_t keep : {bytes.size() / 4, bytes.size() - 8}) {
+    WriteFile(std::vector<char>(bytes.begin(),
+                                bytes.begin() + static_cast<ptrdiff_t>(keep)));
+    EXPECT_FALSE(Reload().ok()) << "kept " << keep << " of " << bytes.size();
+  }
 }
 
 }  // namespace

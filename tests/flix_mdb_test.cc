@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <set>
+#include <span>
 
 #include "flix/config.h"
 #include "graph/tree_utils.h"
@@ -75,11 +76,11 @@ void CheckInvariants(const BuiltInput& built, const MetaDocumentSet& set) {
   size_t cross = 0;
   for (const MetaDocument& meta : set.docs) {
     local_edges += meta.graph.NumEdges();
-    for (const auto& [src, targets] : meta.link_targets) {
+    meta.link_targets.ForEach([&](NodeId src, std::span<const NodeId> targets) {
       EXPECT_TRUE(std::binary_search(meta.link_sources.begin(),
                                      meta.link_sources.end(), src));
       cross += targets.size();
-    }
+    });
   }
   EXPECT_EQ(cross, set.num_cross_links);
 
@@ -92,11 +93,12 @@ void CheckInvariants(const BuiltInput& built, const MetaDocumentSet& set) {
   // Entry bookkeeping mirrors cross links.
   size_t entries = 0;
   for (const MetaDocument& meta : set.docs) {
-    for (const auto& [target, origins] : meta.entry_origins) {
-      EXPECT_TRUE(std::binary_search(meta.entry_nodes.begin(),
-                                     meta.entry_nodes.end(), target));
-      entries += origins.size();
-    }
+    meta.entry_origins.ForEach(
+        [&](NodeId target, std::span<const NodeId> origins) {
+          EXPECT_TRUE(std::binary_search(meta.entry_nodes.begin(),
+                                         meta.entry_nodes.end(), target));
+          entries += origins.size();
+        });
   }
   EXPECT_EQ(entries, set.num_cross_links);
 }

@@ -1,12 +1,20 @@
 // Persistence round-trips: binary I/O primitives, every index strategy, and
 // a full Flix save/load whose loaded instance must answer queries exactly
-// like the freshly built one.
+// like the freshly built one — through the stream format and through the
+// paged (mmap, zero-copy) format, which must also agree with each other.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "check/oracle.h"
+#include "check/validator.h"
 #include "common/binary_io.h"
 #include "common/rng.h"
+#include "flix/adapt.h"
 #include "flix/flix.h"
 #include "index/apex.h"
 #include "index/hopi.h"
@@ -333,6 +341,257 @@ TEST(FlixPersistenceTest, LoadRejectsGarbageFile) {
   ASSERT_TRUE(collection.ok());
   std::stringstream stream("this is not a flix index");
   EXPECT_FALSE(core::Flix::Load(stream, *collection).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Paged (mmap) format
+
+std::string PagedTempPath(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+// Compares every query class the facade offers between two instances built
+// over the same collection. Heavier than the spot checks above because the
+// paged read path is entirely new code: views must agree with heap answers
+// everywhere, not just on a sample.
+void ExpectSameAnswers(const core::Flix& a, const core::Flix& b,
+                       const xml::Collection& collection) {
+  const graph::Digraph g = collection.BuildGraph();
+  for (const char* tag : {"t0", "t1", "doc", "xref"}) {
+    for (DocId d = 0; d < collection.NumDocuments(); d += 3) {
+      const NodeId start = collection.GlobalId(d, 0);
+      EXPECT_EQ(b.FindDescendantsByName(start, tag),
+                a.FindDescendantsByName(start, tag))
+          << "descendants, tag " << tag << " doc " << d;
+      EXPECT_EQ(b.FindAncestorsByName(start, tag),
+                a.FindAncestorsByName(start, tag))
+          << "ancestors, tag " << tag << " doc " << d;
+    }
+  }
+  for (NodeId u = 0; u < g.NumNodes(); u += 37) {
+    for (NodeId v = 0; v < g.NumNodes(); v += 41) {
+      EXPECT_EQ(b.IsConnected(u, v), a.IsConnected(u, v));
+      EXPECT_EQ(b.FindDistance(u, v), a.FindDistance(u, v));
+    }
+  }
+}
+
+class PagedPersistenceTest
+    : public ::testing::TestWithParam<core::MdbConfig> {};
+
+TEST_P(PagedPersistenceTest, MappedRoundTrip) {
+  const auto collection = workload::GenerateSynthetic({.seed = 81});
+  ASSERT_TRUE(collection.ok());
+  core::FlixOptions options;
+  options.config = GetParam();
+  options.partition_bound = 80;
+  auto original = core::Flix::Build(*collection, options);
+  ASSERT_TRUE(original.ok());
+
+  const std::string path = PagedTempPath(
+      std::string("mapped_roundtrip_") +
+      std::string(core::MdbConfigName(GetParam())) + ".flix");
+  ASSERT_TRUE((*original)->Save(path, core::Flix::IndexFormat::kMapped).ok());
+
+  auto loaded = core::Flix::Load(path, *collection);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // The load is zero-copy: every meta-document table is a view into the
+  // mapping, not a heap copy.
+  const core::MetaDocumentSet& set = (*loaded)->meta_documents();
+  EXPECT_TRUE(set.meta_of_node.is_view());
+  EXPECT_TRUE(set.local_of_node.is_view());
+  ASSERT_FALSE(set.docs.empty());
+  for (const core::MetaDocument& meta : set.docs) {
+    EXPECT_TRUE(meta.global_nodes.is_view());
+    EXPECT_TRUE(meta.graph.is_view());
+  }
+
+  // Same structure as the original...
+  EXPECT_EQ((*loaded)->stats().num_meta_documents,
+            (*original)->stats().num_meta_documents);
+  EXPECT_EQ((*loaded)->stats().num_cross_links,
+            (*original)->stats().num_cross_links);
+  EXPECT_EQ((*loaded)->stats().num_ppo, (*original)->stats().num_ppo);
+  EXPECT_EQ((*loaded)->stats().num_hopi, (*original)->stats().num_hopi);
+  EXPECT_EQ((*loaded)->stats().num_apex, (*original)->stats().num_apex);
+
+  // ...identical answers everywhere...
+  ExpectSameAnswers(**original, **loaded, *collection);
+
+  // ...and the full correctness tooling holds on the mapped views: the
+  // structural validator (deep) plus the differential query oracle.
+  check::CheckOptions check_options;
+  check_options.index.deep = true;
+  const check::CheckReport report =
+      check::ValidateFramework(**loaded, check_options);
+  EXPECT_TRUE(report.ok()) << report.violations.front();
+  const check::OracleReport oracle = check::RunDifferentialOracle(**loaded);
+  EXPECT_TRUE(oracle.ok()) << oracle.diffs.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, PagedPersistenceTest,
+    ::testing::Values(core::MdbConfig::kNaive, core::MdbConfig::kMaximalPpo,
+                      core::MdbConfig::kUnconnectedHopi,
+                      core::MdbConfig::kHybrid),
+    [](const ::testing::TestParamInfo<core::MdbConfig>& info) {
+      return std::string(core::MdbConfigName(info.param));
+    });
+
+TEST(PagedPersistenceTest, HeapAndMappedFilesAgree) {
+  const auto collection = workload::GenerateSynthetic({.seed = 93});
+  ASSERT_TRUE(collection.ok());
+  core::FlixOptions options;
+  options.config = core::MdbConfig::kHybrid;
+  options.partition_bound = 80;
+  auto original = core::Flix::Build(*collection, options);
+  ASSERT_TRUE(original.ok());
+
+  const std::string heap_path = PagedTempPath("agree_heap.flix");
+  const std::string mapped_path = PagedTempPath("agree_mapped.flix");
+  ASSERT_TRUE((*original)->Save(heap_path).ok());
+  ASSERT_TRUE(
+      (*original)->Save(mapped_path, core::Flix::IndexFormat::kMapped).ok());
+
+  // Load sniffs the format: the same call handles both files.
+  auto heap = core::Flix::Load(heap_path, *collection);
+  ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+  auto mapped = core::Flix::Load(mapped_path, *collection);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+  EXPECT_FALSE((*heap)->meta_documents().meta_of_node.is_view());
+  EXPECT_TRUE((*mapped)->meta_documents().meta_of_node.is_view());
+  ExpectSameAnswers(**heap, **mapped, *collection);
+}
+
+TEST(PagedPersistenceTest, OptionsRoundTripThroughSuperblock) {
+  const auto collection = workload::GenerateSynthetic({.seed = 91});
+  ASSERT_TRUE(collection.ok());
+  core::FlixOptions options;
+  options.config = core::MdbConfig::kUnconnectedHopi;
+  options.partition_bound = 123;
+  options.query_cache_capacity = 7;
+  options.element_level_partitions = true;
+  auto original = core::Flix::Build(*collection, options);
+  ASSERT_TRUE(original.ok());
+
+  const std::string path = PagedTempPath("options_superblock.flix");
+  ASSERT_TRUE((*original)->Save(path, core::Flix::IndexFormat::kMapped).ok());
+  auto loaded = core::Flix::Load(path, *collection);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->options().config, options.config);
+  EXPECT_EQ((*loaded)->options().partition_bound, options.partition_bound);
+  EXPECT_EQ((*loaded)->options().query_cache_capacity, 7u);
+  EXPECT_TRUE((*loaded)->options().element_level_partitions);
+  ASSERT_NE((*loaded)->query_cache(), nullptr);
+}
+
+TEST(PagedPersistenceTest, SkippingChecksumVerificationStillLoads) {
+  const auto collection = workload::GenerateSynthetic({.seed = 95});
+  ASSERT_TRUE(collection.ok());
+  auto original = core::Flix::Build(*collection, {});
+  ASSERT_TRUE(original.ok());
+  const std::string path = PagedTempPath("no_verify.flix");
+  ASSERT_TRUE((*original)->Save(path, core::Flix::IndexFormat::kMapped).ok());
+
+  core::Flix::LoadOptions load_options;
+  load_options.verify_checksums = false;
+  auto loaded = core::Flix::Load(path, *collection, load_options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const NodeId start = collection->GlobalId(0, 0);
+  EXPECT_EQ((*loaded)->FindDescendantsByName(start, "t0"),
+            (*original)->FindDescendantsByName(start, "t0"));
+}
+
+TEST(PagedPersistenceTest, MappedLoadRejectsWrongCollection) {
+  const auto collection = workload::GenerateSynthetic({.seed = 83});
+  ASSERT_TRUE(collection.ok());
+  auto original = core::Flix::Build(*collection, {});
+  ASSERT_TRUE(original.ok());
+  const std::string path = PagedTempPath("wrong_collection.flix");
+  ASSERT_TRUE((*original)->Save(path, core::Flix::IndexFormat::kMapped).ok());
+
+  const auto other = workload::GenerateSynthetic({.seed = 84, .tree_docs = 2});
+  ASSERT_TRUE(other.ok());
+  const auto loaded = core::Flix::Load(path, *other);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+// The adaptive ISS must work on a mapped instance: the migrator builds an
+// ordinary heap index and publishes it over the mapped base; afterwards the
+// instance re-saves cleanly over its own backing file (the temp-file+rename
+// path — overwriting a live mapping in place would fault).
+TEST(PagedPersistenceTest, AdaptiveMigrationOnMappedInstance) {
+  const auto collection = workload::GenerateSynthetic({.seed = 97});
+  ASSERT_TRUE(collection.ok());
+  core::FlixOptions options;
+  options.config = core::MdbConfig::kHybrid;
+  options.partition_bound = 80;
+  auto original = core::Flix::Build(*collection, options);
+  ASSERT_TRUE(original.ok());
+
+  const std::string path = PagedTempPath("adapt_mapped.flix");
+  ASSERT_TRUE((*original)->Save(path, core::Flix::IndexFormat::kMapped).ok());
+  auto loaded = core::Flix::Load(path, *collection);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  core::Flix& flix = **loaded;
+  flix.SetAdaptiveIss(true);
+
+  // Migrate the first partition that is not already HOPI (all-HOPI builds
+  // fall back to an APEX migration) — proves ReplacePartitionIndex layers a
+  // heap index over the mapped base.
+  const core::MetaDocumentSet& set = flix.meta_documents();
+  ASSERT_FALSE(set.docs.empty());
+  core::Recommendation rec;
+  rec.best = index::StrategyKind::kHopi;
+  rec.migrate = true;
+  rec.partition = 0;
+  for (uint32_t p = 0; p < set.docs.size(); ++p) {
+    if (set.docs[p].index.Acquire()->kind() != index::StrategyKind::kHopi) {
+      rec.partition = p;
+      break;
+    }
+  }
+  if (set.docs[rec.partition].index.Acquire()->kind() ==
+      index::StrategyKind::kHopi) {
+    rec.best = index::StrategyKind::kApex;
+  }
+  rec.current = set.docs[rec.partition].index.Acquire()->kind();
+
+  core::StrategyMigrator migrator(flix);
+  ASSERT_TRUE(migrator.Migrate(rec).ok());
+  EXPECT_EQ(set.docs[rec.partition].index.Acquire()->kind(), rec.best);
+
+  // Queries still match the freshly built instance after the swap.
+  ExpectSameAnswers(**original, flix, *collection);
+
+  // Re-save over the live mapping, then reload the new file.
+  ASSERT_TRUE(flix.Save(path, core::Flix::IndexFormat::kMapped).ok());
+  auto reloaded = core::Flix::Load(path, *collection);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ((*reloaded)
+                ->meta_documents()
+                .docs[rec.partition]
+                .index.Acquire()
+                ->kind(),
+            rec.best);
+  ExpectSameAnswers(**original, **reloaded, *collection);
+}
+
+TEST(PagedPersistenceTest, PathLoadRejectsMissingAndGarbageFiles) {
+  const auto collection = workload::GenerateSynthetic({.seed = 85});
+  ASSERT_TRUE(collection.ok());
+  EXPECT_FALSE(
+      core::Flix::Load(PagedTempPath("nonexistent.flix"), *collection).ok());
+
+  const std::string path = PagedTempPath("garbage_path.flix");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "this is neither a stream nor a paged index";
+  }
+  EXPECT_FALSE(core::Flix::Load(path, *collection).ok());
 }
 
 }  // namespace

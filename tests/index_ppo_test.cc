@@ -109,12 +109,14 @@ TEST(PpoTest, AncestorsByTag) {
 TEST(PpoTest, ReachableAmong) {
   const graph::Digraph g = SampleTree();
   const auto ppo = MustBuild(g);
-  const std::vector<NodeDist> result = ppo->ReachableAmong(0, {2, 4});
+  const std::vector<NodeId> targets = {2, 4};
+  const std::vector<NodeDist> result = ppo->ReachableAmong(0, targets);
   ASSERT_EQ(result.size(), 2u);
   EXPECT_EQ(result[0], (NodeDist{4, 1}));
   EXPECT_EQ(result[1], (NodeDist{2, 2}));
   // Target list containing the start itself.
-  const std::vector<NodeDist> with_self = ppo->ReachableAmong(1, {1, 3});
+  const std::vector<NodeId> self_targets = {1, 3};
+  const std::vector<NodeDist> with_self = ppo->ReachableAmong(1, self_targets);
   ASSERT_EQ(with_self.size(), 2u);
   EXPECT_EQ(with_self[0], (NodeDist{1, 0}));
 }

@@ -40,6 +40,8 @@
 #include "obs/trace.h"
 #include "ontology/ontology.h"
 #include "ontology/relaxation.h"
+#include "storage/format.h"
+#include "storage/paged_file.h"
 #include "text/text_index.h"
 #include "workload/dblp_generator.h"
 #include "workload/query_workload.h"
@@ -120,6 +122,11 @@ int Usage() {
       "                  [--xml-dir DIR | --dblp N | --synthetic]\n"
       "                  [--config naive|maxppo|uhopi|hybrid] [--bound N]\n"
       "                  [--iss-policy auto|hopi|apex] [--cache N]\n"
+      "                  [--format heap|mmap]  (mmap: paged format, loaded\n"
+      "                   zero-copy; heap: compact stream format)\n"
+      "  flixctl info    --index FILE  (describe a saved index file:\n"
+      "                   format, options, per-segment table for paged "
+      "files)\n"
       "  flixctl stats   --collection FILE --index FILE\n"
       "                  [--workload N] [--repeat N] [--json]\n"
       "                  [--watch SEC]  (redraw every SEC seconds; the\n"
@@ -240,9 +247,9 @@ StatusOr<std::unique_ptr<core::Flix>> LoadIndex(
     const Args& args, const xml::Collection& collection) {
   const std::string path = args.Get("index");
   if (path.empty()) return InvalidArgumentError("--index is required");
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return NotFoundError("cannot open '" + path + "'");
-  return core::Flix::Load(in, collection);
+  // Sniffs the format: paged files are mmapped and served zero-copy,
+  // stream files are read onto the heap.
+  return core::Flix::Load(path, collection);
 }
 
 int CmdBuild(const Args& args) {
@@ -296,14 +303,21 @@ int CmdBuild(const Args& args) {
       return 1;
     }
   }
-  {
-    std::ofstream out(index_path, std::ios::binary);
-    if (Status s = (*flix)->Save(out); !s.ok() || !out) {
-      std::cerr << "saving index failed: " << s.ToString() << "\n";
-      return 1;
-    }
+  const std::string format = args.Get("format", "heap");
+  if (format != "heap" && format != "mmap") {
+    std::cerr << "--format expects heap or mmap, got '" << format << "'\n";
+    return 2;
   }
-  std::cout << "wrote " << collection_path << " and " << index_path << "\n";
+  if (Status s = (*flix)->Save(index_path,
+                               format == "mmap"
+                                   ? core::Flix::IndexFormat::kMapped
+                                   : core::Flix::IndexFormat::kHeap);
+      !s.ok()) {
+    std::cerr << "saving index failed: " << s.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << collection_path << " and " << index_path << " ("
+            << format << " format)\n";
   return 0;
 }
 
@@ -522,8 +536,13 @@ int CmdAdapt(const Args& args) {
         }
       }
       if (migrated > 0) {
-        std::ofstream out(args.Get("index"), std::ios::binary);
-        if (Status status = (*flix)->Save(out); !status.ok() || !out) {
+        // Keep the file's format: a paged index stays paged.
+        const core::Flix::IndexFormat format =
+            storage::PagedFileReader::SniffPagedFile(args.Get("index"))
+                ? core::Flix::IndexFormat::kMapped
+                : core::Flix::IndexFormat::kHeap;
+        if (Status status = (*flix)->Save(args.Get("index"), format);
+            !status.ok()) {
           std::cerr << "re-saving index failed: " << status.ToString() << "\n";
           return 1;
         }
@@ -690,6 +709,79 @@ int CmdCheck(const Args& args) {
   }
   std::cout << "check FAILED\n";
   return 1;
+}
+
+// `flixctl info`: describe a saved index file without needing the
+// collection. Paged files get the full superblock + segment table; stream
+// files just their identity line.
+int CmdInfo(const Args& args) {
+  const std::string path = args.Get("index");
+  if (path.empty()) {
+    std::cerr << "--index is required\n";
+    return 2;
+  }
+  if (!storage::PagedFileReader::SniffPagedFile(path)) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open '" << path << "'\n";
+      return 1;
+    }
+    uint32_t magic = 0;
+    in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    if (!in || magic != 0x464C4958) {
+      std::cerr << path << ": not a FliX index file\n";
+      return 1;
+    }
+    std::cout << path << ": stream (heap) format\n"
+              << "  size: " << FormatBytes(std::filesystem::file_size(path))
+              << "\n"
+              << "  load: full copy onto the heap; re-save with\n"
+              << "        'flixctl build --format mmap' for zero-copy "
+                 "loads\n";
+    return 0;
+  }
+
+  auto reader = storage::PagedFileReader::Open(path, /*verify_checksums=*/true);
+  if (!reader.ok()) {
+    std::cerr << path << ": " << reader.status().ToString() << "\n";
+    return 1;
+  }
+  const storage::Superblock& sb = reader->superblock();
+  std::cout << path << ": paged (mmap) format v" << sb.version << "\n"
+            << "  size: " << FormatBytes(sb.file_bytes) << " in "
+            << sb.segment_count << " segments (" << sb.page_bytes
+            << "-byte pages, checksums verified)\n"
+            << "  collection: " << sb.num_elements << " elements\n"
+            << "  config: " << core::MdbConfigName(
+                   static_cast<core::MdbConfig>(sb.config))
+            << ", " << sb.num_partitions << " partitions, "
+            << sb.num_cross_links << " cross links\n"
+            << "  options: bound=" << sb.partition_bound
+            << " hopi_max_nodes=" << sb.hopi_max_nodes
+            << " cache=" << sb.query_cache_capacity << "\n";
+  std::cout << "  segments:\n";
+  for (const storage::SegmentEntry& entry : reader->segments()) {
+    std::cout << "    ";
+    switch (static_cast<storage::SegmentKind>(entry.kind)) {
+      case storage::SegmentKind::kFramework:
+        std::cout << "framework        ";
+        break;
+      case storage::SegmentKind::kPartition:
+        std::cout << "partition " << entry.partition << "\t";
+        break;
+      case storage::SegmentKind::kIndex:
+        std::cout << "index " << entry.partition << " ["
+                  << index::StrategyName(
+                         static_cast<index::StrategyKind>(entry.strategy))
+                  << "]\t";
+        break;
+      default:
+        std::cout << "unknown kind " << entry.kind << "\t";
+        break;
+    }
+    std::cout << FormatBytes(entry.length) << " @ " << entry.offset << "\n";
+  }
+  return 0;
 }
 
 int CmdQuery(const Args& args) {
@@ -880,6 +972,7 @@ int main(int argc, char** argv) {
   if (args.command == "adapt") return CmdAdapt(args);
   if (args.command == "trace") return CmdTrace(args);
   if (args.command == "check") return CmdCheck(args);
+  if (args.command == "info") return CmdInfo(args);
   if (args.command == "query") return CmdQuery(args);
   if (args.command == "connect") return CmdConnect(args);
   if (args.command == "search") return CmdSearch(args);
