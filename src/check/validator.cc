@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "flix/landmarks.h"
 #include "graph/digraph.h"
 #include "obs/metrics.h"
 
@@ -246,6 +247,30 @@ CheckReport ValidateFramework(const core::Flix& flix,
           "meta documents record " + std::to_string(recorded_cross_links) +
           " cross links, the set header claims " +
           std::to_string(set.num_cross_links));
+    }
+  }
+
+  // --- Landmark cache: deep mode re-derives sampled distance rows by BFS
+  // over the partition quotient graph and compares them with the tables the
+  // PEE's A* consults (flix/landmarks.h). Cheap modes skip it — the cache is
+  // advisory and a damaged one is already dropped at load time.
+  if (options.index.deep) {
+    const std::shared_ptr<const core::LandmarkCache> landmarks =
+        set.landmarks.Snapshot();
+    if (landmarks != nullptr && !landmarks->empty()) {
+      ++report.checks_run;
+      if (landmarks->num_nodes() != n) {
+        report.violations.push_back(
+            "landmark cache: covers " +
+            std::to_string(landmarks->num_nodes()) +
+            " elements, the collection has " + std::to_string(n));
+      } else if (const Status status =
+                     landmarks->Validate(global, /*sample_nodes=*/64,
+                                         options.index.seed);
+                 !status.ok()) {
+        report.violations.push_back("landmark cache: " +
+                                    std::string(status.message()));
+      }
     }
   }
 

@@ -74,6 +74,13 @@ struct FlixOptions {
   // (Section 7: "caching results of frequent (sub-)queries").
   size_t query_cache_capacity = 0;
 
+  // Number of ALT landmarks precomputed for goal-directed point queries
+  // (IsConnected / FindDistance): per-landmark BFS distances give the PEE
+  // an admissible lower bound that turns its blind Dijkstra into A* (see
+  // src/flix/landmarks.h). 0 disables the cache entirely. Persisted with
+  // the index; the cache round-trips through both on-disk formats.
+  size_t landmark_count = 16;
+
   // Attribute query work (probes, cursor pulls, link fan-out, latency) to
   // individual meta documents via the instance's obs::WorkloadProfiler —
   // the telemetry the Section 7 self-tuning loop consumes. Runtime-only

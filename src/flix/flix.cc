@@ -2,6 +2,7 @@
 
 #include "common/binary_io.h"
 #include "common/stopwatch.h"
+#include "flix/landmarks.h"
 #include "flix/mdb.h"
 #include "obs/trace.h"
 
@@ -9,7 +10,9 @@ namespace flix::core {
 namespace {
 
 constexpr uint32_t kFlixMagic = 0x464C4958;  // "FLIX"
-constexpr uint32_t kFlixVersion = 1;
+// Version 2 added the landmark_count option and the trailing landmark cache
+// block; version-1 files still load (empty cache, blind point queries).
+constexpr uint32_t kFlixVersion = 2;
 
 void SaveIdListMap(BinaryWriter& writer, const storage::FlatMultiMap& map) {
   // Flatten for a deterministic (ascending-key) byte stream; entry layout
@@ -71,6 +74,13 @@ StatusOr<std::unique_ptr<Flix>> Flix::Build(const xml::Collection& collection,
   if (!stats.ok()) return stats.status();
   flix->profiler_.SetEnabled(options.workload_profiling);
 
+  if (options.landmark_count > 0) {
+    obs::TraceSpan landmark_span(&reg.GetHistogram("flix.build.landmarks_ns"),
+                                 "flix.build.landmarks");
+    flix->set_.landmarks.Replace(std::make_shared<const LandmarkCache>(
+        LandmarkCache::Build(graph, flix->set_, options.landmark_count)));
+  }
+
   flix->pee_ =
       std::make_unique<PathExpressionEvaluator>(flix->set_, &flix->profiler_);
   if (options.query_cache_capacity > 0) {
@@ -111,6 +121,7 @@ Status Flix::Save(std::ostream& out) const {
   writer.WriteU64(options_.hybrid_dense_link_threshold);
   writer.WriteBool(options_.element_level_partitions);
   writer.WriteU64(options_.query_cache_capacity);
+  writer.WriteU64(options_.landmark_count);
   writer.WriteU64(collection_.NumElements());
   writer.WriteU64(set_.docs.size());
   for (const MetaDocument& meta : set_.docs) {
@@ -125,6 +136,12 @@ Status Flix::Save(std::ostream& out) const {
     const std::shared_ptr<index::PathIndex> index = meta.index.Acquire();
     index::SaveIndex(*index, writer);
   }
+  // Snapshot (not Acquire): a cache disabled at run time still persists.
+  const std::shared_ptr<const LandmarkCache> landmarks =
+      set_.landmarks.Snapshot();
+  const bool has_landmarks = landmarks != nullptr && !landmarks->empty();
+  writer.WriteBool(has_landmarks);
+  if (has_landmarks) landmarks->Save(writer);
   if (!writer.ok()) return InternalError("write failed while saving index");
   return Status::Ok();
 }
@@ -136,7 +153,8 @@ StatusOr<std::unique_ptr<Flix>> Flix::Load(std::istream& in,
   if (reader.ReadU32() != kFlixMagic) {
     return InvalidArgumentError("not a FliX index file (bad magic)");
   }
-  if (const uint32_t version = reader.ReadU32(); version != kFlixVersion) {
+  const uint32_t version = reader.ReadU32();
+  if (version < 1 || version > kFlixVersion) {
     return InvalidArgumentError("unsupported FliX index version " +
                                 std::to_string(version));
   }
@@ -149,6 +167,7 @@ StatusOr<std::unique_ptr<Flix>> Flix::Load(std::istream& in,
   options.hybrid_dense_link_threshold = reader.ReadU64();
   options.element_level_partitions = reader.ReadBool();
   options.query_cache_capacity = reader.ReadU64();
+  if (version >= 2) options.landmark_count = reader.ReadU64();
   auto flix = std::unique_ptr<Flix>(new Flix(collection, options));
 
   const uint64_t num_elements = reader.ReadU64();
@@ -227,6 +246,13 @@ StatusOr<std::unique_ptr<Flix>> Flix::Load(std::istream& in,
       set.local_of_node[global] = local;
     }
     set.num_cross_links += meta.link_targets.TotalValues();
+  }
+
+  if (version >= 2 && reader.ReadBool()) {
+    StatusOr<LandmarkCache> cache = LandmarkCache::Load(reader, num_elements);
+    if (!cache.ok()) return cache.status();
+    set.landmarks.Replace(
+        std::make_shared<const LandmarkCache>(std::move(cache).value()));
   }
 
   flix->FinishLoadedInstance(watch.ElapsedNanos());
@@ -419,6 +445,20 @@ obs::MetricsSnapshot Flix::MetricsSnapshot() const {
   reg.GetCounter("flix.adapt.migrated");
   reg.GetCounter("flix.adapt.rejected_hysteresis");
   reg.GetCounter("flix.adapt.validation_failed");
+  // Landmark / guided-search series (see src/flix/landmarks.h).
+  reg.GetCounter("flix.query.point_pops");
+  reg.GetCounter("flix.pee.guided.pruned_entries");
+  reg.GetCounter("flix.pee.guided.heuristic_hits");
+  reg.GetCounter("flix.pee.guided.stale_reads");
+  {
+    const std::shared_ptr<const LandmarkCache> landmarks =
+        set_.landmarks.Snapshot();
+    const bool present = landmarks != nullptr && !landmarks->empty();
+    reg.GetGauge("flix.landmarks.count")
+        .Set(present ? static_cast<int64_t>(landmarks->num_landmarks()) : 0);
+    reg.GetGauge("flix.landmarks.generation")
+        .Set(present ? static_cast<int64_t>(landmarks->generation()) : 0);
+  }
   return reg.Snapshot();
 }
 
@@ -462,6 +502,20 @@ Status Flix::Validate(const index::ValidateOptions& options) const {
     }
   }
   return Status::Ok();
+}
+
+size_t Flix::RebuildLandmarks() {
+  auto& reg = obs::MetricsRegistry::Global();
+  obs::TraceSpan span(&reg.GetHistogram("flix.build.landmarks_ns"),
+                      "flix.landmarks.rebuild");
+  const graph::Digraph graph = collection_.BuildGraph();
+  LandmarkCache next = LandmarkCache::Build(graph, set_, options_.landmark_count);
+  const std::shared_ptr<const LandmarkCache> old = set_.landmarks.Snapshot();
+  next.set_generation((old != nullptr ? old->generation() : 0) + 1);
+  const size_t stale = set_.landmarks.Replace(
+      std::make_shared<const LandmarkCache>(std::move(next)));
+  reg.GetCounter("flix.pee.guided.stale_reads").Add(stale);
+  return stale;
 }
 
 void Flix::ReplacePartitionIndex(uint32_t partition,

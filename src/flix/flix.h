@@ -149,6 +149,22 @@ class Flix {
   // refuses to apply migrations while it is off.
   void SetAdaptiveIss(bool enabled) { options_.adaptive_iss = enabled; }
 
+  // Runtime switch for the ALT-guided point-query path (`flixctl
+  // --no-landmarks`, differential tests): when off, the PEE ignores the
+  // landmark cache and runs the blind Dijkstra. The cache stays resident,
+  // so re-enabling is instant.
+  void SetLandmarksEnabled(bool enabled) { set_.landmarks.SetEnabled(enabled); }
+
+  // Changes the landmark count used by subsequent RebuildLandmarks / Save.
+  void SetLandmarkCount(size_t count) { options_.landmark_count = count; }
+
+  // Rebuilds the landmark cache from the live collection and partitioning
+  // and atomically publishes it; returns the number of in-flight queries
+  // that still held the displaced cache (metered as
+  // flix.pee.guided.stale_reads). Queries racing the swap stay correct —
+  // a stale cache is still admissible for the unchanged element graph.
+  size_t RebuildLandmarks();
+
   // Per-meta-document workload attribution (see obs/profile.h). Owned by
   // this instance — partition ids are local to one index, so side-by-side
   // Flix instances in one process never mix their profiles. Recording is

@@ -16,6 +16,7 @@
 // validation is intentionally skipped here — the segment checksums prove the
 // bytes are exactly what the writer produced, and `flixctl check --deep`
 // covers writer bugs.
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -27,6 +28,7 @@
 
 #include "common/stopwatch.h"
 #include "flix/flix.h"
+#include "flix/landmarks.h"
 #include "index/path_index.h"
 #include "storage/paged_file.h"
 #include "storage/segment.h"
@@ -144,6 +146,12 @@ Status Flix::SavePaged(const std::string& path) const {
   sb.hybrid_dense_link_threshold = options_.hybrid_dense_link_threshold;
   sb.query_cache_capacity = options_.query_cache_capacity;
   sb.num_cross_links = set_.num_cross_links;
+  // Snapshot (not Acquire): a cache disabled at run time still persists.
+  const std::shared_ptr<const LandmarkCache> landmarks =
+      set_.landmarks.Snapshot();
+  const bool has_landmarks = landmarks != nullptr && !landmarks->empty();
+  sb.landmark_count_plus_one = options_.landmark_count + 1;
+  sb.landmark_generation = has_landmarks ? landmarks->generation() : 0;
 
   StatusOr<storage::PagedFileWriter> writer =
       storage::PagedFileWriter::Create(path, sb);
@@ -193,6 +201,16 @@ Status Flix::SavePaged(const std::string& path) const {
       if (!status.ok()) return status;
     }
   }
+
+  if (has_landmarks) {
+    storage::SegmentWriter seg;
+    landmarks->AppendArrays(seg);
+    const std::vector<std::byte> payload = seg.Finish();
+    const Status status =
+        writer->AddSegment(storage::SegmentKind::kLandmarks, /*partition=*/0,
+                           /*strategy=*/0, payload);
+    if (!status.ok()) return status;
+  }
   return writer->Finish();
 }
 
@@ -221,6 +239,10 @@ StatusOr<std::unique_ptr<Flix>> Flix::LoadPaged(
   options.hybrid_dense_link_threshold = sb.hybrid_dense_link_threshold;
   options.element_level_partitions = sb.element_level_partitions != 0;
   options.query_cache_capacity = sb.query_cache_capacity;
+  // 0 = written before the landmark field existed; keep the default then.
+  if (sb.landmark_count_plus_one > 0) {
+    options.landmark_count = sb.landmark_count_plus_one - 1;
+  }
 
   auto flix = std::unique_ptr<Flix>(new Flix(collection, options));
   flix->mapping_ = mapping;
@@ -309,6 +331,33 @@ StatusOr<std::unique_ptr<Flix>> Flix::LoadPaged(
     meta.index = std::move(loaded).value();
     meta.index->RegisterLinkSources(meta.link_sources.span());
     meta.index->RegisterEntryNodes(meta.entry_nodes.span());
+  }
+
+  // Landmark segment (optional, advisory). Open skipped it in the up-front
+  // checksum sweep, so verify here; any damage — bad checksum, malformed
+  // directory, wrong shape — downgrades to blind point queries with a
+  // warning rather than failing the load.
+  if (const storage::SegmentEntry* landmark_entry =
+          mapping->Find(storage::SegmentKind::kLandmarks, 0);
+      landmark_entry != nullptr) {
+    StatusOr<LandmarkCache> cache = [&]() -> StatusOr<LandmarkCache> {
+      if (Status verified = mapping->VerifySegment(*landmark_entry);
+          !verified.ok()) {
+        return verified;
+      }
+      StatusOr<storage::SegmentView> view = mapping->View(*landmark_entry);
+      if (!view.ok()) return view.status();
+      return LandmarkCache::FromSegment(*view, sb.num_elements);
+    }();
+    if (cache.ok()) {
+      set.landmarks.Replace(
+          std::make_shared<const LandmarkCache>(std::move(cache).value()));
+    } else {
+      std::fprintf(stderr,
+                   "flix: ignoring damaged landmark segment (%s); point "
+                   "queries fall back to blind search\n",
+                   cache.status().ToString().c_str());
+    }
   }
 
   flix->FinishLoadedInstance(watch.ElapsedNanos());

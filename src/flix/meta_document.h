@@ -89,6 +89,82 @@ class IndexHandle {
   std::shared_ptr<index::PathIndex> index_;
 };
 
+// A refcounted, swappable handle to the framework-wide ALT landmark cache
+// (src/flix/landmarks.h), with the same spinlock-around-shared_ptr shape as
+// IndexHandle: point queries take Acquire() snapshots, the background
+// LandmarkRefresher publishes rebuilt caches through Replace() without
+// disturbing snapshots already handed out. A displaced cache stays valid
+// (merely stale) for the queries still holding it — the heuristic it serves
+// is admissible for the graph it was built from, which never changes under
+// a refresh, so stale reads are counted but never wrong.
+//
+// The handle additionally carries the runtime enable switch (`flixctl
+// --no-landmarks`, the differential tests): when disabled, Acquire()
+// returns null and the PEE falls back to the blind Dijkstra; Snapshot()
+// ignores the switch for save/stats/validation paths.
+class LandmarkCache;
+
+class LandmarkHandle {
+ public:
+  LandmarkHandle() = default;
+  LandmarkHandle(const LandmarkHandle&) = delete;
+  LandmarkHandle& operator=(const LandmarkHandle&) = delete;
+  // Moves happen only while the MDB output is assembled (single-threaded),
+  // never concurrently with Acquire/Replace.
+  LandmarkHandle(LandmarkHandle&& other) noexcept
+      : enabled_(other.enabled_.load(std::memory_order_relaxed)),
+        cache_(std::move(other.cache_)) {}
+  LandmarkHandle& operator=(LandmarkHandle&& other) noexcept {
+    enabled_.store(other.enabled_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    cache_ = std::move(other.cache_);
+    return *this;
+  }
+
+  // Query-path snapshot: null when no cache is installed or the switch is
+  // off. Callers must also check LandmarkCache::empty().
+  std::shared_ptr<const LandmarkCache> Acquire() const {
+    if (!enabled_.load(std::memory_order_relaxed)) return nullptr;
+    return Snapshot();
+  }
+
+  // Unconditional snapshot (persistence, stats, validation).
+  std::shared_ptr<const LandmarkCache> Snapshot() const {
+    Lock();
+    std::shared_ptr<const LandmarkCache> snapshot = cache_;
+    Unlock();
+    return snapshot;
+  }
+
+  // Publishes `next` as the current cache and returns how many in-flight
+  // queries still hold the displaced one (the stale-read count; the
+  // displaced cache itself is released outside the lock).
+  size_t Replace(std::shared_ptr<const LandmarkCache> next) {
+    Lock();
+    cache_.swap(next);
+    Unlock();
+    if (next == nullptr) return 0;
+    const long readers = next.use_count() - 1;  // minus our own reference
+    return readers > 0 ? static_cast<size_t>(readers) : 0;
+  }
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+ private:
+  void Lock() const {
+    while (lock_.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void Unlock() const { lock_.clear(std::memory_order_release); }
+
+  mutable std::atomic_flag lock_;
+  std::atomic<bool> enabled_{true};
+  std::shared_ptr<const LandmarkCache> cache_;
+};
+
 class MetaDocument {
  public:
   MetaDocument() = default;
@@ -145,6 +221,10 @@ struct MetaDocumentSet {
   storage::FlatVec<NodeId> local_of_node;
   // Total number of cross (meta-document-spanning or unindexed) links.
   size_t num_cross_links = 0;
+  // Framework-wide ALT landmark cache (flix/landmarks.h); null until built
+  // or loaded. The PEE snapshots it per point query, so a background
+  // refresh can swap it mid-stream without stalling readers.
+  LandmarkHandle landmarks;
 };
 
 }  // namespace flix::core

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/dcheck.h"
+#include "flix/landmarks.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -28,6 +29,20 @@ struct QueueItem {
 
 using MinQueue =
     std::priority_queue<QueueItem, std::vector<QueueItem>, std::greater<>>;
+
+// Point-query entry: ordered by f = g + h(node, goal), the A* key. With no
+// landmark cache f == g and the walk is the classic blind Dijkstra; either
+// way ties break by insertion sequence, like QueueItem.
+struct PointItem {
+  Distance f;    // g plus the admissible lower bound to the goal
+  Distance g;    // accumulated distance from the source
+  uint64_t seq;
+  NodeId node;
+
+  bool operator>(const PointItem& other) const {
+    return std::tie(f, seq) > std::tie(other.f, other.seq);
+  }
+};
 
 // Streaming-mode queue entry. Three kinds share one queue so entry points,
 // pending cursor results, and pending frontier hops merge into a single
@@ -74,6 +89,98 @@ struct ActiveCursor {
   obs::PartitionDelta* delta = nullptr;
 };
 
+// Min-heap over a borrowed vector. Same ordering as
+// std::priority_queue<Item, std::vector<Item>, std::greater<>> (both defer
+// to Item::operator> via std::push_heap/pop_heap), but the storage lives in
+// the per-thread QueryScratch, so its capacity survives across queries.
+template <typename Item>
+class BorrowedMinHeap {
+ public:
+  explicit BorrowedMinHeap(std::vector<Item>& storage) : heap_(storage) {}
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  void reserve(size_t capacity) { heap_.reserve(capacity); }
+  const Item& top() const { return heap_.front(); }
+  void push(const Item& item) {
+    heap_.push_back(item);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+  }
+  void pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    heap_.pop_back();
+  }
+
+ private:
+  std::vector<Item>& heap_;
+};
+
+// Per-thread reusable query state: queues, dedup sets and cursor slots are
+// cleared between queries instead of reallocated, so a steady query stream
+// stops paying hash-table and heap growth after warm-up.
+struct QueryScratch {
+  std::vector<StreamItem> stream_items;
+  std::vector<QueueItem> queue_items;
+  std::vector<PointItem> point_items;
+  std::unordered_set<NodeId> start_set;
+  std::vector<ActiveCursor> slots;
+  std::unordered_map<uint32_t, std::vector<NodeId>> entries;
+  std::unordered_set<NodeId> emitted;
+  std::unordered_set<NodeId> processed;
+  std::unordered_map<NodeId, Distance> best;
+  bool in_use = false;
+
+  void Clear() {
+    stream_items.clear();
+    queue_items.clear();
+    point_items.clear();
+    start_set.clear();
+    slots.clear();
+    // Keep the per-partition vectors (and their capacity); queries iterate
+    // whatever vector entries[m] yields, and an empty one is a no-op.
+    for (auto& [partition, nodes] : entries) nodes.clear();
+    emitted.clear();
+    processed.clear();
+    best.clear();
+  }
+};
+
+// Hands out the thread-local scratch, falling back to a heap-allocated one
+// for re-entrant queries (a sink callback may legally issue another query
+// on the same PEE — it must not clobber the outer query's state). Clearing
+// on release also drops cursor slots promptly, so index snapshot pins never
+// outlive the query that took them.
+class ScratchLease {
+ public:
+  ScratchLease() {
+    thread_local QueryScratch tls;
+    if (!tls.in_use) {
+      tls.in_use = true;
+      scratch_ = &tls;
+      owns_tls_ = true;
+    } else {
+      heap_ = std::make_unique<QueryScratch>();
+      scratch_ = heap_.get();
+    }
+    scratch_->Clear();
+  }
+  ~ScratchLease() {
+    if (owns_tls_) {
+      scratch_->Clear();
+      scratch_->in_use = false;
+    }
+  }
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  QueryScratch* operator->() const { return scratch_; }
+
+ private:
+  QueryScratch* scratch_ = nullptr;
+  std::unique_ptr<QueryScratch> heap_;
+  bool owns_tls_ = false;
+};
+
 // Cached references into the global registry so the hot path pays one
 // static-init lookup per process, then only relaxed atomic adds. Registry
 // metrics never move or die (Reset() zeroes in place), so the references
@@ -90,6 +197,9 @@ struct PeeMetrics {
   obs::Counter& cursor_pulled;
   obs::Counter& cursor_saved;
   obs::Counter& point_queries;
+  obs::Counter& point_pops;
+  obs::Counter& guided_pruned;
+  obs::Counter& guided_hits;
   obs::Histogram& latency_ns;
   obs::Histogram& point_latency_ns;
   obs::Histogram& results_per_query;
@@ -109,6 +219,9 @@ struct PeeMetrics {
           reg.GetCounter("flix.query.cursor.pulled"),
           reg.GetCounter("flix.query.cursor.saved"),
           reg.GetCounter("flix.query.point_count"),
+          reg.GetCounter("flix.query.point_pops"),
+          reg.GetCounter("flix.pee.guided.pruned_entries"),
+          reg.GetCounter("flix.pee.guided.heuristic_hits"),
           reg.GetHistogram("flix.query.latency_ns"),
           reg.GetHistogram("flix.query.point_latency_ns"),
           reg.GetHistogram("flix.query.results"),
@@ -209,20 +322,26 @@ void PathExpressionEvaluator::RunStreaming(const std::vector<NodeId>& starts,
   QueryMetricsFlush flush{metrics,  *stats, emitted_count, out_of_order,
                           profiler, deltas, span,          starts.size()};
 
-  StreamQueue queue;
+  // Reused per-thread state (destroyed after `savings` below, which reads
+  // the slots, and before `flush` above, which reads only locals).
+  ScratchLease scratch;
+  BorrowedMinHeap<StreamItem> queue(scratch->stream_items);
   uint64_t seq = 0;
+  queue.reserve(starts.size() + 16);
   for (const NodeId s : starts) {
     queue.push({0, seq++, s, ItemKind::kEntry, 0});
   }
-  const std::unordered_set<NodeId> start_set(starts.begin(), starts.end());
+  std::unordered_set<NodeId>& start_set = scratch->start_set;
+  start_set.insert(starts.begin(), starts.end());
 
-  std::vector<ActiveCursor> slots;
+  std::vector<ActiveCursor>& slots = scratch->slots;
   CursorSavingsFlush savings{slots, *stats};
 
   // Entry points per visited meta document (Section 5.1 duplicate
   // elimination) and result-level dedup, as in the materializing path.
-  std::unordered_map<uint32_t, std::vector<NodeId>> entries;
-  std::unordered_set<NodeId> emitted;
+  std::unordered_map<uint32_t, std::vector<NodeId>>& entries =
+      scratch->entries;
+  std::unordered_set<NodeId>& emitted = scratch->emitted;
   int64_t num_results = 0;
 
   const auto emit = [&](NodeId node, Distance distance) -> bool {
@@ -298,6 +417,7 @@ void PathExpressionEvaluator::RunStreaming(const std::vector<NodeId>& starts,
       const std::span<const NodeId> hops =
           forward ? meta.link_targets.At(item.node)
                   : meta.entry_origins.At(item.node);
+      queue.reserve(queue.size() + hops.size());
       for (const NodeId target : hops) {
         queue.push({item.distance, seq++, target, ItemKind::kEntry, 0});
         ++stats->links_followed;
@@ -367,7 +487,16 @@ void PathExpressionEvaluator::RunStreaming(const std::vector<NodeId>& starts,
                                : index->DescendantsByTagCursor(le, tag))
                    : index->AncestorsByTagCursor(le, tag),
            index, item.distance, m, pdelta});
-      arm_result(static_cast<uint32_t>(slots.size() - 1));
+      const uint32_t slot = static_cast<uint32_t>(slots.size() - 1);
+      if (slots[slot].cursor != nullptr) {
+        // The cursor keeps only one item queued at a time, but each result
+        // it yields transits the queue; a hint-capped reserve absorbs that
+        // churn without regrowing the heap mid-merge.
+        queue.reserve(queue.size() +
+                      std::min<size_t>(slots[slot].cursor->RemainingHint(),
+                                       64));
+      }
+      arm_result(slot);
     }
 
     // Frontier probe: a lazy cursor over the reachable link sources (or
@@ -411,21 +540,26 @@ void PathExpressionEvaluator::RunMaterialized(
   QueryMetricsFlush flush{metrics,  *stats, emitted_count, out_of_order,
                           profiler, deltas, span,          starts.size()};
 
-  MinQueue queue;
+  // Reused per-thread state; see RunStreaming.
+  ScratchLease scratch;
+  BorrowedMinHeap<QueueItem> queue(scratch->queue_items);
   uint64_t seq = 0;
+  queue.reserve(starts.size() + 16);
   for (const NodeId s : starts) queue.push({0, seq++, s});
-  const std::unordered_set<NodeId> start_set(starts.begin(), starts.end());
+  std::unordered_set<NodeId>& start_set = scratch->start_set;
+  start_set.insert(starts.begin(), starts.end());
 
   // Entry points per visited meta document (paper Section 5.1). In exact
   // mode the domination rule is off; instead each concrete entry node is
   // processed once (Dijkstra semantics — the first pop carries its minimal
   // distance), and result distances are relaxed across entries.
-  std::unordered_map<uint32_t, std::vector<NodeId>> entries;
-  std::unordered_set<NodeId> processed;
+  std::unordered_map<uint32_t, std::vector<NodeId>>& entries =
+      scratch->entries;
+  std::unordered_set<NodeId>& processed = scratch->processed;
   // Approximate mode: exact result-level duplicate elimination.
-  std::unordered_set<NodeId> emitted;
+  std::unordered_set<NodeId>& emitted = scratch->emitted;
   // Exact mode: minimal distance per result node, emitted sorted at the end.
-  std::unordered_map<NodeId, Distance> best;
+  std::unordered_map<NodeId, Distance>& best = scratch->best;
   int64_t num_results = 0;
 
   const auto emit_approx = [&](NodeId node, Distance distance) -> bool {
@@ -537,6 +671,7 @@ void PathExpressionEvaluator::RunMaterialized(
       if (options.max_distance >= 0 && hop_distance > options.max_distance) {
         continue;
       }
+      queue.reserve(queue.size() + hops.size());
       for (const NodeId target : hops) {
         queue.push({hop_distance, seq++, target});
         ++stats->links_followed;
@@ -609,8 +744,7 @@ void PathExpressionEvaluator::EvaluateTypeQuery(TagId start_tag,
 }
 
 Distance PathExpressionEvaluator::PointQuery(NodeId a, NodeId b,
-                                             Distance max_distance,
-                                             bool exact) const {
+                                             Distance max_distance) const {
   PeeMetrics& metrics = PeeMetrics::Get();
   metrics.point_queries.Increment();
   obs::TraceSpan span(&metrics.point_latency_ns, "pee.point_query");
@@ -618,18 +752,56 @@ Distance PathExpressionEvaluator::PointQuery(NodeId a, NodeId b,
   const uint32_t target_meta = set_.meta_of_node[b];
   const NodeId target_local = set_.local_of_node[b];
 
-  MinQueue queue;
+  // ALT guidance: snapshot the landmark cache once per query (null when
+  // disabled or never built). A concurrent refresh may leave this snapshot
+  // a generation behind — still admissible, because the element graph the
+  // distances were measured on does not change; the refresher just picks
+  // better landmarks for the current partitioning.
+  const std::shared_ptr<const LandmarkCache> landmarks =
+      set_.landmarks.Acquire();
+  const bool guided = landmarks != nullptr && !landmarks->empty() &&
+                      landmarks->Covers(a) && landmarks->Covers(b);
+  LandmarkCache::GoalView goal;
+  size_t pruned = 0;
+  size_t hits = 0;
+  const auto lower_bound = [&](NodeId n) -> Distance {
+    const Distance h = landmarks->LowerBound(n, goal);
+    if (h > 0) ++hits;
+    return h;
+  };
+  Distance h_start = 0;
+  if (guided) {
+    goal = landmarks->Goal(b);
+    if (landmarks->ProvablyUnreachable(a, goal)) {
+      metrics.guided_pruned.Add(++pruned);
+      return kUnreachable;
+    }
+    h_start = lower_bound(a);
+    if (max_distance >= 0 && h_start > max_distance) {
+      metrics.guided_pruned.Add(++pruned);
+      metrics.guided_hits.Add(hits);
+      return kUnreachable;
+    }
+  }
+
+  ScratchLease scratch;
+  BorrowedMinHeap<PointItem> queue(scratch->point_items);
   uint64_t seq = 0;
-  queue.push({0, seq++, a});
-  std::unordered_map<uint32_t, std::vector<NodeId>> entries;
-  std::unordered_set<NodeId> processed;
+  queue.push({h_start, 0, seq++, a});
+  std::unordered_set<NodeId>& processed = scratch->processed;
   Distance best = kUnreachable;
+  size_t pops = 0;
 
   while (!queue.empty()) {
-    const QueueItem item = queue.top();
+    const PointItem item = queue.top();
     queue.pop();
-    if (max_distance >= 0 && item.distance > max_distance) break;
-    if (best != kUnreachable && item.distance >= best) break;
+    ++pops;
+    // f = g + h lower-bounds every answer reachable through this entry, and
+    // the queue ascends in f: the first item past the distance budget or
+    // the best answer so far proves nothing better remains queued. With no
+    // landmarks f == g and this is the classic Dijkstra stop.
+    if (max_distance >= 0 && item.f > max_distance) break;
+    if (best != kUnreachable && item.f >= best) break;
     const NodeId e = item.node;
     const uint32_t m = set_.meta_of_node[e];
     const NodeId le = set_.local_of_node[e];
@@ -637,25 +809,16 @@ Distance PathExpressionEvaluator::PointQuery(NodeId a, NodeId b,
     // Migration-safe snapshot for every probe of this entry point.
     const std::shared_ptr<index::PathIndex> index = meta.index.Acquire();
 
-    if (exact) {
-      if (!processed.insert(e).second) continue;
-    } else {
-      std::vector<NodeId>& meta_entries = entries[m];
-      bool dominated = false;
-      for (const NodeId p : meta_entries) {
-        if (index->IsReachable(p, le)) {
-          dominated = true;
-          break;
-        }
-      }
-      if (dominated) continue;
-      meta_entries.push_back(le);
-    }
+    // Dijkstra/A* semantics: the heuristic is consistent (each landmark
+    // bound obeys the triangle inequality over super-edges), so the first
+    // pop of a node carries its minimal g; later pops are duplicates. Both
+    // modes share this rule, which is what makes their answers identical.
+    if (!processed.insert(e).second) continue;
 
     if (m == target_meta) {
       const Distance d = index->DistanceBetween(le, target_local);
       if (d != kUnreachable) {
-        const Distance total = item.distance + d;
+        const Distance total = item.g + d;
         if (best == kUnreachable || total < best) best = total;
       }
     }
@@ -663,13 +826,37 @@ Distance PathExpressionEvaluator::PointQuery(NodeId a, NodeId b,
     const std::vector<index::NodeDist> frontier =
         index->ReachableAmong(le, meta.link_sources);
     for (const index::NodeDist& f : frontier) {
-      const Distance hop_distance = item.distance + f.distance + 1;
+      const Distance hop_distance = item.g + f.distance + 1;
       if (max_distance >= 0 && hop_distance > max_distance) continue;
       if (best != kUnreachable && hop_distance >= best) continue;
-      for (const NodeId target : meta.link_targets.At(f.node)) {
-        queue.push({hop_distance, seq++, target});
+      const std::span<const NodeId> hops = meta.link_targets.At(f.node);
+      queue.reserve(queue.size() + hops.size());
+      for (const NodeId target : hops) {
+        Distance h = 0;
+        if (guided) {
+          if (landmarks->ProvablyUnreachable(target, goal)) {
+            ++pruned;
+            continue;
+          }
+          h = lower_bound(target);
+          const Distance bound = hop_distance + h;
+          // The A* win over blind search: entries whose admissible lower
+          // bound already exceeds the budget or the best answer never
+          // enter the queue, so the frontier stays aimed at the goal.
+          if ((max_distance >= 0 && bound > max_distance) ||
+              (best != kUnreachable && bound >= best)) {
+            ++pruned;
+            continue;
+          }
+        }
+        queue.push({hop_distance + h, hop_distance, seq++, target});
       }
     }
+  }
+  metrics.point_pops.Add(pops);
+  if (guided) {
+    metrics.guided_pruned.Add(pruned);
+    metrics.guided_hits.Add(hits);
   }
   if (best != kUnreachable && max_distance >= 0 && best > max_distance) {
     return kUnreachable;
@@ -679,18 +866,30 @@ Distance PathExpressionEvaluator::PointQuery(NodeId a, NodeId b,
 
 bool PathExpressionEvaluator::IsConnected(NodeId a, NodeId b,
                                           Distance max_distance) const {
-  return PointQuery(a, b, max_distance, /*exact=*/false) != kUnreachable;
+  return PointQuery(a, b, max_distance) != kUnreachable;
 }
 
 Distance PathExpressionEvaluator::FindDistance(NodeId a, NodeId b,
                                                Distance max_distance,
-                                               bool exact) const {
-  return PointQuery(a, b, max_distance, exact);
+                                               bool /*exact*/) const {
+  return PointQuery(a, b, max_distance);
 }
 
 bool PathExpressionEvaluator::IsConnectedBidirectional(
     NodeId a, NodeId b, Distance max_distance) const {
   if (a == b) return true;
+  // Landmark precheck: an exact unreachability certificate (see
+  // LandmarkCache::ProvablyUnreachable) settles the question before either
+  // frontier expands. No heuristic steering beyond this — the bidirectional
+  // walk has no single goal to aim at.
+  if (const std::shared_ptr<const LandmarkCache> landmarks =
+          set_.landmarks.Acquire();
+      landmarks != nullptr && !landmarks->empty() && landmarks->Covers(a) &&
+      landmarks->Covers(b) &&
+      landmarks->ProvablyUnreachable(a, landmarks->Goal(b))) {
+    PeeMetrics::Get().guided_pruned.Increment();
+    return false;
+  }
   // Forward frontier from a over meta-document entry points, backward
   // frontier from b; meet detection tests, per meta document seen by both
   // sides, whether some forward entry reaches some backward entry.

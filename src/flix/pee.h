@@ -136,11 +136,12 @@ class PathExpressionEvaluator {
   // Connection test a//b (Section 5.2). max_distance < 0: unbounded.
   bool IsConnected(NodeId a, NodeId b, Distance max_distance = -1) const;
 
-  // Length of the discovered shortest path a -> b, or kUnreachable. The
-  // value can exceed the true shortest distance when duplicate elimination
-  // prunes an entry point that carried the shorter continuation (same
-  // approximation the ordering has). `exact` disables that pruning and
-  // returns the true shortest distance.
+  // Length of the true shortest path a -> b, or kUnreachable. The walk is
+  // an A* over entry points when the landmark cache (flix/landmarks.h) is
+  // resident — same answers as the blind Dijkstra, typically far fewer
+  // queue pops — and falls back to the blind walk when it is not. `exact`
+  // is accepted for source compatibility with the era when the default
+  // mode could overshoot; both values return the exact distance now.
   Distance FindDistance(NodeId a, NodeId b, Distance max_distance = -1,
                         bool exact = false) const;
 
@@ -185,8 +186,10 @@ class PathExpressionEvaluator {
                        bool wildcard, Axis axis, const QueryOptions& options,
                        const ResultSink& sink, QueryStats* stats) const;
 
-  Distance PointQuery(NodeId a, NodeId b, Distance max_distance,
-                      bool exact) const;
+  // Shared core of IsConnected/FindDistance: Dijkstra over entry points,
+  // upgraded to landmark-guided A* when the MetaDocumentSet carries a
+  // LandmarkCache (see flix/landmarks.h for the admissibility argument).
+  Distance PointQuery(NodeId a, NodeId b, Distance max_distance) const;
 
   const MetaDocumentSet& set_;
   obs::WorkloadProfiler* profiler_ = nullptr;

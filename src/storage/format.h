@@ -63,6 +63,11 @@ enum class SegmentKind : uint32_t {
   // One meta document's strategy payload; SegmentEntry::strategy names the
   // StrategyKind.
   kIndex = 3,
+  // The ALT landmark distance cache (src/flix/landmarks.h). Optional and
+  // advisory: a reader that finds it damaged (or absent) runs point queries
+  // blind instead of failing the load, so this segment is exempt from the
+  // up-front checksum sweep and self-verified by the loader.
+  kLandmarks = 4,
 };
 
 // One row of the segment table.
@@ -105,7 +110,14 @@ struct Superblock {
   uint64_t query_cache_capacity = 0;
   uint64_t num_cross_links = 0;
 
-  uint64_t reserved[4] = {0, 0, 0, 0};
+  // ALT landmark cache identity, carved out of the former reserved[4]
+  // (zeros in pre-landmark files, so kPagedVersion is unchanged):
+  // landmark_count + 1 as configured (0 = written before landmarks existed;
+  // loaders then keep the FlixOptions default), and the generation of the
+  // persisted cache (0 = no kLandmarks segment was written).
+  uint64_t landmark_count_plus_one = 0;
+  uint64_t landmark_generation = 0;
+  uint64_t reserved[2] = {0, 0};
   uint64_t checksum = 0;
 };
 static_assert(sizeof(Superblock) == 160);

@@ -152,7 +152,11 @@ StatusOr<PagedFileReader> PagedFileReader::Open(const std::string& path,
         entry.length > bytes.size() - entry.offset) {
       return InvalidArgumentError("paged index: segment out of bounds");
     }
-    if (verify_checksums) {
+    // Landmark segments are advisory: the loader verifies them itself and
+    // falls back to blind search on damage, so corruption there must not
+    // fail the whole open (see SegmentKind::kLandmarks).
+    if (verify_checksums &&
+        entry.kind != static_cast<uint32_t>(SegmentKind::kLandmarks)) {
       Status verified = reader.VerifySegment(entry);
       if (!verified.ok()) return verified;
     }

@@ -370,6 +370,89 @@ TEST_F(OnDiskCorruptionTest, FlippedSegmentTableBitIsRejected) {
   EXPECT_FALSE(Reload().ok());
 }
 
+// Finds the landmark segment's table entry in a raw paged file image.
+size_t LandmarkEntryOffset(const std::vector<char>& bytes) {
+  storage::Superblock sb;
+  std::memcpy(&sb, bytes.data(), sizeof(sb));
+  for (uint64_t i = 0; i < sb.segment_count; ++i) {
+    const size_t offset =
+        sb.segment_table_offset + i * sizeof(storage::SegmentEntry);
+    storage::SegmentEntry entry;
+    std::memcpy(&entry, bytes.data() + offset, sizeof(entry));
+    if (entry.kind == static_cast<uint32_t>(storage::SegmentKind::kLandmarks)) {
+      return offset;
+    }
+  }
+  return 0;
+}
+
+// Rewrites the segment-table and superblock checksums after an in-place
+// edit, so only the intended corruption is visible to the loader.
+void ResealChecksums(std::vector<char>& bytes) {
+  storage::Superblock sb;
+  std::memcpy(&sb, bytes.data(), sizeof(sb));
+  sb.segment_table_checksum = storage::Fnv1a64(
+      bytes.data() + sb.segment_table_offset,
+      sb.segment_count * sizeof(storage::SegmentEntry));
+  sb.checksum = storage::Fnv1a64(&sb, offsetof(storage::Superblock, checksum));
+  std::memcpy(bytes.data(), &sb, sizeof(sb));
+}
+
+// Corruption class 12: a flipped distance byte inside the landmark segment.
+// The segment is advisory — its own checksum catches the damage, the load
+// must still succeed, and point queries fall back to the blind walk with
+// unchanged answers.
+TEST_F(OnDiskCorruptionTest, FlippedLandmarkDistanceFallsBackToBlind) {
+  SavePaged();
+  std::vector<char> bytes = ReadFile();
+  const size_t entry_offset = LandmarkEntryOffset(bytes);
+  ASSERT_NE(entry_offset, 0u) << "no landmark segment in the saved file";
+  storage::SegmentEntry entry;
+  std::memcpy(&entry, bytes.data() + entry_offset, sizeof(entry));
+  // Flip a byte in the middle of the payload — inside the distance tables,
+  // past the segment's array directory.
+  bytes[entry.offset + entry.length / 2] ^= 0x11;
+  WriteFile(bytes);
+
+  auto loaded = core::Flix::Load(path_, collection_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->meta_documents().landmarks.Snapshot(), nullptr);
+  const graph::Digraph g = collection_.BuildGraph();
+  for (NodeId a = 0; a < g.NumNodes(); a += 61) {
+    for (NodeId b = 0; b < g.NumNodes(); b += 67) {
+      EXPECT_EQ((*loaded)->FindDistance(a, b), flix_->FindDistance(a, b));
+    }
+  }
+}
+
+// Corruption class 13: a truncated landmark table whose checksums were
+// recomputed to match (a "clean" torn write). The payload checksum passes;
+// the segment's shape validation catches the short arrays, and the load
+// falls back to blind search instead of crashing or serving garbage.
+TEST_F(OnDiskCorruptionTest, TruncatedLandmarkTableFallsBackToBlind) {
+  SavePaged();
+  std::vector<char> bytes = ReadFile();
+  const size_t entry_offset = LandmarkEntryOffset(bytes);
+  ASSERT_NE(entry_offset, 0u) << "no landmark segment in the saved file";
+  storage::SegmentEntry entry;
+  std::memcpy(&entry, bytes.data() + entry_offset, sizeof(entry));
+  entry.length /= 2;
+  entry.checksum = storage::Fnv1a64(bytes.data() + entry.offset, entry.length);
+  std::memcpy(bytes.data() + entry_offset, &entry, sizeof(entry));
+  ResealChecksums(bytes);
+  WriteFile(bytes);
+
+  auto loaded = core::Flix::Load(path_, collection_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->meta_documents().landmarks.Snapshot(), nullptr);
+  const graph::Digraph g = collection_.BuildGraph();
+  for (NodeId a = 0; a < g.NumNodes(); a += 61) {
+    for (NodeId b = 0; b < g.NumNodes(); b += 67) {
+      EXPECT_EQ((*loaded)->FindDistance(a, b), flix_->FindDistance(a, b));
+    }
+  }
+}
+
 // Corruption class 11: the stream (heap) format must reject truncation just
 // as cleanly through the same path-based Load.
 TEST_F(OnDiskCorruptionTest, TruncatedStreamFileIsRejected) {

@@ -34,6 +34,7 @@
 #include "common/stopwatch.h"
 #include "flix/adapt.h"
 #include "flix/flix.h"
+#include "flix/landmarks.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -157,11 +158,17 @@ int Usage() {
       "                   in-process instead of loading saved files)\n"
       "                  [--config naive|maxppo|uhopi|hybrid] [--bound N]\n"
       "                  [--deep] [--seed N] [--queries N] [--no-oracle]\n"
+      "                  [--no-landmarks]  (--deep also validates the\n"
+      "                   landmark cache against sampled BFS distances)\n"
+      "  flixctl landmarks --collection FILE --index FILE\n"
+      "                  [--refresh] [--count N] [--validate] [--sample N]\n"
+      "                  (inspect the ALT landmark cache; --refresh\n"
+      "                   rebuilds and re-saves in the file's format)\n"
       "  flixctl query   --collection FILE --index FILE --start DOC[#ID]\n"
       "                  --tag NAME [--k N] [--max-distance D] [--exact]\n"
       "                  [--legacy]  (materialize probes instead of streaming)\n"
       "  flixctl connect --collection FILE --index FILE --from DOC[#ID]\n"
-      "                  --to DOC[#ID] [--max-distance D]\n"
+      "                  --to DOC[#ID] [--max-distance D] [--no-landmarks]\n"
       "  flixctl search  --collection FILE --text \"...\" [--k N]\n"
       "  flixctl relax   --collection FILE --index FILE --query PATH\n"
       "                  [--ontology FILE] [--k N] [--no-relax]\n"
@@ -671,6 +678,7 @@ int CmdCheck(const Args& args) {
     return 1;
   }
 
+  if (args.Has("no-landmarks")) (*flix)->SetLandmarksEnabled(false);
   check::CheckOptions check_options;
   check_options.index.deep = args.Has("deep");
   check_options.index.seed = args.GetSize("seed", check_options.index.seed);
@@ -759,6 +767,17 @@ int CmdInfo(const Args& args) {
             << "  options: bound=" << sb.partition_bound
             << " hopi_max_nodes=" << sb.hopi_max_nodes
             << " cache=" << sb.query_cache_capacity << "\n";
+  if (sb.landmark_count_plus_one > 1 && sb.landmark_generation > 0) {
+    std::cout << "  landmarks: " << (sb.landmark_count_plus_one - 1)
+              << " configured, generation " << sb.landmark_generation
+              << " on disk (compare with the live generation from\n"
+              << "             'flixctl landmarks' to gauge staleness)\n";
+  } else {
+    // Legacy pre-landmark file (0), explicitly disabled (1), or configured
+    // but never built — point queries run blind either way.
+    std::cout << "  landmarks: none (point queries run blind; build with "
+                 "'flixctl landmarks --refresh')\n";
+  }
   std::cout << "  segments:\n";
   for (const storage::SegmentEntry& entry : reader->segments()) {
     std::cout << "    ";
@@ -775,11 +794,86 @@ int CmdInfo(const Args& args) {
                          static_cast<index::StrategyKind>(entry.strategy))
                   << "]\t";
         break;
+      case storage::SegmentKind::kLandmarks:
+        std::cout << "landmarks        ";
+        break;
       default:
         std::cout << "unknown kind " << entry.kind << "\t";
         break;
     }
     std::cout << FormatBytes(entry.length) << " @ " << entry.offset << "\n";
+  }
+  return 0;
+}
+
+// `flixctl landmarks`: inspect or rebuild the ALT landmark cache that
+// accelerates point queries (flix/landmarks.h). Default prints the live
+// cache; --refresh rebuilds and re-saves the index in its current format,
+// --count N changes the landmark budget for that rebuild.
+int CmdLandmarks(const Args& args) {
+  auto collection = LoadCollection(args);
+  if (!collection.ok()) {
+    std::cerr << collection.status().ToString() << "\n";
+    return 1;
+  }
+  auto flix = LoadIndex(args, *collection);
+  if (!flix.ok()) {
+    std::cerr << flix.status().ToString() << "\n";
+    return 1;
+  }
+  if (args.Has("count")) {
+    (*flix)->SetLandmarkCount(args.GetSize("count", 16));
+  }
+  if (args.Has("refresh") || args.Has("count")) {
+    Stopwatch watch;
+    const size_t stale = (*flix)->RebuildLandmarks();
+    std::cout << "rebuilt landmark cache in "
+              << static_cast<int>(watch.ElapsedMillis()) << " ms (" << stale
+              << " in-flight queries finished on the displaced cache)\n";
+    // Keep the file's format: a paged index stays paged (same rule as
+    // `flixctl adapt --apply`).
+    const core::Flix::IndexFormat format =
+        storage::PagedFileReader::SniffPagedFile(args.Get("index"))
+            ? core::Flix::IndexFormat::kMapped
+            : core::Flix::IndexFormat::kHeap;
+    if (Status status = (*flix)->Save(args.Get("index"), format);
+        !status.ok()) {
+      std::cerr << "re-saving index failed: " << status.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "re-saved " << args.Get("index") << "\n";
+  }
+
+  const std::shared_ptr<const core::LandmarkCache> cache =
+      (*flix)->meta_documents().landmarks.Snapshot();
+  if (cache == nullptr || cache->empty()) {
+    std::cout << "no landmark cache: point queries run blind\n"
+              << "build one with: flixctl landmarks --collection ... "
+                 "--index ... --refresh [--count N]\n";
+    return 0;
+  }
+  std::cout << "landmarks: " << cache->num_landmarks() << " over "
+            << cache->num_nodes() << " elements, generation "
+            << cache->generation() << ", " << FormatBytes(cache->MemoryBytes())
+            << "\n";
+  const core::MetaDocumentSet& set = (*flix)->meta_documents();
+  for (const NodeId l : cache->landmarks()) {
+    const auto loc = collection->Locate(l);
+    std::cout << "  " << collection->document(loc.doc).name() << "#"
+              << loc.elem << "  (partition " << set.meta_of_node[l] << ")\n";
+  }
+  if (args.Has("validate")) {
+    Stopwatch watch;
+    const Status status =
+        cache->Validate(collection->BuildGraph(),
+                        args.GetSize("sample", 64), args.GetSize("seed", 1));
+    if (status.ok()) {
+      std::cout << "validate: distances agree with BFS ("
+                << static_cast<int>(watch.ElapsedMillis()) << " ms)\n";
+    } else {
+      std::cout << "validate FAILED: " << status.ToString() << "\n";
+      return 1;
+    }
   }
   return 0;
 }
@@ -859,6 +953,8 @@ int CmdConnect(const Args& args) {
   if (args.Has("max-distance")) {
     max_distance = static_cast<Distance>(args.GetSize("max-distance", 0));
   }
+  // Differential escape hatch: compare guided vs blind answers in place.
+  if (args.Has("no-landmarks")) (*flix)->SetLandmarksEnabled(false);
   const Distance d =
       (*flix)->FindDistance(*from, *to, max_distance, /*exact=*/true);
   if (d == kUnreachable) {
@@ -973,6 +1069,7 @@ int main(int argc, char** argv) {
   if (args.command == "trace") return CmdTrace(args);
   if (args.command == "check") return CmdCheck(args);
   if (args.command == "info") return CmdInfo(args);
+  if (args.command == "landmarks") return CmdLandmarks(args);
   if (args.command == "query") return CmdQuery(args);
   if (args.command == "connect") return CmdConnect(args);
   if (args.command == "search") return CmdSearch(args);
