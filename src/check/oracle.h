@@ -10,7 +10,7 @@
 //   * exact mode: set, per-node distance, and ascending emission order must
 //     all match the BFS ground truth;
 //   * connection tests: IsConnected agrees with BFS reachability and
-//     exact-mode FindDistance returns the true shortest distance.
+//     FindDistance returns the true shortest distance.
 //
 // Complements check::ValidateFramework: the validator proves the stored
 // structures intact, the oracle proves the query pipeline on top of them

@@ -11,6 +11,7 @@
 #include "flix/landmarks.h"
 #include "graph/digraph.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
 
 namespace flix::check {
 namespace {
@@ -294,8 +295,8 @@ CheckReport ValidateFramework(const core::Flix& flix,
     }
   }
 
-  registry.GetCounter("flix.check.validations").Add(report.checks_run);
-  registry.GetCounter("flix.check.violations").Add(report.violations.size());
+  registry.GetCounter(obs::names::kCheckValidations).Add(report.checks_run);
+  registry.GetCounter(obs::names::kCheckViolations).Add(report.violations.size());
   return report;
 }
 

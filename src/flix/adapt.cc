@@ -13,6 +13,7 @@
 #include "index/hopi.h"
 #include "index/ppo.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
 
 namespace flix::core {
 namespace {
@@ -151,8 +152,8 @@ std::vector<Recommendation> RecommendStrategies(
     const Flix& flix, const obs::WorkloadProfile& profile,
     const CostModel& model, const AdaptOptions& options) {
   auto& reg = obs::MetricsRegistry::Global();
-  obs::Counter& recommended = reg.GetCounter("flix.adapt.recommended");
-  obs::Counter& rejected = reg.GetCounter("flix.adapt.rejected_hysteresis");
+  obs::Counter& recommended = reg.GetCounter(obs::names::kAdaptRecommended);
+  obs::Counter& rejected = reg.GetCounter(obs::names::kAdaptRejectedHysteresis);
 
   const MetaDocumentSet& set = flix.meta_documents();
   std::vector<Recommendation> recs;
@@ -325,7 +326,7 @@ Status StrategyMigrator::Migrate(const Recommendation& rec) {
   auto& reg = obs::MetricsRegistry::Global();
   if (Status status = next->Validate(doc.graph, migration_.validate);
       !status.ok()) {
-    reg.GetCounter("flix.adapt.validation_failed").Increment();
+    reg.GetCounter(obs::names::kAdaptValidationFailed).Increment();
     return InternalError("migration of partition " +
                          std::to_string(rec.partition) + " to " +
                          std::string(index::StrategyName(rec.best)) +
@@ -333,14 +334,14 @@ Status StrategyMigrator::Migrate(const Recommendation& rec) {
   }
   if (Status status = DifferentialProbe(*old_index, *next, doc, migration_);
       !status.ok()) {
-    reg.GetCounter("flix.adapt.validation_failed").Increment();
+    reg.GetCounter(obs::names::kAdaptValidationFailed).Increment();
     return status;
   }
 
   // 3. Publish. In-flight queries pinning the old index drain and release
   //    it; new Acquire() calls see the replacement.
   flix_.ReplacePartitionIndex(rec.partition, std::move(next), build_ns);
-  reg.GetCounter("flix.adapt.migrated").Increment();
+  reg.GetCounter(obs::names::kAdaptMigrated).Increment();
   return Status::Ok();
 }
 
@@ -365,26 +366,33 @@ StatusOr<size_t> StrategyMigrator::RunOnce() {
 void StrategyMigrator::Start(std::chrono::milliseconds interval) {
   Stop();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = false;
   }
   thread_ = std::thread([this, interval] {
-    std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-      if (cv_.wait_for(lock, interval, [this] { return stop_; })) return;
-      lock.unlock();
+      {
+        // Sleep until the next tick or a Stop(); spurious wakeups re-check
+        // the deadline.
+        MutexLock lock(mutex_);
+        const auto deadline = std::chrono::steady_clock::now() + interval;
+        while (!stop_ && std::chrono::steady_clock::now() < deadline) {
+          cv_.WaitUntil(mutex_, deadline);
+        }
+        if (stop_) return;
+      }
+      // Outside mutex_: a pass takes partition-handle/cache/metrics locks.
       (void)RunOnce();
-      lock.lock();
     }
   });
 }
 
 void StrategyMigrator::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 

@@ -40,15 +40,14 @@
 #define FLIX_FLIX_ADAPT_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "flix/flix.h"
 #include "index/path_index.h"
 #include "obs/profile.h"
@@ -166,8 +165,8 @@ class StrategyMigrator {
 
   // Background re-selection every `interval` (the `--watch` mode and the
   // embedded deployment). Start replaces a previous loop.
-  void Start(std::chrono::milliseconds interval);
-  void Stop();
+  void Start(std::chrono::milliseconds interval) EXCLUDES(mutex_);
+  void Stop() EXCLUDES(mutex_);
 
  private:
   Flix& flix_;
@@ -175,9 +174,12 @@ class StrategyMigrator {
   const AdaptOptions options_;
   const MigrationOptions migration_;
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  // Engine rank: held only around the stop flag and the wakeup wait —
+  // never across RunOnce, which takes handle/cache/metrics locks itself.
+  Mutex mutex_ ACQUIRED_AFTER(lockorder::kEngine)
+      ACQUIRED_BEFORE(lockorder::kPartitionHandle);
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mutex_) = false;
   std::thread thread_;
 };
 

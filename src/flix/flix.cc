@@ -4,6 +4,7 @@
 #include "common/stopwatch.h"
 #include "flix/landmarks.h"
 #include "flix/mdb.h"
+#include "obs/names.h"
 #include "obs/trace.h"
 
 namespace flix::core {
@@ -47,7 +48,7 @@ StatusOr<std::unique_ptr<Flix>> Flix::Build(const xml::Collection& collection,
   auto flix = std::unique_ptr<Flix>(new Flix(collection, options));
   // Root span of the build timeline; the MDB/ISS/IB spans nest under it
   // when a TraceCollector is enabled (`flixctl trace`).
-  obs::TraceSpan build_span(nullptr, "flix.build");
+  obs::TraceSpan build_span(nullptr, obs::names::kSpanBuild);
   build_span.AddAttr("config", MdbConfigName(options.config));
 
   const graph::Digraph graph = collection.BuildGraph();
@@ -63,8 +64,8 @@ StatusOr<std::unique_ptr<Flix>> Flix::Build(const xml::Collection& collection,
   input.doc_roots = &doc_roots;
   auto& reg = obs::MetricsRegistry::Global();
   {
-    obs::TraceSpan mdb_span(&reg.GetHistogram("flix.build.mdb_ns"),
-                            "flix.build.mdb");
+    obs::TraceSpan mdb_span(&reg.GetHistogram(obs::names::kBuildMdbNs),
+                            obs::names::kSpanBuildMdb);
     flix->set_ = BuildMetaDocuments(input, options);
     flix->stats_.mdb_ms = static_cast<double>(mdb_span.ElapsedNanos()) / 1e6;
   }
@@ -75,8 +76,8 @@ StatusOr<std::unique_ptr<Flix>> Flix::Build(const xml::Collection& collection,
   flix->profiler_.SetEnabled(options.workload_profiling);
 
   if (options.landmark_count > 0) {
-    obs::TraceSpan landmark_span(&reg.GetHistogram("flix.build.landmarks_ns"),
-                                 "flix.build.landmarks");
+    obs::TraceSpan landmark_span(&reg.GetHistogram(obs::names::kBuildLandmarksNs),
+                                 obs::names::kSpanBuildLandmarks);
     flix->set_.landmarks.Replace(std::make_shared<const LandmarkCache>(
         LandmarkCache::Build(graph, flix->set_, options.landmark_count)));
   }
@@ -105,8 +106,8 @@ StatusOr<std::unique_ptr<Flix>> Flix::Build(const xml::Collection& collection,
     }
   }
   out.build_ms = watch.ElapsedMillis();
-  reg.GetHistogram("flix.build.total_ns").Record(watch.ElapsedNanos());
-  reg.GetCounter("flix.build.count").Increment();
+  reg.GetHistogram(obs::names::kBuildTotalNs).Record(watch.ElapsedNanos());
+  reg.GetCounter(obs::names::kBuildCount).Increment();
   return flix;
 }
 
@@ -298,8 +299,8 @@ void Flix::FinishLoadedInstance(uint64_t load_ns) {
   }
   stats_.build_ms = static_cast<double>(load_ns) / 1e6;  // load, not build
   auto& reg = obs::MetricsRegistry::Global();
-  reg.GetHistogram("flix.load.total_ns").Record(static_cast<int64_t>(load_ns));
-  reg.GetCounter("flix.load.count").Increment();
+  reg.GetHistogram(obs::names::kLoadTotalNs).Record(static_cast<int64_t>(load_ns));
+  reg.GetCounter(obs::names::kLoadCount).Increment();
 }
 
 TagId Flix::LookupTag(std::string_view name) const {
@@ -381,7 +382,7 @@ std::vector<Result> Flix::EvaluateTypeQuery(std::string_view start_name,
 }
 
 void Flix::AccumulateStats(const QueryStats& stats) const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   cumulative_stats_.entries_processed += stats.entries_processed;
   cumulative_stats_.entries_dominated += stats.entries_dominated;
   cumulative_stats_.links_followed += stats.links_followed;
@@ -393,70 +394,70 @@ void Flix::AccumulateStats(const QueryStats& stats) const {
 }
 
 QueryStats Flix::CumulativeQueryStats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   return cumulative_stats_;
 }
 
 obs::MetricsSnapshot Flix::MetricsSnapshot() const {
   auto& reg = obs::MetricsRegistry::Global();
-  reg.GetGauge("flix.build.meta_documents")
+  reg.GetGauge(obs::names::kBuildMetaDocuments)
       .Set(static_cast<int64_t>(stats_.num_meta_documents));
-  reg.GetGauge("flix.build.cross_links")
+  reg.GetGauge(obs::names::kBuildCrossLinks)
       .Set(static_cast<int64_t>(stats_.num_cross_links));
-  reg.GetGauge("flix.build.index_bytes")
+  reg.GetGauge(obs::names::kBuildIndexBytes)
       .Set(static_cast<int64_t>(stats_.total_index_bytes));
-  reg.GetGauge("flix.build.strategy_ppo")
+  reg.GetGauge(obs::names::kBuildStrategyPpo)
       .Set(static_cast<int64_t>(stats_.num_ppo));
-  reg.GetGauge("flix.build.strategy_hopi")
+  reg.GetGauge(obs::names::kBuildStrategyHopi)
       .Set(static_cast<int64_t>(stats_.num_hopi));
-  reg.GetGauge("flix.build.strategy_apex")
+  reg.GetGauge(obs::names::kBuildStrategyApex)
       .Set(static_cast<int64_t>(stats_.num_apex));
   if (cache_ != nullptr) {
     const QueryCacheStats cache = cache_->Stats();
-    reg.GetGauge("flix.cache.size").Set(static_cast<int64_t>(cache.size));
-    reg.GetGauge("flix.cache.capacity")
+    reg.GetGauge(obs::names::kCacheSize).Set(static_cast<int64_t>(cache.size));
+    reg.GetGauge(obs::names::kCacheCapacity)
         .Set(static_cast<int64_t>(cache.capacity));
-    reg.GetGauge("flix.cache.hits").Set(static_cast<int64_t>(cache.hits));
-    reg.GetGauge("flix.cache.misses").Set(static_cast<int64_t>(cache.misses));
-    reg.GetGauge("flix.cache.insertions")
+    reg.GetGauge(obs::names::kCacheHits).Set(static_cast<int64_t>(cache.hits));
+    reg.GetGauge(obs::names::kCacheMisses).Set(static_cast<int64_t>(cache.misses));
+    reg.GetGauge(obs::names::kCacheInsertions)
         .Set(static_cast<int64_t>(cache.insertions));
-    reg.GetGauge("flix.cache.overwrites")
+    reg.GetGauge(obs::names::kCacheOverwrites)
         .Set(static_cast<int64_t>(cache.overwrites));
-    reg.GetGauge("flix.cache.evictions")
+    reg.GetGauge(obs::names::kCacheEvictions)
         .Set(static_cast<int64_t>(cache.evictions));
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    reg.GetGauge("flix.query.facade_count")
+    MutexLock lock(stats_mutex_);
+    reg.GetGauge(obs::names::kQueryFacadeCount)
         .Set(static_cast<int64_t>(num_queries_));
   }
   // Touch the streaming-cursor counters so they appear in the snapshot even
   // before the first query registers them.
-  reg.GetCounter("flix.query.cursor.opened");
-  reg.GetCounter("flix.query.cursor.pulled");
-  reg.GetCounter("flix.query.cursor.saved");
+  reg.GetCounter(obs::names::kQueryCursorOpened);
+  reg.GetCounter(obs::names::kQueryCursorPulled);
+  reg.GetCounter(obs::names::kQueryCursorSaved);
   // Likewise the correctness-tooling counters (see src/check/), so
   // `flixctl stats` shows the check totals even when no check ran yet.
-  reg.GetCounter("flix.check.validations");
-  reg.GetCounter("flix.check.violations");
-  reg.GetCounter("flix.check.oracle_queries");
+  reg.GetCounter(obs::names::kCheckValidations);
+  reg.GetCounter(obs::names::kCheckViolations);
+  reg.GetCounter(obs::names::kCheckOracleQueries);
   // And the adaptive-ISS counters (see src/flix/adapt.h).
-  reg.GetCounter("flix.adapt.recommended");
-  reg.GetCounter("flix.adapt.migrated");
-  reg.GetCounter("flix.adapt.rejected_hysteresis");
-  reg.GetCounter("flix.adapt.validation_failed");
+  reg.GetCounter(obs::names::kAdaptRecommended);
+  reg.GetCounter(obs::names::kAdaptMigrated);
+  reg.GetCounter(obs::names::kAdaptRejectedHysteresis);
+  reg.GetCounter(obs::names::kAdaptValidationFailed);
   // Landmark / guided-search series (see src/flix/landmarks.h).
-  reg.GetCounter("flix.query.point_pops");
-  reg.GetCounter("flix.pee.guided.pruned_entries");
-  reg.GetCounter("flix.pee.guided.heuristic_hits");
-  reg.GetCounter("flix.pee.guided.stale_reads");
+  reg.GetCounter(obs::names::kQueryPointPops);
+  reg.GetCounter(obs::names::kGuidedPrunedEntries);
+  reg.GetCounter(obs::names::kGuidedHeuristicHits);
+  reg.GetCounter(obs::names::kGuidedStaleReads);
   {
     const std::shared_ptr<const LandmarkCache> landmarks =
         set_.landmarks.Snapshot();
     const bool present = landmarks != nullptr && !landmarks->empty();
-    reg.GetGauge("flix.landmarks.count")
+    reg.GetGauge(obs::names::kLandmarksCount)
         .Set(present ? static_cast<int64_t>(landmarks->num_landmarks()) : 0);
-    reg.GetGauge("flix.landmarks.generation")
+    reg.GetGauge(obs::names::kLandmarksGeneration)
         .Set(present ? static_cast<int64_t>(landmarks->generation()) : 0);
   }
   return reg.Snapshot();
@@ -506,15 +507,15 @@ Status Flix::Validate(const index::ValidateOptions& options) const {
 
 size_t Flix::RebuildLandmarks() {
   auto& reg = obs::MetricsRegistry::Global();
-  obs::TraceSpan span(&reg.GetHistogram("flix.build.landmarks_ns"),
-                      "flix.landmarks.rebuild");
+  obs::TraceSpan span(&reg.GetHistogram(obs::names::kBuildLandmarksNs),
+                      obs::names::kSpanLandmarksRebuild);
   const graph::Digraph graph = collection_.BuildGraph();
   LandmarkCache next = LandmarkCache::Build(graph, set_, options_.landmark_count);
   const std::shared_ptr<const LandmarkCache> old = set_.landmarks.Snapshot();
   next.set_generation((old != nullptr ? old->generation() : 0) + 1);
   const size_t stale = set_.landmarks.Replace(
       std::make_shared<const LandmarkCache>(std::move(next)));
-  reg.GetCounter("flix.pee.guided.stale_reads").Add(stale);
+  reg.GetCounter(obs::names::kGuidedStaleReads).Add(stale);
   return stale;
 }
 
@@ -531,7 +532,7 @@ void Flix::ReplacePartitionIndex(uint32_t partition,
 
 Flix::TuningAdvice Flix::RecommendReconfiguration(
     double max_links_per_query) const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   TuningAdvice advice;
   if (num_queries_ == 0) return advice;
   advice.links_per_query =

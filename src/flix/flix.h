@@ -16,9 +16,8 @@
 #include <string_view>
 #include <vector>
 
-#include <mutex>
-
 #include "common/status.h"
+#include "common/sync.h"
 #include "flix/config.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
@@ -126,9 +125,8 @@ class Flix {
   bool IsConnected(NodeId a, NodeId b, Distance max_distance = -1) const {
     return pee_->IsConnected(a, b, max_distance);
   }
-  Distance FindDistance(NodeId a, NodeId b, Distance max_distance = -1,
-                        bool exact = false) const {
-    return pee_->FindDistance(a, b, max_distance, exact);
+  Distance FindDistance(NodeId a, NodeId b, Distance max_distance = -1) const {
+    return pee_->FindDistance(a, b, max_distance);
   }
 
   // Result cache (enabled via FlixOptions::query_cache_capacity); consulted
@@ -177,7 +175,7 @@ class Flix {
 
   // Cumulative traversal counters over all facade queries — the statistics
   // feed for the paper's self-tuning idea (Section 7).
-  QueryStats CumulativeQueryStats() const;
+  QueryStats CumulativeQueryStats() const EXCLUDES(stats_mutex_);
 
   // Verifies the built framework: the global-node mapping and the meta
   // documents' global_nodes lists must be exact inverses (every element in
@@ -192,7 +190,7 @@ class Flix {
   // snapshot of everything recorded so far — build phase timings, PEE query
   // latency histograms and traversal counters included. Export with
   // obs::ToJson / obs::ToText.
-  obs::MetricsSnapshot MetricsSnapshot() const;
+  obs::MetricsSnapshot MetricsSnapshot() const EXCLUDES(stats_mutex_);
 
   struct TuningAdvice {
     bool rebuild_recommended = false;
@@ -202,13 +200,14 @@ class Flix {
   // Flags a suboptimal meta-document choice: when queries follow many links
   // at run time, the build phase should be repeated with coarser meta
   // documents (larger partition bound or a more HOPI-leaning config).
-  TuningAdvice RecommendReconfiguration(double max_links_per_query = 16) const;
+  TuningAdvice RecommendReconfiguration(double max_links_per_query = 16) const
+      EXCLUDES(stats_mutex_);
 
  private:
   Flix(const xml::Collection& collection, FlixOptions options)
       : collection_(collection), options_(options) {}
 
-  void AccumulateStats(const QueryStats& stats) const;
+  void AccumulateStats(const QueryStats& stats) const EXCLUDES(stats_mutex_);
 
   // Shared tail of both Load paths (stream and paged): profiler seeding,
   // PEE/cache construction, stats and load metrics.
@@ -234,9 +233,12 @@ class Flix {
   std::unique_ptr<QueryCache> cache_;
   FlixStats stats_;
 
-  mutable std::mutex stats_mutex_;
-  mutable QueryStats cumulative_stats_;
-  mutable size_t num_queries_ = 0;
+  // Engine rank: MetricsSnapshot() holds it while reading metrics-rank
+  // registry gauges, which the hierarchy permits (engine precedes metrics).
+  mutable Mutex stats_mutex_ ACQUIRED_AFTER(lockorder::kEngine)
+      ACQUIRED_BEFORE(lockorder::kPartitionHandle);
+  mutable QueryStats cumulative_stats_ GUARDED_BY(stats_mutex_);
+  mutable size_t num_queries_ GUARDED_BY(stats_mutex_) = 0;
 };
 
 }  // namespace flix::core

@@ -6,6 +6,7 @@
 #include "index/hopi.h"
 #include "index/ppo.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
 #include "obs/trace.h"
 
 namespace flix::core {
@@ -18,13 +19,13 @@ obs::Histogram& StrategyBuildHistogram(index::StrategyKind kind) {
   auto& reg = obs::MetricsRegistry::Global();
   switch (kind) {
     case index::StrategyKind::kPpo:
-      return reg.GetHistogram("flix.build.ib_ppo_ns");
+      return reg.GetHistogram(obs::names::kBuildIbPpoNs);
     case index::StrategyKind::kHopi:
-      return reg.GetHistogram("flix.build.ib_hopi_ns");
+      return reg.GetHistogram(obs::names::kBuildIbHopiNs);
     case index::StrategyKind::kApex:
-      return reg.GetHistogram("flix.build.ib_apex_ns");
+      return reg.GetHistogram(obs::names::kBuildIbApexNs);
     default:
-      return reg.GetHistogram("flix.build.ib_other_ns");
+      return reg.GetHistogram(obs::names::kBuildIbOtherNs);
   }
 }
 
@@ -34,7 +35,7 @@ StatusOr<std::vector<MetaIndexStats>> BuildIndexes(
     MetaDocumentSet& set, const FlixOptions& options,
     obs::WorkloadProfiler* profiler) {
   auto& reg = obs::MetricsRegistry::Global();
-  obs::Histogram& iss_hist = reg.GetHistogram("flix.build.iss_ns");
+  obs::Histogram& iss_hist = reg.GetHistogram(obs::names::kBuildIssNs);
   if (profiler != nullptr) profiler->Resize(set.docs.size());
   std::vector<MetaIndexStats> stats;
   stats.reserve(set.docs.size());
@@ -47,7 +48,7 @@ StatusOr<std::vector<MetaIndexStats>> BuildIndexes(
     Stopwatch select_watch;
     index::StrategyKind kind;
     {
-      obs::TraceSpan iss_span(nullptr, "flix.iss");
+      obs::TraceSpan iss_span(nullptr, obs::names::kSpanIss);
       iss_span.AddAttr("partition", static_cast<int64_t>(meta.id));
       kind = SelectStrategy(meta.graph, options);
       if (iss_span.Collecting()) {
@@ -60,7 +61,7 @@ StatusOr<std::vector<MetaIndexStats>> BuildIndexes(
     Stopwatch watch;
     // The histogram is chosen *after* the switch: the PPO branch may fall
     // back to HOPI, and the sample belongs to the strategy actually built.
-    obs::TraceSpan ib_span(nullptr, "flix.ib");
+    obs::TraceSpan ib_span(nullptr, obs::names::kSpanIb);
     ib_span.AddAttr("partition", static_cast<int64_t>(meta.id));
     switch (kind) {
       case index::StrategyKind::kPpo: {

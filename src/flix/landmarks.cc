@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "graph/traversal.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
 #include "xml/collection.h"
 
 namespace flix::core {
@@ -283,23 +284,30 @@ size_t LandmarkRefresher::RunOnce() {
   const size_t stale =
       set_.landmarks.Replace(std::make_shared<const LandmarkCache>(std::move(next)));
   auto& reg = obs::MetricsRegistry::Global();
-  reg.GetCounter("flix.landmarks.refreshes").Increment();
-  reg.GetCounter("flix.pee.guided.stale_reads").Add(stale);
+  reg.GetCounter(obs::names::kLandmarksRefreshes).Increment();
+  reg.GetCounter(obs::names::kGuidedStaleReads).Add(stale);
   return stale;
 }
 
 void LandmarkRefresher::Start(std::chrono::milliseconds interval) {
   Stop();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = false;
   }
   thread_ = std::thread([this, interval] {
     for (;;) {
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        if (cv_.wait_for(lock, interval, [this] { return stop_; })) return;
+        // Sleep until the next tick or a Stop(); spurious wakeups re-check
+        // the deadline.
+        MutexLock lock(mutex_);
+        const auto deadline = std::chrono::steady_clock::now() + interval;
+        while (!stop_ && std::chrono::steady_clock::now() < deadline) {
+          cv_.WaitUntil(mutex_, deadline);
+        }
+        if (stop_) return;
       }
+      // Outside mutex_: a rebuild takes the landmark-handle lock to publish.
       (void)RunOnce();
     }
   });
@@ -307,10 +315,10 @@ void LandmarkRefresher::Start(std::chrono::milliseconds interval) {
 
 void LandmarkRefresher::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 

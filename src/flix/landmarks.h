@@ -32,16 +32,15 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 
 #include "common/binary_io.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/types.h"
 #include "flix/meta_document.h"
 #include "graph/digraph.h"
@@ -197,17 +196,20 @@ class LandmarkRefresher {
   size_t RunOnce();
 
   // Starts/stops the background refresh thread.
-  void Start(std::chrono::milliseconds interval);
-  void Stop();
+  void Start(std::chrono::milliseconds interval) EXCLUDES(mutex_);
+  void Stop() EXCLUDES(mutex_);
 
  private:
   const xml::Collection& collection_;
   MetaDocumentSet& set_;
   const Options options_;
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  // Engine rank: held only around the stop flag and the wakeup wait —
+  // never across RunOnce, which takes the landmark-handle lock itself.
+  Mutex mutex_ ACQUIRED_AFTER(lockorder::kEngine)
+      ACQUIRED_BEFORE(lockorder::kPartitionHandle);
+  CondVar cv_;
+  bool stop_ GUARDED_BY(mutex_) = false;
   std::thread thread_;
 };
 

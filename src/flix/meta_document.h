@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/types.h"
 #include "graph/digraph.h"
 #include "index/path_index.h"
@@ -40,11 +41,15 @@ class IndexHandle {
   IndexHandle() = default;
   IndexHandle(const IndexHandle&) = delete;
   IndexHandle& operator=(const IndexHandle&) = delete;
-  // Moves happen only while the MDB grows its docs vector (single-threaded
-  // build phase), never concurrently with Acquire/Replace.
-  IndexHandle(IndexHandle&& other) noexcept
+  // SAFETY: moves happen only while the MDB grows its docs vector
+  // (single-threaded build phase), never concurrently with Acquire/Replace,
+  // so reading `other.index_` without `other.lock_` cannot race. The
+  // analysis cannot see cross-object phases, hence the opt-out.
+  IndexHandle(IndexHandle&& other) noexcept NO_THREAD_SAFETY_ANALYSIS
       : index_(std::move(other.index_)) {}
-  IndexHandle& operator=(IndexHandle&& other) noexcept {
+  // SAFETY: same single-threaded build-phase contract as the move ctor.
+  IndexHandle& operator=(IndexHandle&& other) noexcept
+      NO_THREAD_SAFETY_ANALYSIS {
     index_ = std::move(other.index_);
     return *this;
   }
@@ -54,39 +59,52 @@ class IndexHandle {
   }
 
   // Snapshot for query-path use; keeps the index alive past a Replace().
-  std::shared_ptr<index::PathIndex> Acquire() const {
-    Lock();
-    std::shared_ptr<index::PathIndex> snapshot = index_;
-    Unlock();
+  std::shared_ptr<index::PathIndex> Acquire() const EXCLUDES(lock_) {
+    std::shared_ptr<index::PathIndex> snapshot;
+    {
+      SpinLockHolder hold(lock_);
+      snapshot = index_;
+    }
     return snapshot;
   }
 
   // Publishes `next` as the current index. The displaced index is released
   // outside the lock (its destruction may be the heavy part).
-  void Replace(std::shared_ptr<index::PathIndex> next) {
-    Lock();
-    index_.swap(next);
-    Unlock();
+  void Replace(std::shared_ptr<index::PathIndex> next) EXCLUDES(lock_) {
+    {
+      SpinLockHolder hold(lock_);
+      index_.swap(next);
+    }
   }
 
-  index::PathIndex* get() const { return index_.get(); }
-  index::PathIndex* operator->() const { return index_.get(); }
-  index::PathIndex& operator*() const { return *index_; }
-  explicit operator bool() const { return index_ != nullptr; }
-  friend bool operator==(const IndexHandle& handle, std::nullptr_t) {
+  // SAFETY: the unsynchronized conveniences below are for the single-writer
+  // phases (build, load, tests) documented in the class comment; code that
+  // can race a migration must go through Acquire().
+  index::PathIndex* get() const NO_THREAD_SAFETY_ANALYSIS {
+    return index_.get();
+  }
+  // SAFETY: single-writer phases only, as get().
+  index::PathIndex* operator->() const NO_THREAD_SAFETY_ANALYSIS {
+    return index_.get();
+  }
+  // SAFETY: single-writer phases only, as get().
+  index::PathIndex& operator*() const NO_THREAD_SAFETY_ANALYSIS {
+    return *index_;
+  }
+  // SAFETY: single-writer phases only, as get().
+  explicit operator bool() const NO_THREAD_SAFETY_ANALYSIS {
+    return index_ != nullptr;
+  }
+  // SAFETY: single-writer phases only, as get().
+  friend bool operator==(const IndexHandle& handle,
+                         std::nullptr_t) NO_THREAD_SAFETY_ANALYSIS {
     return handle.index_ == nullptr;
   }
 
  private:
-  void Lock() const {
-    while (lock_.test_and_set(std::memory_order_acquire)) {
-    }
-  }
-  void Unlock() const { lock_.clear(std::memory_order_release); }
-
-  // C++20 default-initializes atomic_flag to clear.
-  mutable std::atomic_flag lock_;
-  std::shared_ptr<index::PathIndex> index_;
+  mutable SpinLock lock_ ACQUIRED_AFTER(lockorder::kPartitionHandle)
+      ACQUIRED_BEFORE(lockorder::kCache);
+  std::shared_ptr<index::PathIndex> index_ GUARDED_BY(lock_);
 };
 
 // A refcounted, swappable handle to the framework-wide ALT landmark cache
@@ -109,12 +127,15 @@ class LandmarkHandle {
   LandmarkHandle() = default;
   LandmarkHandle(const LandmarkHandle&) = delete;
   LandmarkHandle& operator=(const LandmarkHandle&) = delete;
-  // Moves happen only while the MDB output is assembled (single-threaded),
-  // never concurrently with Acquire/Replace.
-  LandmarkHandle(LandmarkHandle&& other) noexcept
+  // SAFETY: moves happen only while the MDB output is assembled
+  // (single-threaded), never concurrently with Acquire/Replace, so reading
+  // `other.cache_` without `other.lock_` cannot race.
+  LandmarkHandle(LandmarkHandle&& other) noexcept NO_THREAD_SAFETY_ANALYSIS
       : enabled_(other.enabled_.load(std::memory_order_relaxed)),
         cache_(std::move(other.cache_)) {}
-  LandmarkHandle& operator=(LandmarkHandle&& other) noexcept {
+  // SAFETY: same single-threaded assembly contract as the move ctor.
+  LandmarkHandle& operator=(LandmarkHandle&& other) noexcept
+      NO_THREAD_SAFETY_ANALYSIS {
     enabled_.store(other.enabled_.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
     cache_ = std::move(other.cache_);
@@ -123,26 +144,29 @@ class LandmarkHandle {
 
   // Query-path snapshot: null when no cache is installed or the switch is
   // off. Callers must also check LandmarkCache::empty().
-  std::shared_ptr<const LandmarkCache> Acquire() const {
+  std::shared_ptr<const LandmarkCache> Acquire() const EXCLUDES(lock_) {
     if (!enabled_.load(std::memory_order_relaxed)) return nullptr;
     return Snapshot();
   }
 
   // Unconditional snapshot (persistence, stats, validation).
-  std::shared_ptr<const LandmarkCache> Snapshot() const {
-    Lock();
-    std::shared_ptr<const LandmarkCache> snapshot = cache_;
-    Unlock();
+  std::shared_ptr<const LandmarkCache> Snapshot() const EXCLUDES(lock_) {
+    std::shared_ptr<const LandmarkCache> snapshot;
+    {
+      SpinLockHolder hold(lock_);
+      snapshot = cache_;
+    }
     return snapshot;
   }
 
   // Publishes `next` as the current cache and returns how many in-flight
   // queries still hold the displaced one (the stale-read count; the
   // displaced cache itself is released outside the lock).
-  size_t Replace(std::shared_ptr<const LandmarkCache> next) {
-    Lock();
-    cache_.swap(next);
-    Unlock();
+  size_t Replace(std::shared_ptr<const LandmarkCache> next) EXCLUDES(lock_) {
+    {
+      SpinLockHolder hold(lock_);
+      cache_.swap(next);
+    }
     if (next == nullptr) return 0;
     const long readers = next.use_count() - 1;  // minus our own reference
     return readers > 0 ? static_cast<size_t>(readers) : 0;
@@ -154,15 +178,10 @@ class LandmarkHandle {
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
  private:
-  void Lock() const {
-    while (lock_.test_and_set(std::memory_order_acquire)) {
-    }
-  }
-  void Unlock() const { lock_.clear(std::memory_order_release); }
-
-  mutable std::atomic_flag lock_;
+  mutable SpinLock lock_ ACQUIRED_AFTER(lockorder::kPartitionHandle)
+      ACQUIRED_BEFORE(lockorder::kCache);
   std::atomic<bool> enabled_{true};
-  std::shared_ptr<const LandmarkCache> cache_;
+  std::shared_ptr<const LandmarkCache> cache_ GUARDED_BY(lock_);
 };
 
 class MetaDocument {

@@ -10,6 +10,7 @@
 #include "common/dcheck.h"
 #include "flix/landmarks.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
 #include "obs/trace.h"
 
 namespace flix::core {
@@ -150,6 +151,12 @@ struct QueryScratch {
 // on the same PEE — it must not clobber the outer query's state). Clearing
 // on release also drops cursor slots promptly, so index snapshot pins never
 // outlive the query that took them.
+//
+// Locking discipline (DESIGN.md section 8): deliberately capability-free.
+// The scratch is thread-confined by construction — a lease only ever hands
+// out this thread's `tls` instance or a heap instance it exclusively owns —
+// so there is no shared state for common/sync.h to guard; the in_use flag
+// is a same-thread re-entrancy marker, not a lock.
 class ScratchLease {
  public:
   ScratchLease() {
@@ -208,23 +215,23 @@ struct PeeMetrics {
     static PeeMetrics* metrics = [] {
       auto& reg = obs::MetricsRegistry::Global();
       return new PeeMetrics{
-          reg.GetCounter("flix.query.count"),
-          reg.GetCounter("flix.query.entries_processed"),
-          reg.GetCounter("flix.query.entries_dominated"),
-          reg.GetCounter("flix.query.links_followed"),
-          reg.GetCounter("flix.query.index_probes"),
-          reg.GetCounter("flix.query.results_emitted"),
-          reg.GetCounter("flix.query.results_out_of_order"),
-          reg.GetCounter("flix.query.cursor.opened"),
-          reg.GetCounter("flix.query.cursor.pulled"),
-          reg.GetCounter("flix.query.cursor.saved"),
-          reg.GetCounter("flix.query.point_count"),
-          reg.GetCounter("flix.query.point_pops"),
-          reg.GetCounter("flix.pee.guided.pruned_entries"),
-          reg.GetCounter("flix.pee.guided.heuristic_hits"),
-          reg.GetHistogram("flix.query.latency_ns"),
-          reg.GetHistogram("flix.query.point_latency_ns"),
-          reg.GetHistogram("flix.query.results"),
+          reg.GetCounter(obs::names::kQueryCount),
+          reg.GetCounter(obs::names::kQueryEntriesProcessed),
+          reg.GetCounter(obs::names::kQueryEntriesDominated),
+          reg.GetCounter(obs::names::kQueryLinksFollowed),
+          reg.GetCounter(obs::names::kQueryIndexProbes),
+          reg.GetCounter(obs::names::kQueryResultsEmitted),
+          reg.GetCounter(obs::names::kQueryResultsOutOfOrder),
+          reg.GetCounter(obs::names::kQueryCursorOpened),
+          reg.GetCounter(obs::names::kQueryCursorPulled),
+          reg.GetCounter(obs::names::kQueryCursorSaved),
+          reg.GetCounter(obs::names::kQueryPointCount),
+          reg.GetCounter(obs::names::kQueryPointPops),
+          reg.GetCounter(obs::names::kGuidedPrunedEntries),
+          reg.GetCounter(obs::names::kGuidedHeuristicHits),
+          reg.GetHistogram(obs::names::kQueryLatencyNs),
+          reg.GetHistogram(obs::names::kQueryPointLatencyNs),
+          reg.GetHistogram(obs::names::kQueryResults),
       };
     }();
     return *metrics;
@@ -870,8 +877,7 @@ bool PathExpressionEvaluator::IsConnected(NodeId a, NodeId b,
 }
 
 Distance PathExpressionEvaluator::FindDistance(NodeId a, NodeId b,
-                                               Distance max_distance,
-                                               bool /*exact*/) const {
+                                               Distance max_distance) const {
   return PointQuery(a, b, max_distance);
 }
 

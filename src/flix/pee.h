@@ -139,11 +139,9 @@ class PathExpressionEvaluator {
   // Length of the true shortest path a -> b, or kUnreachable. The walk is
   // an A* over entry points when the landmark cache (flix/landmarks.h) is
   // resident — same answers as the blind Dijkstra, typically far fewer
-  // queue pops — and falls back to the blind walk when it is not. `exact`
-  // is accepted for source compatibility with the era when the default
-  // mode could overshoot; both values return the exact distance now.
-  Distance FindDistance(NodeId a, NodeId b, Distance max_distance = -1,
-                        bool exact = false) const;
+  // queue pops — and falls back to the blind walk when it is not. Always
+  // exact.
+  Distance FindDistance(NodeId a, NodeId b, Distance max_distance = -1) const;
 
   // Bidirectional connection test (the optimization sketched in Section
   // 5.2): expands the smaller frontier of a forward search from `a` and a

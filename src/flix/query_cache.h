@@ -8,11 +8,11 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/dcheck.h"
+#include "common/sync.h"
 #include "common/types.h"
 #include "flix/streamed_list.h"
 #include "obs/profile.h"
@@ -63,11 +63,11 @@ class QueryCache {
   // `partition`, when not kNoPartition, attributes the hit/miss to that
   // meta document in the attached profiler.
   bool Lookup(NodeId start, TagId tag, std::vector<Result>* results,
-              uint32_t partition = kNoPartition) {
+              uint32_t partition = kNoPartition) EXCLUDES(mutex_) {
     if (capacity_ == 0) return false;
     bool hit = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       const auto it = index_.find(Key(start, tag));
       if (it == index_.end()) {
         ++misses_;
@@ -88,9 +88,10 @@ class QueryCache {
     return hit;
   }
 
-  void Insert(NodeId start, TagId tag, std::vector<Result> results) {
+  void Insert(NodeId start, TagId tag, std::vector<Result> results)
+      EXCLUDES(mutex_) {
     if (capacity_ == 0) return;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const uint64_t key = Key(start, tag);
     const auto it = index_.find(key);
     if (it != index_.end()) {
@@ -115,8 +116,8 @@ class QueryCache {
                 "QueryCache exceeded its capacity bound");
   }
 
-  QueryCacheStats Stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  QueryCacheStats Stats() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     QueryCacheStats stats;
     stats.size = lru_.size();
     stats.capacity = capacity_;
@@ -128,16 +129,16 @@ class QueryCache {
     return stats;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t size() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return lru_.size();
   }
-  size_t hits() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t hits() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return hits_;
   }
-  size_t misses() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t misses() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return misses_;
   }
 
@@ -152,15 +153,18 @@ class QueryCache {
   }
 
   const size_t capacity_;
+  // Called outside mutex_ (the profiler takes its own metrics-rank lock).
   obs::WorkloadProfiler* profiler_ = nullptr;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
-  size_t hits_ = 0;
-  size_t misses_ = 0;
-  size_t insertions_ = 0;
-  size_t overwrites_ = 0;
-  size_t evictions_ = 0;
+  mutable Mutex mutex_ ACQUIRED_AFTER(lockorder::kCache)
+      ACQUIRED_BEFORE(lockorder::kMetrics);
+  std::list<Entry> lru_ GUARDED_BY(mutex_);
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_
+      GUARDED_BY(mutex_);
+  size_t hits_ GUARDED_BY(mutex_) = 0;
+  size_t misses_ GUARDED_BY(mutex_) = 0;
+  size_t insertions_ GUARDED_BY(mutex_) = 0;
+  size_t overwrites_ GUARDED_BY(mutex_) = 0;
+  size_t evictions_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace flix::core

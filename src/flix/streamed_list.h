@@ -9,13 +9,12 @@
 #ifndef FLIX_FLIX_STREAMED_LIST_H_
 #define FLIX_FLIX_STREAMED_LIST_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "common/dcheck.h"
+#include "common/sync.h"
 #include "common/types.h"
 
 namespace flix::core {
@@ -39,11 +38,11 @@ class StreamedList {
   // Producer side. Push blocks while the queue is full; returns false once
   // the consumer cancelled or the stream was already closed (producer
   // should stop the query).
-  bool Push(Result result) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] {
-      return cancelled_ || closed_ || queue_.size() < capacity_;
-    });
+  bool Push(Result result) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!cancelled_ && !closed_ && queue_.size() >= capacity_) {
+      not_full_.Wait(mutex_);
+    }
     if (cancelled_) return false;
     // Pushing after Close is a producer-side protocol bug (a consumer
     // cancel, by contrast, can race with pushes and is expected).
@@ -53,64 +52,64 @@ class StreamedList {
                 "StreamedList queue exceeded its capacity bound");
     queue_.push_back(result);
     ++produced_;
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   // Producer signals the end of the stream.
-  void Close() {
+  void Close() EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
-    not_empty_.notify_all();
+    not_empty_.NotifyAll();
   }
 
   // Consumer side. Blocks until a result arrives or the stream ends;
   // nullopt = stream closed and drained (or cancelled).
-  std::optional<Result> Next() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] {
-      return cancelled_ || closed_ || !queue_.empty();
-    });
+  std::optional<Result> Next() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (!cancelled_ && !closed_ && queue_.empty()) {
+      not_empty_.Wait(mutex_);
+    }
     if (queue_.empty()) return std::nullopt;
     const Result r = queue_.front();
     queue_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return r;
   }
 
   // Non-blocking variant: a queued result if one is ready, nullopt when the
   // queue is momentarily empty OR the stream has ended — poll cancelled()
   // and the producer's completion separately when the distinction matters.
-  std::optional<Result> TryNext() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<Result> TryNext() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (queue_.empty()) return std::nullopt;
     const Result r = queue_.front();
     queue_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return r;
   }
 
   // Consumer aborts the query (e.g., top-k reached); wakes the producer.
-  void Cancel() {
+  void Cancel() EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       cancelled_ = true;
       queue_.clear();
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
-  bool cancelled() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool cancelled() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return cancelled_;
   }
 
   // Total results pushed so far (monotone; for progress reporting).
-  size_t produced() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t produced() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return produced_;
   }
 
@@ -124,13 +123,14 @@ class StreamedList {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<Result> queue_;
-  bool closed_ = false;
-  bool cancelled_ = false;
-  size_t produced_ = 0;
+  mutable Mutex mutex_ ACQUIRED_AFTER(lockorder::kCache)
+      ACQUIRED_BEFORE(lockorder::kMetrics);
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<Result> queue_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
+  bool cancelled_ GUARDED_BY(mutex_) = false;
+  size_t produced_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace flix::core

@@ -11,6 +11,7 @@
 #include "common/bytes.h"
 #include "graph/scc.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
 
 namespace flix::index {
 namespace {
@@ -19,7 +20,7 @@ namespace {
 // once; Counter addresses survive MetricsRegistry::Reset()).
 obs::Counter& ApexPullCounter() {
   static obs::Counter& counter =
-      obs::MetricsRegistry::Global().GetCounter("flix.cursor.pulled.apex");
+      obs::MetricsRegistry::Global().GetCounter(obs::names::kCursorPulledApex);
   return counter;
 }
 

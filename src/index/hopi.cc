@@ -15,6 +15,7 @@
 #include "graph/partition.h"
 #include "graph/traversal.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
 
 namespace flix::index {
 namespace {
@@ -236,7 +237,7 @@ namespace {
 // once; Counter addresses survive MetricsRegistry::Reset()).
 obs::Counter& HopiPullCounter() {
   static obs::Counter& counter =
-      obs::MetricsRegistry::Global().GetCounter("flix.cursor.pulled.hopi");
+      obs::MetricsRegistry::Global().GetCounter(obs::names::kCursorPulledHopi);
   return counter;
 }
 

@@ -5,6 +5,7 @@
 #include "common/bytes.h"
 #include "graph/tree_utils.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
 
 namespace flix::index {
 namespace {
@@ -23,7 +24,7 @@ constexpr uint32_t kTagArray = 7;
 // stable for the process lifetime, surviving MetricsRegistry::Reset().
 obs::Counter& PpoPullCounter() {
   static obs::Counter& counter =
-      obs::MetricsRegistry::Global().GetCounter("flix.cursor.pulled.ppo");
+      obs::MetricsRegistry::Global().GetCounter(obs::names::kCursorPulledPpo);
   return counter;
 }
 

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "graph/traversal.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
 
 namespace flix::index {
 namespace {
@@ -19,7 +20,7 @@ namespace {
 // Counter addresses survive MetricsRegistry::Reset()).
 obs::Counter& TcPullCounter() {
   static obs::Counter& counter =
-      obs::MetricsRegistry::Global().GetCounter("flix.cursor.pulled.tc");
+      obs::MetricsRegistry::Global().GetCounter(obs::names::kCursorPulledTc);
   return counter;
 }
 

@@ -23,11 +23,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace flix::obs {
 
@@ -175,25 +176,30 @@ class MetricsRegistry {
   // query cache report into.
   static MetricsRegistry& Global();
 
-  Counter& GetCounter(std::string_view name);
-  Gauge& GetGauge(std::string_view name);
-  Histogram& GetHistogram(std::string_view name);
+  Counter& GetCounter(std::string_view name) EXCLUDES(mutex_);
+  Gauge& GetGauge(std::string_view name) EXCLUDES(mutex_);
+  Histogram& GetHistogram(std::string_view name) EXCLUDES(mutex_);
 
   // Sorted-by-name snapshot of all registered metrics.
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const EXCLUDES(mutex_);
 
   // Zeroes every metric in place; registrations (and outstanding
   // references) survive. Used by tests and `flixctl stats --workload` to
   // isolate a measurement window.
-  void Reset();
+  void Reset() EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
+  // Metrics rank: the innermost lock in the hierarchy — callers may hold any
+  // engine/handle/cache lock while interning or snapshotting.
+  mutable Mutex mutex_ ACQUIRED_AFTER(lockorder::kMetrics);
   // std::map: stable iteration order gives deterministic exports, and node
   // stability plus unique_ptr keeps metric addresses fixed.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace flix::obs

@@ -79,14 +79,14 @@ void WorkloadProfiler::Resize(size_t num_partitions) {
   for (size_t p = 0; p < num_partitions; ++p) {
     partitions_.push_back(std::make_unique<Slot>());
   }
-  std::lock_guard<std::mutex> lock(info_mutex_);
+  MutexLock lock(info_mutex_);
   info_.assign(num_partitions, Info{});
 }
 
 void WorkloadProfiler::SetPartitionInfo(uint32_t partition,
                                         std::string_view strategy,
                                         uint64_t nodes, uint64_t build_ns) {
-  std::lock_guard<std::mutex> lock(info_mutex_);
+  MutexLock lock(info_mutex_);
   if (partition >= info_.size()) return;
   info_[partition].strategy = std::string(strategy);
   info_[partition].nodes = nodes;
@@ -159,7 +159,7 @@ WorkloadProfile WorkloadProfiler::Snapshot() const {
     out.cache_misses = slot.cache_misses.load(std::memory_order_relaxed);
     RecordStatsInto(out.latency, slot.latency.load(std::memory_order_acquire));
   }
-  std::lock_guard<std::mutex> lock(info_mutex_);
+  MutexLock lock(info_mutex_);
   for (size_t p = 0; p < partitions_.size() && p < info_.size(); ++p) {
     profile.partitions[p].strategy = info_[p].strategy;
     profile.partitions[p].nodes = info_[p].nodes;

@@ -26,12 +26,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 namespace flix::obs {
@@ -113,9 +113,10 @@ class WorkloadProfiler {
   WorkloadProfiler& operator=(const WorkloadProfiler&) = delete;
 
   // Build/load-time setup; must not race with recording.
-  void Resize(size_t num_partitions);
+  void Resize(size_t num_partitions) EXCLUDES(info_mutex_);
   void SetPartitionInfo(uint32_t partition, std::string_view strategy,
-                        uint64_t nodes, uint64_t build_ns);
+                        uint64_t nodes, uint64_t build_ns)
+      EXCLUDES(info_mutex_);
 
   // Master switch, checked by every attribution point. Disabled profilers
   // cost one relaxed load per query (and per cache op).
@@ -134,7 +135,7 @@ class WorkloadProfiler {
   void RecordCacheHit(uint32_t partition);
   void RecordCacheMiss(uint32_t partition);
 
-  WorkloadProfile Snapshot() const;
+  WorkloadProfile Snapshot() const EXCLUDES(info_mutex_);
 
   // Zeroes all observations in place; partition info and capacity survive.
   void Reset();
@@ -169,10 +170,11 @@ class WorkloadProfiler {
   std::atomic<bool> enabled_{true};
   // unique_ptr: Slot is neither movable nor copyable (atomics), and stable
   // addresses let concurrent recorders ignore vector reallocation (Resize
-  // is excluded from racing with recording by contract anyway).
+  // is excluded from racing with recording by contract anyway). The slots
+  // themselves are lock-free atomics, so the vector is unguarded.
   std::vector<std::unique_ptr<Slot>> partitions_;
-  mutable std::mutex info_mutex_;
-  std::vector<Info> info_;
+  mutable Mutex info_mutex_ ACQUIRED_AFTER(lockorder::kMetrics);
+  std::vector<Info> info_ GUARDED_BY(info_mutex_);
 };
 
 // JSON (de)serialization. Schema (stable; version-checked on read):

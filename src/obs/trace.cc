@@ -3,13 +3,16 @@
 #include <atomic>
 #include <cinttypes>
 #include <cstdio>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace flix::obs {
 namespace {
 
 std::atomic<std::ostream*> g_trace_log{nullptr};
-std::mutex g_trace_mutex;
+// Serializes trace-line writes to the attached stream; metrics rank
+// (innermost), like every obs-layer lock.
+Mutex g_trace_mutex ACQUIRED_AFTER(lockorder::kMetrics);
 
 std::atomic<uint64_t> g_next_span_id{1};
 
@@ -64,7 +67,7 @@ TraceCollector& TraceCollector::Global() {
 }
 
 void TraceCollector::Enable(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ring_.clear();
   ring_.reserve(capacity);
   capacity_ = capacity == 0 ? 1 : capacity;
@@ -80,11 +83,12 @@ void TraceCollector::Disable() {
 
 uint64_t TraceCollector::NowNanos() const {
   if (!Enabled()) return 0;
+  MutexLock lock(mutex_);
   return epoch_.ElapsedNanos();
 }
 
 void TraceCollector::Record(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (!enabled_.load(std::memory_order_relaxed)) return;
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
@@ -96,7 +100,7 @@ void TraceCollector::Record(TraceEvent event) {
 }
 
 std::vector<TraceEvent> TraceCollector::Events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<TraceEvent> events;
   events.reserve(ring_.size());
   // `next_` is the oldest slot once the ring has wrapped.
@@ -107,12 +111,12 @@ std::vector<TraceEvent> TraceCollector::Events() const {
 }
 
 uint64_t TraceCollector::Dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return dropped_;
 }
 
 void TraceCollector::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ring_.clear();
   next_ = 0;
   dropped_ = 0;
@@ -161,7 +165,7 @@ SlowQueryLog& SlowQueryLog::Global() {
 }
 
 void SlowQueryLog::Configure(uint64_t threshold_ns, size_t capacity) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ring_.clear();
   capacity_ = capacity == 0 ? 1 : capacity;
   ring_.reserve(capacity_);
@@ -172,7 +176,7 @@ void SlowQueryLog::Configure(uint64_t threshold_ns, size_t capacity) {
 void SlowQueryLog::Record(std::string description, uint64_t dur_ns) {
   const uint64_t threshold = ThresholdNanos();
   if (threshold == 0 || dur_ns < threshold) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   SlowQueryRecord record{std::move(description), dur_ns, seq_++};
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(record));
@@ -183,7 +187,7 @@ void SlowQueryLog::Record(std::string description, uint64_t dur_ns) {
 }
 
 std::vector<SlowQueryRecord> SlowQueryLog::Entries() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<SlowQueryRecord> entries;
   entries.reserve(ring_.size());
   for (size_t i = 0; i < ring_.size(); ++i) {
@@ -193,7 +197,7 @@ std::vector<SlowQueryRecord> SlowQueryLog::Entries() const {
 }
 
 void SlowQueryLog::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ring_.clear();
   next_ = 0;
 }
@@ -244,7 +248,7 @@ void TraceSpan::Finish() {
     TraceCollector::Global().Record(std::move(event));
   }
   if (std::ostream* log = g_trace_log.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(g_trace_mutex);
+    MutexLock lock(g_trace_mutex);
     *log << "[trace] " << (name_ != nullptr ? name_ : "span")
          << " dur_ns=" << nanos << "\n";
   }

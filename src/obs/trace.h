@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/sync.h"
 #include "obs/metrics.h"
 
 namespace flix::obs {
@@ -56,31 +57,31 @@ class TraceCollector {
 
   // Starts collecting, resets the epoch NowNanos() is measured from, and
   // clears previously collected events. `capacity` bounds the ring.
-  void Enable(size_t capacity = 4096);
+  void Enable(size_t capacity = 4096) EXCLUDES(mutex_);
   void Disable();
   bool Enabled() const {
     return enabled_.load(std::memory_order_relaxed);
   }
 
   // Nanoseconds since Enable(); 0 when disabled.
-  uint64_t NowNanos() const;
+  uint64_t NowNanos() const EXCLUDES(mutex_);
 
-  void Record(TraceEvent event);
+  void Record(TraceEvent event) EXCLUDES(mutex_);
 
   // Collected events, oldest first. Snapshot copy; safe while recording.
-  std::vector<TraceEvent> Events() const;
+  std::vector<TraceEvent> Events() const EXCLUDES(mutex_);
   // Events evicted because the ring was full.
-  uint64_t Dropped() const;
-  void Clear();
+  uint64_t Dropped() const EXCLUDES(mutex_);
+  void Clear() EXCLUDES(mutex_);
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> ring_;
-  size_t capacity_ = 0;
-  size_t next_ = 0;  // ring write position
-  uint64_t dropped_ = 0;
-  Stopwatch epoch_;
+  mutable Mutex mutex_ ACQUIRED_AFTER(lockorder::kMetrics);
+  std::vector<TraceEvent> ring_ GUARDED_BY(mutex_);
+  size_t capacity_ GUARDED_BY(mutex_) = 0;
+  size_t next_ GUARDED_BY(mutex_) = 0;  // ring write position
+  uint64_t dropped_ GUARDED_BY(mutex_) = 0;
+  Stopwatch epoch_ GUARDED_BY(mutex_);
 };
 
 // Renders events as a Chrome trace-event JSON document
@@ -105,25 +106,26 @@ class SlowQueryLog {
   static SlowQueryLog& Global();
 
   // threshold_ns == 0 disables recording. Clears retained entries.
-  void Configure(uint64_t threshold_ns, size_t capacity = 64);
+  void Configure(uint64_t threshold_ns, size_t capacity = 64)
+      EXCLUDES(mutex_);
   uint64_t ThresholdNanos() const {
     return threshold_ns_.load(std::memory_order_relaxed);
   }
 
   // Retains the query iff recording is enabled and dur_ns >= threshold.
-  void Record(std::string description, uint64_t dur_ns);
+  void Record(std::string description, uint64_t dur_ns) EXCLUDES(mutex_);
 
   // Retained records, oldest first.
-  std::vector<SlowQueryRecord> Entries() const;
-  void Clear();
+  std::vector<SlowQueryRecord> Entries() const EXCLUDES(mutex_);
+  void Clear() EXCLUDES(mutex_);
 
  private:
   std::atomic<uint64_t> threshold_ns_{0};
-  mutable std::mutex mutex_;
-  std::vector<SlowQueryRecord> ring_;
-  size_t capacity_ = 64;
-  size_t next_ = 0;
-  uint64_t seq_ = 0;
+  mutable Mutex mutex_ ACQUIRED_AFTER(lockorder::kMetrics);
+  std::vector<SlowQueryRecord> ring_ GUARDED_BY(mutex_);
+  size_t capacity_ GUARDED_BY(mutex_) = 64;
+  size_t next_ GUARDED_BY(mutex_) = 0;
+  uint64_t seq_ GUARDED_BY(mutex_) = 0;
 };
 
 // Scoped timer. On destruction records elapsed nanoseconds into the given

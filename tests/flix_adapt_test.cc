@@ -196,7 +196,9 @@ TEST(AdaptTest, MigrationSwapsStrategyWithIdenticalResults) {
 
   // The profiler now attributes the partition to its new strategy.
   for (const obs::PartitionProfile& p : (*flix)->Profile().partitions) {
-    if (p.partition == hot) EXPECT_EQ(p.strategy, "HOPI");
+    if (p.partition == hot) {
+      EXPECT_EQ(p.strategy, "HOPI");
+    }
   }
 
   // Migrating to the strategy already live is a no-op, not an error.

@@ -75,8 +75,7 @@ TEST(ExactModeTest, ExactPointDistanceMatchesOracle) {
   const graph::ReachabilityOracle oracle(g);
   for (NodeId a = 0; a < g.NumNodes(); ++a) {
     for (NodeId b = 0; b < g.NumNodes(); ++b) {
-      EXPECT_EQ((*flix)->FindDistance(a, b, -1, /*exact=*/true),
-                oracle.Distance(a, b))
+      EXPECT_EQ((*flix)->FindDistance(a, b), oracle.Distance(a, b))
           << a << "->" << b;
     }
   }

@@ -1,0 +1,20 @@
+// Positive-compile case: the annotated concurrency-facing headers must be
+// clean under -Werror -Wthread-safety -Wthread-safety-beta, including when
+// a client actually exercises the locked entry points. Guards against an
+// annotation being added that breaks every includer.
+#include <vector>
+
+#include "flix/meta_document.h"
+#include "flix/query_cache.h"
+
+int main() {
+  flix::core::QueryCache cache(4);
+  cache.Insert(1, 2, {{3, 1}});
+  std::vector<flix::core::Result> out;
+  const bool hit = cache.Lookup(1, 2, &out);
+  (void)cache.Stats();
+
+  flix::core::IndexHandle handle;
+  (void)handle.Acquire();
+  return hit ? 0 : 1;
+}

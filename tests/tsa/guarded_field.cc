@@ -1,0 +1,30 @@
+// Negative-compile case: reading a GUARDED_BY field without holding its
+// mutex must be rejected by -Wthread-safety ("requires holding mutex").
+// If this file ever compiles, the annotations in common/sync.h have
+// degraded to no-ops under clang and the whole discipline is off.
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    flix::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // Deliberately missing MutexLock — the point of this test.
+  int Get() const { return value_; }
+
+ private:
+  mutable flix::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Get();
+}

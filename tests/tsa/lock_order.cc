@@ -1,0 +1,23 @@
+// Negative-compile case: acquiring locks against the documented hierarchy
+// (engine -> partition handle -> cache -> metrics, DESIGN.md section 8)
+// must be rejected by the ACQUIRED_BEFORE/AFTER checks that
+// -Wthread-safety-beta enables. The rank tags in flix::lockorder are never
+// locked in real code; locking them here directly is the simplest way to
+// express an inversion the transitive acquired-before graph must catch.
+#include "common/sync.h"
+
+namespace {
+
+void Inverted() {
+  flix::MutexLock cache(flix::lockorder::kCache);
+  // Cache rank is below engine rank: acquiring an engine-rank lock while
+  // holding a cache-rank lock is the inversion under test.
+  flix::MutexLock engine(flix::lockorder::kEngine);
+}
+
+}  // namespace
+
+int main() {
+  Inverted();
+  return 0;
+}

@@ -1,0 +1,44 @@
+# Compile-test driver for the Thread Safety Analysis cases (see
+# CMakeLists.txt in this directory). Invoked as
+#
+#   cmake -DCOMPILER=... -DSRC=case.cc -DINCLUDE_DIR=.../src
+#         -DEXPECT=PASS|FAIL -DPATTERN=<regex> -P run_tsa_case.cmake
+#
+# PASS cases must compile cleanly with the TSA warnings promoted to
+# errors. FAIL cases must fail to compile AND the diagnostics must match
+# PATTERN — a compile failure for any other reason (missing header, syntax
+# error in the case itself) fails the test, so a rotted case cannot pass
+# by accident.
+foreach(var COMPILER SRC INCLUDE_DIR EXPECT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_tsa_case.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${COMPILER} -std=c++20 -fsyntax-only -Werror
+          -Wthread-safety -Wthread-safety-beta
+          -I${INCLUDE_DIR} ${SRC}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+set(diagnostics "${out}\n${err}")
+
+if(EXPECT STREQUAL "PASS")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "expected a clean compile, got exit ${rc}:\n${diagnostics}")
+  endif()
+elseif(EXPECT STREQUAL "FAIL")
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+            "expected a thread-safety diagnostic, but the compile succeeded")
+  endif()
+  if(NOT diagnostics MATCHES "${PATTERN}")
+    message(FATAL_ERROR
+            "compile failed, but not for the intended reason — pattern "
+            "'${PATTERN}' not in the diagnostics:\n${diagnostics}")
+  endif()
+else()
+  message(FATAL_ERROR "run_tsa_case.cmake: EXPECT must be PASS or FAIL")
+endif()

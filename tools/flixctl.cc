@@ -955,8 +955,7 @@ int CmdConnect(const Args& args) {
   }
   // Differential escape hatch: compare guided vs blind answers in place.
   if (args.Has("no-landmarks")) (*flix)->SetLandmarksEnabled(false);
-  const Distance d =
-      (*flix)->FindDistance(*from, *to, max_distance, /*exact=*/true);
+  const Distance d = (*flix)->FindDistance(*from, *to, max_distance);
   if (d == kUnreachable) {
     std::cout << "not connected\n";
   } else {
